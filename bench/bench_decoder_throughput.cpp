@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Decoder and sampler micro-benchmarks (google-benchmark), supporting
+ * the paper's decoding-complexity discussion (Sec. III.4): correlated
+ * decoding enlarges the decoding problem, so per-shot decoder
+ * throughput matters for the 500 us decode-time budget of Table I.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "src/codes/experiments.hh"
+#include "src/decoder/graph.hh"
+#include "src/decoder/mwpm.hh"
+#include "src/decoder/union_find.hh"
+#include "src/sim/dem.hh"
+#include "src/sim/frame.hh"
+
+namespace {
+
+using namespace traq;
+
+struct Fixture
+{
+    codes::Experiment exp;
+    sim::DetectorErrorModel dem;
+    decoder::DecodingGraph graph;
+    std::vector<std::vector<std::uint32_t>> syndromes;
+
+    explicit Fixture(int d, bool cnot)
+        : exp(cnot ? makeCnot(d) : makeMemory(d)),
+          dem(sim::buildDem(exp.circuit)),
+          graph(decoder::DecodingGraph::fromDem(dem, exp.meta))
+    {
+        sim::FrameSimulator fs(7);
+        while (syndromes.size() < 256) {
+            auto batch = fs.sample(exp.circuit);
+            for (int s = 0; s < 64; ++s) {
+                std::vector<std::uint32_t> syn;
+                for (std::size_t k = 0; k < batch.detectors.size();
+                     ++k)
+                    if ((batch.detectors[k] >> s) & 1)
+                        syn.push_back(
+                            static_cast<std::uint32_t>(k));
+                syndromes.push_back(std::move(syn));
+            }
+        }
+    }
+
+    static codes::Experiment
+    makeMemory(int d)
+    {
+        codes::SurfaceCode sc(d);
+        return codes::buildMemory(
+            sc, 'Z', d, codes::NoiseParams::uniform(1e-3));
+    }
+
+    static codes::Experiment
+    makeCnot(int d)
+    {
+        codes::TransversalCnotSpec spec;
+        spec.distance = d;
+        spec.cnotLayers = 4;
+        spec.noise = codes::NoiseParams::uniform(1e-3);
+        return codes::buildTransversalCnot(spec);
+    }
+};
+
+void
+BM_FrameSampler(benchmark::State &state)
+{
+    Fixture f(static_cast<int>(state.range(0)), false);
+    sim::FrameSimulator fs(3);
+    for (auto _ : state) {
+        auto batch = fs.sample(f.exp.circuit);
+        benchmark::DoNotOptimize(batch.detectors.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_FrameSampler)->Arg(3)->Arg(5)->Arg(7);
+
+void
+BM_DemExtraction(benchmark::State &state)
+{
+    auto exp = Fixture::makeMemory(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        auto dem = sim::buildDem(exp.circuit);
+        benchmark::DoNotOptimize(dem.errors.size());
+    }
+}
+BENCHMARK(BM_DemExtraction)->Arg(3)->Arg(5);
+
+void
+BM_UnionFindDecode(benchmark::State &state)
+{
+    Fixture f(static_cast<int>(state.range(0)), false);
+    decoder::UnionFindDecoder uf(f.graph);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            uf.decode(f.syndromes[i % f.syndromes.size()]));
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UnionFindDecode)->Arg(3)->Arg(5)->Arg(7);
+
+void
+BM_MwpmDecode(benchmark::State &state)
+{
+    Fixture f(static_cast<int>(state.range(0)), false);
+    decoder::MwpmDecoder mwpm(f.graph, 16);
+    decoder::UnionFindDecoder uf(f.graph);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const auto &syn = f.syndromes[i % f.syndromes.size()];
+        if (mwpm.canDecode(syn))
+            benchmark::DoNotOptimize(mwpm.decode(syn));
+        else
+            benchmark::DoNotOptimize(uf.decode(syn));
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MwpmDecode)->Arg(3)->Arg(5);
+
+void
+BM_CorrelatedCnotDecode(benchmark::State &state)
+{
+    // Joint two-patch decoding: the enlarged problem of Sec. III.4.
+    Fixture f(static_cast<int>(state.range(0)), true);
+    decoder::UnionFindDecoder uf(f.graph);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            uf.decode(f.syndromes[i % f.syndromes.size()]));
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CorrelatedCnotDecode)->Arg(3)->Arg(5);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fig. 11 reproduction.
+ *  (a,b) factory space-time volume vs SE rounds per transversal gate,
+ *        for alpha = 1/6 (pth_eff 0.86%) and alpha = 1/2 (0.67%):
+ *        the optimum sits near 1 SE round per gate.
+ *  (c,d) idle-storage SE period optimization: the optimal period is
+ *        largely independent of code distance and sits where idle
+ *        error matches the SE gate-error contribution (~8 ms at a
+ *        10 s coherence time).
+ */
+
+#include <cstdio>
+
+#include "src/arch/se_schedule.hh"
+#include "src/common/table.hh"
+#include "src/gadgets/factory.hh"
+
+int
+main()
+{
+    using namespace traq;
+
+    std::printf("=== Fig. 11(a,b): factory volume vs SE rounds per "
+                "gate ===\n\n");
+    Table t({"SE rounds/gate", "alpha=1/6: d", "volume [site-s]",
+             "alpha=1/2: d", "volume [site-s]"});
+    for (double rounds : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+        std::vector<std::string> row{fmtF(rounds, 2)};
+        for (double alpha : {1.0 / 6.0, 0.5}) {
+            gadgets::FactorySpec spec;
+            spec.seRoundsPerGate = rounds;
+            spec.errorModel.alpha = alpha;
+            auto r = gadgets::designFactory(spec);
+            double volume = r.qubits * r.cczTime;
+            row.push_back(std::to_string(r.distance));
+            row.push_back(fmtF(volume, 0));
+        }
+        t.addRow(row);
+    }
+    t.print();
+    std::printf("\n(effective thresholds at 1 round/gate: 0.86%% "
+                "for alpha=1/6, 0.67%% for alpha=1/2)\n");
+
+    std::printf("\n=== Fig. 11(c): optimal idle SE period vs "
+                "distance ===\n\n");
+    auto atom = platform::AtomArrayParams::paperDefaults();
+    auto em = model::ErrorModelParams::paperDefaults();
+    Table c({"d", "optimal period", "closed-form approx"});
+    for (int d : {13, 17, 21, 25, 27, 31}) {
+        c.addRow({std::to_string(d),
+                  fmtDuration(arch::optimalIdlePeriod(d, atom, em)),
+                  fmtDuration(
+                      arch::optimalIdlePeriodApprox(d, atom, em))});
+    }
+    c.print();
+
+    std::printf("\n=== Fig. 11(d): idle logical error rate vs SE "
+                "period (d=27) ===\n\n");
+    Table dtab({"SE period", "p=1e-3 rate [1/s]", "p=5e-4 rate",
+                "p=2e-3 rate"});
+    for (double tau : {1e-3, 2e-3, 4e-3, 8e-3, 16e-3, 32e-3,
+                       64e-3}) {
+        std::vector<std::string> row{fmtDuration(tau)};
+        for (double p : {1e-3, 5e-4, 2e-3}) {
+            model::ErrorModelParams m = em;
+            m.pPhys = p;
+            row.push_back(fmtE(
+                arch::idleLogicalErrorRate(tau, 27, atom, m), 2));
+        }
+        dtab.addRow(row);
+    }
+    dtab.print();
+    std::printf("\n(paper operating point: SE every 8 ms at 10 s "
+                "coherence)\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fig. 12 reproduction: space usage and logical-error contribution of
+ * the components during the two main factoring subroutines (table
+ * lookup and addition).  Paper shape: the CNOT fan-out dominates
+ * space and error during lookup; the factories dominate during
+ * addition; 4-6 M qubits idle in storage.
+ */
+
+#include <cstdio>
+
+#include "src/common/table.hh"
+#include "src/estimator/shor.hh"
+
+namespace {
+
+void
+printLedger(const traq::arch::SpaceTimeLedger &ledger,
+            const char *title)
+{
+    using namespace traq;
+    std::printf("--- %s ---\n", title);
+    Table t({"component", "qubits", "space %", "error share %"});
+    auto space = ledger.spaceFractions();
+    auto err = ledger.errorFractions();
+    for (std::size_t i = 0; i < ledger.entries().size(); ++i) {
+        const auto &e = ledger.entries()[i];
+        t.addRow({e.name, fmtSi(e.qubits, 2),
+                  fmtF(100 * space[i].second, 1),
+                  fmtF(100 * err[i].second, 1)});
+    }
+    t.print();
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace traq;
+    est::FactoringSpec spec;
+    est::FactoringReport r = est::estimateFactoring(spec);
+
+    std::printf("=== Fig. 12: space and error breakdown (2048-bit "
+                "factoring, d=%d) ===\n\n", r.distance);
+    printLedger(r.lookupPhase, "during table lookup (Fig. 12 left)");
+    printLedger(r.additionPhase,
+                "during addition (Fig. 12 right)");
+
+    std::printf("storage (idle) qubits: %s  (paper: 4-6M idling)\n",
+                fmtSi(r.storageQubits, 1).c_str());
+    std::printf("total error budget spent: algorithm %.2e, idle "
+                "%.2e, runway %.2e, CCZ %.2e\n",
+                r.algorithmLogicalError, r.idleError, r.runwayError,
+                r.cczError);
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fig. 14 reproduction.
+ *  (a,b) space-time volume and QEC-round duration vs atom
+ *        acceleration rescaling;
+ *  (c)   volume vs reaction time (gains flatten at small t_r where
+ *        the CNOT fan-out floor dominates);
+ *  (d)   qubits vs run time trade-off (volume degrades below ~15 M
+ *        qubits).
+ */
+
+#include <cstdio>
+
+#include "src/arch/qec_cycle.hh"
+#include "src/common/table.hh"
+#include "src/estimator/optimizer.hh"
+#include "src/estimator/shor.hh"
+
+int
+main()
+{
+    using namespace traq;
+
+    est::FactoringSpec base;
+    est::FactoringReport ref = est::estimateFactoring(base);
+
+    std::printf("=== Fig. 14(a,b): acceleration sweep ===\n\n");
+    Table a({"accel scale", "QEC round", "run time", "qubits",
+             "volume ratio"});
+    for (double scale : {0.1, 0.3, 1.0, 3.0, 10.0}) {
+        est::FactoringSpec s = base;
+        s.atom.acceleration = 5500.0 * scale;
+        auto r = est::estimateFactoring(s);
+        auto cyc = arch::qecCycle(r.distance, s.atom);
+        a.addRow({fmtF(scale, 1), fmtDuration(cyc.total),
+                  fmtDuration(r.totalSeconds),
+                  fmtSi(r.physicalQubits, 1),
+                  fmtF(r.spacetimeVolume / ref.spacetimeVolume, 2)});
+    }
+    a.print();
+
+    std::printf("\n=== Fig. 14(c): reaction-time sweep ===\n\n");
+    Table c({"reaction time", "t_lookup", "t_add", "run time",
+             "volume ratio"});
+    for (double tr : {0.1e-3, 0.2e-3, 0.5e-3, 1e-3, 2e-3, 5e-3,
+                      10e-3}) {
+        est::FactoringSpec s = base;
+        // Split the reaction time between measurement and decoding.
+        s.atom.measureTime = tr / 2.0;
+        s.atom.decodeTime = tr / 2.0;
+        auto r = est::estimateFactoring(s);
+        c.addRow({fmtDuration(tr), fmtDuration(r.timePerLookup),
+                  fmtDuration(r.timePerAddition),
+                  fmtDuration(r.totalSeconds),
+                  fmtF(r.spacetimeVolume / ref.spacetimeVolume, 2)});
+    }
+    c.print();
+    std::printf("\n(paper: gains from faster reaction eventually "
+                "bottlenecked by the CNOT fan-out volume)\n");
+
+    std::printf("\n=== Fig. 14(d): qubits vs run time trade-off "
+                "===\n\n");
+    Table d({"qubit cap", "achieved qubits", "run time",
+             "rsep chosen", "volume ratio"});
+    for (double cap : {8e6, 10e6, 12e6, 15e6, 20e6, 30e6}) {
+        est::OptimizerOptions opts;
+        opts.maxQubits = cap;
+        auto res = est::optimizeFactoring(base, opts);
+        if (!res.found) {
+            d.addRow({fmtSi(cap, 0), "infeasible", "-", "-", "-"});
+            continue;
+        }
+        d.addRow({fmtSi(cap, 0),
+                  fmtSi(res.bestReport.physicalQubits, 1),
+                  fmtDuration(res.bestReport.totalSeconds),
+                  std::to_string(res.bestSpec.rsep),
+                  fmtF(res.bestReport.spacetimeVolume /
+                           ref.spacetimeVolume, 2)});
+    }
+    d.print();
+    std::printf("\n(paper: comparable volume until the qubit count "
+                "drops below ~15M)\n");
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Table I reproduction: platform parameters and the derived timing
+ * quantities quoted in Sec. IV.2 (QEC-cycle gate phase ~400 us, patch
+ * move ~500 us = measurement time, reaction time 1 ms).
+ */
+
+#include <cstdio>
+
+#include "src/arch/qec_cycle.hh"
+#include "src/common/table.hh"
+#include "src/platform/params.hh"
+
+int
+main()
+{
+    using namespace traq;
+    auto p = platform::AtomArrayParams::paperDefaults();
+
+    std::printf("=== Table I: platform parameters ===\n\n");
+    Table t({"parameter", "value", "paper"});
+    t.addRow({"site spacing l", fmtF(p.siteSpacing * 1e6, 0) + " um",
+              "12 um"});
+    t.addRow({"acceleration a", fmtF(p.acceleration, 0) + " m/s^2",
+              "5500 m/s^2"});
+    t.addRow({"gate time", fmtDuration(p.gateTime), "1 us"});
+    t.addRow({"measure time", fmtDuration(p.measureTime), "500 us"});
+    t.addRow({"decoding time", fmtDuration(p.decodeTime), "500 us"});
+    t.print();
+
+    std::printf("\n=== Derived timing (Sec. IV.2) ===\n\n");
+    Table d({"quantity", "value", "paper"});
+    d.addRow({"move 55 um (Table I calibration)",
+              fmtDuration(platform::moveTime(55e-6, p)), "200 us"});
+    for (int dist : {13, 21, 27, 33}) {
+        auto cyc = arch::qecCycle(dist, p);
+        d.addRow({"QEC cycle gate phase (d=" + std::to_string(dist) +
+                      ")",
+                  fmtDuration(cyc.seGatePhase), "~400 us"});
+        d.addRow({"patch move (d=" + std::to_string(dist) + ")",
+                  fmtDuration(cyc.patchMove), "~500 us @ d=27"});
+        d.addRow({"full QEC cycle (d=" + std::to_string(dist) + ")",
+                  fmtDuration(cyc.total), "~0.9 ms"});
+    }
+    d.addRow({"reaction time", fmtDuration(p.reactionTime()),
+              "1 ms"});
+    d.print();
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Explore the factoring trade-off space from the command line:
+ *
+ *   factoring_tradeoffs [nBits] [wExp] [wMul] [rsep]
+ *
+ * prints the full estimate for the requested configuration plus a
+ * small neighbourhood sweep, showing how window sizes and runway
+ * separation trade lookup time, addition time, factories and space.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/table.hh"
+#include "src/estimator/shor.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace traq;
+
+    est::FactoringSpec spec;
+    if (argc > 1)
+        spec.nBits = std::atoi(argv[1]);
+    if (argc > 2)
+        spec.wExp = std::atoi(argv[2]);
+    if (argc > 3)
+        spec.wMul = std::atoi(argv[3]);
+    if (argc > 4)
+        spec.rsep = std::atoi(argv[4]);
+
+    est::FactoringReport rep = est::estimateFactoring(spec);
+    std::printf("=== %d-bit factoring, wexp=%d wmul=%d rsep=%d "
+                "===\n\n",
+                spec.nBits, spec.wExp, spec.wMul, spec.rsep);
+    Table t({"quantity", "value"});
+    t.addRow({"lookup-additions", fmtE(rep.lookupAdditions, 3)});
+    t.addRow({"distance / rpad / factories",
+              std::to_string(rep.distance) + " / " +
+                  std::to_string(rep.rpad) + " / " +
+                  std::to_string(rep.factories)});
+    t.addRow({"time: lookup + addition",
+              fmtDuration(rep.timePerLookup) + " + " +
+                  fmtDuration(rep.timePerAddition)});
+    t.addRow({"physical qubits", fmtSi(rep.physicalQubits, 1)});
+    t.addRow({"run time", fmtDuration(rep.totalSeconds)});
+    t.addRow({"volume [qubit-s]", fmtE(rep.spacetimeVolume, 2)});
+    t.addRow({"feasible", rep.feasible ? "yes" : "no"});
+    t.print();
+
+    std::printf("\n=== Neighbourhood sweep ===\n\n");
+    Table s({"wexp", "wmul", "rsep", "qubits", "run time",
+             "volume"});
+    for (int we : {spec.wExp - 1, spec.wExp, spec.wExp + 1}) {
+        if (we < 1)
+            continue;
+        for (int rsep : {spec.rsep / 2, spec.rsep, spec.rsep * 2}) {
+            if (rsep < 8)
+                continue;
+            est::FactoringSpec v = spec;
+            v.wExp = we;
+            v.rsep = rsep;
+            auto r = est::estimateFactoring(v);
+            s.addRow({std::to_string(we), std::to_string(v.wMul),
+                      std::to_string(rsep),
+                      fmtSi(r.physicalQubits, 1),
+                      fmtDuration(r.totalSeconds),
+                      fmtE(r.spacetimeVolume, 2)});
+        }
+    }
+    s.print();
+    return 0;
+}

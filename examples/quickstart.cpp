@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Quickstart: estimate the resources for 2048-bit RSA factoring on
+ * the transversal neutral-atom architecture with the paper's Table II
+ * parameters, and compare against the lattice-surgery baseline.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "src/common/table.hh"
+#include "src/estimator/baselines.hh"
+#include "src/estimator/shor.hh"
+
+int
+main()
+{
+    using namespace traq;
+
+    // The paper's headline configuration (Table II).
+    est::FactoringSpec spec;
+    spec.nBits = 2048;
+    spec.wExp = 3;
+    spec.wMul = 4;
+    spec.rsep = 96;
+
+    est::FactoringReport rep = est::estimateFactoring(spec);
+
+    std::printf("=== 2048-bit RSA on the transversal architecture "
+                "===\n\n");
+    Table t({"quantity", "value"});
+    t.addRow({"exponent bits (Ekera-Hastad)",
+              fmtF(rep.exponentBits, 0)});
+    t.addRow({"lookup-additions", fmtE(rep.lookupAdditions, 3)});
+    t.addRow({"CCZ states", fmtE(rep.cczTotal, 3)});
+    t.addRow({"code distance", fmtF(rep.distance, 0)});
+    t.addRow({"runway padding", fmtF(rep.rpad, 0)});
+    t.addRow({"CCZ factories", fmtF(rep.factories, 0)});
+    t.addRow({"time per lookup", fmtDuration(rep.timePerLookup)});
+    t.addRow({"time per addition",
+              fmtDuration(rep.timePerAddition)});
+    t.addRow({"physical qubits", fmtSi(rep.physicalQubits, 1)});
+    t.addRow({"run time", fmtDuration(rep.totalSeconds)});
+    t.addRow({"space-time volume [qubit-s]",
+              fmtE(rep.spacetimeVolume, 3)});
+    t.addRow({"feasible", rep.feasible ? "yes" : "no"});
+    t.print();
+
+    std::printf("\n=== Lattice-surgery baseline (Gidney-Ekera, "
+                "900 us QEC cycle) ===\n\n");
+    est::GidneyEkeraSpec ge;
+    ge.tCycle = 900e-6;
+    ge.tReaction = 1e-3;
+    est::BaselinePoint base = est::gidneyEkera(ge);
+    Table b({"quantity", "value"});
+    b.addRow({"physical qubits", fmtSi(base.physicalQubits, 1)});
+    b.addRow({"run time", fmtDuration(base.seconds)});
+    b.addRow({"speed-up of this work",
+              fmtF(base.seconds / rep.totalSeconds, 1) + "x"});
+    b.print();
+    return 0;
+}

@@ -1,0 +1,61 @@
+#include "src/arch/se_schedule.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "src/arch/qec_cycle.hh"
+#include "src/common/assert.hh"
+
+namespace traq::arch {
+
+double
+idleError(double tau, const platform::AtomArrayParams &p)
+{
+    TRAQ_REQUIRE(tau >= 0.0, "idle time must be non-negative");
+    return -std::expm1(-tau / p.coherenceTime);
+}
+
+double
+idleLogicalErrorRate(double tau, int d,
+                     const platform::AtomArrayParams &p,
+                     const model::ErrorModelParams &em)
+{
+    TRAQ_REQUIRE(tau > 0.0, "SE period must be positive");
+    double pRound = kSeRoundErrorWeight * em.pPhys + idleError(tau, p);
+    double base = pRound / (kSeRoundErrorWeight * em.pThres);
+    if (base >= 1.0)
+        return std::numeric_limits<double>::infinity();
+    double pL = em.prefactorC * std::pow(base, (d + 1) / 2.0);
+    return pL / tau;
+}
+
+double
+optimalIdlePeriod(int d, const platform::AtomArrayParams &p,
+                  const model::ErrorModelParams &em)
+{
+    // An SE round cannot be scheduled more often than it takes to
+    // execute: floor the period at the QEC cycle time.
+    double floor = qecCycle(d, p).total;
+    double best = floor;
+    double bestRate = std::numeric_limits<double>::infinity();
+    for (double tau = floor; tau <= 10.0; tau *= 1.05) {
+        double r = idleLogicalErrorRate(tau, d, p, em);
+        if (r < bestRate) {
+            bestRate = r;
+            best = tau;
+        }
+    }
+    return best;
+}
+
+double
+optimalIdlePeriodApprox(int d, const platform::AtomArrayParams &p,
+                        const model::ErrorModelParams &em)
+{
+    double k = (d + 1) / 2.0;
+    TRAQ_REQUIRE(k > 1.0, "distance too small for the approximation");
+    return kSeRoundErrorWeight * em.pPhys * p.coherenceTime /
+           (k - 1.0);
+}
+
+} // namespace traq::arch

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Syndrome-extraction cadence policy (Sec. IV.2, Fig. 11(c,d)).
+ *
+ * During gate operation the paper uses 1 SE round per transversal
+ * gate; during idle storage SE is run only every ~8 ms, chosen so the
+ * accumulated idle (coherence) error per round is comparable to the
+ * gate-error contribution of the SE round itself.
+ */
+
+#ifndef TRAQ_ARCH_SE_SCHEDULE_HH
+#define TRAQ_ARCH_SE_SCHEDULE_HH
+
+#include "src/model/error_model.hh"
+#include "src/platform/params.hh"
+
+namespace traq::arch {
+
+/**
+ * Effective physical error contribution of one SE round per data
+ * qubit: four CX gates plus reset/measurement leakage, expressed as a
+ * multiple of p_phys.  (The weight 6 = 4 CX + ~2 for SPAM matches the
+ * paper's "idle error becomes comparable to gate errors" crossover at
+ * ~8 ms for a 10 s coherence time.)
+ */
+constexpr double kSeRoundErrorWeight = 6.0;
+
+/** Idle physical error accumulated over time tau (depolarizing). */
+double idleError(double tau, const platform::AtomArrayParams &p);
+
+/**
+ * Logical error rate per qubit per unit time when idling with SE
+ * period tau (Eq. (3) specialization; Fig. 11(d)).
+ */
+double idleLogicalErrorRate(double tau, int d,
+                            const platform::AtomArrayParams &p,
+                            const model::ErrorModelParams &em);
+
+/**
+ * SE period minimizing the idle logical error rate (Fig. 11(c)):
+ * scanned on a log grid; approximately
+ * tau* = w p T_coh / ((d+1)/2 - 1).
+ */
+double optimalIdlePeriod(int d, const platform::AtomArrayParams &p,
+                         const model::ErrorModelParams &em);
+
+/** Closed-form approximation of the optimum (for cross-checks). */
+double optimalIdlePeriodApprox(int d,
+                               const platform::AtomArrayParams &p,
+                               const model::ErrorModelParams &em);
+
+} // namespace traq::arch
+
+#endif // TRAQ_ARCH_SE_SCHEDULE_HH

@@ -1,0 +1,77 @@
+#include "src/arch/tracker.hh"
+
+#include <algorithm>
+
+#include "src/common/assert.hh"
+
+namespace traq::arch {
+
+void
+SpaceTimeLedger::add(const std::string &name, double qubits,
+                     double seconds, double errorBudget)
+{
+    TRAQ_REQUIRE(qubits >= 0.0 && seconds >= 0.0 &&
+                     errorBudget >= 0.0,
+                 "ledger entries must be non-negative");
+    entries_.push_back({name, qubits, seconds, errorBudget});
+}
+
+double
+SpaceTimeLedger::totalQubits() const
+{
+    double q = 0.0;
+    for (const auto &e : entries_)
+        q += e.qubits;
+    return q;
+}
+
+double
+SpaceTimeLedger::makespan() const
+{
+    double t = 0.0;
+    for (const auto &e : entries_)
+        t = std::max(t, e.seconds);
+    return t;
+}
+
+double
+SpaceTimeLedger::totalVolume() const
+{
+    double v = 0.0;
+    for (const auto &e : entries_)
+        v += e.volume();
+    return v;
+}
+
+double
+SpaceTimeLedger::totalError() const
+{
+    double err = 0.0;
+    for (const auto &e : entries_)
+        err += e.errorBudget;
+    return err;
+}
+
+std::vector<std::pair<std::string, double>>
+SpaceTimeLedger::spaceFractions() const
+{
+    double total = totalQubits();
+    std::vector<std::pair<std::string, double>> out;
+    for (const auto &e : entries_)
+        out.emplace_back(e.name,
+                         total > 0 ? e.qubits / total : 0.0);
+    return out;
+}
+
+std::vector<std::pair<std::string, double>>
+SpaceTimeLedger::errorFractions() const
+{
+    double total = totalError();
+    std::vector<std::pair<std::string, double>> out;
+    for (const auto &e : entries_)
+        out.emplace_back(e.name,
+                         total > 0 ? e.errorBudget / total : 0.0);
+    return out;
+}
+
+} // namespace traq::arch

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Space-time and error-budget ledger.
+ *
+ * Gadget and estimator code register named components (qubits used,
+ * duration active, logical error contributed); the ledger produces
+ * the totals and breakdown rows behind Fig. 12 and the headline
+ * space-time volume objective (Sec. II.2).
+ */
+
+#ifndef TRAQ_ARCH_TRACKER_HH
+#define TRAQ_ARCH_TRACKER_HH
+
+#include <string>
+#include <vector>
+
+namespace traq::arch {
+
+/** One accounted component of the computation. */
+struct LedgerEntry
+{
+    std::string name;
+    double qubits = 0.0;        //!< physical qubits held
+    double seconds = 0.0;       //!< wall-clock time held
+    double errorBudget = 0.0;   //!< total logical error contributed
+
+    double volume() const { return qubits * seconds; }
+};
+
+/** Accumulates component usage into totals and breakdowns. */
+class SpaceTimeLedger
+{
+  public:
+    void add(const std::string &name, double qubits, double seconds,
+             double errorBudget = 0.0);
+
+    const std::vector<LedgerEntry> &entries() const
+    {
+        return entries_;
+    }
+
+    /** Peak concurrent qubits = sum of component qubits (components
+     *  are modelled as concurrent). */
+    double totalQubits() const;
+
+    /** Max of component durations (components run concurrently). */
+    double makespan() const;
+
+    /** Sum of qubit-seconds over components. */
+    double totalVolume() const;
+
+    /** Sum of error budgets. */
+    double totalError() const;
+
+    /** Fraction of space by component (for Fig. 12(a)). */
+    std::vector<std::pair<std::string, double>>
+    spaceFractions() const;
+
+    /** Fraction of error budget by component (Fig. 12(b)). */
+    std::vector<std::pair<std::string, double>>
+    errorFractions() const;
+
+  private:
+    std::vector<LedgerEntry> entries_;
+};
+
+} // namespace traq::arch
+
+#endif // TRAQ_ARCH_TRACKER_HH

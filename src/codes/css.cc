@@ -1,0 +1,221 @@
+#include "src/codes/css.hh"
+
+#include <limits>
+
+#include "src/codes/surface_code.hh"
+#include "src/common/assert.hh"
+
+namespace traq::codes {
+namespace {
+
+/** Invert a small square GF(2) matrix (throws if singular). */
+Gf2Matrix
+invert(const Gf2Matrix &m)
+{
+    const std::size_t k = m.rows();
+    TRAQ_REQUIRE(m.cols() == k, "invert: matrix must be square");
+    // Augment [M | I] and row-reduce.
+    Gf2Matrix aug(k, 2 * k);
+    for (std::size_t r = 0; r < k; ++r) {
+        for (std::size_t c = 0; c < k; ++c)
+            if (m.get(r, c))
+                aug.set(r, c, true);
+        aug.set(r, k + r, true);
+    }
+    std::vector<std::size_t> pivots;
+    std::size_t rank = aug.rowReduce(&pivots);
+    TRAQ_REQUIRE(rank == k, "invert: singular matrix");
+    for (std::size_t r = 0; r < k; ++r)
+        TRAQ_REQUIRE(pivots[r] == r, "invert: singular matrix");
+    Gf2Matrix inv(k, k);
+    for (std::size_t r = 0; r < k; ++r)
+        for (std::size_t c = 0; c < k; ++c)
+            if (aug.get(r, k + c))
+                inv.set(r, c, true);
+    return inv;
+}
+
+/** Parity of the overlap of two 0/1 vectors. */
+int
+overlapParity(const std::vector<int> &a, const std::vector<int> &b)
+{
+    int s = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        s ^= (a[i] & b[i]);
+    return s;
+}
+
+sim::PauliString
+toPauli(const std::vector<int> &bits, char kind)
+{
+    sim::PauliString p(bits.size());
+    for (std::size_t q = 0; q < bits.size(); ++q)
+        if (bits[q])
+            p.setPauli(q, kind);
+    return p;
+}
+
+} // namespace
+
+CssCode::CssCode(Gf2Matrix hx, Gf2Matrix hz)
+    : n_(hx.cols()), hx_(std::move(hx)), hz_(std::move(hz))
+{
+    TRAQ_REQUIRE(hx_.cols() == hz_.cols(),
+                 "CSS matrices must share qubit count");
+    // Commutation: every X row overlaps every Z row evenly.
+    Gf2Matrix prod = hx_.multiply(hz_.transpose());
+    for (std::size_t r = 0; r < prod.rows(); ++r)
+        TRAQ_REQUIRE(prod.rowWeight(r) == 0,
+                     "CSS checks do not commute");
+    std::size_t rx = hx_.rank();
+    std::size_t rz = hz_.rank();
+    TRAQ_REQUIRE(n_ >= rx + rz, "CSS rank bookkeeping broken");
+    k_ = n_ - rx - rz;
+    computeLogicals();
+}
+
+void
+CssCode::computeLogicals()
+{
+    // Logical X candidates: ker(Hz) modulo rowspace(Hx).
+    auto pickLogicals = [this](const Gf2Matrix &kernelOf,
+                               const Gf2Matrix &modOut) {
+        Gf2Matrix kernel = kernelOf.nullSpace();
+        Gf2Matrix accum = modOut;     // grows as logicals are chosen
+        Gf2Matrix chosen(0, 0);
+        std::size_t baseRank = accum.rank();
+        for (std::size_t i = 0;
+             i < kernel.rows() && chosen.rows() < k_; ++i) {
+            std::vector<int> cand = kernel.rowVector(i);
+            Gf2Matrix trial = accum;
+            trial.appendRow(cand);
+            if (trial.rank() > baseRank) {
+                accum = trial;
+                baseRank += 1;
+                chosen.appendRow(cand);
+            }
+        }
+        TRAQ_ASSERT(chosen.rows() == k_,
+                    "failed to extract k logical operators");
+        return chosen;
+    };
+    lx_ = pickLogicals(hz_, hx_);
+    lz_ = pickLogicals(hx_, hz_);
+    if (k_ == 0)
+        return;
+
+    // Symplectic pairing: adjust LZ so that LX_i overlaps LZ_j oddly
+    // exactly when i == j.  M = LX LZ^T; LZ' = (M^-1)^T LZ.
+    Gf2Matrix m(k_, k_);
+    for (std::size_t i = 0; i < k_; ++i)
+        for (std::size_t j = 0; j < k_; ++j)
+            if (overlapParity(lx_.rowVector(i), lz_.rowVector(j)))
+                m.set(i, j, true);
+    Gf2Matrix b = invert(m).transpose();
+    lz_ = b.multiply(lz_);
+}
+
+sim::PauliString
+CssCode::logicalXPauli(std::size_t i) const
+{
+    return toPauli(lx_.rowVector(i), 'X');
+}
+
+sim::PauliString
+CssCode::logicalZPauli(std::size_t i) const
+{
+    return toPauli(lz_.rowVector(i), 'Z');
+}
+
+sim::PauliString
+CssCode::stabilizerXPauli(std::size_t row) const
+{
+    return toPauli(hx_.rowVector(row), 'X');
+}
+
+sim::PauliString
+CssCode::stabilizerZPauli(std::size_t row) const
+{
+    return toPauli(hz_.rowVector(row), 'Z');
+}
+
+std::size_t
+CssCode::minLogicalWeight(const Gf2Matrix &checks,
+                          const Gf2Matrix &logicals) const
+{
+    // Enumerate all error patterns e over n qubits; keep those in
+    // ker(checks) that anticommute with some logical (i.e. act
+    // non-trivially on the code space).
+    TRAQ_REQUIRE(n_ <= 20, "brute-force distance limited to n <= 20");
+    std::size_t best = std::numeric_limits<std::size_t>::max();
+    const std::size_t total = std::size_t{1} << n_;
+    for (std::size_t mask = 1; mask < total; ++mask) {
+        std::size_t w = static_cast<std::size_t>(
+            __builtin_popcountll(mask));
+        if (w >= best)
+            continue;
+        std::vector<int> e(n_, 0);
+        for (std::size_t q = 0; q < n_; ++q)
+            e[q] = (mask >> q) & 1;
+        bool inKernel = true;
+        for (std::size_t r = 0; r < checks.rows() && inKernel; ++r)
+            if (overlapParity(checks.rowVector(r), e))
+                inKernel = false;
+        if (!inKernel)
+            continue;
+        bool logical = false;
+        for (std::size_t r = 0; r < logicals.rows() && !logical; ++r)
+            if (overlapParity(logicals.rowVector(r), e))
+                logical = true;
+        if (logical)
+            best = w;
+    }
+    return best;
+}
+
+std::size_t
+CssCode::bruteForceDistance() const
+{
+    // X-type errors are caught by Z checks and flip Z logicals;
+    // Z-type errors are the mirror case.
+    std::size_t dx = minLogicalWeight(hz_, lz_);
+    std::size_t dz = minLogicalWeight(hx_, lx_);
+    return std::min(dx, dz);
+}
+
+CssCode
+makeCode832()
+{
+    // Cube vertices 0..7 indexed by binary (b2 b1 b0).
+    Gf2Matrix hx = Gf2Matrix::fromRows({
+        {1, 1, 1, 1, 1, 1, 1, 1},
+    });
+    Gf2Matrix hz = Gf2Matrix::fromRows({
+        {1, 0, 1, 0, 1, 0, 1, 0},   // face b0 = 0
+        {0, 1, 0, 1, 0, 1, 0, 1},   // face b0 = 1
+        {1, 1, 0, 0, 1, 1, 0, 0},   // face b1 = 0
+        {1, 1, 1, 1, 0, 0, 0, 0},   // face b2 = 0
+    });
+    return CssCode(std::move(hx), std::move(hz));
+}
+
+CssCode
+makeSurfaceCodeCss(int distance)
+{
+    SurfaceCode sc(distance);
+    const std::size_t n = sc.numData();
+    std::vector<std::vector<int>> xRows, zRows;
+    for (const auto &p : sc.plaquettes()) {
+        std::vector<int> row(n, 0);
+        for (std::uint32_t q : p.support)
+            row[q] = 1;
+        if (p.isX)
+            xRows.push_back(std::move(row));
+        else
+            zRows.push_back(std::move(row));
+    }
+    return CssCode(Gf2Matrix::fromRows(xRows),
+                   Gf2Matrix::fromRows(zRows));
+}
+
+} // namespace traq::codes

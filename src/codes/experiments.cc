@@ -1,0 +1,344 @@
+#include "src/codes/experiments.hh"
+
+#include <algorithm>
+
+#include "src/common/assert.hh"
+
+namespace traq::codes {
+
+NoiseParams
+NoiseParams::uniform(double p)
+{
+    NoiseParams n;
+    n.p2 = n.p1 = n.pMeas = n.pReset = n.pIdleData = p;
+    return n;
+}
+
+NoiseParams
+NoiseParams::none()
+{
+    return uniform(0.0);
+}
+
+namespace {
+
+using sim::Circuit;
+
+/**
+ * Builder for multi-patch surface-code circuits with correct detector
+ * bookkeeping across transversal gates.
+ */
+class MultiPatchBuilder
+{
+  public:
+    MultiPatchBuilder(const SurfaceCode &code, int numPatches,
+                      const NoiseParams &noise)
+        : code_(code), numPatches_(numPatches), noise_(noise),
+          lastMeas_(numPatches,
+                    std::vector<std::uint64_t>(code.numAncilla(), 0)),
+          haveLast_(false)
+    {
+        for (int p = 0; p < numPatches_; ++p) {
+            frameZ_.push_back(1u << p);
+            frameX_.push_back(1u << p);
+        }
+    }
+
+    Circuit &circuit() { return circ_; }
+    CircuitMeta &meta() { return meta_; }
+
+    std::uint32_t
+    dataQubit(int patch, std::uint32_t local) const
+    {
+        return static_cast<std::uint32_t>(patch) * code_.numQubits() +
+               local;
+    }
+
+    std::uint32_t
+    ancQubit(int patch, std::size_t plaq) const
+    {
+        return static_cast<std::uint32_t>(patch) * code_.numQubits() +
+               code_.ancillaIndex(plaq);
+    }
+
+    /** Initialize all data qubits of all patches in the given basis. */
+    void
+    initData(char basis)
+    {
+        initBasis_ = basis;
+        std::vector<std::uint32_t> qs;
+        for (int p = 0; p < numPatches_; ++p)
+            for (std::uint32_t i = 0; i < code_.numData(); ++i)
+                qs.push_back(dataQubit(p, i));
+        if (basis == 'Z') {
+            circ_.append(sim::Gate::R, qs);
+            if (noise_.pReset > 0)
+                circ_.xError(noise_.pReset, qs);
+        } else {
+            circ_.append(sim::Gate::RX, qs);
+            if (noise_.pReset > 0)
+                circ_.zError(noise_.pReset, qs);
+        }
+        // Ancillas start in |0>.
+        std::vector<std::uint32_t> anc;
+        for (int p = 0; p < numPatches_; ++p)
+            for (std::size_t i = 0; i < code_.plaquettes().size(); ++i)
+                anc.push_back(ancQubit(p, i));
+        circ_.append(sim::Gate::R, anc);
+    }
+
+    /**
+     * One SE round on every patch: ancilla prep, 4 CX layers, ancilla
+     * measurement, then detector emission (incorporating any pending
+     * syndrome-frame terms from transversal gates).
+     */
+    void
+    seRound()
+    {
+        const auto &plaqs = code_.plaquettes();
+        std::vector<std::uint32_t> allAnc, xAnc, allData;
+        for (int p = 0; p < numPatches_; ++p) {
+            for (std::size_t i = 0; i < plaqs.size(); ++i) {
+                allAnc.push_back(ancQubit(p, i));
+                if (plaqs[i].isX)
+                    xAnc.push_back(ancQubit(p, i));
+            }
+            for (std::uint32_t i = 0; i < code_.numData(); ++i)
+                allData.push_back(dataQubit(p, i));
+        }
+
+        // Ancilla preparation (reset noise, basis change for X type).
+        if (noise_.pReset > 0)
+            circ_.xError(noise_.pReset, allAnc);
+        circ_.append(sim::Gate::H, xAnc);
+        if (noise_.p1 > 0)
+            circ_.depolarize1(noise_.p1, xAnc);
+
+        // Four CX layers.
+        for (int layer = 0; layer < 4; ++layer) {
+            std::vector<std::uint32_t> pairs;
+            for (int p = 0; p < numPatches_; ++p) {
+                for (std::size_t i = 0; i < plaqs.size(); ++i) {
+                    int dq = plaqs[i].schedule[layer];
+                    if (dq < 0)
+                        continue;
+                    std::uint32_t data = dataQubit(
+                        p, static_cast<std::uint32_t>(dq));
+                    std::uint32_t anc = ancQubit(p, i);
+                    if (plaqs[i].isX) {
+                        pairs.push_back(anc);
+                        pairs.push_back(data);
+                    } else {
+                        pairs.push_back(data);
+                        pairs.push_back(anc);
+                    }
+                }
+            }
+            circ_.append(sim::Gate::CX, pairs);
+            if (noise_.p2 > 0)
+                circ_.depolarize2(noise_.p2, pairs);
+        }
+
+        // Basis restore and measurement.
+        circ_.append(sim::Gate::H, xAnc);
+        if (noise_.p1 > 0)
+            circ_.depolarize1(noise_.p1, xAnc);
+        if (noise_.pMeas > 0)
+            circ_.xError(noise_.pMeas, allAnc);
+        if (noise_.pIdleData > 0)
+            circ_.depolarize1(noise_.pIdleData, allData);
+
+        // Measure all ancillas in patch-major, plaquette order.
+        std::uint64_t base = circ_.numMeasurements();
+        circ_.append(sim::Gate::MR, allAnc);
+
+        std::vector<std::vector<std::uint64_t>> cur(
+            numPatches_,
+            std::vector<std::uint64_t>(plaqs.size(), 0));
+        for (int p = 0; p < numPatches_; ++p)
+            for (std::size_t i = 0; i < plaqs.size(); ++i)
+                cur[p][i] = base + static_cast<std::uint64_t>(p) *
+                                       plaqs.size() +
+                            i;
+
+        // Detector emission.
+        std::uint64_t now = circ_.numMeasurements();
+        for (int p = 0; p < numPatches_; ++p) {
+            for (std::size_t i = 0; i < plaqs.size(); ++i) {
+                const bool isX = plaqs[i].isX;
+                std::vector<std::uint32_t> lookbacks;
+                lookbacks.push_back(
+                    static_cast<std::uint32_t>(now - cur[p][i]));
+                if (!haveLast_) {
+                    // First round: only the basis matching the data
+                    // initialization is deterministic.
+                    bool deterministic =
+                        (initBasis_ == 'Z') ? !isX : isX;
+                    if (!deterministic)
+                        continue;
+                } else {
+                    std::uint32_t frame =
+                        isX ? frameX_[p] : frameZ_[p];
+                    for (int q = 0; q < numPatches_; ++q) {
+                        if (frame & (1u << q)) {
+                            lookbacks.push_back(
+                                static_cast<std::uint32_t>(
+                                    now - lastMeas_[q][i]));
+                        }
+                    }
+                }
+                circ_.detector(lookbacks);
+                meta_.detectorIsX.push_back(isX ? 1 : 0);
+            }
+        }
+
+        // Round complete: reset syndrome frames, roll measurements.
+        for (int p = 0; p < numPatches_; ++p) {
+            frameZ_[p] = 1u << p;
+            frameX_[p] = 1u << p;
+            lastMeas_[p] = cur[p];
+        }
+        haveLast_ = true;
+    }
+
+    /** Transversal CX between patches a (control) and b (target). */
+    void
+    transversalCx(int a, int b)
+    {
+        std::vector<std::uint32_t> pairs;
+        for (std::uint32_t i = 0; i < code_.numData(); ++i) {
+            pairs.push_back(dataQubit(a, i));
+            pairs.push_back(dataQubit(b, i));
+        }
+        circ_.append(sim::Gate::CX, pairs);
+        if (noise_.p2 > 0)
+            circ_.depolarize2(noise_.p2, pairs);
+        // Stabilizer pullback: Z_b -> Z_a Z_b, X_a -> X_a X_b.
+        frameZ_[b] ^= frameZ_[a];
+        frameX_[a] ^= frameX_[b];
+    }
+
+    /**
+     * Final transversal data measurement in the init basis, with
+     * closing detectors and one logical observable per patch.
+     */
+    void
+    finishWithDataMeasurement()
+    {
+        std::vector<std::uint32_t> allData;
+        for (int p = 0; p < numPatches_; ++p)
+            for (std::uint32_t i = 0; i < code_.numData(); ++i)
+                allData.push_back(dataQubit(p, i));
+        const bool zBasis = initBasis_ == 'Z';
+        if (noise_.pMeas > 0) {
+            if (zBasis)
+                circ_.xError(noise_.pMeas, allData);
+            else
+                circ_.zError(noise_.pMeas, allData);
+        }
+        std::uint64_t base = circ_.numMeasurements();
+        circ_.append(zBasis ? sim::Gate::M : sim::Gate::MX, allData);
+        std::uint64_t now = circ_.numMeasurements();
+
+        auto dataMeasIndex = [&](int p, std::uint32_t local) {
+            return base + static_cast<std::uint64_t>(p) *
+                              code_.numData() +
+                   local;
+        };
+
+        const auto &plaqs = code_.plaquettes();
+        for (int p = 0; p < numPatches_; ++p) {
+            for (std::size_t i = 0; i < plaqs.size(); ++i) {
+                if (plaqs[i].isX == zBasis)
+                    continue;  // only same-basis plaquettes close
+                std::vector<std::uint32_t> lookbacks;
+                lookbacks.push_back(static_cast<std::uint32_t>(
+                    now - lastMeas_[p][i]));
+                for (std::uint32_t dq : plaqs[i].support)
+                    lookbacks.push_back(static_cast<std::uint32_t>(
+                        now - dataMeasIndex(p, dq)));
+                circ_.detector(lookbacks);
+                meta_.detectorIsX.push_back(plaqs[i].isX ? 1 : 0);
+            }
+            // Logical observable of this patch.
+            const auto &logical =
+                zBasis ? code_.logicalZ() : code_.logicalX();
+            std::vector<std::uint32_t> lookbacks;
+            for (std::uint32_t dq : logical)
+                lookbacks.push_back(static_cast<std::uint32_t>(
+                    now - dataMeasIndex(p, dq)));
+            circ_.observable(static_cast<std::uint32_t>(p),
+                             lookbacks);
+            meta_.observableIsX.push_back(zBasis ? 0 : 1);
+        }
+    }
+
+  private:
+    const SurfaceCode &code_;
+    int numPatches_;
+    NoiseParams noise_;
+    Circuit circ_;
+    CircuitMeta meta_;
+    char initBasis_ = 'Z';
+    std::vector<std::vector<std::uint64_t>> lastMeas_;
+    bool haveLast_;
+    std::vector<std::uint32_t> frameZ_;
+    std::vector<std::uint32_t> frameX_;
+};
+
+} // namespace
+
+Experiment
+buildMemory(const SurfaceCode &code, char basis, int rounds,
+            const NoiseParams &noise)
+{
+    TRAQ_REQUIRE(basis == 'Z' || basis == 'X',
+                 "memory basis must be 'Z' or 'X'");
+    TRAQ_REQUIRE(rounds >= 1, "memory needs at least one SE round");
+    MultiPatchBuilder b(code, 1, noise);
+    b.initData(basis);
+    for (int r = 0; r < rounds; ++r)
+        b.seRound();
+    b.finishWithDataMeasurement();
+    Experiment e;
+    e.circuit = std::move(b.circuit());
+    e.meta = std::move(b.meta());
+    return e;
+}
+
+Experiment
+buildTransversalCnot(const TransversalCnotSpec &spec)
+{
+    TRAQ_REQUIRE(spec.cnotLayers >= 1, "need at least one CNOT layer");
+    TRAQ_REQUIRE(spec.cnotsPerBatch >= 1 && spec.seRoundsPerBatch >= 1,
+                 "batch sizes must be positive");
+    SurfaceCode code(spec.distance);
+    MultiPatchBuilder b(code, 2, spec.noise);
+    b.initData('Z');
+    for (int r = 0; r < std::max(1, spec.warmupRounds); ++r)
+        b.seRound();
+
+    int layersDone = 0;
+    while (layersDone < spec.cnotLayers) {
+        int batch = std::min(spec.cnotsPerBatch,
+                             spec.cnotLayers - layersDone);
+        for (int g = 0; g < batch; ++g) {
+            bool flip = spec.alternateDirection &&
+                        ((layersDone + g) % 2 == 1);
+            if (flip)
+                b.transversalCx(1, 0);
+            else
+                b.transversalCx(0, 1);
+        }
+        layersDone += batch;
+        for (int s = 0; s < spec.seRoundsPerBatch; ++s)
+            b.seRound();
+    }
+    b.finishWithDataMeasurement();
+    Experiment e;
+    e.circuit = std::move(b.circuit());
+    e.meta = std::move(b.meta());
+    return e;
+}
+
+} // namespace traq::codes

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Generators for the decoding experiments used to calibrate the
+ * paper's logical error model (Sec. III.4).
+ *
+ * Two families:
+ *  - surface-code memory (Z or X basis) over a given number of SE
+ *    rounds: the x -> 0 limit of Eq. (4);
+ *  - transversal-CNOT circuits between two patches with a configurable
+ *    number of CNOT layers per SE round (the "x" of Eq. (4)),
+ *    decoded *jointly* (correlated decoding, Refs [17,18]).  The
+ *    detector definitions account for stabilizer pullback through the
+ *    transversal gates (Z-plaquette detectors of the target patch XOR
+ *    in the control patch's previous-round syndrome, and vice versa
+ *    for X plaquettes).
+ */
+
+#ifndef TRAQ_CODES_EXPERIMENTS_HH
+#define TRAQ_CODES_EXPERIMENTS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/codes/surface_code.hh"
+#include "src/sim/circuit.hh"
+
+namespace traq::codes {
+
+/** Circuit-level depolarizing noise parameters (paper Sec. III.4). */
+struct NoiseParams
+{
+    double p2 = 1e-3;        //!< two-qubit depolarizing after CX
+    double p1 = 1e-3;        //!< single-qubit depolarizing after H/S
+    double pMeas = 1e-3;     //!< flip before measurement
+    double pReset = 1e-3;    //!< flip after reset
+    double pIdleData = 1e-3; //!< data depolarizing during meas/reset
+
+    /** Uniform rate p on every channel (the paper's p_phys). */
+    static NoiseParams uniform(double p);
+
+    /** All channels off (for determinism checks). */
+    static NoiseParams none();
+};
+
+/** Decoder-facing metadata emitted alongside a circuit. */
+struct CircuitMeta
+{
+    /** Basis of each detector's ancilla (true = X plaquette). */
+    std::vector<std::uint8_t> detectorIsX;
+    /** Basis of each logical observable (true = logical X). */
+    std::vector<std::uint8_t> observableIsX;
+};
+
+/** A generated experiment: circuit plus metadata. */
+struct Experiment
+{
+    sim::Circuit circuit;
+    CircuitMeta meta;
+};
+
+/**
+ * Memory experiment: init all-|0> (basis 'Z') or all-|+> ('X'), run
+ * `rounds` SE rounds, measure data transversally, with one logical
+ * observable (index 0).
+ */
+Experiment buildMemory(const SurfaceCode &code, char basis, int rounds,
+                       const NoiseParams &noise);
+
+/** Parameters of a transversal-CNOT experiment on two patches. */
+struct TransversalCnotSpec
+{
+    int distance = 3;
+    int cnotLayers = 4;       //!< total transversal CX layers
+    int cnotsPerBatch = 1;    //!< consecutive CX layers per SE block
+    int seRoundsPerBatch = 1; //!< SE rounds after each CX batch
+    int warmupRounds = 1;     //!< SE rounds after initialization
+    bool alternateDirection = true; //!< alternate CX direction per layer
+    NoiseParams noise = NoiseParams::uniform(1e-3);
+};
+
+/**
+ * Two-patch transversal-CNOT experiment in the Z basis; observables 0
+ * and 1 are the final logical Z of patch A and patch B.  The effective
+ * CNOTs-per-SE-round is cnotsPerBatch / seRoundsPerBatch.
+ */
+Experiment buildTransversalCnot(const TransversalCnotSpec &spec);
+
+} // namespace traq::codes
+
+#endif // TRAQ_CODES_EXPERIMENTS_HH

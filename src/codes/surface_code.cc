@@ -1,0 +1,102 @@
+#include "src/codes/surface_code.hh"
+
+#include <algorithm>
+
+#include "src/common/assert.hh"
+
+namespace traq::codes {
+
+SurfaceCode::SurfaceCode(int distance)
+    : d_(distance)
+{
+    TRAQ_REQUIRE(distance >= 3 && distance % 2 == 1,
+                 "surface code distance must be odd and >= 3");
+
+    // Plaquettes P(r, c) cover data qubits
+    // {(r,c), (r,c+1), (r+1,c), (r+1,c+1)} clipped to the grid, for
+    // r, c in [-1, d-1].  Type is Z when (r+c) is even, X when odd.
+    // Boundary rule: top/bottom keep only X plaquettes, left/right
+    // keep only Z plaquettes (so logical X runs vertically, logical Z
+    // horizontally).
+    auto inGrid = [this](int r, int c) {
+        return r >= 0 && r < d_ && c >= 0 && c < d_;
+    };
+    for (int r = -1; r <= d_ - 1; ++r) {
+        for (int c = -1; c <= d_ - 1; ++c) {
+            bool isX = (((r + c) % 2) + 2) % 2 == 1;
+            bool interior =
+                r >= 0 && r <= d_ - 2 && c >= 0 && c <= d_ - 2;
+            bool keep = interior;
+            if (r == -1 && c >= 0 && c <= d_ - 2)
+                keep = isX;                     // top boundary
+            else if (r == d_ - 1 && c >= 0 && c <= d_ - 2)
+                keep = isX;                     // bottom boundary
+            else if (c == -1 && r >= 0 && r <= d_ - 2)
+                keep = !isX;                    // left boundary
+            else if (c == d_ - 1 && r >= 0 && r <= d_ - 2)
+                keep = !isX;                    // right boundary
+            else if (!interior)
+                keep = false;                   // corners
+            if (!keep)
+                continue;
+
+            Plaquette p;
+            p.isX = isX;
+            p.cx = 2 * c + 2;
+            p.cy = 2 * r + 2;
+            // Schedule order: X plaquettes zig-zag horizontally
+            // (NW, NE, SW, SE); Z plaquettes vertically
+            // (NW, SW, NE, SE).  This orients hook errors
+            // perpendicular to the respective logical operators.
+            int nw[2] = {r, c}, ne[2] = {r, c + 1};
+            int sw[2] = {r + 1, c}, se[2] = {r + 1, c + 1};
+            int order[4][2];
+            if (isX) {
+                order[0][0] = nw[0]; order[0][1] = nw[1];
+                order[1][0] = ne[0]; order[1][1] = ne[1];
+                order[2][0] = sw[0]; order[2][1] = sw[1];
+                order[3][0] = se[0]; order[3][1] = se[1];
+            } else {
+                order[0][0] = nw[0]; order[0][1] = nw[1];
+                order[1][0] = sw[0]; order[1][1] = sw[1];
+                order[2][0] = ne[0]; order[2][1] = ne[1];
+                order[3][0] = se[0]; order[3][1] = se[1];
+            }
+            for (int k = 0; k < 4; ++k) {
+                if (inGrid(order[k][0], order[k][1])) {
+                    p.schedule[k] =
+                        static_cast<int>(dataIndex(order[k][0],
+                                                   order[k][1]));
+                    p.support.push_back(
+                        dataIndex(order[k][0], order[k][1]));
+                }
+            }
+            std::sort(p.support.begin(), p.support.end());
+            plaq_.push_back(std::move(p));
+        }
+    }
+    TRAQ_ASSERT(plaq_.size() == numAncilla(),
+                "plaquette count must be d^2 - 1");
+
+    for (int r = 0; r < d_; ++r)
+        lx_.push_back(dataIndex(r, 0));
+    for (int c = 0; c < d_; ++c)
+        lz_.push_back(dataIndex(0, c));
+}
+
+std::uint32_t
+SurfaceCode::dataIndex(int row, int col) const
+{
+    TRAQ_ASSERT(row >= 0 && row < d_ && col >= 0 && col < d_,
+                "dataIndex out of range");
+    return static_cast<std::uint32_t>(row * d_ + col);
+}
+
+std::uint32_t
+SurfaceCode::ancillaIndex(std::size_t i) const
+{
+    TRAQ_ASSERT(i < plaq_.size(), "ancillaIndex out of range");
+    return numData() + static_cast<std::uint32_t>(i);
+}
+
+} // namespace traq::codes

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Rotated surface code [[d^2, 1, d]] layout and syndrome-extraction
+ * circuit generation (Sec. II.3 of the paper).
+ *
+ * Conventions:
+ *  - data qubits D(r, c) with r, c in [0, d);
+ *  - logical X is a vertical column of X (connects the X-type top and
+ *    bottom boundaries); logical Z is a horizontal row of Z;
+ *  - syndrome extraction uses the standard distance-preserving 4-layer
+ *    CX schedule (zig-zag order for X plaquettes, N-order for Z
+ *    plaquettes) with one ancilla per stabilizer (Fig. 4(a)).
+ *
+ * Qubit indices are patch-local: data qubits 0..d^2-1 (row-major),
+ * ancillas d^2..2d^2-2 (stabilizer order).  Multi-patch circuits place
+ * patches at disjoint offsets.
+ */
+
+#ifndef TRAQ_CODES_SURFACE_CODE_HH
+#define TRAQ_CODES_SURFACE_CODE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace traq::codes {
+
+/** One stabilizer plaquette of the rotated surface code. */
+struct Plaquette
+{
+    bool isX = false;                 //!< X-type (else Z-type)
+    /**
+     * Data-qubit indices in CX-schedule order; entry -1 means the
+     * plaquette has no neighbour in that schedule slot (boundary
+     * weight-2 plaquettes).
+     */
+    int schedule[4] = {-1, -1, -1, -1};
+    /** The (<= 4) data qubits in the support, ascending. */
+    std::vector<std::uint32_t> support;
+    /** Plaquette center coordinates (2*col, 2*row) for diagnostics. */
+    int cx = 0;
+    int cy = 0;
+};
+
+/** Rotated surface code of odd distance d. */
+class SurfaceCode
+{
+  public:
+    explicit SurfaceCode(int distance);
+
+    int distance() const { return d_; }
+    std::uint32_t numData() const
+    { return static_cast<std::uint32_t>(d_) * d_; }
+    std::uint32_t numAncilla() const { return numData() - 1; }
+    /** Patch-local qubit count (data + ancilla). */
+    std::uint32_t numQubits() const { return 2 * numData() - 1; }
+
+    const std::vector<Plaquette> &plaquettes() const { return plaq_; }
+
+    /** Patch-local index of data qubit at (row, col). */
+    std::uint32_t dataIndex(int row, int col) const;
+
+    /** Patch-local index of the ancilla for plaquette i. */
+    std::uint32_t ancillaIndex(std::size_t i) const;
+
+    /** Data indices of the logical X representative (column 0). */
+    const std::vector<std::uint32_t> &logicalX() const { return lx_; }
+
+    /** Data indices of the logical Z representative (row 0). */
+    const std::vector<std::uint32_t> &logicalZ() const { return lz_; }
+
+  private:
+    int d_;
+    std::vector<Plaquette> plaq_;
+    std::vector<std::uint32_t> lx_;
+    std::vector<std::uint32_t> lz_;
+};
+
+} // namespace traq::codes
+
+#endif // TRAQ_CODES_SURFACE_CODE_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * traq::panic() is for internal invariant violations (bugs in traq
+ * itself); traq::fatal() is for user errors (bad parameters, impossible
+ * configurations).  Both print a location-tagged message; panic aborts
+ * (so it can be caught by a debugger / produce a core), fatal throws a
+ * std::runtime_error so library users and tests can recover.
+ */
+
+#ifndef TRAQ_COMMON_ASSERT_HH
+#define TRAQ_COMMON_ASSERT_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace traq {
+
+/** Exception type thrown by fatal() for user-recoverable errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s:%d: %s\n", file, line, msg.c_str());
+    std::abort();
+}
+
+[[noreturn]] inline void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream oss;
+    oss << "fatal: " << file << ":" << line << ": " << msg;
+    throw FatalError(oss.str());
+}
+
+} // namespace detail
+} // namespace traq
+
+/** Abort with a message; use for "should never happen" conditions. */
+#define TRAQ_PANIC(msg)                                                     \
+    ::traq::detail::panicImpl(__FILE__, __LINE__, (msg))
+
+/** Throw FatalError; use for invalid user input / configuration. */
+#define TRAQ_FATAL(msg)                                                     \
+    ::traq::detail::fatalImpl(__FILE__, __LINE__, (msg))
+
+/** Internal invariant check; compiled in all build types. */
+#define TRAQ_ASSERT(cond, msg)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::traq::detail::panicImpl(__FILE__, __LINE__,                   \
+                std::string("assertion failed: " #cond ": ") + (msg));      \
+        }                                                                   \
+    } while (0)
+
+/** User-input validation; throws FatalError on failure. */
+#define TRAQ_REQUIRE(cond, msg)                                             \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::traq::detail::fatalImpl(__FILE__, __LINE__,                   \
+                std::string("requirement failed: " #cond ": ") + (msg));    \
+        }                                                                   \
+    } while (0)
+
+#endif // TRAQ_COMMON_ASSERT_HH

@@ -1,0 +1,231 @@
+#include "src/common/gf2.hh"
+
+#include <algorithm>
+
+#include "src/common/assert.hh"
+
+namespace traq {
+
+Gf2Matrix::Gf2Matrix(std::size_t rows, std::size_t cols)
+    : nRows_(rows), nCols_(cols),
+      wordsPerRow_((cols + 63) / 64),
+      bits_(rows * wordsPerRow_, 0)
+{}
+
+Gf2Matrix
+Gf2Matrix::fromRows(const std::vector<std::vector<int>> &rows)
+{
+    TRAQ_REQUIRE(!rows.empty(), "fromRows: empty row list");
+    Gf2Matrix m(rows.size(), rows[0].size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        TRAQ_REQUIRE(rows[r].size() == m.nCols_,
+                     "fromRows: ragged row lengths");
+        for (std::size_t c = 0; c < m.nCols_; ++c)
+            if (rows[r][c] & 1)
+                m.set(r, c, true);
+    }
+    return m;
+}
+
+std::uint64_t *
+Gf2Matrix::rowPtr(std::size_t r)
+{
+    return bits_.data() + r * wordsPerRow_;
+}
+
+const std::uint64_t *
+Gf2Matrix::rowPtr(std::size_t r) const
+{
+    return bits_.data() + r * wordsPerRow_;
+}
+
+bool
+Gf2Matrix::get(std::size_t r, std::size_t c) const
+{
+    TRAQ_ASSERT(r < nRows_ && c < nCols_, "Gf2Matrix::get out of range");
+    return (rowPtr(r)[c / 64] >> (c % 64)) & 1;
+}
+
+void
+Gf2Matrix::set(std::size_t r, std::size_t c, bool v)
+{
+    TRAQ_ASSERT(r < nRows_ && c < nCols_, "Gf2Matrix::set out of range");
+    std::uint64_t mask = 1ULL << (c % 64);
+    if (v)
+        rowPtr(r)[c / 64] |= mask;
+    else
+        rowPtr(r)[c / 64] &= ~mask;
+}
+
+void
+Gf2Matrix::xorRow(std::size_t dst, std::size_t src)
+{
+    std::uint64_t *d = rowPtr(dst);
+    const std::uint64_t *s = rowPtr(src);
+    for (std::size_t w = 0; w < wordsPerRow_; ++w)
+        d[w] ^= s[w];
+}
+
+void
+Gf2Matrix::swapRows(std::size_t a, std::size_t b)
+{
+    if (a == b)
+        return;
+    std::uint64_t *pa = rowPtr(a);
+    std::uint64_t *pb = rowPtr(b);
+    for (std::size_t w = 0; w < wordsPerRow_; ++w)
+        std::swap(pa[w], pb[w]);
+}
+
+Gf2Matrix
+Gf2Matrix::multiply(const Gf2Matrix &rhs) const
+{
+    TRAQ_REQUIRE(nCols_ == rhs.nRows_, "Gf2Matrix::multiply shape");
+    Gf2Matrix out(nRows_, rhs.nCols_);
+    for (std::size_t r = 0; r < nRows_; ++r) {
+        for (std::size_t k = 0; k < nCols_; ++k) {
+            if (get(r, k)) {
+                std::uint64_t *o = out.rowPtr(r);
+                const std::uint64_t *s = rhs.rowPtr(k);
+                for (std::size_t w = 0; w < out.wordsPerRow_; ++w)
+                    o[w] ^= s[w];
+            }
+        }
+    }
+    return out;
+}
+
+Gf2Matrix
+Gf2Matrix::transpose() const
+{
+    Gf2Matrix out(nCols_, nRows_);
+    for (std::size_t r = 0; r < nRows_; ++r)
+        for (std::size_t c = 0; c < nCols_; ++c)
+            if (get(r, c))
+                out.set(c, r, true);
+    return out;
+}
+
+std::size_t
+Gf2Matrix::rowReduce(std::vector<std::size_t> *pivots)
+{
+    std::size_t rank = 0;
+    if (pivots)
+        pivots->clear();
+    for (std::size_t col = 0; col < nCols_ && rank < nRows_; ++col) {
+        std::size_t pivot = rank;
+        while (pivot < nRows_ && !get(pivot, col))
+            ++pivot;
+        if (pivot == nRows_)
+            continue;
+        swapRows(rank, pivot);
+        for (std::size_t r = 0; r < nRows_; ++r)
+            if (r != rank && get(r, col))
+                xorRow(r, rank);
+        if (pivots)
+            pivots->push_back(col);
+        ++rank;
+    }
+    return rank;
+}
+
+std::size_t
+Gf2Matrix::rank() const
+{
+    Gf2Matrix copy = *this;
+    return copy.rowReduce();
+}
+
+Gf2Matrix
+Gf2Matrix::nullSpace() const
+{
+    Gf2Matrix red = *this;
+    std::vector<std::size_t> pivots;
+    std::size_t rank = red.rowReduce(&pivots);
+
+    std::vector<bool> isPivot(nCols_, false);
+    for (std::size_t c : pivots)
+        isPivot[c] = true;
+
+    std::vector<std::size_t> freeCols;
+    for (std::size_t c = 0; c < nCols_; ++c)
+        if (!isPivot[c])
+            freeCols.push_back(c);
+
+    Gf2Matrix basis(freeCols.size(), nCols_);
+    for (std::size_t i = 0; i < freeCols.size(); ++i) {
+        std::size_t fc = freeCols[i];
+        basis.set(i, fc, true);
+        // Back-substitute: pivot row r has pivot column pivots[r]; the
+        // value of that pivot variable equals the row's entry at fc.
+        for (std::size_t r = 0; r < rank; ++r)
+            if (red.get(r, fc))
+                basis.set(i, pivots[r], true);
+    }
+    return basis;
+}
+
+bool
+Gf2Matrix::solve(const std::vector<int> &b, std::vector<int> *x) const
+{
+    TRAQ_REQUIRE(b.size() == nRows_, "Gf2Matrix::solve: rhs size");
+    // Augment with b as an extra column.
+    Gf2Matrix aug(nRows_, nCols_ + 1);
+    for (std::size_t r = 0; r < nRows_; ++r) {
+        for (std::size_t c = 0; c < nCols_; ++c)
+            if (get(r, c))
+                aug.set(r, c, true);
+        if (b[r] & 1)
+            aug.set(r, nCols_, true);
+    }
+    std::vector<std::size_t> pivots;
+    std::size_t rank = aug.rowReduce(&pivots);
+    // Inconsistent if any pivot landed in the augmented column.
+    for (std::size_t r = 0; r < rank; ++r)
+        if (pivots[r] == nCols_)
+            return false;
+    if (x) {
+        x->assign(nCols_, 0);
+        for (std::size_t r = 0; r < rank; ++r)
+            if (aug.get(r, nCols_))
+                (*x)[pivots[r]] = 1;
+    }
+    return true;
+}
+
+std::vector<int>
+Gf2Matrix::rowVector(std::size_t r) const
+{
+    std::vector<int> v(nCols_, 0);
+    for (std::size_t c = 0; c < nCols_; ++c)
+        v[c] = get(r, c) ? 1 : 0;
+    return v;
+}
+
+std::size_t
+Gf2Matrix::rowWeight(std::size_t r) const
+{
+    std::size_t w = 0;
+    const std::uint64_t *p = rowPtr(r);
+    for (std::size_t i = 0; i < wordsPerRow_; ++i)
+        w += static_cast<std::size_t>(__builtin_popcountll(p[i]));
+    return w;
+}
+
+void
+Gf2Matrix::appendRow(const std::vector<int> &row)
+{
+    TRAQ_REQUIRE(row.size() == nCols_ || nRows_ == 0,
+                 "appendRow: width mismatch");
+    if (nRows_ == 0 && nCols_ == 0) {
+        nCols_ = row.size();
+        wordsPerRow_ = (nCols_ + 63) / 64;
+    }
+    bits_.resize((nRows_ + 1) * wordsPerRow_, 0);
+    ++nRows_;
+    for (std::size_t c = 0; c < nCols_; ++c)
+        if (row[c] & 1)
+            set(nRows_ - 1, c, true);
+}
+
+} // namespace traq

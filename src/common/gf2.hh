@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Dense GF(2) linear algebra on bit-packed rows.
+ *
+ * Used by the generic CSS-code machinery (stabilizer rank, logical
+ * operator extraction, brute-force distance checks on small codes).
+ * Rows are packed 64 columns per word; all sizes here are small
+ * (hundreds of columns), so dense Gaussian elimination is appropriate.
+ */
+
+#ifndef TRAQ_COMMON_GF2_HH
+#define TRAQ_COMMON_GF2_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace traq {
+
+/** A dense matrix over GF(2) with bit-packed rows. */
+class Gf2Matrix
+{
+  public:
+    Gf2Matrix() = default;
+
+    /** rows x cols all-zero matrix. */
+    Gf2Matrix(std::size_t rows, std::size_t cols);
+
+    /** Build from explicit 0/1 entries (row-major vectors). */
+    static Gf2Matrix
+    fromRows(const std::vector<std::vector<int>> &rows);
+
+    std::size_t rows() const { return nRows_; }
+    std::size_t cols() const { return nCols_; }
+
+    bool get(std::size_t r, std::size_t c) const;
+    void set(std::size_t r, std::size_t c, bool v);
+
+    /** XOR row src into row dst. */
+    void xorRow(std::size_t dst, std::size_t src);
+
+    void swapRows(std::size_t a, std::size_t b);
+
+    /** Matrix product over GF(2). */
+    Gf2Matrix multiply(const Gf2Matrix &rhs) const;
+
+    Gf2Matrix transpose() const;
+
+    /**
+     * In-place row reduction to (column-)echelon form.
+     * @return the rank.  pivots, if non-null, receives the pivot column
+     * of each of the first rank rows.
+     */
+    std::size_t rowReduce(std::vector<std::size_t> *pivots = nullptr);
+
+    /** Rank without modifying this matrix. */
+    std::size_t rank() const;
+
+    /**
+     * Basis of the null space {x : M x = 0}, one row per basis vector
+     * (each of length cols()).
+     */
+    Gf2Matrix nullSpace() const;
+
+    /**
+     * Try to solve M x = b.
+     * @return true and fill x on success; false if inconsistent.
+     */
+    bool solve(const std::vector<int> &b, std::vector<int> *x) const;
+
+    /** Row r as a 0/1 vector. */
+    std::vector<int> rowVector(std::size_t r) const;
+
+    /** Weight (number of ones) of row r. */
+    std::size_t rowWeight(std::size_t r) const;
+
+    /** Append a row given as a 0/1 vector (must match cols()). */
+    void appendRow(const std::vector<int> &row);
+
+  private:
+    std::size_t nRows_ = 0;
+    std::size_t nCols_ = 0;
+    std::size_t wordsPerRow_ = 0;
+    std::vector<std::uint64_t> bits_;
+
+    std::uint64_t *rowPtr(std::size_t r);
+    const std::uint64_t *rowPtr(std::size_t r) const;
+};
+
+} // namespace traq
+
+#endif // TRAQ_COMMON_GF2_HH

@@ -1,0 +1,97 @@
+#include "src/common/rng.hh"
+
+namespace traq {
+namespace {
+
+inline std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitmix64(sm);
+    // Avoid the all-zero state (cannot occur from splitmix64 in
+    // practice, but cheap to guarantee).
+    if (!(s_[0] | s_[1] | s_[2] | s_[3]))
+        s_[0] = 1;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0,1).
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t
+Rng::below(std::uint64_t bound)
+{
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    std::uint64_t lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+        std::uint64_t threshold = (~bound + 1) % bound;
+        while (lo < threshold) {
+            x = next();
+            m = static_cast<__uint128_t>(x) * bound;
+            lo = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+std::uint64_t
+Rng::bernoulliWord(double p)
+{
+    if (p <= 0.0)
+        return 0;
+    if (p >= 1.0)
+        return ~0ULL;
+    std::uint64_t w = 0;
+    for (int i = 0; i < 64; ++i)
+        w |= static_cast<std::uint64_t>(uniform() < p) << i;
+    return w;
+}
+
+} // namespace traq

@@ -1,0 +1,86 @@
+#include "src/common/stats.hh"
+
+#include <cmath>
+
+#include "src/common/assert.hh"
+
+namespace traq {
+
+Proportion
+wilson(std::uint64_t hits, std::uint64_t shots, double z)
+{
+    Proportion p;
+    p.hits = hits;
+    p.shots = shots;
+    if (shots == 0)
+        return p;
+    double n = static_cast<double>(shots);
+    double phat = static_cast<double>(hits) / n;
+    p.mean = phat;
+    double z2 = z * z;
+    double denom = 1.0 + z2 / n;
+    double center = (phat + z2 / (2.0 * n)) / denom;
+    double half = z * std::sqrt(phat * (1.0 - phat) / n +
+                                z2 / (4.0 * n * n)) / denom;
+    p.lo = center - half;
+    p.hi = center + half;
+    if (p.lo < 0.0)
+        p.lo = 0.0;
+    if (p.hi > 1.0)
+        p.hi = 1.0;
+    return p;
+}
+
+void
+RunningStats::add(double x)
+{
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+LineFit
+fitLine(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    TRAQ_REQUIRE(xs.size() == ys.size() && xs.size() >= 2,
+                 "fitLine needs at least two (x, y) pairs");
+    double n = static_cast<double>(xs.size());
+    double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+        syy += ys[i] * ys[i];
+    }
+    double denom = n * sxx - sx * sx;
+    TRAQ_REQUIRE(denom != 0.0, "fitLine: degenerate x values");
+    LineFit f;
+    f.slope = (n * sxy - sx * sy) / denom;
+    f.intercept = (sy - f.slope * sx) / n;
+    double ssTot = syy - sy * sy / n;
+    double ssRes = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        double r = ys[i] - (f.intercept + f.slope * xs[i]);
+        ssRes += r * r;
+    }
+    f.r2 = (ssTot > 0) ? 1.0 - ssRes / ssTot : 1.0;
+    return f;
+}
+
+} // namespace traq

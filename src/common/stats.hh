@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Statistics helpers for Monte-Carlo experiments.
+ *
+ * Logical-error-rate estimates are binomial proportions from decoder
+ * shot counts; we report Wilson score intervals, which behave sensibly
+ * at the low failure counts typical of below-threshold sampling.
+ */
+
+#ifndef TRAQ_COMMON_STATS_HH
+#define TRAQ_COMMON_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace traq {
+
+/** Binomial proportion estimate with a Wilson confidence interval. */
+struct Proportion
+{
+    std::uint64_t hits = 0;      //!< observed successes (failures).
+    std::uint64_t shots = 0;     //!< total trials.
+    double mean = 0.0;           //!< hits / shots.
+    double lo = 0.0;             //!< Wilson interval lower bound.
+    double hi = 0.0;             //!< Wilson interval upper bound.
+};
+
+/** Wilson score interval at z standard deviations (default ~95%). */
+Proportion wilson(std::uint64_t hits, std::uint64_t shots,
+                  double z = 1.96);
+
+/** Running mean / variance accumulator (Welford). */
+class RunningStats
+{
+  public:
+    void add(double x);
+    std::uint64_t count() const { return n_; }
+    double mean() const { return mean_; }
+    /** Sample variance (n-1 denominator); 0 when n < 2. */
+    double variance() const;
+    double stddev() const;
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+/** Simple least-squares line fit y = a + b x; returns {a, b}. */
+struct LineFit
+{
+    double intercept = 0.0;
+    double slope = 0.0;
+    double r2 = 0.0;
+};
+
+LineFit fitLine(const std::vector<double> &xs,
+                const std::vector<double> &ys);
+
+} // namespace traq
+
+#endif // TRAQ_COMMON_STATS_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Small string utilities used by the circuit parser and reports.
+ */
+
+#ifndef TRAQ_COMMON_STRINGS_HH
+#define TRAQ_COMMON_STRINGS_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace traq {
+
+/** Split on any run of whitespace; no empty tokens. */
+std::vector<std::string> splitWhitespace(std::string_view s);
+
+/** Split on a single-character delimiter, keeping empty fields. */
+std::vector<std::string> splitChar(std::string_view s, char delim);
+
+/** Trim ASCII whitespace from both ends. */
+std::string_view trim(std::string_view s);
+
+/** Join elements with a separator. */
+std::string join(const std::vector<std::string> &parts,
+                 std::string_view sep);
+
+/** True if s begins with prefix. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/** Uppercase an ASCII string. */
+std::string toUpper(std::string_view s);
+
+} // namespace traq
+
+#endif // TRAQ_COMMON_STRINGS_HH

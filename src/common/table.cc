@@ -1,0 +1,127 @@
+#include "src/common/table.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/assert.hh"
+
+namespace traq {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    TRAQ_REQUIRE(!headers_.empty(), "Table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    TRAQ_REQUIRE(cells.size() == headers_.size(),
+                 "Table row width mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::str() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto renderRow = [&](const std::vector<std::string> &row) {
+        std::ostringstream os;
+        os << "|";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << " " << row[c];
+            for (std::size_t i = row[c].size(); i < widths[c]; ++i)
+                os << ' ';
+            os << " |";
+        }
+        os << "\n";
+        return os.str();
+    };
+
+    std::ostringstream out;
+    out << renderRow(headers_);
+    out << "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        for (std::size_t i = 0; i < widths[c] + 2; ++i)
+            out << '-';
+        out << "|";
+    }
+    out << "\n";
+    for (const auto &row : rows_)
+        out << renderRow(row);
+    return out.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(str().c_str(), stdout);
+}
+
+std::string
+fmtF(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+fmtE(double v, int sig)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*e", sig - 1, v);
+    return buf;
+}
+
+std::string
+fmtSi(double v, int decimals)
+{
+    const char *suffix = "";
+    double scaled = v;
+    double av = std::fabs(v);
+    if (av >= 1e9) {
+        scaled = v / 1e9;
+        suffix = "G";
+    } else if (av >= 1e6) {
+        scaled = v / 1e6;
+        suffix = "M";
+    } else if (av >= 1e3) {
+        scaled = v / 1e3;
+        suffix = "k";
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%s", decimals, scaled, suffix);
+    return buf;
+}
+
+std::string
+fmtDuration(double seconds)
+{
+    char buf[64];
+    if (seconds < 1e-3)
+        std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+    else if (seconds < 1.0)
+        std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+    else if (seconds < 120.0)
+        std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+    else if (seconds < 7200.0)
+        std::snprintf(buf, sizeof(buf), "%.1f min", seconds / 60.0);
+    else if (seconds < 2.0 * 86400.0)
+        std::snprintf(buf, sizeof(buf), "%.1f h", seconds / 3600.0);
+    else if (seconds < 730.0 * 86400.0)
+        std::snprintf(buf, sizeof(buf), "%.1f days", seconds / 86400.0);
+    else
+        std::snprintf(buf, sizeof(buf), "%.1f years",
+                      seconds / (365.25 * 86400.0));
+    return buf;
+}
+
+} // namespace traq

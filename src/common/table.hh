@@ -1,0 +1,54 @@
+/**
+ * @file
+ * ASCII table rendering for the benchmark harnesses.
+ *
+ * Every bench binary regenerates one of the paper's tables or figure
+ * data series; this helper renders aligned, pipe-separated tables that
+ * read well both in a terminal and when pasted into EXPERIMENTS.md.
+ */
+
+#ifndef TRAQ_COMMON_TABLE_HH
+#define TRAQ_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace traq {
+
+/** Column-aligned ASCII table builder. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row of pre-formatted cells. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render to a string with a header separator line. */
+    std::string str() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Fixed-notation formatting with the given number of decimals. */
+std::string fmtF(double v, int decimals = 2);
+
+/** Scientific notation with the given number of significant digits. */
+std::string fmtE(double v, int sig = 2);
+
+/** Engineering-style human format: 19.2M, 5.6 days, etc. */
+std::string fmtSi(double v, int decimals = 1);
+
+/** Format a duration in seconds as the most natural unit. */
+std::string fmtDuration(double seconds);
+
+} // namespace traq
+
+#endif // TRAQ_COMMON_TABLE_HH

@@ -1,0 +1,125 @@
+#include "src/decoder/graph.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "src/common/assert.hh"
+#include "src/common/math.hh"
+
+namespace traq::decoder {
+
+DecodingGraph
+DecodingGraph::fromDem(const sim::DetectorErrorModel &dem,
+                       const codes::CircuitMeta &meta)
+{
+    TRAQ_REQUIRE(meta.detectorIsX.size() == dem.numDetectors,
+                 "detector metadata size mismatch");
+    DecodingGraph g;
+    g.numNodes_ = dem.numDetectors;
+
+    // Observable masks routed to X-basis vs Z-basis graph parts.
+    std::uint32_t xObsMask = 0, zObsMask = 0;
+    for (std::size_t k = 0; k < meta.observableIsX.size(); ++k) {
+        if (meta.observableIsX[k])
+            xObsMask |= (1u << k);
+        else
+            zObsMask |= (1u << k);
+    }
+
+    // Accumulate edges keyed by (endpoints, obs) for probability
+    // merging; boundary encoded as numDetectors.
+    std::map<std::pair<std::uint64_t, std::uint32_t>, double> acc;
+    auto edgeKey = [&](std::int64_t a, std::int64_t b) {
+        std::uint64_t ua = static_cast<std::uint64_t>(
+            a < 0 ? dem.numDetectors : a);
+        std::uint64_t ub = static_cast<std::uint64_t>(
+            b < 0 ? dem.numDetectors : b);
+        if (ua > ub)
+            std::swap(ua, ub);
+        return (ua << 32) | ub;
+    };
+
+    auto addEdge = [&](std::int64_t a, std::int64_t b,
+                       std::uint32_t obs, double p) {
+        auto key = std::make_pair(edgeKey(a, b), obs);
+        auto [it, fresh] = acc.try_emplace(key, 0.0);
+        it->second = pXor(it->second, p);
+        (void)fresh;
+    };
+
+    auto addPart = [&](const std::vector<std::uint32_t> &dets,
+                       std::uint32_t obs, double p) {
+        if (dets.empty()) {
+            if (obs != 0)
+                ++g.numUndetectableLogical_;
+            return;
+        }
+        if (dets.size() <= 2) {
+            addEdge(dets[0],
+                    dets.size() == 2
+                        ? static_cast<std::int64_t>(dets[1])
+                        : -1,
+                    obs, p);
+            return;
+        }
+        // Fallback decomposition into consecutive pairs; counted so
+        // tests can assert it never happens for our circuits.
+        ++g.numUnsplittable_;
+        for (std::size_t i = 0; i < dets.size(); i += 2) {
+            if (i + 1 < dets.size())
+                addEdge(dets[i], dets[i + 1], i == 0 ? obs : 0, p);
+            else
+                addEdge(dets[i], -1, i == 0 ? obs : 0, p);
+        }
+    };
+
+    for (const auto &mech : dem.errors) {
+        std::vector<std::uint32_t> detsX, detsZ;
+        for (std::uint32_t d : mech.detectors) {
+            if (meta.detectorIsX[d])
+                detsX.push_back(d);
+            else
+                detsZ.push_back(d);
+        }
+        // X-basis detectors flag Z-type faults, which flip X-type
+        // logicals; mirror for Z-basis detectors.
+        addPart(detsX, mech.observables & xObsMask,
+                mech.probability);
+        addPart(detsZ, mech.observables & zObsMask,
+                mech.probability);
+    }
+
+    // Materialize edges; merge parallel edges with differing obs by
+    // keeping them distinct (the decoders handle multi-edges).
+    g.adj_.assign(g.numNodes_, {});
+    for (const auto &[key, p] : acc) {
+        if (p <= 0.0)
+            continue;
+        std::uint64_t packed = key.first;
+        std::uint32_t obs = key.second;
+        auto ua = static_cast<std::uint32_t>(packed >> 32);
+        auto ub = static_cast<std::uint32_t>(packed & 0xffffffffu);
+        GraphEdge e;
+        e.u = (ua == dem.numDetectors) ? kBoundary
+                                       : static_cast<std::int32_t>(ua);
+        e.v = (ub == dem.numDetectors) ? kBoundary
+                                       : static_cast<std::int32_t>(ub);
+        // Orient boundary to u for convenience.
+        if (e.v == kBoundary && e.u != kBoundary)
+            std::swap(e.u, e.v);
+        e.probability = p;
+        double pc = std::clamp(p, 1e-12, 0.5);
+        e.weight = std::log((1.0 - pc) / pc);
+        e.observables = obs;
+        auto idx = static_cast<std::uint32_t>(g.edges_.size());
+        g.edges_.push_back(e);
+        if (e.u != kBoundary)
+            g.adj_[static_cast<std::size_t>(e.u)].push_back(idx);
+        if (e.v != kBoundary)
+            g.adj_[static_cast<std::size_t>(e.v)].push_back(idx);
+    }
+    return g;
+}
+
+} // namespace traq::decoder

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Decoding graph construction from a detector error model.
+ *
+ * Surface-code DEMs under depolarizing noise contain hyperedges (e.g.
+ * a Y data error flips two X-type and two Z-type detectors).  As is
+ * standard for matching-type decoders, each mechanism is decomposed by
+ * detector basis into at most one X-part and one Z-part, each with
+ * <= 2 detectors, giving a graph whose nodes are detectors plus a
+ * virtual boundary.  Logical-observable masks ride on the part whose
+ * detector basis matches the observable basis.
+ *
+ * Cross-patch mechanisms created by transversal CNOTs decompose the
+ * same way, so a single graph expresses the *joint* (correlated)
+ * decoding problem of Refs [17,18].
+ */
+
+#ifndef TRAQ_DECODER_GRAPH_HH
+#define TRAQ_DECODER_GRAPH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/codes/experiments.hh"
+#include "src/sim/dem.hh"
+
+namespace traq::decoder {
+
+/** Sentinel node id for the virtual boundary. */
+constexpr std::int32_t kBoundary = -1;
+
+/** One decoding-graph edge (u == kBoundary for boundary edges). */
+struct GraphEdge
+{
+    std::int32_t u = kBoundary;
+    std::int32_t v = kBoundary;
+    double probability = 0.0;
+    double weight = 0.0;            //!< ln((1-p)/p), clipped
+    std::uint32_t observables = 0;  //!< logical masks flipped
+};
+
+/** Matching/union-find decoding graph. */
+class DecodingGraph
+{
+  public:
+    /**
+     * Build from a DEM plus detector-basis metadata.
+     * @param dem the detector error model.
+     * @param meta detector/observable bases from the circuit builder.
+     */
+    static DecodingGraph fromDem(const sim::DetectorErrorModel &dem,
+                                 const codes::CircuitMeta &meta);
+
+    std::size_t numNodes() const { return numNodes_; }
+    const std::vector<GraphEdge> &edges() const { return edges_; }
+
+    /** Edge indices incident to node n (boundary edges included). */
+    const std::vector<std::uint32_t> &
+    incident(std::size_t n) const
+    {
+        return adj_[n];
+    }
+
+    /** Mechanisms needing >2 detectors per basis (should be 0). */
+    std::size_t numUnsplittable() const { return numUnsplittable_; }
+
+    /**
+     * Mechanisms flipping an observable with no same-basis detector
+     * (invisible logical errors; should be 0 for d >= 3 circuits).
+     */
+    std::size_t numUndetectableLogical() const
+    {
+        return numUndetectableLogical_;
+    }
+
+  private:
+    std::size_t numNodes_ = 0;
+    std::vector<GraphEdge> edges_;
+    std::vector<std::vector<std::uint32_t>> adj_;
+    std::size_t numUnsplittable_ = 0;
+    std::size_t numUndetectableLogical_ = 0;
+};
+
+} // namespace traq::decoder
+
+#endif // TRAQ_DECODER_GRAPH_HH

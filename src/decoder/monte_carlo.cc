@@ -1,0 +1,81 @@
+#include "src/decoder/monte_carlo.hh"
+
+#include "src/common/assert.hh"
+#include "src/decoder/mwpm.hh"
+#include "src/decoder/union_find.hh"
+#include "src/sim/dem.hh"
+#include "src/sim/frame.hh"
+
+namespace traq::decoder {
+
+McResult
+runMonteCarlo(const codes::Experiment &exp, const McOptions &opts)
+{
+    const auto &circuit = exp.circuit;
+    sim::DetectorErrorModel dem = sim::buildDem(circuit);
+    DecodingGraph graph = DecodingGraph::fromDem(dem, exp.meta);
+    TRAQ_REQUIRE(graph.numUndetectableLogical() == 0,
+                 "circuit has undetectable logical errors");
+
+    UnionFindDecoder uf(graph);
+    MwpmDecoder mwpm(graph, opts.mwpmMaxDefects);
+
+    const std::uint32_t numObs = circuit.numObservables();
+    std::vector<std::uint64_t> failures(numObs, 0);
+    std::uint64_t anyFailures = 0;
+    std::uint64_t shots = 0;
+    std::uint64_t totalDefects = 0;
+    std::uint64_t fallbacks = 0;
+
+    sim::FrameSimulator fsim(opts.seed);
+    std::vector<std::uint32_t> syndrome;
+
+    while (shots < opts.shots) {
+        sim::FrameBatch batch = fsim.sample(circuit);
+        const std::uint64_t batchShots =
+            std::min<std::uint64_t>(64, opts.shots - shots);
+        for (std::uint64_t s = 0; s < batchShots; ++s) {
+            syndrome.clear();
+            for (std::size_t d = 0; d < batch.detectors.size(); ++d)
+                if ((batch.detectors[d] >> s) & 1)
+                    syndrome.push_back(
+                        static_cast<std::uint32_t>(d));
+            totalDefects += syndrome.size();
+
+            std::uint32_t predicted;
+            if (opts.decoder == DecoderKind::Mwpm &&
+                mwpm.canDecode(syndrome)) {
+                predicted = mwpm.decode(syndrome);
+            } else {
+                if (opts.decoder == DecoderKind::Mwpm)
+                    ++fallbacks;
+                predicted = uf.decode(syndrome);
+            }
+
+            std::uint32_t actual = 0;
+            for (std::uint32_t k = 0; k < numObs; ++k)
+                if ((batch.observables[k] >> s) & 1)
+                    actual |= (1u << k);
+
+            std::uint32_t diff = predicted ^ actual;
+            if (diff)
+                ++anyFailures;
+            for (std::uint32_t k = 0; k < numObs; ++k)
+                if ((diff >> k) & 1)
+                    ++failures[k];
+        }
+        shots += batchShots;
+    }
+
+    McResult res;
+    res.shots = shots;
+    for (std::uint32_t k = 0; k < numObs; ++k)
+        res.perObservable.push_back(wilson(failures[k], shots));
+    res.anyObservable = wilson(anyFailures, shots);
+    res.avgDefects =
+        shots ? static_cast<double>(totalDefects) / shots : 0.0;
+    res.mwpmFallbacks = fallbacks;
+    return res;
+}
+
+} // namespace traq::decoder

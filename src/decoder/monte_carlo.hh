@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Monte-Carlo logical-error-rate estimation harness.
+ *
+ * Glues together the frame sampler (batches of 64 noisy shots), the
+ * decoding graph, and a decoder; counts shots where the decoder's
+ * predicted observable flip disagrees with the actual one.  This is
+ * the engine behind the simulation cross-checks of the paper's
+ * logical error model (Fig. 6(a)) and the alpha extraction.
+ */
+
+#ifndef TRAQ_DECODER_MONTE_CARLO_HH
+#define TRAQ_DECODER_MONTE_CARLO_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/codes/experiments.hh"
+#include "src/common/stats.hh"
+#include "src/decoder/graph.hh"
+
+namespace traq::decoder {
+
+/** Decoder selection for the Monte-Carlo harness. */
+enum class DecoderKind
+{
+    UnionFind,
+    /** Exact MWPM, falling back to union-find above the defect cap. */
+    Mwpm,
+};
+
+/** Options for a Monte-Carlo run. */
+struct McOptions
+{
+    std::uint64_t shots = 10000;
+    std::uint64_t seed = 0x5eed;
+    DecoderKind decoder = DecoderKind::Mwpm;
+    std::size_t mwpmMaxDefects = 16;
+};
+
+/** Results of a Monte-Carlo run. */
+struct McResult
+{
+    std::uint64_t shots = 0;
+    /** Per-observable logical failure proportion. */
+    std::vector<Proportion> perObservable;
+    /** Shots where any observable failed. */
+    Proportion anyObservable;
+    double avgDefects = 0.0;       //!< mean syndrome size
+    std::uint64_t mwpmFallbacks = 0; //!< shots decoded by UF fallback
+};
+
+/** Run the Monte-Carlo estimation for one experiment. */
+McResult runMonteCarlo(const codes::Experiment &exp,
+                       const McOptions &opts);
+
+} // namespace traq::decoder
+
+#endif // TRAQ_DECODER_MONTE_CARLO_HH

@@ -1,0 +1,168 @@
+#include "src/decoder/mwpm.hh"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "src/common/assert.hh"
+
+namespace traq::decoder {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+} // namespace
+
+MwpmDecoder::MwpmDecoder(const DecodingGraph &graph,
+                         std::size_t maxDefects)
+    : graph_(graph), maxDefects_(maxDefects)
+{
+    TRAQ_REQUIRE(maxDefects_ <= 22,
+                 "bitmask matching is limited to 22 defects");
+}
+
+void
+MwpmDecoder::dijkstra(std::uint32_t source,
+                      const std::vector<std::uint32_t> &targets,
+                      std::vector<Reach> *out, Reach *boundary)
+{
+    const std::size_t n = graph_.numNodes();
+    dist_.assign(n, kInf);
+    fromEdge_.assign(n, -1);
+    double bestBoundary = kInf;
+    std::int32_t boundaryEdgeNode = -1;  // node from which we exit
+    std::int32_t boundaryEdge = -1;
+
+    using Item = std::pair<double, std::uint32_t>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    dist_[source] = 0.0;
+    pq.emplace(0.0, source);
+
+    while (!pq.empty()) {
+        auto [d, u] = pq.top();
+        pq.pop();
+        if (d > dist_[u])
+            continue;
+        if (d >= bestBoundary) {
+            // Everything reachable closer than the boundary has been
+            // settled; remaining paths can't improve any pairing that
+            // would rather use two boundary exits.  (We still settle
+            // all nodes for exactness of defect-defect distances.)
+        }
+        for (std::uint32_t ei : graph_.incident(u)) {
+            const GraphEdge &e = graph_.edges()[ei];
+            if (e.u == kBoundary) {
+                if (d + e.weight < bestBoundary) {
+                    bestBoundary = d + e.weight;
+                    boundaryEdgeNode = static_cast<std::int32_t>(u);
+                    boundaryEdge = static_cast<std::int32_t>(ei);
+                }
+                continue;
+            }
+            std::uint32_t w = (static_cast<std::uint32_t>(e.u) == u)
+                                  ? static_cast<std::uint32_t>(e.v)
+                                  : static_cast<std::uint32_t>(e.u);
+            if (d + e.weight < dist_[w]) {
+                dist_[w] = d + e.weight;
+                fromEdge_[w] = static_cast<std::int32_t>(ei);
+                pq.emplace(dist_[w], w);
+            }
+        }
+    }
+
+    auto pathObs = [&](std::uint32_t node) {
+        std::uint32_t obs = 0;
+        std::uint32_t cur = node;
+        while (cur != source) {
+            std::int32_t ei = fromEdge_[cur];
+            TRAQ_ASSERT(ei >= 0, "broken Dijkstra predecessor chain");
+            const GraphEdge &e = graph_.edges()[ei];
+            obs ^= e.observables;
+            cur = (static_cast<std::uint32_t>(e.u) == cur)
+                      ? static_cast<std::uint32_t>(e.v)
+                      : static_cast<std::uint32_t>(e.u);
+        }
+        return obs;
+    };
+
+    out->assign(targets.size(), Reach{kInf, 0});
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+        if (dist_[targets[i]] < kInf) {
+            (*out)[i].dist = dist_[targets[i]];
+            (*out)[i].obs = pathObs(targets[i]);
+        }
+    }
+    boundary->dist = bestBoundary;
+    boundary->obs = 0;
+    if (boundaryEdgeNode >= 0) {
+        boundary->obs =
+            pathObs(static_cast<std::uint32_t>(boundaryEdgeNode)) ^
+            graph_.edges()[boundaryEdge].observables;
+    }
+}
+
+std::uint32_t
+MwpmDecoder::decode(const std::vector<std::uint32_t> &syndrome)
+{
+    const std::size_t m = syndrome.size();
+    if (m == 0)
+        return 0;
+    TRAQ_REQUIRE(m <= maxDefects_,
+                 "syndrome exceeds exact matching cap");
+
+    // Pairwise distances and boundary exits.
+    std::vector<std::vector<Reach>> pair(m);
+    std::vector<Reach> toBoundary(m);
+    for (std::size_t i = 0; i < m; ++i) {
+        std::vector<Reach> row;
+        dijkstra(syndrome[i], syndrome, &row, &toBoundary[i]);
+        pair[i] = std::move(row);
+    }
+
+    // DP over subsets: best[mask] = min cost to pair up defects in
+    // mask (each either with another defect or with the boundary).
+    const std::size_t full = (std::size_t{1} << m) - 1;
+    std::vector<double> best(full + 1, kInf);
+    std::vector<std::int32_t> choice(full + 1, -1);
+    best[0] = 0.0;
+    for (std::size_t mask = 1; mask <= full; ++mask) {
+        int i = __builtin_ctzll(mask);
+        std::size_t rest = mask ^ (std::size_t{1} << i);
+        // Option 1: defect i exits via the boundary.
+        if (best[rest] + toBoundary[i].dist < best[mask]) {
+            best[mask] = best[rest] + toBoundary[i].dist;
+            choice[mask] = -2;  // boundary marker
+        }
+        // Option 2: pair with defect j.
+        std::size_t sub = rest;
+        while (sub) {
+            int j = __builtin_ctzll(sub);
+            sub &= sub - 1;
+            double c = best[rest ^ (std::size_t{1} << j)] +
+                       pair[i][j].dist;
+            if (c < best[mask]) {
+                best[mask] = c;
+                choice[mask] = j;
+            }
+        }
+    }
+
+    // Reconstruct and accumulate observable masks.
+    std::uint32_t correction = 0;
+    std::size_t mask = full;
+    while (mask) {
+        int i = __builtin_ctzll(mask);
+        if (choice[mask] == -2) {
+            correction ^= toBoundary[i].obs;
+            mask ^= (std::size_t{1} << i);
+        } else {
+            int j = choice[mask];
+            TRAQ_ASSERT(j >= 0, "matching reconstruction failed");
+            correction ^= pair[i][j].obs;
+            mask ^= (std::size_t{1} << i);
+            mask ^= (std::size_t{1} << j);
+        }
+    }
+    return correction;
+}
+
+} // namespace traq::decoder

@@ -1,0 +1,246 @@
+#include "src/decoder/union_find.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/assert.hh"
+
+namespace traq::decoder {
+
+UnionFindDecoder::UnionFindDecoder(const DecodingGraph &graph)
+    : graph_(graph)
+{
+    // Quantize edge weights to small integers (>= 1) so growth can
+    // proceed in unit steps.  Typical weights at p ~ 1e-3 are ~7, so
+    // rounding keeps relative ordering to ~15%.
+    edgeWeightQ_.reserve(graph_.edges().size());
+    for (const auto &e : graph_.edges()) {
+        auto w = static_cast<std::uint32_t>(
+            std::lround(std::max(1.0, e.weight)));
+        edgeWeightQ_.push_back(std::max<std::uint32_t>(1, w));
+    }
+}
+
+std::int32_t
+UnionFindDecoder::find(std::int32_t a)
+{
+    while (parent_[a] != a) {
+        parent_[a] = parent_[parent_[a]];
+        a = parent_[a];
+    }
+    return a;
+}
+
+void
+UnionFindDecoder::unite(std::int32_t a, std::int32_t b)
+{
+    a = find(a);
+    b = find(b);
+    if (a == b)
+        return;
+    if (rankArr_[a] < rankArr_[b])
+        std::swap(a, b);
+    parent_[b] = a;
+    parity_[a] ^= parity_[b];
+    touchesBoundary_[a] |= touchesBoundary_[b];
+    if (rankArr_[a] == rankArr_[b])
+        ++rankArr_[a];
+}
+
+std::uint32_t
+UnionFindDecoder::decode(const std::vector<std::uint32_t> &syndrome)
+{
+    const auto n = static_cast<std::int32_t>(graph_.numNodes());
+    parent_.resize(n);
+    rankArr_.assign(n, 0);
+    parity_.assign(n, 0);
+    touchesBoundary_.assign(n, 0);
+    defect_.assign(n, 0);
+    for (std::int32_t i = 0; i < n; ++i)
+        parent_[i] = i;
+    growth_.assign(graph_.edges().size(), 0);
+
+    for (std::uint32_t d : syndrome) {
+        parity_[d] ^= 1;
+        defect_[d] ^= 1;
+    }
+
+    // Frontier edge lists, indexed by cluster root (lazily cleaned).
+    std::vector<std::vector<std::uint32_t>> frontier(n);
+    std::vector<std::int32_t> active;
+    for (std::uint32_t d : syndrome) {
+        if (parity_[d]) {
+            frontier[d] = graph_.incident(d);
+            active.push_back(d);
+        }
+    }
+
+    std::vector<std::uint32_t> solid;
+    std::size_t guard = 0;
+    while (!active.empty()) {
+        TRAQ_ASSERT(++guard < 100000,
+                    "union-find growth failed to terminate");
+        std::vector<std::int32_t> nextActive;
+        for (std::int32_t rootRaw : active) {
+            std::int32_t root = find(rootRaw);
+            if (root != rootRaw)
+                continue;  // absorbed earlier this pass
+            if (!parity_[root] || touchesBoundary_[root])
+                continue;
+
+            std::vector<std::uint32_t> local =
+                std::move(frontier[root]);
+            frontier[root].clear();
+            std::vector<std::uint32_t> keep, pending;
+            std::size_t idx = 0;
+            for (; idx < local.size(); ++idx) {
+                std::uint32_t ei = local[idx];
+                const GraphEdge &e = graph_.edges()[ei];
+                if (growth_[ei] >= edgeWeightQ_[ei])
+                    continue;  // already solid
+                if (e.u == kBoundary) {
+                    if (find(e.v) != root)
+                        continue;  // stale
+                    ++growth_[ei];
+                    if (growth_[ei] < edgeWeightQ_[ei]) {
+                        keep.push_back(ei);
+                        continue;
+                    }
+                    solid.push_back(ei);
+                    touchesBoundary_[root] = 1;
+                    ++idx;
+                    break;  // cluster neutralized
+                }
+                std::int32_t ru = find(e.u);
+                std::int32_t rv = find(e.v);
+                if (ru == rv)
+                    continue;  // internal edge
+                if (ru != root && rv != root)
+                    continue;  // stale inherited edge
+                ++growth_[ei];
+                if (growth_[ei] < edgeWeightQ_[ei]) {
+                    keep.push_back(ei);
+                    continue;
+                }
+                solid.push_back(ei);
+                // Merge with the far cluster.
+                std::int32_t farNode = (ru == root) ? e.v : e.u;
+                std::int32_t farRoot = (ru == root) ? rv : ru;
+                unite(root, farRoot);
+                std::int32_t merged = find(root);
+                if (!frontier[farRoot].empty()) {
+                    for (std::uint32_t fe : frontier[farRoot])
+                        pending.push_back(fe);
+                    frontier[farRoot].clear();
+                }
+                for (std::uint32_t fe :
+                     graph_.incident(
+                         static_cast<std::size_t>(farNode)))
+                    pending.push_back(fe);
+                root = merged;
+                if (!parity_[root] || touchesBoundary_[root]) {
+                    ++idx;
+                    break;  // neutralized by merge
+                }
+            }
+            // Deposit kept, pending, and any unprocessed tail into the
+            // (possibly new) root's frontier.
+            std::int32_t m = find(root);
+            auto &dst = frontier[m];
+            for (std::uint32_t fe : keep)
+                dst.push_back(fe);
+            for (std::uint32_t fe : pending)
+                dst.push_back(fe);
+            for (; idx < local.size(); ++idx)
+                dst.push_back(local[idx]);
+            if (dst.size() > 2048) {
+                std::sort(dst.begin(), dst.end());
+                dst.erase(std::unique(dst.begin(), dst.end()),
+                          dst.end());
+            }
+            if (parity_[m] && !touchesBoundary_[m])
+                nextActive.push_back(m);
+        }
+        // Deduplicate the active list by current root.
+        for (auto &r : nextActive)
+            r = find(r);
+        std::sort(nextActive.begin(), nextActive.end());
+        nextActive.erase(
+            std::unique(nextActive.begin(), nextActive.end()),
+            nextActive.end());
+        active = std::move(nextActive);
+    }
+
+    return peel(solid);
+}
+
+std::uint32_t
+UnionFindDecoder::peel(const std::vector<std::uint32_t> &solidEdges)
+{
+    // Build adjacency over solid edges; the boundary is a super-node
+    // with id n so excess defects can drain into it.
+    const auto n = static_cast<std::int32_t>(graph_.numNodes());
+    std::vector<std::vector<std::uint32_t>> adj(n + 1);
+    for (std::uint32_t ei : solidEdges) {
+        const GraphEdge &e = graph_.edges()[ei];
+        std::int32_t u = (e.u == kBoundary) ? n : e.u;
+        adj[u].push_back(ei);
+        adj[e.v].push_back(ei);
+    }
+
+    std::uint32_t correction = 0;
+    std::vector<std::int32_t> parentEdge(n + 1, -1);
+    std::vector<std::uint8_t> visited(n + 1, 0);
+
+    // Root trees at the boundary first.
+    std::vector<std::int32_t> roots;
+    roots.push_back(n);
+    for (std::uint32_t ei : solidEdges) {
+        const GraphEdge &e = graph_.edges()[ei];
+        if (e.u != kBoundary)
+            roots.push_back(e.u);
+        roots.push_back(e.v);
+    }
+
+    for (std::int32_t rootNode : roots) {
+        if (visited[rootNode])
+            continue;
+        visited[rootNode] = 1;
+        std::vector<std::int32_t> order{rootNode};
+        std::size_t head = 0;
+        while (head < order.size()) {
+            std::int32_t u = order[head++];
+            for (std::uint32_t ei : adj[u]) {
+                const GraphEdge &e = graph_.edges()[ei];
+                std::int32_t a = (e.u == kBoundary) ? n : e.u;
+                std::int32_t b = e.v;
+                std::int32_t w = (a == u) ? b : a;
+                if (visited[w])
+                    continue;
+                visited[w] = 1;
+                parentEdge[w] = static_cast<std::int32_t>(ei);
+                order.push_back(w);
+            }
+        }
+        // Peel leaves-first (reverse BFS order); defects migrate
+        // toward the root, flipping tree edges as they go.
+        for (auto it = order.rbegin(); it != order.rend(); ++it) {
+            std::int32_t u = *it;
+            if (u == rootNode || u == n)
+                continue;
+            if (defect_[u]) {
+                const GraphEdge &e = graph_.edges()[parentEdge[u]];
+                correction ^= e.observables;
+                std::int32_t a = (e.u == kBoundary) ? n : e.u;
+                std::int32_t b = e.v;
+                std::int32_t other = (a == u) ? b : a;
+                defect_[u] = 0;
+                if (other != n)
+                    defect_[other] ^= 1;
+            }
+        }
+    }
+    return correction;
+}
+
+} // namespace traq::decoder

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Weighted union-find decoder (Delfosse–Nickerson style).
+ *
+ * Odd-parity clusters grow their boundary edges in unit weight
+ * increments until they merge with another defect cluster or touch the
+ * virtual boundary; the correction is then extracted by peeling a
+ * spanning forest of the grown region.  This is the "fast but less
+ * accurate than matching/MLE" end of the decoder spectrum the paper
+ * sweeps via the decoding factor alpha (Sec. III.4, Fig. 13(a)).
+ */
+
+#ifndef TRAQ_DECODER_UNION_FIND_HH
+#define TRAQ_DECODER_UNION_FIND_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/decoder/graph.hh"
+
+namespace traq::decoder {
+
+/** Union-find decoder over a fixed decoding graph. */
+class UnionFindDecoder
+{
+  public:
+    explicit UnionFindDecoder(const DecodingGraph &graph);
+
+    /**
+     * Decode one syndrome (list of flipped detector ids).
+     * @return the predicted logical-observable flip mask.
+     */
+    std::uint32_t decode(const std::vector<std::uint32_t> &syndrome);
+
+  private:
+    const DecodingGraph &graph_;
+    std::vector<std::uint32_t> edgeWeightQ_;  //!< quantized weights
+
+    // Per-decode scratch (sized once, reset cheaply per call).
+    std::vector<std::int32_t> parent_;
+    std::vector<std::int32_t> rankArr_;
+    std::vector<std::uint8_t> parity_;     //!< defect parity per root
+    std::vector<std::uint8_t> touchesBoundary_;
+    std::vector<std::uint32_t> growth_;    //!< per-edge grown amount
+    std::vector<std::uint8_t> defect_;
+
+    std::int32_t find(std::int32_t a);
+    void unite(std::int32_t a, std::int32_t b);
+
+    std::uint32_t peel(const std::vector<std::uint32_t> &solidEdges);
+};
+
+} // namespace traq::decoder
+
+#endif // TRAQ_DECODER_UNION_FIND_HH

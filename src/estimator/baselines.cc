@@ -1,0 +1,55 @@
+#include "src/estimator/baselines.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/assert.hh"
+
+namespace traq::est {
+
+BaselinePoint
+gidneyEkera(const GidneyEkeraSpec &spec)
+{
+    TRAQ_REQUIRE(spec.nBits >= 16, "modulus too small");
+    BaselinePoint p;
+    p.label = "Gidney-Ekera (lattice surgery)";
+
+    // Lookup-addition count with their window sizes.
+    double ne = std::ceil(1.5 * spec.nBits);
+    double lookupAdds = 2.0 * std::ceil(ne / spec.wExp) *
+                        std::ceil(static_cast<double>(spec.nBits) /
+                                  spec.wMul);
+
+    // Each addition ripples 2*(rsep + rpad) sequential Toffoli steps
+    // per runway segment (segments in parallel); in lattice surgery
+    // each step costs a logical cycle d * t_cycle, floored by the
+    // reaction time.
+    double stepTime = std::max(spec.distance * spec.tCycle,
+                               spec.tReaction);
+    double perLookupAdd = 2.0 * (spec.rsep + spec.rpad) * stepTime;
+    p.seconds = lookupAdds * perLookupAdd;
+
+    // Space: anchored to their 20M-qubit headline at d = 27,
+    // scaling with the patch area.
+    p.physicalQubits =
+        20e6 * (static_cast<double>(spec.distance) / 27.0) *
+        (static_cast<double>(spec.distance) / 27.0) *
+        (static_cast<double>(spec.nBits) / 2048.0);
+    p.spacetimeVolume = p.physicalQubits * p.seconds;
+    return p;
+}
+
+BaselinePoint
+beverlandAnchor()
+{
+    BaselinePoint p;
+    p.label = "Beverland et al. (100 us ops)";
+    // Documented approximation (DESIGN.md): ~25 M qubits, ~6 years
+    // for 2048-bit factoring at 100 us-class operation times.
+    p.physicalQubits = 25e6;
+    p.seconds = 6.0 * 365.25 * 86400.0;
+    p.spacetimeVolume = p.physicalQubits * p.seconds;
+    return p;
+}
+
+} // namespace traq::est

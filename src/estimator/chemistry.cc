@@ -1,0 +1,97 @@
+#include "src/estimator/chemistry.hh"
+
+#include "src/gadgets/factory.hh"
+
+#include <cmath>
+
+#include "src/common/assert.hh"
+#include "src/estimator/calibration.hh"
+
+namespace traq::est {
+
+ChemistryReport
+estimateChemistry(const ChemistrySpec &spec)
+{
+    TRAQ_REQUIRE(spec.spinOrbitals >= 2, "need at least 2 orbitals");
+    TRAQ_REQUIRE(spec.energyError > 0 && spec.lambdaHam > 0,
+                 "bad accuracy/lambda");
+    ChemistryReport r;
+
+    r.iterations = std::ceil(M_PI * spec.lambdaHam /
+                             (2.0 * spec.energyError));
+
+    // Lookup over the THC auxiliary index pairs.
+    r.lookupAddressBits = static_cast<int>(
+        std::ceil(std::log2(static_cast<double>(spec.thcRank))));
+
+    // Distance: per-iteration error must keep the total phase
+    // estimation coherent; budget 10% spread over all iterations.
+    double perIterBudget = 0.1 / r.iterations;
+    int d = spec.distance > 0
+                ? spec.distance
+                : model::requiredDistanceCnot(
+                      perIterBudget /
+                          (4.0 * spec.spinOrbitals),
+                      1.0, spec.errorModel);
+    r.distance = d;
+
+    gadgets::LookupSpec ls;
+    ls.addressBits = r.lookupAddressBits;
+    ls.targetBits = 4 * spec.spinOrbitals;
+    ls.distance = d;
+    ls.atom = spec.atom;
+    ls.errorModel = spec.errorModel;
+    ls.kappaLookup = kKappaLookup;
+    auto lookup = gadgets::designLookup(ls);
+
+    gadgets::AdderSpec as;
+    as.nBits = spec.rotationBits;
+    as.rsep = spec.rotationBits;   // single segment
+    as.rpad = 0;
+    as.distance = d;
+    as.atom = spec.atom;
+    as.errorModel = spec.errorModel;
+    as.kappaAdd = kKappaAdd;
+    auto adder = gadgets::designAdder(as);
+
+    // PREPARE + PREPARE^dagger: 2 lookups; SELECT: 1 lookup + 2
+    // phase-gradient additions (paper: 30% lookup / 70% rotations).
+    r.cczPerIteration = 3.0 * (lookup.cczPerLookup +
+                               lookup.unlookupCcz) +
+                        2.0 * adder.cczPerAddition;
+    r.cczTotal = r.cczPerIteration * r.iterations;
+    r.timePerIteration = 3.0 * lookup.timePerLookup +
+                         2.0 * adder.timePerAddition;
+    r.totalSeconds = r.timePerIteration * r.iterations;
+    r.days = r.totalSeconds / 86400.0;
+
+    // Space: system + THC registers (~6N logical) + lookup fan-out +
+    // a small factory farm sized to the CCZ rate.
+    double storedLogical = 6.0 * spec.spinOrbitals + spec.thcRank /
+                                                         8.0;
+    double storage = storedLogical * d * d * kStorageOverhead;
+    double active = lookup.activePhysicalQubits +
+                    adder.activePhysicalQubits;
+    gadgets::FactorySpec fs;
+    fs.targetCczError = 0.05 / r.cczTotal;
+    fs.atom = spec.atom;
+    fs.errorModel = spec.errorModel;
+    auto factory = gadgets::designFactory(fs);
+    double demand = (r.cczPerIteration / r.timePerIteration);
+    double farms = std::ceil(demand / factory.throughput *
+                             kFactoryMargin);
+    double factoryQubits = farms * factory.qubits;
+    r.physicalQubits = (storage + active + factoryQubits) *
+                       (1.0 + kRoutingOverhead);
+    r.spacetimeVolume = r.physicalQubits * r.totalSeconds;
+
+    // Lattice-surgery comparison: every reaction-limited step pays a
+    // d * t_cycle logical cycle instead (900 us QEC cycles).
+    double stepRatio =
+        (d * 900e-6) / spec.atom.reactionTime();
+    r.latticeSurgerySeconds = r.totalSeconds * stepRatio;
+    r.speedup = stepRatio;
+    return r;
+}
+
+} // namespace traq::est

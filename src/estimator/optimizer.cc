@@ -1,0 +1,46 @@
+#include "src/estimator/optimizer.hh"
+
+#include <limits>
+
+namespace traq::est {
+
+OptimizerResult
+optimizeFactoring(const FactoringSpec &base,
+                  const OptimizerOptions &opts)
+{
+    OptimizerResult res;
+    double bestVolume = std::numeric_limits<double>::infinity();
+
+    for (int we : opts.wExpCandidates) {
+        for (int wm : opts.wMulCandidates) {
+            for (int rsep : opts.rsepCandidates) {
+                FactoringSpec s = base;
+                s.wExp = we;
+                s.wMul = wm;
+                s.rsep = rsep;
+                s.rpad = -1;
+                s.distance = base.distance;
+                s.factories = -1;
+                FactoringReport rep = estimateFactoring(s);
+                ++res.evaluated;
+                if (!rep.feasible)
+                    continue;
+                if (opts.maxQubits > 0 &&
+                    rep.physicalQubits > opts.maxQubits)
+                    continue;
+                if (opts.maxSeconds > 0 &&
+                    rep.totalSeconds > opts.maxSeconds)
+                    continue;
+                if (rep.spacetimeVolume < bestVolume) {
+                    bestVolume = rep.spacetimeVolume;
+                    res.bestSpec = s;
+                    res.bestReport = rep;
+                    res.found = true;
+                }
+            }
+        }
+    }
+    return res;
+}
+
+} // namespace traq::est

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Algorithm-parameter optimizer (Sec. IV.2, Table II).
+ *
+ * Sweeps the windowed-arithmetic and runway parameters, resolving
+ * code distance, runway padding and factory count per candidate, and
+ * returns the feasible configuration minimizing the space-time
+ * volume — the paper's objective (Sec. II.2).
+ */
+
+#ifndef TRAQ_ESTIMATOR_OPTIMIZER_HH
+#define TRAQ_ESTIMATOR_OPTIMIZER_HH
+
+#include <vector>
+
+#include "src/estimator/shor.hh"
+
+namespace traq::est {
+
+/** Search-space definition. */
+struct OptimizerOptions
+{
+    std::vector<int> wExpCandidates = {2, 3, 4, 5, 6};
+    std::vector<int> wMulCandidates = {2, 3, 4, 5, 6};
+    std::vector<int> rsepCandidates = {48, 64, 96, 128, 192, 256,
+                                       384, 512, 1024};
+    /** Optional cap on physical qubits (Fig. 14(d)); <= 0: none. */
+    double maxQubits = -1.0;
+    /** Optional cap on runtime in seconds; <= 0: none. */
+    double maxSeconds = -1.0;
+};
+
+/** Result of the sweep. */
+struct OptimizerResult
+{
+    FactoringSpec bestSpec;
+    FactoringReport bestReport;
+    std::size_t evaluated = 0;
+    bool found = false;
+};
+
+/**
+ * Sweep parameters for the given base spec (whose window/runway
+ * fields are overridden by the search).
+ */
+OptimizerResult optimizeFactoring(const FactoringSpec &base,
+                                  const OptimizerOptions &opts = {});
+
+} // namespace traq::est
+
+#endif // TRAQ_ESTIMATOR_OPTIMIZER_HH

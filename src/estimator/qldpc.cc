@@ -1,0 +1,48 @@
+#include "src/estimator/qldpc.hh"
+
+#include "src/arch/qec_cycle.hh"
+#include "src/common/assert.hh"
+
+namespace traq::est {
+
+QldpcStorageReport
+applyQldpcStorage(const FactoringReport &base,
+                  const FactoringSpec &spec,
+                  const QldpcStorageSpec &storage)
+{
+    TRAQ_REQUIRE(storage.compressionFactor >= 1.0,
+                 "compression factor must be >= 1");
+    TRAQ_REQUIRE(storage.eligibleFraction >= 0.0 &&
+                     storage.eligibleFraction <= 1.0,
+                 "eligible fraction must be in [0, 1]");
+    QldpcStorageReport r;
+    r.surfaceStorageQubits = base.storageQubits;
+
+    double eligible = base.storageQubits * storage.eligibleFraction;
+    double ineligible = base.storageQubits - eligible;
+    r.denseStorageQubits = eligible / storage.compressionFactor;
+    r.residualSurfaceQubits = ineligible;
+
+    double newStorage = r.denseStorageQubits +
+                        r.residualSurfaceQubits;
+    r.physicalQubits =
+        base.physicalQubits - base.storageQubits + newStorage;
+    r.footprintReduction =
+        1.0 - r.physicalQubits / base.physicalQubits;
+
+    // Storage access pays longer moves (Sec. IV.3.4: "the increase
+    // in QEC cycle time due to longer-distance moves for qLDPC
+    // codes"); the compute clock is unchanged because active
+    // registers stay in surface codes.
+    r.computeCycleTime =
+        arch::qecCycle(base.distance, spec.atom).total;
+    r.accessCycleTime =
+        arch::qecCycle(base.distance, spec.atom,
+                       storage.accessMovePatches * base.distance)
+            .total;
+
+    r.spacetimeVolume = r.physicalQubits * base.totalSeconds;
+    return r;
+}
+
+} // namespace traq::est

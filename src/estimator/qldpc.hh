@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Hybrid qLDPC dense-storage analysis (Sec. IV.3.4).
+ *
+ * The paper considers storing idle registers in a high-rate qLDPC
+ * code while keeping computation in surface codes: with a ~10x
+ * denser storage encoding and only the 4-6M idling qubits eligible,
+ * they expect a ~20% reduction in space footprint at unchanged run
+ * time.  This module applies that transformation to a factoring
+ * report, accounting for the longer-range moves qLDPC storage needs
+ * (which stretch the storage-access QEC cycles but not the compute
+ * clock).
+ */
+
+#ifndef TRAQ_ESTIMATOR_QLDPC_HH
+#define TRAQ_ESTIMATOR_QLDPC_HH
+
+#include "src/estimator/shor.hh"
+
+namespace traq::est {
+
+/** Parameters of the dense storage code. */
+struct QldpcStorageSpec
+{
+    /** Physical-qubit compression vs surface-code storage (~10x). */
+    double compressionFactor = 10.0;
+    /**
+     * Fraction of the storage register eligible for dense packing
+     * (actively-streamed words must stay in surface codes).
+     */
+    double eligibleFraction = 0.85;
+    /**
+     * Move distance (in patch widths) between the dense storage zone
+     * and the compute zone: longer than the local ~1-patch moves.
+     */
+    double accessMovePatches = 8.0;
+};
+
+/** Outcome of the hybrid-storage transformation. */
+struct QldpcStorageReport
+{
+    double surfaceStorageQubits = 0.0;  //!< before
+    double denseStorageQubits = 0.0;    //!< after (eligible part)
+    double residualSurfaceQubits = 0.0; //!< ineligible part
+    double physicalQubits = 0.0;        //!< new total
+    double footprintReduction = 0.0;    //!< fractional saving
+    double accessCycleTime = 0.0;       //!< storage-access QEC cycle
+    double computeCycleTime = 0.0;      //!< unchanged compute cycle
+    double spacetimeVolume = 0.0;
+};
+
+/** Apply dense qLDPC storage to a factoring estimate. */
+QldpcStorageReport
+applyQldpcStorage(const FactoringReport &base,
+                  const FactoringSpec &spec,
+                  const QldpcStorageSpec &storage = {});
+
+} // namespace traq::est
+
+#endif // TRAQ_ESTIMATOR_QLDPC_HH

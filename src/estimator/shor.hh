@@ -1,0 +1,101 @@
+/**
+ * @file
+ * End-to-end resource estimation of Ekerå–Håstad factoring on the
+ * transversal architecture (Sec. III.2, IV.2).
+ *
+ * The cost model follows the paper's decomposition (Fig. 5(b)):
+ * modular exponentiation -> windowed arithmetic -> table lookups +
+ * additions -> CNOT fan-outs and magic states.  Times come from the
+ * reaction-limited gadget models; space from the gadget footprints,
+ * dense idle storage and the factory farm; errors from Eq. (4) plus
+ * the runway approximation and idle-storage contributions.
+ */
+
+#ifndef TRAQ_ESTIMATOR_SHOR_HH
+#define TRAQ_ESTIMATOR_SHOR_HH
+
+#include "src/arch/tracker.hh"
+#include "src/gadgets/adder.hh"
+#include "src/gadgets/factory.hh"
+#include "src/gadgets/lookup.hh"
+#include "src/model/error_model.hh"
+#include "src/platform/params.hh"
+
+namespace traq::est {
+
+/** Inputs of a factoring estimate. */
+struct FactoringSpec
+{
+    int nBits = 2048;
+    int wExp = 3;              //!< exponent window (Table II)
+    int wMul = 4;              //!< multiplication window
+    int rsep = 96;             //!< runway separation
+    int rpad = -1;             //!< runway padding (-1: solve)
+    int distance = -1;         //!< code distance (-1: solve)
+    int factories = -1;        //!< factory count (-1: solve)
+    double cczErrorBudget = 0.05;      //!< total CCZ failure budget
+    double logicalErrorBudget = 0.25;  //!< Clifford/idle budget
+    double runwayErrorBudget = 3e-6;   //!< oblivious-runway budget
+    /** Storage SE period [s]; <= 0 re-optimizes per distance. */
+    double idlePeriod = 8e-3;
+    platform::AtomArrayParams atom =
+        platform::AtomArrayParams::paperDefaults();
+    model::ErrorModelParams errorModel =
+        model::ErrorModelParams::paperDefaults();
+    model::CultivationModel cultivation;
+};
+
+/** Full output of a factoring estimate. */
+struct FactoringReport
+{
+    // Algorithm counts.
+    double exponentBits = 0.0;        //!< n_e = 1.5 n (Ekerå–Håstad)
+    double lookupAdditions = 0.0;
+    double cczTotal = 0.0;
+    double targetCczError = 0.0;
+
+    // Resolved parameters.
+    int distance = 0;
+    int rpad = 0;
+    int factories = 0;
+    double idlePeriodUsed = 0.0;
+
+    // Gadget designs.
+    gadgets::AdderReport adder;
+    gadgets::LookupReport lookup;
+    gadgets::FactoryReport factory;
+
+    // Timing.
+    double timePerLookup = 0.0;
+    double timePerAddition = 0.0;
+    double totalSeconds = 0.0;
+    double days = 0.0;
+
+    // Space breakdown (physical qubits).
+    double storageQubits = 0.0;
+    double adderQubits = 0.0;
+    double lookupQubits = 0.0;
+    double factoryQubits = 0.0;
+    double routingQubits = 0.0;
+    double physicalQubits = 0.0;
+
+    // Error accounting.
+    double algorithmLogicalError = 0.0;
+    double idleError = 0.0;
+    double runwayError = 0.0;
+    double cczError = 0.0;
+
+    double spacetimeVolume = 0.0;     //!< qubits x seconds
+    bool feasible = false;
+
+    /** Phase breakdowns for Fig. 12. */
+    arch::SpaceTimeLedger lookupPhase;
+    arch::SpaceTimeLedger additionPhase;
+};
+
+/** Run the estimate for a fully- or partially-specified spec. */
+FactoringReport estimateFactoring(const FactoringSpec &spec);
+
+} // namespace traq::est
+
+#endif // TRAQ_ESTIMATOR_SHOR_HH

@@ -1,0 +1,148 @@
+#include "src/gadgets/adder.hh"
+
+#include <cmath>
+
+#include "src/common/assert.hh"
+#include "src/common/math.hh"
+
+namespace traq::gadgets {
+
+AdderReport
+designAdder(const AdderSpec &spec)
+{
+    TRAQ_REQUIRE(spec.nBits >= 1, "adder needs at least one bit");
+    TRAQ_REQUIRE(spec.rsep >= 1 && spec.rpad >= 0,
+                 "invalid runway parameters");
+    AdderReport r;
+    r.segments = static_cast<int>(
+        traq::ceilDiv(spec.nBits, spec.rsep));
+    r.bitsWithRunways = spec.nBits + r.segments * spec.rpad;
+
+    // One CCZ per bit (UMA uncomputation is measurement-based).
+    r.cczPerAddition = r.bitsWithRunways;
+
+    // Reaction-limited: each segment ripples rsep MAJ steps forward
+    // and rsep UMA steps back, each step costing kappaAdd reaction
+    // times; segments run in parallel.
+    double perSegmentBits =
+        static_cast<double>(spec.rsep) + spec.rpad;
+    r.timePerAddition = 2.0 * perSegmentBits * spec.kappaAdd *
+                        spec.atom.reactionTime();
+
+    // Fig. 9(c): the MAJ block fits in a 3x2 logical region with max
+    // move distance sqrt(2) d l.
+    r.maxMoveSites = std::sqrt(2.0) * spec.distance;
+
+    // Per segment: 3x2 block of logical qubits plus 3 CCZ ancillae
+    // and 6 CZ correction qubits and 2 bridge qubits ~ 17 logical.
+    const double logicalPerSegment = 6.0 + 3.0 + 6.0 + 2.0;
+    r.activeLogicalQubits = logicalPerSegment * r.segments;
+    double physPerLogical =
+        2.0 * spec.distance * spec.distance;   // data + ancilla
+    r.activePhysicalQubits = r.activeLogicalQubits * physPerLogical;
+
+    // Logical error: every bit-step involves ~2 transversal CNOT
+    // equivalents on the 3x2 block at x = 1 CNOT per SE round.
+    double perCnot = model::cnotLogicalError(
+        spec.distance, 1.0, spec.errorModel);
+    r.logicalErrorPerAddition =
+        2.0 * r.bitsWithRunways * perCnot;
+
+    // Oblivious runway approximation error (Ref. [66]).
+    r.runwayApproxError =
+        r.segments * std::pow(2.0, -spec.rpad);
+
+    // Peak CCZ demand: during the MAJ phase each segment consumes one
+    // CCZ per kappaAdd * t_r.
+    r.cczRate = r.segments /
+                (spec.kappaAdd * spec.atom.reactionTime());
+    return r;
+}
+
+namespace {
+
+/** MAJ block on (c, b, a): in-place majority / carry computation. */
+void
+majBits(int &c, int &b, int &a)
+{
+    // CNOT a->b; CNOT a->c; Toffoli(c, b -> a).
+    b ^= a;
+    c ^= a;
+    a ^= (c & b);
+}
+
+/** UMA block (2-CNOT variant) undoing MAJ and producing the sum. */
+void
+umaBits(int &c, int &b, int &a)
+{
+    a ^= (c & b);
+    c ^= a;
+    b ^= c;
+}
+
+} // namespace
+
+std::uint64_t
+cuccaroEmulate(std::uint64_t a, std::uint64_t b, int nBits)
+{
+    TRAQ_REQUIRE(nBits >= 1 && nBits <= 63, "nBits must be in [1,63]");
+    std::vector<int> av(nBits), bv(nBits);
+    for (int i = 0; i < nBits; ++i) {
+        av[i] = (a >> i) & 1;
+        bv[i] = (b >> i) & 1;
+    }
+    int carry = 0;   // |c_in> ancilla
+    // MAJ ripple: after step i, av[i] holds carry_{i+1}.
+    // Chain: MAJ(c, b0, a0); MAJ(a0, b1, a1); ...
+    std::vector<int *> carryWire(nBits + 1);
+    carryWire[0] = &carry;
+    for (int i = 0; i < nBits; ++i) {
+        majBits(*carryWire[i], bv[i], av[i]);
+        carryWire[i + 1] = &av[i];
+    }
+    // (A final CNOT would extract carry-out; dropped for mod-2^n.)
+    for (int i = nBits - 1; i >= 0; --i)
+        umaBits(*carryWire[i], bv[i], av[i]);
+    TRAQ_ASSERT(carry == 0, "Cuccaro ancilla must return to zero");
+
+    std::uint64_t sum = 0;
+    for (int i = 0; i < nBits; ++i) {
+        sum |= static_cast<std::uint64_t>(bv[i]) << i;
+        // The a register must be restored (reversibility).
+        TRAQ_ASSERT(av[i] == static_cast<int>((a >> i) & 1),
+                    "Cuccaro adder must restore the a register");
+    }
+    return sum;
+}
+
+std::uint64_t
+runwayAddEmulate(std::uint64_t a, std::uint64_t b, int nBits,
+                 int rsep)
+{
+    TRAQ_REQUIRE(nBits >= 1 && nBits <= 63, "nBits must be in [1,63]");
+    TRAQ_REQUIRE(rsep >= 1, "rsep must be positive");
+    // Piecewise addition: each segment adds independently recording
+    // its carry-out into the runway, then runway carries are rippled
+    // into the next segment (the final correction step).
+    std::uint64_t sum = 0;
+    int carry = 0;
+    for (int base = 0; base < nBits; base += rsep) {
+        int len = std::min(rsep, nBits - base);
+        std::uint64_t mask = (len >= 63)
+                                 ? ~0ULL
+                                 : ((1ULL << len) - 1);
+        std::uint64_t sa = (a >> base) & mask;
+        std::uint64_t sb = (b >> base) & mask;
+        // Segment addition via the gate-level Cuccaro emulation (one
+        // extra bit of headroom captures the carry-out).
+        std::uint64_t seg =
+            cuccaroEmulate(sa, sb + carry, len + 1);
+        sum |= (seg & mask) << base;
+        carry = static_cast<int>((seg >> len) & 1);
+    }
+    std::uint64_t mod = (nBits >= 63) ? ~0ULL
+                                      : ((1ULL << nBits) - 1);
+    return sum & mod;
+}
+
+} // namespace traq::gadgets

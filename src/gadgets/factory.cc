@@ -1,0 +1,93 @@
+#include "src/gadgets/factory.hh"
+
+#include <cmath>
+
+#include "src/arch/qec_cycle.hh"
+#include "src/common/assert.hh"
+
+namespace traq::gadgets {
+
+double
+factoryQubitRounds()
+{
+    // 12 logical qubits (4 outputs + 8 factory qubits) active over
+    // ~10 SE rounds (4 CNOT layers, input growth, teleportation and
+    // the post-selected output measurement).
+    return 12.0 * 10.0;
+}
+
+FactoryReport
+designFactory(const FactorySpec &spec)
+{
+    TRAQ_REQUIRE(spec.targetCczError > 0.0,
+                 "target CCZ error must be positive");
+    FactoryReport r;
+
+    // Split the budget: half to the quadratic T-input term, half to
+    // the Clifford operations protected by the inner surface code.
+    const double tBudget = spec.targetCczError / 2.0;
+    const double cliffordBudget = spec.targetCczError / 2.0;
+
+    // Eq. (8): p_CCZ = 28 p_T^2  =>  p_T = sqrt(budget / 28).
+    r.tInputError = std::sqrt(tBudget / 28.0);
+
+    // Distance: Clifford error = qubit-rounds x per-round Eq. (4)
+    // error at x = 1/seRoundsPerGate CNOTs per round.
+    const double x = 1.0 / spec.seRoundsPerGate;
+    if (spec.forcedDistance > 0) {
+        r.distance = spec.forcedDistance;
+    } else {
+        r.distance = model::requiredDistanceCnot(
+            cliffordBudget / factoryQubitRounds() * 2.0, x,
+            spec.errorModel);
+    }
+    // Per-CNOT error covers 2 qubits; qubit-rounds uses per-qubit:
+    r.cliffordError =
+        factoryQubitRounds() *
+        model::cnotLogicalError(r.distance, x, spec.errorModel) / 2.0;
+    r.cczError = 28.0 * r.tInputError * r.tInputError +
+                 r.cliffordError;
+
+    // Timing: 4 transversal CNOT layers each followed by
+    // seRoundsPerGate SE rounds, plus the teleported-T layer and the
+    // post-selected output measurement (reaction-limited each).
+    // This is the pipeline initiation interval; input growth runs
+    // concurrently on the cultivation rows.
+    arch::QecCycleTiming cyc =
+        arch::qecCycle(r.distance, spec.atom);
+    double gateStage = 4.0 * spec.seRoundsPerGate * cyc.total;
+    double teleportStage = 2.0 * spec.atom.reactionTime();
+    r.cczTime = gateStage + teleportStage;
+
+    // Post-selection: any single input-T error is detected with
+    // probability ~8 p_T; cultivation acceptance is folded into its
+    // volume curve.
+    r.retryOverhead = 1.0 / (1.0 - 8.0 * r.tInputError);
+    r.throughput = 1.0 / (r.cczTime * r.retryOverhead);
+
+    // Cultivation supply: each 12d x 1d row provides 12 d^2 qubits
+    // continuously; a |T> costs cultivationVolume qubit-rounds, so a
+    // row sustains (12 d^2 / volume) |T> per SE round.  Size the
+    // number of rows so 8 |T> arrive per factory cycle.
+    r.cultivationVolume = spec.cultivation.volumeAtPhysicalError(
+        r.tInputError, spec.errorModel.pPhys);
+    double rowQubits = 12.0 * r.distance * r.distance;
+    double tPerRowPerSecond =
+        rowQubits / r.cultivationVolume / cyc.total;
+    double tRateNeeded = 8.0 * r.throughput;
+    r.cultivationRows = std::max(
+        1, static_cast<int>(std::ceil(tRateNeeded /
+                                      tPerRowPerSecond)));
+    // Beyond ~a dozen rows the cultivation area would rival the
+    // factory itself — flag such designs as unbalanced.
+    r.cultivationFits = r.cultivationRows <= 12;
+
+    // Footprint (Fig. 8(d)): 12d x 3d factory + cultivation rows.
+    r.footprintWidthSites = 12 * r.distance;
+    r.footprintHeightSites = (3 + r.cultivationRows) * r.distance;
+    r.qubits = static_cast<double>(r.footprintWidthSites) *
+               r.footprintHeightSites;
+    return r;
+}
+
+} // namespace traq::gadgets

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The 8T-to-CCZ magic-state factory (Sec. III.6, Fig. 8).
+ *
+ * Two stages:
+ *  1. magic state cultivation produces |T> states at error p_T
+ *     (cost model in src/model/cultivation.hh); eight cultivations
+ *     fit in the 12d x 1d bottom row of the factory footprint;
+ *  2. the 8T-to-CCZ factory converts them into one |CCZ> with
+ *     quadratic suppression p_CCZ ~ 28 p_T^2 (Eq. (8)) upon
+ *     post-selection, using 4 transversal CNOT layers (with 1 SE
+ *     round each) on logical qubits further encoded in the [[8,3,2]]
+ *     code, followed by teleported T gates.
+ *
+ * Footprint (Fig. 8(d)): 12d x 3d for the factory plus 12d x 1d for
+ * cultivation = 12d x 4d sites.
+ */
+
+#ifndef TRAQ_GADGETS_FACTORY_HH
+#define TRAQ_GADGETS_FACTORY_HH
+
+#include "src/model/cultivation.hh"
+#include "src/model/error_model.hh"
+#include "src/platform/params.hh"
+
+namespace traq::gadgets {
+
+/** Inputs of a factory design. */
+struct FactorySpec
+{
+    double targetCczError = 1.6e-11;   //!< paper's factoring budget
+    double seRoundsPerGate = 1.0;      //!< SE rounds per CNOT layer
+    platform::AtomArrayParams atom =
+        platform::AtomArrayParams::paperDefaults();
+    model::ErrorModelParams errorModel =
+        model::ErrorModelParams::paperDefaults();
+    model::CultivationModel cultivation;
+    /** Force a distance (-1: solve from the error budget). */
+    int forcedDistance = -1;
+};
+
+/** Resulting factory design and costs. */
+struct FactoryReport
+{
+    int distance = 0;
+    double tInputError = 0.0;        //!< required per-|T> error
+    double cczError = 0.0;           //!< achieved |CCZ> error
+    double cliffordError = 0.0;      //!< factory Clifford share
+    /** Fig. 8(d) footprint in grid sites (width x height). */
+    int footprintWidthSites = 0;
+    int footprintHeightSites = 0;
+    double qubits = 0.0;             //!< total sites occupied
+    double cczTime = 0.0;            //!< initiation interval [s]
+    double throughput = 0.0;         //!< |CCZ> per second (pipelined)
+    double retryOverhead = 1.0;      //!< post-selection repeat factor
+    double cultivationVolume = 0.0;  //!< qubit-rounds per |T>
+    /**
+     * Rows of 12d x 1d cultivation area needed to sustain 8 |T> per
+     * factory cycle.  The paper's Fig. 8(d) allots one row; with our
+     * power-law cultivation cost model the sustained rate needs up
+     * to a few rows (documented substitution, see DESIGN.md).
+     */
+    int cultivationRows = 1;
+    bool cultivationFits = false;    //!< rows <= 4
+};
+
+/** Design a factory meeting the spec. */
+FactoryReport designFactory(const FactorySpec &spec);
+
+/**
+ * Number of factory logical-qubit SE-round slots contributing
+ * Clifford noise per |CCZ| output (12 logical qubits over the CNOT +
+ * teleportation stages); exposed for tests.
+ */
+double factoryQubitRounds();
+
+} // namespace traq::gadgets
+
+#endif // TRAQ_GADGETS_FACTORY_HH

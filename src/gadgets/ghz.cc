@@ -1,0 +1,49 @@
+#include "src/gadgets/ghz.hh"
+
+#include "src/arch/qec_cycle.hh"
+#include "src/common/assert.hh"
+
+namespace traq::gadgets {
+
+sim::Circuit
+ghzPrepCircuit(int n)
+{
+    TRAQ_REQUIRE(n >= 2, "GHZ needs at least two qubits");
+    sim::Circuit c;
+    // GHZ qubits 0..n-1 in |+>, helpers n..2n-2 in |0>.
+    for (int q = 0; q < n; ++q)
+        c.rx(static_cast<std::uint32_t>(q));
+    for (int h = 0; h < n - 1; ++h)
+        c.r(static_cast<std::uint32_t>(n + h));
+    // Helper h measures Z_h Z_{h+1}: two CX layers (left neighbours,
+    // then right neighbours) keep the depth at two.
+    std::vector<std::uint32_t> layer1, layer2;
+    for (int h = 0; h < n - 1; ++h) {
+        layer1.push_back(static_cast<std::uint32_t>(h));
+        layer1.push_back(static_cast<std::uint32_t>(n + h));
+        layer2.push_back(static_cast<std::uint32_t>(h + 1));
+        layer2.push_back(static_cast<std::uint32_t>(n + h));
+    }
+    c.append(sim::Gate::CX, layer1);
+    c.append(sim::Gate::CX, layer2);
+    for (int h = 0; h < n - 1; ++h)
+        c.m(static_cast<std::uint32_t>(n + h));
+    return c;
+}
+
+GhzCost
+ghzCost(int n, int distance, const platform::AtomArrayParams &atom,
+        const model::ErrorModelParams &em)
+{
+    GhzCost g;
+    arch::QecCycleTiming cyc = arch::qecCycle(distance, atom);
+    // Two CX layers with local moves plus the helper measurement;
+    // about half a QEC cycle of gates plus a measurement.
+    g.time = 0.5 * cyc.seGatePhase + atom.measureTime;
+    g.logicalQubits = 2.0 * n - 1.0;
+    double perCnot = model::cnotLogicalError(distance, 1.0, em);
+    g.logicalError = n * perCnot;
+    return g;
+}
+
+} // namespace traq::gadgets

@@ -1,0 +1,115 @@
+#include "src/gadgets/lookup.hh"
+
+#include <cmath>
+
+#include "src/arch/qec_cycle.hh"
+#include "src/common/assert.hh"
+#include "src/common/math.hh"
+
+namespace traq::gadgets {
+
+LookupReport
+designLookup(const LookupSpec &spec)
+{
+    TRAQ_REQUIRE(spec.addressBits >= 1 && spec.addressBits <= 24,
+                 "address bits out of range");
+    TRAQ_REQUIRE(spec.ghzSpacing >= 1, "GHZ spacing must be >= 1");
+    LookupReport r;
+    r.entries = 1ULL << spec.addressBits;
+
+    // Unary iteration: 2^m - m - 1 temporary ANDs (Babbush et al.);
+    // uncomputation is measurement-based with ~2^(m/2) phase fixups.
+    r.cczPerLookup = static_cast<double>(r.entries) -
+                     spec.addressBits - 1;
+    r.unlookupCcz = std::pow(2.0, spec.addressBits / 2.0);
+
+    // Reaction-limited iteration walk.
+    r.iterationTime = static_cast<double>(r.entries) *
+                      spec.kappaLookup * spec.atom.reactionTime();
+
+    // GHZ fan-out: measurement-based prep (2 CX layers + helper
+    // measurement) + transversal CX onto targets + X measurement of
+    // the GHZ register; approximately 2 QEC cycles, divided across
+    // pipeline copies.
+    arch::QecCycleTiming cyc = arch::qecCycle(spec.distance,
+                                              spec.atom);
+    r.fanoutTime = 2.0 * cyc.total /
+                   std::max(1, spec.pipelineCopies);
+    r.timePerLookup = r.iterationTime + r.fanoutTime;
+
+    // Fig. 10(c): snaking layout with 2d max move.
+    r.maxMoveSites = 2.0 * spec.distance;
+
+    // Space: address tree (~2 m logical), GHZ register (targets /
+    // spacing), helper ancillas (one per GHZ qubit), pipeline copies.
+    r.ghzLogicalQubits =
+        static_cast<double>(spec.targetBits) / spec.ghzSpacing *
+        spec.pipelineCopies;
+    r.helperLogicalQubits = r.ghzLogicalQubits;
+    r.activeLogicalQubits = 2.0 * spec.addressBits +
+                            r.ghzLogicalQubits +
+                            r.helperLogicalQubits;
+    double physPerLogical =
+        2.0 * spec.distance * spec.distance;
+    r.activePhysicalQubits = r.activeLogicalQubits * physPerLogical;
+
+    // Logical error: iteration steps on the address tree plus the
+    // GHZ fan-out.  The fan-out couples the whole GHZ + target
+    // register into one correlated-decoding window of ~d/2 rounds
+    // (Sec. III.8: the fan-out dominates the decoding volume), so its
+    // contribution scales with that window.
+    double perCnot = model::cnotLogicalError(spec.distance, 1.0,
+                                             spec.errorModel);
+    double iterationError =
+        static_cast<double>(r.entries) * 2.0 * perCnot / 2.0;
+    double fanoutWindowRounds = spec.distance / 2.0;
+    double fanoutError = (2.0 * r.ghzLogicalQubits +
+                          spec.targetBits) *
+                         fanoutWindowRounds * perCnot / 2.0;
+    r.logicalErrorPerLookup = iterationError + fanoutError;
+
+    r.cczRate = (r.cczPerLookup + r.unlookupCcz) / r.timePerLookup;
+    return r;
+}
+
+std::uint64_t
+qromEmulate(const std::vector<std::uint64_t> &table,
+            std::uint64_t address)
+{
+    TRAQ_REQUIRE(!table.empty(), "table must be non-empty");
+    TRAQ_REQUIRE(address < table.size(), "address out of range");
+    // Unary iteration: maintain a one-hot "selected" flag computed by
+    // temporary ANDs down the address bits, exactly mirroring the
+    // circuit's control structure: at step i the flag is
+    // AND_k (address_k == i_k).
+    std::uint64_t target = 0;
+    for (std::uint64_t i = 0; i < table.size(); ++i) {
+        // Temporary AND chain (classically: equality test built up
+        // bit by bit, as the unary-iteration tree does).
+        bool flag = true;
+        for (std::size_t bit = 0;
+             (std::size_t{1} << bit) < table.size(); ++bit) {
+            bool want = (i >> bit) & 1;
+            bool have = (address >> bit) & 1;
+            flag = flag && (want == have);
+        }
+        if (flag)
+            target ^= table[i];   // CNOT fan-out of the entry
+    }
+    return target;
+}
+
+std::uint64_t
+ghzFanoutEmulate(std::uint64_t mask, bool control)
+{
+    if (!control)
+        return 0;
+    // GHZ register in |0...0> + |1...1>; transversal CNOTs copy the
+    // shared bit onto every masked target; the X-basis measurement of
+    // the GHZ register yields a parity whose correction is a Pauli
+    // frame update (no data change).  Classically: every masked
+    // target flips with the control.
+    return mask;
+}
+
+} // namespace traq::gadgets

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Quantum look-up table (QROM) gadget with GHZ-assisted CNOT fan-out
+ * (Sec. III.8, Fig. 10).
+ *
+ * The unary-iteration circuit walks all 2^m address values using
+ * temporary AND gates (one Toffoli + one CNOT per entry on average);
+ * the data load is a CNOT fan-out implemented with measurement-based
+ * GHZ states so that every atom move is a small constant distance
+ * (2*d*l in the Fig. 10(c) layout).
+ *
+ * A classical emulator of the unary-iteration + fan-out network is
+ * included for functional correctness tests.
+ */
+
+#ifndef TRAQ_GADGETS_LOOKUP_HH
+#define TRAQ_GADGETS_LOOKUP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/model/error_model.hh"
+#include "src/platform/params.hh"
+
+namespace traq::gadgets {
+
+/** Inputs of a lookup design. */
+struct LookupSpec
+{
+    int addressBits = 7;      //!< m = wexp + wmul
+    int targetBits = 2048;    //!< fan-out register width
+    int distance = 27;
+    /** GHZ grid spacing: one GHZ qubit per this many targets. */
+    int ghzSpacing = 2;
+    /** Concurrent pipeline copies of the GHZ prep stage. */
+    int pipelineCopies = 1;
+    platform::AtomArrayParams atom =
+        platform::AtomArrayParams::paperDefaults();
+    model::ErrorModelParams errorModel =
+        model::ErrorModelParams::paperDefaults();
+    /** Reaction-time multiplier per unary-iteration step. */
+    double kappaLookup = 1.33;
+};
+
+/** Resulting lookup design and costs. */
+struct LookupReport
+{
+    std::uint64_t entries = 0;        //!< 2^m
+    double cczPerLookup = 0.0;        //!< 2^m - m - 1 temporary ANDs
+    double unlookupCcz = 0.0;         //!< ~2^(m/2) (measurement-based)
+    double iterationTime = 0.0;       //!< reaction-limited walk [s]
+    double fanoutTime = 0.0;          //!< GHZ prep + transversal CX
+    double timePerLookup = 0.0;
+    double maxMoveSites = 0.0;        //!< 2d (Fig. 10(c))
+    double ghzLogicalQubits = 0.0;
+    double helperLogicalQubits = 0.0;
+    double activeLogicalQubits = 0.0;
+    double activePhysicalQubits = 0.0;
+    double logicalErrorPerLookup = 0.0;
+    double cczRate = 0.0;             //!< CCZ demand [1/s]
+};
+
+/** Design a lookup meeting the spec. */
+LookupReport designLookup(const LookupSpec &spec);
+
+/**
+ * Classical emulation of the unary-iteration QROM: walks the control
+ * tree exactly as the circuit does (one temporary AND per step) and
+ * applies the CNOT fan-out of each selected entry.
+ * @param table 2^m entries of target-register values.
+ * @param address the address register value.
+ * @return the target register after the lookup.
+ */
+std::uint64_t qromEmulate(const std::vector<std::uint64_t> &table,
+                          std::uint64_t address);
+
+/**
+ * Emulation of the GHZ-assisted fan-out: prepare a GHZ word, apply
+ * transversal CNOTs onto the masked targets, and account the X-basis
+ * GHZ measurement corrections.  Returns the target register change
+ * (must equal the mask when control = 1).
+ */
+std::uint64_t ghzFanoutEmulate(std::uint64_t mask, bool control);
+
+} // namespace traq::gadgets
+
+#endif // TRAQ_GADGETS_LOOKUP_HH

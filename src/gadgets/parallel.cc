@@ -1,0 +1,28 @@
+#include "src/gadgets/parallel.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/assert.hh"
+
+namespace traq::gadgets {
+
+ParallelPlan
+planBellParallel(double tBlock, double reactionTime,
+                 double activeFraction)
+{
+    TRAQ_REQUIRE(tBlock > 0.0 && reactionTime > 0.0,
+                 "durations must be positive");
+    TRAQ_REQUIRE(activeFraction > 0.0 && activeFraction <= 1.0,
+                 "active fraction must be in (0, 1]");
+    ParallelPlan p;
+    p.copies = std::max(
+        1, static_cast<int>(std::floor(tBlock / reactionTime)));
+    // With `copies` staggered blocks each lasting tBlock, one block
+    // completes every tBlock / copies ~ reactionTime.
+    p.effectiveRate = p.copies / tBlock;
+    p.qubitOverhead = p.copies * activeFraction;
+    return p;
+}
+
+} // namespace traq::gadgets

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Space-time trade-offs via Bell-pair bending (Sec. III.5, Fig. 7).
+ *
+ * Sequentially-dependent circuit blocks of duration t_block can run
+ * concurrently, offset by the reaction time t_r, using Bell pairs to
+ * "bend qubits backwards in time": tblock / tr copies execute in
+ * parallel, each holding its qubits only while active.
+ */
+
+#ifndef TRAQ_GADGETS_PARALLEL_HH
+#define TRAQ_GADGETS_PARALLEL_HH
+
+#include "src/platform/params.hh"
+
+namespace traq::gadgets {
+
+/** Result of a Bell-parallelization plan. */
+struct ParallelPlan
+{
+    int copies = 1;            //!< blocks running concurrently
+    double effectiveRate = 0;  //!< blocks completed per second
+    double qubitOverhead = 1;  //!< relative to a single copy
+};
+
+/**
+ * Plan the parallel execution of repeated blocks.
+ * @param tBlock duration of one block [s].
+ * @param reactionTime the offset between successive copies [s].
+ * @param activeFraction fraction of the block during which its
+ *        qubits are actually held (idle qubits can be reused).
+ */
+ParallelPlan planBellParallel(double tBlock, double reactionTime,
+                              double activeFraction = 1.0);
+
+} // namespace traq::gadgets
+
+#endif // TRAQ_GADGETS_PARALLEL_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Rotation synthesis cost model (Fig. 1 / Sec. III.3).
+ *
+ * Arbitrary-angle Rz rotations are synthesised either as Clifford+T
+ * sequences (repeat-until-success / Ross-Selinger style,
+ * T-count ~ b * log2(1/eps) + c) or via addition into a phase-
+ * gradient state (Gidney's trick: one b-bit addition per rotation,
+ * b = ceil(log2(1/eps))).  The estimator exposes both so algorithm
+ * code can pick the cheaper one — the paper's chemistry pipeline
+ * uses the phase-gradient route for the SELECT rotations.
+ */
+
+#ifndef TRAQ_GADGETS_ROTATION_HH
+#define TRAQ_GADGETS_ROTATION_HH
+
+#include "src/model/error_model.hh"
+#include "src/platform/params.hh"
+
+namespace traq::gadgets {
+
+/** Cost of synthesising one Rz(theta) to accuracy eps. */
+struct RotationCost
+{
+    double tCount = 0.0;        //!< |T> states consumed
+    double cczCount = 0.0;      //!< |CCZ> states consumed
+    double time = 0.0;          //!< reaction-limited latency [s]
+    int gradientBits = 0;       //!< phase-gradient register width
+};
+
+/** Ross–Selinger-style direct Clifford+T synthesis. */
+RotationCost synthesizeCliffordT(double eps,
+                                 const platform::AtomArrayParams &p);
+
+/**
+ * Phase-gradient addition synthesis: one b-bit addition into a
+ * shared phase-gradient resource register.
+ * @param kappaAdd reaction multiplier per adder step (calibration).
+ */
+RotationCost
+synthesizePhaseGradient(double eps,
+                        const platform::AtomArrayParams &p,
+                        double kappaAdd = 1.0);
+
+/** The cheaper of the two routes by T-equivalent count. */
+RotationCost chooseRotationRoute(double eps,
+                                 const platform::AtomArrayParams &p);
+
+} // namespace traq::gadgets
+
+#endif // TRAQ_GADGETS_ROTATION_HH

@@ -1,0 +1,34 @@
+#include "src/model/cultivation.hh"
+
+#include <cmath>
+
+#include "src/common/assert.hh"
+
+namespace traq::model {
+
+double
+CultivationModel::volumeQubitRounds(double eps) const
+{
+    TRAQ_REQUIRE(eps > 0.0 && eps < 1.0,
+                 "cultivation error must be in (0, 1)");
+    return anchorVolume * std::pow(anchorError / eps, exponent);
+}
+
+double
+CultivationModel::errorForVolume(double volume) const
+{
+    TRAQ_REQUIRE(volume > 0.0, "volume must be positive");
+    return anchorError * std::pow(anchorVolume / volume,
+                                  1.0 / exponent);
+}
+
+double
+CultivationModel::volumeAtPhysicalError(double eps,
+                                        double pPhys) const
+{
+    const double gammaP = 2.0;
+    double scale = std::pow(pPhys / 1e-3, gammaP);
+    return volumeQubitRounds(eps) * std::max(0.05, scale);
+}
+
+} // namespace traq::model

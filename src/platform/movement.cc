@@ -1,0 +1,44 @@
+#include "src/platform/movement.hh"
+
+#include <algorithm>
+
+namespace traq::platform {
+
+void
+MoveSchedule::push(const std::string &label, double dist, double dur)
+{
+    steps_.push_back({label, dist, dur});
+    total_ += dur;
+    maxMove_ = std::max(maxMove_, dist);
+}
+
+void
+MoveSchedule::addMoveSites(double sites, const std::string &label)
+{
+    double dist = sites * params_.siteSpacing;
+    push(label, dist, moveTime(dist, params_));
+}
+
+void
+MoveSchedule::addGateLayer(const std::string &label)
+{
+    push(label, 0.0, params_.gateTime);
+}
+
+void
+MoveSchedule::addMeasurement(const std::string &label)
+{
+    push(label, 0.0, params_.measureTime);
+}
+
+void
+MoveSchedule::addPipelinedMeasureMove(double sites,
+                                      const std::string &label)
+{
+    double dist = sites * params_.siteSpacing;
+    double dur = std::max(params_.measureTime,
+                          moveTime(dist, params_));
+    push(label, dist, dur);
+}
+
+} // namespace traq::platform

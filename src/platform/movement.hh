@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Movement scheduling: accumulate a sequence of block moves, gates and
+ * measurements into a total wall-clock time, tracking the largest
+ * single move (which bounds the logical clock, Sec. III.1).
+ *
+ * The paper's gadget layouts are designed so every step moves at most
+ * a small constant number of sites (sqrt(2) d for the adder MAJ block,
+ * 2d for the lookup fan-out); MoveSchedule is how those claims become
+ * numbers in the benches.
+ */
+
+#ifndef TRAQ_PLATFORM_MOVEMENT_HH
+#define TRAQ_PLATFORM_MOVEMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "src/platform/params.hh"
+
+namespace traq::platform {
+
+/** One step of a movement schedule. */
+struct MoveStep
+{
+    std::string label;
+    double distance = 0.0;    //!< meters moved (0 for gate/measure)
+    double duration = 0.0;    //!< seconds
+};
+
+/** Accumulates gadget execution steps into a timeline. */
+class MoveSchedule
+{
+  public:
+    explicit MoveSchedule(const AtomArrayParams &params)
+        : params_(params)
+    {}
+
+    /** Move a block a given number of grid sites. */
+    void addMoveSites(double sites, const std::string &label = "move");
+
+    /** Parallel two-qubit gate layer. */
+    void addGateLayer(const std::string &label = "gate");
+
+    /** Measurement step (optionally pipelined into a move). */
+    void addMeasurement(const std::string &label = "measure");
+
+    /**
+     * Measurement overlapped with a block move: contributes
+     * max(measure, move) — the pipelining trick of Sec. IV.2.
+     */
+    void addPipelinedMeasureMove(double sites,
+                                 const std::string &label =
+                                     "measure+move");
+
+    double totalTime() const { return total_; }
+    double maxMoveDistance() const { return maxMove_; }
+    const std::vector<MoveStep> &steps() const { return steps_; }
+
+  private:
+    AtomArrayParams params_;
+    std::vector<MoveStep> steps_;
+    double total_ = 0.0;
+    double maxMove_ = 0.0;
+
+    void push(const std::string &label, double dist, double dur);
+};
+
+} // namespace traq::platform
+
+#endif // TRAQ_PLATFORM_MOVEMENT_HH

@@ -1,0 +1,38 @@
+#include "src/platform/params.hh"
+
+#include <cmath>
+
+#include "src/common/assert.hh"
+
+namespace traq::platform {
+
+double
+moveTime(double distance, const AtomArrayParams &p)
+{
+    TRAQ_REQUIRE(distance >= 0.0, "distance must be non-negative");
+    TRAQ_REQUIRE(p.acceleration > 0.0, "acceleration must be positive");
+    if (distance == 0.0)
+        return 0.0;
+    return 2.0 * std::sqrt(distance / p.acceleration);
+}
+
+double
+moveTimeSites(double sites, const AtomArrayParams &p)
+{
+    return moveTime(sites * p.siteSpacing, p);
+}
+
+double
+patchWidth(int d, const AtomArrayParams &p)
+{
+    TRAQ_REQUIRE(d >= 1, "distance must be positive");
+    return d * p.siteSpacing;
+}
+
+double
+patchMoveTime(int d, const AtomArrayParams &p)
+{
+    return moveTime(patchWidth(d, p), p);
+}
+
+} // namespace traq::platform

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Neutral-atom platform parameters (Table I of the paper) and derived
+ * quantities.
+ *
+ * All times in seconds, lengths in meters.
+ */
+
+#ifndef TRAQ_PLATFORM_PARAMS_HH
+#define TRAQ_PLATFORM_PARAMS_HH
+
+namespace traq::platform {
+
+/** Physical parameters of a reconfigurable atom array (Table I). */
+struct AtomArrayParams
+{
+    double siteSpacing = 12e-6;      //!< l: grid pitch [m]
+    double acceleration = 5500.0;    //!< a: effective accel [m/s^2]
+    double gateTime = 1e-6;          //!< two-qubit gate [s]
+    double measureTime = 500e-6;     //!< qubit measurement [s]
+    double decodeTime = 500e-6;      //!< decoder latency [s]
+    double coherenceTime = 10.0;     //!< T_coh [s]
+    double pPhys = 1e-3;             //!< physical error rate
+
+    /**
+     * Reaction time: measurement -> decode -> conditional operation
+     * (Sec. II.2); the paper assumes 1 ms from 500 us measurement
+     * plus 500 us decoding.
+     */
+    double reactionTime() const { return measureTime + decodeTime; }
+
+    /** Table I defaults. */
+    static AtomArrayParams paperDefaults() { return {}; }
+};
+
+/**
+ * Eq. (1): time to move an atom a distance L with constant-
+ * magnitude acceleration/deceleration: t = 2 sqrt(L / a).
+ */
+double moveTime(double distance, const AtomArrayParams &p);
+
+/** Move time across k sites of the grid. */
+double moveTimeSites(double sites, const AtomArrayParams &p);
+
+/** Physical width of a distance-d surface-code patch [m]. */
+double patchWidth(int d, const AtomArrayParams &p);
+
+/** Time to move a code patch across its own width (Sec. IV.2). */
+double patchMoveTime(int d, const AtomArrayParams &p);
+
+} // namespace traq::platform
+
+#endif // TRAQ_PLATFORM_PARAMS_HH

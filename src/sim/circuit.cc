@@ -1,0 +1,178 @@
+#include "src/sim/circuit.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/assert.hh"
+#include "src/common/strings.hh"
+
+namespace traq::sim {
+
+void
+Circuit::validate(const Instruction &inst) const
+{
+    const GateInfo &info = gateInfo(inst.gate);
+    if (info.twoQubit) {
+        TRAQ_REQUIRE(inst.targets.size() % 2 == 0,
+                     std::string(info.name) +
+                         " requires an even number of targets");
+        // Within each pair the two qubits must differ.
+        for (std::size_t i = 0; i + 1 < inst.targets.size(); i += 2) {
+            TRAQ_REQUIRE(inst.targets[i] != inst.targets[i + 1],
+                         std::string(info.name) +
+                             " pair targets must differ");
+        }
+    }
+    if (info.noise) {
+        TRAQ_REQUIRE(inst.arg >= 0.0 && inst.arg <= 1.0,
+                     "noise probability out of [0,1]");
+    }
+    if (inst.gate == Gate::DETECTOR ||
+        inst.gate == Gate::OBSERVABLE_INCLUDE) {
+        for (std::uint32_t lb : inst.targets) {
+            TRAQ_REQUIRE(lb >= 1 && lb <= numMeasurements_,
+                         "record lookback out of range");
+        }
+    }
+    if (inst.gate == Gate::TICK) {
+        TRAQ_REQUIRE(inst.targets.empty(), "TICK takes no targets");
+    }
+}
+
+void
+Circuit::bump(const Instruction &inst)
+{
+    const GateInfo &info = gateInfo(inst.gate);
+    if (!info.annotation) {
+        for (std::uint32_t q : inst.targets)
+            numQubits_ = std::max(numQubits_, q + 1);
+    }
+    if (info.measurement)
+        numMeasurements_ += inst.targets.size();
+    if (inst.gate == Gate::DETECTOR)
+        ++numDetectors_;
+    if (inst.gate == Gate::OBSERVABLE_INCLUDE) {
+        auto idx = static_cast<std::uint32_t>(inst.arg);
+        numObservables_ = std::max(numObservables_, idx + 1);
+    }
+}
+
+void
+Circuit::append(const Instruction &inst)
+{
+    validate(inst);
+    insts_.push_back(inst);
+    bump(inst);
+}
+
+void
+Circuit::append(Gate g, std::vector<std::uint32_t> targets, double arg)
+{
+    Instruction inst;
+    inst.gate = g;
+    inst.arg = arg;
+    inst.targets = std::move(targets);
+    append(inst);
+}
+
+void
+Circuit::append(std::string_view name,
+                std::vector<std::uint32_t> targets, double arg)
+{
+    auto g = gateFromName(name);
+    TRAQ_REQUIRE(g.has_value(),
+                 "unknown gate name: " + std::string(name));
+    append(*g, std::move(targets), arg);
+}
+
+void
+Circuit::append(const Circuit &other)
+{
+    for (const auto &inst : other.insts_)
+        append(inst);
+}
+
+std::size_t
+Circuit::totalTargets() const
+{
+    std::size_t n = 0;
+    for (const auto &inst : insts_)
+        n += inst.targets.size();
+    return n;
+}
+
+std::string
+Circuit::str() const
+{
+    std::ostringstream os;
+    for (const auto &inst : insts_) {
+        const GateInfo &info = gateInfo(inst.gate);
+        os << info.name;
+        if (info.noise || inst.gate == Gate::OBSERVABLE_INCLUDE) {
+            char buf[48];
+            if (info.noise)
+                std::snprintf(buf, sizeof(buf), "(%g)", inst.arg);
+            else
+                std::snprintf(buf, sizeof(buf), "(%u)",
+                              static_cast<unsigned>(inst.arg));
+            os << buf;
+        }
+        const bool isRec = inst.gate == Gate::DETECTOR ||
+                           inst.gate == Gate::OBSERVABLE_INCLUDE;
+        for (std::uint32_t t : inst.targets) {
+            if (isRec)
+                os << " rec[-" << t << "]";
+            else
+                os << " " << t;
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+Circuit
+Circuit::parse(std::string_view text)
+{
+    Circuit c;
+    for (const auto &rawLine : splitChar(text, '\n')) {
+        std::string_view line = trim(rawLine);
+        if (line.empty() || line[0] == '#')
+            continue;
+        // Tokenize: NAME or NAME(arg), then targets.
+        auto tokens = splitWhitespace(line);
+        std::string head = tokens[0];
+        double arg = 0.0;
+        auto paren = head.find('(');
+        if (paren != std::string::npos) {
+            TRAQ_REQUIRE(head.back() == ')',
+                         "malformed argument in: " + std::string(line));
+            arg = std::stod(head.substr(paren + 1,
+                                        head.size() - paren - 2));
+            head = head.substr(0, paren);
+        }
+        auto g = gateFromName(head);
+        TRAQ_REQUIRE(g.has_value(), "unknown gate: " + head);
+
+        std::vector<std::uint32_t> targets;
+        for (std::size_t i = 1; i < tokens.size(); ++i) {
+            const std::string &tok = tokens[i];
+            if (startsWith(tok, "rec[")) {
+                TRAQ_REQUIRE(startsWith(tok, "rec[-") &&
+                                 tok.back() == ']',
+                             "malformed rec target: " + tok);
+                long v = std::stol(tok.substr(5, tok.size() - 6));
+                TRAQ_REQUIRE(v >= 1, "rec lookback must be >= 1");
+                targets.push_back(static_cast<std::uint32_t>(v));
+            } else {
+                long v = std::stol(tok);
+                TRAQ_REQUIRE(v >= 0, "negative qubit index");
+                targets.push_back(static_cast<std::uint32_t>(v));
+            }
+        }
+        c.append(*g, std::move(targets), arg);
+    }
+    return c;
+}
+
+} // namespace traq::sim

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Stabilizer circuit intermediate representation.
+ *
+ * A Circuit is a flat list of instructions over integer qubit indices.
+ * DETECTOR and OBSERVABLE_INCLUDE instructions reference prior
+ * measurements by lookback (k means "the k-th most recent measurement",
+ * i.e. Stim's rec[-k]), which makes circuits composable: appending more
+ * rounds never invalidates existing annotations.
+ *
+ * The textual format is a Stim-compatible subset, e.g.:
+ *
+ *     R 0 1 2
+ *     H 0
+ *     CX 0 1 1 2
+ *     X_ERROR(0.001) 0 1
+ *     M 0 1
+ *     DETECTOR rec[-1] rec[-2]
+ *     OBSERVABLE_INCLUDE(0) rec[-1]
+ */
+
+#ifndef TRAQ_SIM_CIRCUIT_HH
+#define TRAQ_SIM_CIRCUIT_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/gates.hh"
+
+namespace traq::sim {
+
+/** One instruction: a gate, an optional argument, and its targets. */
+struct Instruction
+{
+    Gate gate = Gate::TICK;
+    /** Noise probability, or observable index for OBSERVABLE_INCLUDE. */
+    double arg = 0.0;
+    /**
+     * Qubit indices, or measurement lookbacks for DETECTOR /
+     * OBSERVABLE_INCLUDE (value k refers to rec[-k], k >= 1).
+     */
+    std::vector<std::uint32_t> targets;
+};
+
+/** A stabilizer circuit plus its record/annotation bookkeeping. */
+class Circuit
+{
+  public:
+    /** Append a fully-formed instruction (validated). */
+    void append(const Instruction &inst);
+
+    /** Append by gate kind. */
+    void append(Gate g, std::vector<std::uint32_t> targets,
+                double arg = 0.0);
+
+    /** Append by gate name (for parser and tests). */
+    void append(std::string_view name,
+                std::vector<std::uint32_t> targets, double arg = 0.0);
+
+    /** @name Convenience builders. */
+    /// @{
+    void h(std::uint32_t q) { append(Gate::H, {q}); }
+    void s(std::uint32_t q) { append(Gate::S, {q}); }
+    void sdag(std::uint32_t q) { append(Gate::S_DAG, {q}); }
+    void x(std::uint32_t q) { append(Gate::X, {q}); }
+    void y(std::uint32_t q) { append(Gate::Y, {q}); }
+    void z(std::uint32_t q) { append(Gate::Z, {q}); }
+    void cx(std::uint32_t c, std::uint32_t t) { append(Gate::CX, {c, t}); }
+    void cz(std::uint32_t a, std::uint32_t b) { append(Gate::CZ, {a, b}); }
+    void swapq(std::uint32_t a, std::uint32_t b)
+    { append(Gate::SWAP, {a, b}); }
+    void r(std::uint32_t q) { append(Gate::R, {q}); }
+    void rx(std::uint32_t q) { append(Gate::RX, {q}); }
+    void m(std::uint32_t q) { append(Gate::M, {q}); }
+    void mx(std::uint32_t q) { append(Gate::MX, {q}); }
+    void mr(std::uint32_t q) { append(Gate::MR, {q}); }
+    void tick() { append(Gate::TICK, {}); }
+    /** DETECTOR with lookbacks (k => rec[-k]). */
+    void detector(std::vector<std::uint32_t> lookbacks)
+    { append(Gate::DETECTOR, std::move(lookbacks)); }
+    /** OBSERVABLE_INCLUDE(index) with lookbacks. */
+    void observable(std::uint32_t index,
+                    std::vector<std::uint32_t> lookbacks)
+    { append(Gate::OBSERVABLE_INCLUDE, std::move(lookbacks),
+             static_cast<double>(index)); }
+    void xError(double p, std::vector<std::uint32_t> qs)
+    { append(Gate::X_ERROR, std::move(qs), p); }
+    void zError(double p, std::vector<std::uint32_t> qs)
+    { append(Gate::Z_ERROR, std::move(qs), p); }
+    void depolarize1(double p, std::vector<std::uint32_t> qs)
+    { append(Gate::DEPOLARIZE1, std::move(qs), p); }
+    void depolarize2(double p, std::vector<std::uint32_t> qPairs)
+    { append(Gate::DEPOLARIZE2, std::move(qPairs), p); }
+    /// @}
+
+    /** Concatenate another circuit (annotations stay valid). */
+    void append(const Circuit &other);
+
+    const std::vector<Instruction> &instructions() const
+    { return insts_; }
+
+    /** One past the largest qubit index used. */
+    std::uint32_t numQubits() const { return numQubits_; }
+    std::uint64_t numMeasurements() const { return numMeasurements_; }
+    std::uint64_t numDetectors() const { return numDetectors_; }
+    /** One past the largest observable index used. */
+    std::uint32_t numObservables() const { return numObservables_; }
+
+    /** Total instruction target count (a cheap size proxy). */
+    std::size_t totalTargets() const;
+
+    /** Render in the textual format. */
+    std::string str() const;
+
+    /** Parse the textual format; throws FatalError on bad input. */
+    static Circuit parse(std::string_view text);
+
+  private:
+    std::vector<Instruction> insts_;
+    std::uint32_t numQubits_ = 0;
+    std::uint64_t numMeasurements_ = 0;
+    std::uint64_t numDetectors_ = 0;
+    std::uint32_t numObservables_ = 0;
+
+    void validate(const Instruction &inst) const;
+    void bump(const Instruction &inst);
+};
+
+} // namespace traq::sim
+
+#endif // TRAQ_SIM_CIRCUIT_HH

@@ -1,0 +1,202 @@
+#include "src/sim/conjugate.hh"
+
+#include "src/common/assert.hh"
+
+namespace traq::sim {
+namespace {
+
+/** Local Pauli code: 0=I, 1=X, 2=Y, 3=Z. */
+int
+codeOf(const PauliString &p, std::size_t q)
+{
+    int x = p.xBit(q) ? 1 : 0;
+    int z = p.zBit(q) ? 1 : 0;
+    if (x && z)
+        return 2;
+    if (x)
+        return 1;
+    if (z)
+        return 3;
+    return 0;
+}
+
+void
+setCode(PauliString &p, std::size_t q, int code)
+{
+    p.setX(q, code == 1 || code == 2);
+    p.setZ(q, code == 2 || code == 3);
+}
+
+/**
+ * Apply a single-qubit conjugation table: map[c] is the image code of
+ * input code c, ph[c] the acquired phase exponent (power of i).
+ */
+void
+applyTable(PauliString &p, std::size_t q, const int map[4],
+           const int ph[4])
+{
+    int c = codeOf(p, q);
+    p.setPhase(p.phase() + ph[c]);
+    setCode(p, q, map[c]);
+}
+
+/**
+ * Conjugate the two-qubit restriction of `p` at (a, b) through a gate
+ * whose generator images are given (all with + sign, as is the case
+ * for CX, CZ and SWAP).  Uses the exact decomposition
+ * P_ab = i^{#Y} X_a^xa Z_a^za X_b^xb Z_b^zb.
+ */
+void
+applyTwoQubit(PauliString &p, std::size_t a, std::size_t b,
+              const PauliString &imgXa, const PauliString &imgZa,
+              const PauliString &imgXb, const PauliString &imgZb)
+{
+    const std::size_t n = p.numQubits();
+    bool xa = p.xBit(a), za = p.zBit(a);
+    bool xb = p.xBit(b), zb = p.zBit(b);
+    int yCount = (xa && za ? 1 : 0) + (xb && zb ? 1 : 0);
+
+    PauliString acc(n);
+    acc.setPhase(yCount);   // Y = i·X·Z per Y site
+    if (xa)
+        acc.multiplyBy(imgXa);
+    if (za)
+        acc.multiplyBy(imgZa);
+    if (xb)
+        acc.multiplyBy(imgXb);
+    if (zb)
+        acc.multiplyBy(imgZb);
+
+    setCode(p, a, 0);
+    setCode(p, b, 0);
+    p.multiplyBy(acc);
+}
+
+PauliString
+single(std::size_t n, std::size_t q, char c)
+{
+    PauliString p(n);
+    p.setPauli(q, c);
+    return p;
+}
+
+PauliString
+pair(std::size_t n, std::size_t qa, char ca, std::size_t qb, char cb)
+{
+    PauliString p(n);
+    p.setPauli(qa, ca);
+    p.setPauli(qb, cb);
+    return p;
+}
+
+} // namespace
+
+PauliString
+conjugateByCircuit(const PauliString &p, const Circuit &circuit)
+{
+    PauliString out = p;
+    const std::size_t n = out.numQubits();
+
+    // Single-qubit conjugation tables (image code, phase) for
+    // inputs I, X, Y, Z.
+    static const int hMap[4] = {0, 3, 2, 1};
+    static const int hPh[4] = {0, 0, 2, 0};           // H Y H = -Y
+    static const int sMap[4] = {0, 2, 1, 3};
+    static const int sPh[4] = {0, 0, 2, 0};           // S: X->Y, Y->-X
+    static const int sdMap[4] = {0, 2, 1, 3};
+    static const int sdPh[4] = {0, 2, 0, 0};          // S^: X->-Y, Y->X
+    static const int xMap[4] = {0, 1, 2, 3};
+    static const int xPh[4] = {0, 0, 2, 2};
+    static const int yMap[4] = {0, 1, 2, 3};
+    static const int yPh[4] = {0, 2, 0, 2};
+    static const int zMap[4] = {0, 1, 2, 3};
+    static const int zPh[4] = {0, 2, 2, 0};
+    static const int sxMap[4] = {0, 1, 3, 2};
+    static const int sxPh[4] = {0, 0, 0, 2};   // SQRT_X: Y->Z, Z->-Y
+    static const int sxdMap[4] = {0, 1, 3, 2};
+    static const int sxdPh[4] = {0, 0, 2, 0};  // inverse: Y->-Z, Z->Y
+
+    for (const auto &inst : circuit.instructions()) {
+        const GateInfo &info = gateInfo(inst.gate);
+        if (info.annotation)
+            continue;
+        TRAQ_REQUIRE(info.unitary,
+                     "conjugateByCircuit: circuit must be unitary");
+        switch (inst.gate) {
+          case Gate::I:
+            break;
+          case Gate::H:
+            for (auto q : inst.targets)
+                applyTable(out, q, hMap, hPh);
+            break;
+          case Gate::S:
+            for (auto q : inst.targets)
+                applyTable(out, q, sMap, sPh);
+            break;
+          case Gate::S_DAG:
+            for (auto q : inst.targets)
+                applyTable(out, q, sdMap, sdPh);
+            break;
+          case Gate::X:
+            for (auto q : inst.targets)
+                applyTable(out, q, xMap, xPh);
+            break;
+          case Gate::Y:
+            for (auto q : inst.targets)
+                applyTable(out, q, yMap, yPh);
+            break;
+          case Gate::Z:
+            for (auto q : inst.targets)
+                applyTable(out, q, zMap, zPh);
+            break;
+          case Gate::SQRT_X:
+            for (auto q : inst.targets)
+                applyTable(out, q, sxMap, sxPh);
+            break;
+          case Gate::SQRT_X_DAG:
+            for (auto q : inst.targets)
+                applyTable(out, q, sxdMap, sxdPh);
+            break;
+          case Gate::CX:
+            for (std::size_t i = 0; i + 1 < inst.targets.size();
+                 i += 2) {
+                std::size_t c = inst.targets[i];
+                std::size_t t = inst.targets[i + 1];
+                applyTwoQubit(out, c, t,
+                              pair(n, c, 'X', t, 'X'),   // X_c image
+                              single(n, c, 'Z'),         // Z_c image
+                              single(n, t, 'X'),         // X_t image
+                              pair(n, c, 'Z', t, 'Z'));  // Z_t image
+            }
+            break;
+          case Gate::CZ:
+            for (std::size_t i = 0; i + 1 < inst.targets.size();
+                 i += 2) {
+                std::size_t a = inst.targets[i];
+                std::size_t b = inst.targets[i + 1];
+                applyTwoQubit(out, a, b,
+                              pair(n, a, 'X', b, 'Z'),   // X_a image
+                              single(n, a, 'Z'),
+                              pair(n, a, 'Z', b, 'X'),   // X_b image
+                              single(n, b, 'Z'));
+            }
+            break;
+          case Gate::SWAP:
+            for (std::size_t i = 0; i + 1 < inst.targets.size();
+                 i += 2) {
+                std::size_t a = inst.targets[i];
+                std::size_t b = inst.targets[i + 1];
+                int ca = codeOf(out, a);
+                int cb = codeOf(out, b);
+                setCode(out, a, cb);
+                setCode(out, b, ca);
+            }
+            break;
+          default:
+            TRAQ_PANIC("conjugateByCircuit: unhandled gate");
+        }
+    }
+    return out;
+}
+
+} // namespace traq::sim

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Heisenberg-picture propagation of Pauli operators through Clifford
+ * circuits, with exact phase tracking.
+ *
+ * Used to verify code constructions: e.g. that a transversal physical
+ * CNOT between two surface-code patches maps logical X_A to X_A X_B,
+ * or that the S/S_DAG pattern on the [[8,3,2]] code preserves its
+ * stabilizer group.
+ */
+
+#ifndef TRAQ_SIM_CONJUGATE_HH
+#define TRAQ_SIM_CONJUGATE_HH
+
+#include "src/sim/circuit.hh"
+#include "src/sim/pauli.hh"
+
+namespace traq::sim {
+
+/**
+ * Return U P U^dagger for the unitary part of the circuit.
+ * The circuit must contain only unitary gates (and annotations/TICKs,
+ * which are ignored); measurements or noise are rejected.
+ */
+PauliString conjugateByCircuit(const PauliString &p,
+                               const Circuit &circuit);
+
+} // namespace traq::sim
+
+#endif // TRAQ_SIM_CONJUGATE_HH

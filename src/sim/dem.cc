@@ -1,0 +1,317 @@
+#include "src/sim/dem.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "src/common/assert.hh"
+#include "src/common/math.hh"
+
+namespace traq::sim {
+namespace {
+
+/** Single-shot sparse frame used for symbolic propagation. */
+struct SingleFrame
+{
+    std::vector<std::uint8_t> xf;
+    std::vector<std::uint8_t> zf;
+    std::vector<std::uint32_t> touched;
+
+    explicit SingleFrame(std::size_t n) : xf(n, 0), zf(n, 0) {}
+
+    void
+    clear()
+    {
+        for (std::uint32_t q : touched) {
+            xf[q] = 0;
+            zf[q] = 0;
+        }
+        touched.clear();
+    }
+
+    void
+    touch(std::uint32_t q)
+    {
+        touched.push_back(q);
+    }
+};
+
+/** Pauli component codes: 1 = X, 2 = Y, 3 = Z (0 = I). */
+void
+applyComponent(SingleFrame &f, std::uint32_t q, int pauli)
+{
+    if (pauli == 1 || pauli == 2) {
+        f.xf[q] ^= 1;
+        f.touch(q);
+    }
+    if (pauli == 2 || pauli == 3) {
+        f.zf[q] ^= 1;
+        f.touch(q);
+    }
+}
+
+} // namespace
+
+double
+DetectorErrorModel::totalErrorWeight() const
+{
+    double sum = 0.0;
+    for (const auto &e : errors)
+        sum += e.probability;
+    return sum;
+}
+
+DetectorErrorModel
+buildDem(const Circuit &circuit, bool discardInvisible)
+{
+    const auto &insts = circuit.instructions();
+    const std::size_t n = circuit.numQubits();
+    const std::size_t numMeas = circuit.numMeasurements();
+
+    // Pass 1: measurement offset before each instruction, and the
+    // absolute measurement indices behind each detector / observable.
+    std::vector<std::uint64_t> measBefore(insts.size() + 1, 0);
+    {
+        std::uint64_t m = 0;
+        for (std::size_t i = 0; i < insts.size(); ++i) {
+            measBefore[i] = m;
+            if (gateInfo(insts[i].gate).measurement)
+                m += insts[i].targets.size();
+        }
+        measBefore[insts.size()] = m;
+    }
+
+    // Reverse index: measurement -> detectors / observable mask.
+    std::vector<std::vector<std::uint32_t>> measToDets(numMeas);
+    std::vector<std::uint32_t> measToObs(numMeas, 0);
+    {
+        std::uint32_t detId = 0;
+        for (std::size_t i = 0; i < insts.size(); ++i) {
+            const Instruction &inst = insts[i];
+            if (inst.gate == Gate::DETECTOR) {
+                for (std::uint32_t lb : inst.targets) {
+                    std::uint64_t abs = measBefore[i] - lb;
+                    measToDets[abs].push_back(detId);
+                }
+                ++detId;
+            } else if (inst.gate == Gate::OBSERVABLE_INCLUDE) {
+                auto idx = static_cast<std::uint32_t>(inst.arg);
+                TRAQ_REQUIRE(idx < 32,
+                             "at most 32 observables supported");
+                for (std::uint32_t lb : inst.targets) {
+                    std::uint64_t abs = measBefore[i] - lb;
+                    measToObs[abs] ^= (1u << idx);
+                }
+            }
+        }
+    }
+
+    // Propagate one Pauli component injected just after instruction
+    // `pos` and return its symptoms.
+    SingleFrame frame(n);
+    auto propagate = [&](std::size_t pos,
+                         std::vector<std::uint32_t> *dets,
+                         std::uint32_t *obs) {
+        std::uint64_t measIdx = measBefore[pos + 1];
+        std::vector<std::uint32_t> detParity;
+        *obs = 0;
+        for (std::size_t i = pos + 1; i < insts.size(); ++i) {
+            const Instruction &inst = insts[i];
+            const GateInfo &info = gateInfo(inst.gate);
+            if (info.noise || info.annotation)
+                continue;
+            if (info.unitary) {
+                switch (inst.gate) {
+                  case Gate::I:
+                  case Gate::X:
+                  case Gate::Y:
+                  case Gate::Z:
+                    break;
+                  case Gate::H:
+                    for (std::uint32_t q : inst.targets) {
+                        std::swap(frame.xf[q], frame.zf[q]);
+                        frame.touch(q);
+                    }
+                    break;
+                  case Gate::S:
+                  case Gate::S_DAG:
+                    for (std::uint32_t q : inst.targets) {
+                        frame.zf[q] ^= frame.xf[q];
+                        frame.touch(q);
+                    }
+                    break;
+                  case Gate::SQRT_X:
+                  case Gate::SQRT_X_DAG:
+                    for (std::uint32_t q : inst.targets) {
+                        frame.xf[q] ^= frame.zf[q];
+                        frame.touch(q);
+                    }
+                    break;
+                  case Gate::CX:
+                    for (std::size_t t = 0;
+                         t + 1 < inst.targets.size(); t += 2) {
+                        std::uint32_t a = inst.targets[t];
+                        std::uint32_t b = inst.targets[t + 1];
+                        frame.xf[b] ^= frame.xf[a];
+                        frame.zf[a] ^= frame.zf[b];
+                        frame.touch(a);
+                        frame.touch(b);
+                    }
+                    break;
+                  case Gate::CZ:
+                    for (std::size_t t = 0;
+                         t + 1 < inst.targets.size(); t += 2) {
+                        std::uint32_t a = inst.targets[t];
+                        std::uint32_t b = inst.targets[t + 1];
+                        frame.zf[a] ^= frame.xf[b];
+                        frame.zf[b] ^= frame.xf[a];
+                        frame.touch(a);
+                        frame.touch(b);
+                    }
+                    break;
+                  case Gate::SWAP:
+                    for (std::size_t t = 0;
+                         t + 1 < inst.targets.size(); t += 2) {
+                        std::uint32_t a = inst.targets[t];
+                        std::uint32_t b = inst.targets[t + 1];
+                        std::swap(frame.xf[a], frame.xf[b]);
+                        std::swap(frame.zf[a], frame.zf[b]);
+                        frame.touch(a);
+                        frame.touch(b);
+                    }
+                    break;
+                  default:
+                    TRAQ_PANIC("DEM propagate: unhandled unitary");
+                }
+            } else {
+                // Measurements and resets.
+                for (std::uint32_t q : inst.targets) {
+                    switch (inst.gate) {
+                      case Gate::M:
+                      case Gate::MR:
+                        if (frame.xf[q]) {
+                            for (std::uint32_t d : measToDets[measIdx])
+                                detParity.push_back(d);
+                            *obs ^= measToObs[measIdx];
+                        }
+                        ++measIdx;
+                        if (inst.gate == Gate::MR) {
+                            frame.xf[q] = 0;
+                            frame.touch(q);
+                        }
+                        break;
+                      case Gate::MX:
+                        if (frame.zf[q]) {
+                            for (std::uint32_t d : measToDets[measIdx])
+                                detParity.push_back(d);
+                            *obs ^= measToObs[measIdx];
+                        }
+                        ++measIdx;
+                        break;
+                      case Gate::R:
+                      case Gate::RX:
+                        frame.xf[q] = 0;
+                        frame.zf[q] = 0;
+                        frame.touch(q);
+                        break;
+                      default:
+                        TRAQ_PANIC("DEM propagate: unhandled op");
+                    }
+                }
+            }
+        }
+        // Reduce detector list to its XOR (odd-multiplicity entries).
+        std::sort(detParity.begin(), detParity.end());
+        dets->clear();
+        for (std::size_t i = 0; i < detParity.size();) {
+            std::size_t j = i;
+            while (j < detParity.size() &&
+                   detParity[j] == detParity[i])
+                ++j;
+            if ((j - i) % 2)
+                dets->push_back(detParity[i]);
+            i = j;
+        }
+    };
+
+    // Pass 2: enumerate error components.
+    std::map<std::pair<std::vector<std::uint32_t>, std::uint32_t>,
+             double> merged;
+    std::vector<std::uint32_t> dets;
+    std::uint32_t obs = 0;
+
+    auto record = [&](double p) {
+        if (p <= 0.0)
+            return;
+        if (discardInvisible && dets.empty() && obs == 0)
+            return;
+        auto key = std::make_pair(dets, obs);
+        auto [it, fresh] = merged.try_emplace(key, 0.0);
+        it->second = pXor(it->second, p);
+        (void)fresh;
+    };
+
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+        const Instruction &inst = insts[i];
+        if (!gateInfo(inst.gate).noise)
+            continue;
+        const double p = inst.arg;
+        switch (inst.gate) {
+          case Gate::X_ERROR:
+          case Gate::Y_ERROR:
+          case Gate::Z_ERROR: {
+            int pauli = inst.gate == Gate::X_ERROR
+                            ? 1
+                            : (inst.gate == Gate::Y_ERROR ? 2 : 3);
+            for (std::uint32_t q : inst.targets) {
+                frame.clear();
+                applyComponent(frame, q, pauli);
+                propagate(i, &dets, &obs);
+                record(p);
+            }
+            break;
+          }
+          case Gate::DEPOLARIZE1:
+            for (std::uint32_t q : inst.targets) {
+                for (int pauli = 1; pauli <= 3; ++pauli) {
+                    frame.clear();
+                    applyComponent(frame, q, pauli);
+                    propagate(i, &dets, &obs);
+                    record(p / 3.0);
+                }
+            }
+            break;
+          case Gate::DEPOLARIZE2:
+            for (std::size_t t = 0; t + 1 < inst.targets.size();
+                 t += 2) {
+                std::uint32_t a = inst.targets[t];
+                std::uint32_t b = inst.targets[t + 1];
+                for (int k = 1; k < 16; ++k) {
+                    frame.clear();
+                    applyComponent(frame, a, k / 4);
+                    applyComponent(frame, b, k % 4);
+                    propagate(i, &dets, &obs);
+                    record(p / 15.0);
+                }
+            }
+            break;
+          default:
+            TRAQ_PANIC("buildDem: unhandled noise channel");
+        }
+    }
+
+    DetectorErrorModel dem;
+    dem.numDetectors = static_cast<std::uint32_t>(
+        circuit.numDetectors());
+    dem.numObservables = circuit.numObservables();
+    dem.errors.reserve(merged.size());
+    for (const auto &[key, prob] : merged) {
+        ErrorMechanism e;
+        e.detectors = key.first;
+        e.observables = key.second;
+        e.probability = prob;
+        dem.errors.push_back(std::move(e));
+    }
+    return dem;
+}
+
+} // namespace traq::sim

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Detector error model (DEM) extraction.
+ *
+ * Decomposes every noise channel in a circuit into independent Pauli
+ * error components (X_ERROR -> {X}, DEPOLARIZE1 -> {X,Y,Z} at p/3,
+ * DEPOLARIZE2 -> 15 two-qubit components at p/15), symbolically
+ * propagates each component through the remainder of the circuit, and
+ * records which detectors it flips and which logical observables it
+ * toggles.  Components with identical symptoms are merged with
+ * XOR-probability combination.
+ *
+ * The output is the exact analogue of Stim's DEM and is what the
+ * decoding-graph builder consumes.  Correlated decoding of transversal
+ * gates (the paper's Refs [17,18]) falls out naturally: a CX between
+ * two code patches propagates frames across patches, so the DEM
+ * contains cross-patch error mechanisms and the decoder sees one joint
+ * problem.
+ */
+
+#ifndef TRAQ_SIM_DEM_HH
+#define TRAQ_SIM_DEM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/circuit.hh"
+
+namespace traq::sim {
+
+/** One independent error mechanism and its symptoms. */
+struct ErrorMechanism
+{
+    double probability = 0.0;
+    std::vector<std::uint32_t> detectors;  //!< sorted detector ids
+    std::uint32_t observables = 0;         //!< bitmask (<= 32 logicals)
+};
+
+/** The full error model of one circuit. */
+struct DetectorErrorModel
+{
+    std::uint32_t numDetectors = 0;
+    std::uint32_t numObservables = 0;
+    std::vector<ErrorMechanism> errors;
+
+    /** Sum of error probabilities (expected symptom count scale). */
+    double totalErrorWeight() const;
+};
+
+/**
+ * Extract the detector error model of a noisy circuit.
+ *
+ * @param circuit the annotated noisy circuit.
+ * @param discardInvisible drop mechanisms that flip no detector and no
+ *        observable (true for decoding; false to audit noise volume).
+ */
+DetectorErrorModel buildDem(const Circuit &circuit,
+                            bool discardInvisible = true);
+
+} // namespace traq::sim
+
+#endif // TRAQ_SIM_DEM_HH

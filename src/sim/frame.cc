@@ -1,0 +1,217 @@
+#include "src/sim/frame.hh"
+
+#include "src/common/assert.hh"
+
+namespace traq::sim {
+
+FrameSimulator::FrameSimulator(std::uint64_t seed)
+    : rng_(seed)
+{}
+
+void
+FrameSimulator::applyNoise(const Instruction &inst)
+{
+    const double p = inst.arg;
+    switch (inst.gate) {
+      case Gate::X_ERROR:
+        for (std::uint32_t q : inst.targets)
+            xf_[q] ^= rng_.bernoulliWord(p);
+        break;
+      case Gate::Z_ERROR:
+        for (std::uint32_t q : inst.targets)
+            zf_[q] ^= rng_.bernoulliWord(p);
+        break;
+      case Gate::Y_ERROR:
+        for (std::uint32_t q : inst.targets) {
+            std::uint64_t e = rng_.bernoulliWord(p);
+            xf_[q] ^= e;
+            zf_[q] ^= e;
+        }
+        break;
+      case Gate::DEPOLARIZE1:
+        for (std::uint32_t q : inst.targets) {
+            std::uint64_t e = rng_.bernoulliWord(p);
+            if (!e)
+                continue;
+            // For each erred shot pick X, Y or Z uniformly.
+            std::uint64_t rest = e;
+            while (rest) {
+                int s = __builtin_ctzll(rest);
+                rest &= rest - 1;
+                std::uint64_t bit = 1ULL << s;
+                switch (rng_.below(3)) {
+                  case 0:
+                    xf_[q] ^= bit;
+                    break;
+                  case 1:
+                    xf_[q] ^= bit;
+                    zf_[q] ^= bit;
+                    break;
+                  default:
+                    zf_[q] ^= bit;
+                    break;
+                }
+            }
+        }
+        break;
+      case Gate::DEPOLARIZE2:
+        for (std::size_t i = 0; i + 1 < inst.targets.size(); i += 2) {
+            std::uint32_t a = inst.targets[i];
+            std::uint32_t b = inst.targets[i + 1];
+            std::uint64_t e = rng_.bernoulliWord(p);
+            std::uint64_t rest = e;
+            while (rest) {
+                int s = __builtin_ctzll(rest);
+                rest &= rest - 1;
+                std::uint64_t bit = 1ULL << s;
+                std::uint64_t k = rng_.below(15) + 1;
+                std::size_t pa = k / 4, pb = k % 4;
+                if (pa == 1 || pa == 2)
+                    xf_[a] ^= bit;
+                if (pa == 2 || pa == 3)
+                    zf_[a] ^= bit;
+                if (pb == 1 || pb == 2)
+                    xf_[b] ^= bit;
+                if (pb == 2 || pb == 3)
+                    zf_[b] ^= bit;
+            }
+        }
+        break;
+      default:
+        TRAQ_PANIC("applyNoise: not a noise instruction");
+    }
+}
+
+FrameBatch
+FrameSimulator::sample(const Circuit &circuit)
+{
+    const std::size_t n = circuit.numQubits();
+    xf_.assign(n, 0);
+    zf_.assign(n, 0);
+    mrec_.clear();
+    mrec_.reserve(circuit.numMeasurements());
+
+    FrameBatch out;
+    out.detectors.reserve(circuit.numDetectors());
+    out.observables.assign(circuit.numObservables(), 0);
+
+    for (const auto &inst : circuit.instructions()) {
+        const GateInfo &info = gateInfo(inst.gate);
+        if (info.unitary) {
+            switch (inst.gate) {
+              case Gate::I:
+              case Gate::X:
+              case Gate::Y:
+              case Gate::Z:
+                // Deterministic Paulis commute into the reference.
+                break;
+              case Gate::H:
+                for (std::uint32_t q : inst.targets)
+                    std::swap(xf_[q], zf_[q]);
+                break;
+              case Gate::S:
+              case Gate::S_DAG:
+                // S X S^-1 = Y: an X frame gains a Z component; Z
+                // frames are unchanged.  Same frame action for S_DAG.
+                for (std::uint32_t q : inst.targets)
+                    zf_[q] ^= xf_[q];
+                break;
+              case Gate::SQRT_X:
+              case Gate::SQRT_X_DAG:
+                // Z frame gains an X component.
+                for (std::uint32_t q : inst.targets)
+                    xf_[q] ^= zf_[q];
+                break;
+              case Gate::CX:
+                for (std::size_t i = 0; i + 1 < inst.targets.size();
+                     i += 2) {
+                    std::uint32_t a = inst.targets[i];
+                    std::uint32_t b = inst.targets[i + 1];
+                    xf_[b] ^= xf_[a];
+                    zf_[a] ^= zf_[b];
+                }
+                break;
+              case Gate::CZ:
+                for (std::size_t i = 0; i + 1 < inst.targets.size();
+                     i += 2) {
+                    std::uint32_t a = inst.targets[i];
+                    std::uint32_t b = inst.targets[i + 1];
+                    zf_[a] ^= xf_[b];
+                    zf_[b] ^= xf_[a];
+                }
+                break;
+              case Gate::SWAP:
+                for (std::size_t i = 0; i + 1 < inst.targets.size();
+                     i += 2) {
+                    std::uint32_t a = inst.targets[i];
+                    std::uint32_t b = inst.targets[i + 1];
+                    std::swap(xf_[a], xf_[b]);
+                    std::swap(zf_[a], zf_[b]);
+                }
+                break;
+              default:
+                TRAQ_PANIC("frame sim: unhandled unitary");
+            }
+        } else if (info.noise) {
+            applyNoise(inst);
+        } else if (info.measurement || info.reset) {
+            for (std::uint32_t q : inst.targets) {
+                switch (inst.gate) {
+                  case Gate::M:
+                    mrec_.push_back(xf_[q]);
+                    break;
+                  case Gate::MX:
+                    mrec_.push_back(zf_[q]);
+                    break;
+                  case Gate::MR:
+                    mrec_.push_back(xf_[q]);
+                    xf_[q] = 0;
+                    break;
+                  case Gate::R:
+                    xf_[q] = 0;
+                    // Z frames on freshly reset qubits are
+                    // irrelevant; clear for determinism.
+                    zf_[q] = 0;
+                    break;
+                  case Gate::RX:
+                    zf_[q] = 0;
+                    xf_[q] = 0;
+                    break;
+                  default:
+                    TRAQ_PANIC("frame sim: unhandled meas/reset");
+                }
+            }
+        } else if (inst.gate == Gate::DETECTOR) {
+            std::uint64_t word = 0;
+            for (std::uint32_t lb : inst.targets)
+                word ^= mrec_[mrec_.size() - lb];
+            out.detectors.push_back(word);
+        } else if (inst.gate == Gate::OBSERVABLE_INCLUDE) {
+            auto idx = static_cast<std::size_t>(inst.arg);
+            for (std::uint32_t lb : inst.targets)
+                out.observables[idx] ^= mrec_[mrec_.size() - lb];
+        }
+        // TICK: no-op.
+    }
+    return out;
+}
+
+std::vector<std::uint64_t>
+FrameSimulator::countObservableFlips(const Circuit &circuit,
+                                     std::uint64_t minShots,
+                                     std::uint64_t *shotsOut)
+{
+    std::vector<std::uint64_t> counts(circuit.numObservables(), 0);
+    std::uint64_t shots = 0;
+    while (shots < minShots) {
+        FrameBatch batch = sample(circuit);
+        for (std::size_t k = 0; k < counts.size(); ++k)
+            counts[k] += __builtin_popcountll(batch.observables[k]);
+        shots += 64;
+    }
+    if (shotsOut)
+        *shotsOut = shots;
+    return counts;
+}
+
+} // namespace traq::sim

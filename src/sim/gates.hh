@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Gate set of the stabilizer circuit IR.
+ *
+ * The instruction set is a compact subset of Stim's: Clifford unitaries,
+ * resets and measurements in Z/X bases, Pauli noise channels, and the
+ * annotation instructions (TICK / DETECTOR / OBSERVABLE_INCLUDE) needed
+ * to define decoding problems.  This is the full set required by the
+ * paper's circuits: surface-code syndrome extraction, transversal
+ * CNOT/H/S blocks, GHZ fan-out preparation, and the [[8,3,2]] factory
+ * Cliffords.
+ */
+
+#ifndef TRAQ_SIM_GATES_HH
+#define TRAQ_SIM_GATES_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace traq::sim {
+
+/** All instruction kinds understood by the simulators. */
+enum class Gate : std::uint8_t
+{
+    // Single-qubit Cliffords.
+    I,
+    X,
+    Y,
+    Z,
+    H,
+    S,
+    S_DAG,
+    SQRT_X,
+    SQRT_X_DAG,
+    // Two-qubit Cliffords (targets consumed in pairs).
+    CX,
+    CZ,
+    SWAP,
+    // Resets and measurements.
+    R,      //!< reset to |0>
+    RX,     //!< reset to |+>
+    M,      //!< Z-basis measurement
+    MX,     //!< X-basis measurement
+    MR,     //!< Z-basis measure-and-reset
+    // Pauli noise channels (arg = probability).
+    X_ERROR,
+    Y_ERROR,
+    Z_ERROR,
+    DEPOLARIZE1,
+    DEPOLARIZE2,    //!< targets consumed in pairs
+    // Annotations.
+    TICK,
+    DETECTOR,             //!< targets are rec lookbacks (k => rec[-k])
+    OBSERVABLE_INCLUDE,   //!< arg = observable index; targets lookbacks
+};
+
+/** Static metadata about a gate kind. */
+struct GateInfo
+{
+    Gate gate;
+    const char *name;
+    bool twoQubit;       //!< targets consumed as pairs
+    bool unitary;        //!< Clifford unitary
+    bool noise;          //!< probabilistic error channel
+    bool measurement;    //!< produces a measurement record entry
+    bool reset;          //!< (also) performs a reset
+    bool annotation;     //!< TICK / DETECTOR / OBSERVABLE_INCLUDE
+};
+
+/** Metadata lookup for a gate kind. */
+const GateInfo &gateInfo(Gate g);
+
+/** Case-sensitive name lookup ("CX", "DEPOLARIZE1", ...). */
+std::optional<Gate> gateFromName(std::string_view name);
+
+/** Canonical gate name. */
+std::string_view gateName(Gate g);
+
+} // namespace traq::sim
+
+#endif // TRAQ_SIM_GATES_HH

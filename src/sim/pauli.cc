@@ -1,0 +1,144 @@
+#include "src/sim/pauli.hh"
+
+#include "src/common/assert.hh"
+
+namespace traq::sim {
+
+PauliString::PauliString(std::size_t n)
+    : n_(n), x_(n, false), z_(n, false)
+{}
+
+PauliString
+PauliString::fromText(const std::string &text)
+{
+    std::size_t i = 0;
+    int phase = 0;
+    if (i < text.size() && text[i] == '+') {
+        ++i;
+    } else if (i < text.size() && text[i] == '-') {
+        phase = 2;
+        ++i;
+        if (i < text.size() && text[i] == 'i') {
+            phase = 3;
+            ++i;
+        }
+    } else if (i < text.size() && text[i] == 'i') {
+        phase = 1;
+        ++i;
+    }
+    PauliString p(text.size() - i);
+    p.phase_ = phase;
+    for (std::size_t q = 0; i < text.size(); ++i, ++q)
+        p.setPauli(q, text[i]);
+    return p;
+}
+
+void
+PauliString::setPauli(std::size_t q, char p)
+{
+    TRAQ_REQUIRE(q < n_, "PauliString::setPauli out of range");
+    switch (p) {
+      case 'I':
+        x_[q] = false;
+        z_[q] = false;
+        break;
+      case 'X':
+        x_[q] = true;
+        z_[q] = false;
+        break;
+      case 'Y':
+        x_[q] = true;
+        z_[q] = true;
+        break;
+      case 'Z':
+        x_[q] = false;
+        z_[q] = true;
+        break;
+      default:
+        TRAQ_FATAL(std::string("bad Pauli character: ") + p);
+    }
+}
+
+char
+PauliString::pauli(std::size_t q) const
+{
+    if (x_[q])
+        return z_[q] ? 'Y' : 'X';
+    return z_[q] ? 'Z' : 'I';
+}
+
+std::size_t
+PauliString::weight() const
+{
+    std::size_t w = 0;
+    for (std::size_t q = 0; q < n_; ++q)
+        if (x_[q] || z_[q])
+            ++w;
+    return w;
+}
+
+bool
+PauliString::commutesWith(const PauliString &other) const
+{
+    TRAQ_REQUIRE(n_ == other.n_, "commutesWith size mismatch");
+    int anti = 0;
+    for (std::size_t q = 0; q < n_; ++q) {
+        anti ^= (x_[q] && other.z_[q]) ? 1 : 0;
+        anti ^= (z_[q] && other.x_[q]) ? 1 : 0;
+    }
+    return anti == 0;
+}
+
+void
+PauliString::multiplyBy(const PauliString &rhs)
+{
+    TRAQ_REQUIRE(n_ == rhs.n_, "multiplyBy size mismatch");
+    // With the convention Y = i·X·Z and per-site form
+    // i^{x·z} X^x Z^z, the product phase accumulates
+    //   (a) a factor i^{x2·z1·2} from commuting Z^z1 past X^x2
+    //   (b) re-normalization of the Y factors.
+    // Doing it per site with a small lookup is clearest.  Entry
+    // [p1][p2] is the phase exponent of P1·P2 relative to the bitwise
+    // XOR result, with I=0, X=1, Y=2, Z=3.
+    static const int kPhase[4][4] = {
+        // I   X   Y   Z     (rhs)
+        {  0,  0,  0,  0 },  // I
+        {  0,  0,  1,  3 },  // X  (X·Y = iZ, X·Z = -iY)
+        {  0,  3,  0,  1 },  // Y  (Y·X = -iZ, Y·Z = iX)
+        {  0,  1,  3,  0 },  // Z  (Z·X = iY, Z·Y = -iX)
+    };
+    auto code = [](bool xb, bool zb) {
+        if (xb && zb)
+            return 2;  // Y
+        if (xb)
+            return 1;  // X
+        if (zb)
+            return 3;  // Z
+        return 0;      // I
+    };
+    int ph = phase_ + rhs.phase_;
+    for (std::size_t q = 0; q < n_; ++q) {
+        ph += kPhase[code(x_[q], z_[q])][code(rhs.x_[q], rhs.z_[q])];
+        x_[q] = x_[q] ^ rhs.x_[q];
+        z_[q] = z_[q] ^ rhs.z_[q];
+    }
+    phase_ = ((ph % 4) + 4) % 4;
+}
+
+bool
+PauliString::operator==(const PauliString &o) const
+{
+    return n_ == o.n_ && phase_ == o.phase_ && x_ == o.x_ && z_ == o.z_;
+}
+
+std::string
+PauliString::str() const
+{
+    static const char *kPrefix[4] = {"+", "i", "-", "-i"};
+    std::string out = kPrefix[phase_];
+    for (std::size_t q = 0; q < n_; ++q)
+        out += pauli(q);
+    return out;
+}
+
+} // namespace traq::sim

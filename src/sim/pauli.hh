@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Pauli strings with phase tracking.
+ *
+ * A PauliString represents i^phase * P_0 ⊗ P_1 ⊗ ... with each P_q in
+ * {I, X, Y, Z} encoded by (x, z) bits per qubit (Y = XZ up to phase;
+ * we use the convention Y := i·X·Z so phases compose exactly under
+ * multiplication).  Used by the tableau simulator's test hooks and the
+ * CSS code machinery.
+ */
+
+#ifndef TRAQ_SIM_PAULI_HH
+#define TRAQ_SIM_PAULI_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace traq::sim {
+
+/** A phased Pauli operator on n qubits. */
+class PauliString
+{
+  public:
+    PauliString() = default;
+    explicit PauliString(std::size_t n);
+
+    /**
+     * Parse from text like "+XXI", "-XZY", "iZZ" (leading sign one of
+     * "+", "-", "i", "-i"; defaults to "+").
+     */
+    static PauliString fromText(const std::string &text);
+
+    std::size_t numQubits() const { return n_; }
+
+    /** Phase exponent k in i^k, k in {0,1,2,3}. */
+    int phase() const { return phase_; }
+    void setPhase(int k) { phase_ = ((k % 4) + 4) % 4; }
+
+    bool xBit(std::size_t q) const { return x_[q]; }
+    bool zBit(std::size_t q) const { return z_[q]; }
+    void setX(std::size_t q, bool v) { x_[q] = v; }
+    void setZ(std::size_t q, bool v) { z_[q] = v; }
+
+    /** Set qubit q to one of 'I','X','Y','Z'. */
+    void setPauli(std::size_t q, char p);
+    char pauli(std::size_t q) const;
+
+    /** Number of non-identity sites. */
+    std::size_t weight() const;
+
+    /** True if this commutes with other (phases ignored). */
+    bool commutesWith(const PauliString &other) const;
+
+    /** Group product: *this = *this · rhs (exact phase tracking). */
+    void multiplyBy(const PauliString &rhs);
+
+    bool operator==(const PauliString &o) const;
+
+    /** Text form, e.g. "-XZIY". */
+    std::string str() const;
+
+  private:
+    std::size_t n_ = 0;
+    int phase_ = 0;               //!< exponent of i
+    std::vector<bool> x_;
+    std::vector<bool> z_;
+};
+
+} // namespace traq::sim
+
+#endif // TRAQ_SIM_PAULI_HH

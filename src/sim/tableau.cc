@@ -1,0 +1,503 @@
+#include "src/sim/tableau.hh"
+
+#include "src/common/assert.hh"
+#include "src/common/gf2.hh"
+
+namespace traq::sim {
+
+TableauSim::TableauSim(std::size_t numQubits, std::uint64_t seed)
+    : n_(numQubits),
+      wordsPerRow_((numQubits + 63) / 64),
+      rng_(seed)
+{
+    // 2n tableau rows plus one scratch row used by measurement.
+    const std::size_t rows = 2 * n_ + 1;
+    xBits_.assign(rows * wordsPerRow_, 0);
+    zBits_.assign(rows * wordsPerRow_, 0);
+    sign_.assign(rows, 0);
+    // Identity tableau: destabilizer i = X_i, stabilizer i = Z_i.
+    for (std::size_t i = 0; i < n_; ++i) {
+        setXBit(i, i, true);
+        setZBit(n_ + i, i, true);
+    }
+}
+
+bool
+TableauSim::xBit(std::size_t row, std::size_t q) const
+{
+    return (xBits_[row * wordsPerRow_ + q / 64] >> (q % 64)) & 1;
+}
+
+bool
+TableauSim::zBit(std::size_t row, std::size_t q) const
+{
+    return (zBits_[row * wordsPerRow_ + q / 64] >> (q % 64)) & 1;
+}
+
+void
+TableauSim::setXBit(std::size_t row, std::size_t q, bool v)
+{
+    std::uint64_t mask = 1ULL << (q % 64);
+    auto &word = xBits_[row * wordsPerRow_ + q / 64];
+    word = v ? (word | mask) : (word & ~mask);
+}
+
+void
+TableauSim::setZBit(std::size_t row, std::size_t q, bool v)
+{
+    std::uint64_t mask = 1ULL << (q % 64);
+    auto &word = zBits_[row * wordsPerRow_ + q / 64];
+    word = v ? (word | mask) : (word & ~mask);
+}
+
+int
+TableauSim::rowSumPhase(std::size_t h, std::size_t i) const
+{
+    // Sum over qubits of g(x_i, z_i, x_h, z_h) as in
+    // Aaronson & Gottesman (2004), Eq. for rowsum.
+    int sum = 0;
+    for (std::size_t q = 0; q < n_; ++q) {
+        int xi = xBit(i, q), zi = zBit(i, q);
+        int xh = xBit(h, q), zh = zBit(h, q);
+        if (!xi && !zi)
+            continue;
+        if (xi && zi)
+            sum += zh - xh;
+        else if (xi && !zi)
+            sum += zh * (2 * xh - 1);
+        else
+            sum += xh * (1 - 2 * zh);
+    }
+    return sum;
+}
+
+void
+TableauSim::rowSum(std::size_t h, std::size_t i)
+{
+    int total = 2 * sign_[h] + 2 * sign_[i] + rowSumPhase(h, i);
+    total = ((total % 4) + 4) % 4;
+    // Destabilizer rows (h < n) may acquire imaginary phases when
+    // multiplied by an anticommuting stabilizer during measurement;
+    // their signs are never read, so only stabilizer/scratch rows
+    // must stay real (Aaronson-Gottesman invariant).
+    TRAQ_ASSERT(h < n_ || total == 0 || total == 2,
+                "rowsum produced imaginary stabilizer phase");
+    sign_[h] = static_cast<std::uint8_t>(total / 2);
+    for (std::size_t w = 0; w < wordsPerRow_; ++w) {
+        xBits_[h * wordsPerRow_ + w] ^= xBits_[i * wordsPerRow_ + w];
+        zBits_[h * wordsPerRow_ + w] ^= zBits_[i * wordsPerRow_ + w];
+    }
+}
+
+void
+TableauSim::h(std::size_t q)
+{
+    for (std::size_t r = 0; r < 2 * n_; ++r) {
+        bool xb = xBit(r, q), zb = zBit(r, q);
+        if (xb && zb)
+            sign_[r] ^= 1;
+        setXBit(r, q, zb);
+        setZBit(r, q, xb);
+    }
+}
+
+void
+TableauSim::s(std::size_t q)
+{
+    for (std::size_t r = 0; r < 2 * n_; ++r) {
+        bool xb = xBit(r, q), zb = zBit(r, q);
+        if (xb && zb)
+            sign_[r] ^= 1;
+        setZBit(r, q, xb ^ zb);
+    }
+}
+
+void
+TableauSim::sdag(std::size_t q)
+{
+    // S_DAG = Z . S
+    s(q);
+    z(q);
+}
+
+void
+TableauSim::x(std::size_t q)
+{
+    for (std::size_t r = 0; r < 2 * n_; ++r)
+        if (zBit(r, q))
+            sign_[r] ^= 1;
+}
+
+void
+TableauSim::z(std::size_t q)
+{
+    for (std::size_t r = 0; r < 2 * n_; ++r)
+        if (xBit(r, q))
+            sign_[r] ^= 1;
+}
+
+void
+TableauSim::y(std::size_t q)
+{
+    for (std::size_t r = 0; r < 2 * n_; ++r)
+        if (xBit(r, q) ^ zBit(r, q))
+            sign_[r] ^= 1;
+}
+
+void
+TableauSim::sqrtX(std::size_t q)
+{
+    // SQRT_X = H . S . H
+    h(q);
+    s(q);
+    h(q);
+}
+
+void
+TableauSim::sqrtXDag(std::size_t q)
+{
+    h(q);
+    sdag(q);
+    h(q);
+}
+
+void
+TableauSim::cx(std::size_t a, std::size_t b)
+{
+    for (std::size_t r = 0; r < 2 * n_; ++r) {
+        bool xa = xBit(r, a), za = zBit(r, a);
+        bool xb = xBit(r, b), zb = zBit(r, b);
+        if (xa && zb && (xb == za))
+            sign_[r] ^= 1;
+        setXBit(r, b, xb ^ xa);
+        setZBit(r, a, za ^ zb);
+    }
+}
+
+void
+TableauSim::cz(std::size_t a, std::size_t b)
+{
+    for (std::size_t r = 0; r < 2 * n_; ++r) {
+        bool xa = xBit(r, a), za = zBit(r, a);
+        bool xb = xBit(r, b), zb = zBit(r, b);
+        if (xa && xb && (za ^ zb))
+            sign_[r] ^= 1;
+        setZBit(r, a, za ^ xb);
+        setZBit(r, b, zb ^ xa);
+    }
+}
+
+void
+TableauSim::swapq(std::size_t a, std::size_t b)
+{
+    for (std::size_t r = 0; r < 2 * n_; ++r) {
+        bool xa = xBit(r, a), za = zBit(r, a);
+        bool xb = xBit(r, b), zb = zBit(r, b);
+        setXBit(r, a, xb);
+        setZBit(r, a, zb);
+        setXBit(r, b, xa);
+        setZBit(r, b, za);
+    }
+}
+
+MeasureResult
+TableauSim::measure(std::size_t q, bool forceZero)
+{
+    TRAQ_REQUIRE(q < n_, "measure target out of range");
+    // Look for a stabilizer row anticommuting with Z_q (x bit set).
+    std::size_t p = 2 * n_;
+    for (std::size_t i = n_; i < 2 * n_; ++i) {
+        if (xBit(i, q)) {
+            p = i;
+            break;
+        }
+    }
+
+    MeasureResult res;
+    if (p != 2 * n_) {
+        // Random outcome.
+        res.random = true;
+        for (std::size_t i = 0; i < 2 * n_; ++i)
+            if (i != p && xBit(i, q))
+                rowSum(i, p);
+        // Destabilizer row p-n := old stabilizer row p.
+        for (std::size_t w = 0; w < wordsPerRow_; ++w) {
+            xBits_[(p - n_) * wordsPerRow_ + w] =
+                xBits_[p * wordsPerRow_ + w];
+            zBits_[(p - n_) * wordsPerRow_ + w] =
+                zBits_[p * wordsPerRow_ + w];
+        }
+        sign_[p - n_] = sign_[p];
+        // Stabilizer row p := +/- Z_q.
+        bool outcome = forceZero ? false : (rng_.next() & 1);
+        for (std::size_t w = 0; w < wordsPerRow_; ++w) {
+            xBits_[p * wordsPerRow_ + w] = 0;
+            zBits_[p * wordsPerRow_ + w] = 0;
+        }
+        setZBit(p, q, true);
+        sign_[p] = outcome ? 1 : 0;
+        res.value = outcome;
+    } else {
+        // Deterministic outcome: accumulate into the scratch row.
+        const std::size_t scratch = 2 * n_;
+        for (std::size_t w = 0; w < wordsPerRow_; ++w) {
+            xBits_[scratch * wordsPerRow_ + w] = 0;
+            zBits_[scratch * wordsPerRow_ + w] = 0;
+        }
+        sign_[scratch] = 0;
+        for (std::size_t i = 0; i < n_; ++i)
+            if (xBit(i, q))
+                rowSum(scratch, i + n_);
+        res.value = sign_[scratch] != 0;
+    }
+    return res;
+}
+
+MeasureResult
+TableauSim::measureX(std::size_t q, bool forceZero)
+{
+    h(q);
+    MeasureResult res = measure(q, forceZero);
+    h(q);
+    return res;
+}
+
+void
+TableauSim::reset(std::size_t q)
+{
+    MeasureResult res = measure(q);
+    if (res.value)
+        x(q);
+}
+
+void
+TableauSim::resetX(std::size_t q)
+{
+    reset(q);
+    h(q);
+}
+
+void
+TableauSim::applySingle(Gate g, std::size_t q)
+{
+    switch (g) {
+      case Gate::I:
+        break;
+      case Gate::X:
+        x(q);
+        break;
+      case Gate::Y:
+        y(q);
+        break;
+      case Gate::Z:
+        z(q);
+        break;
+      case Gate::H:
+        h(q);
+        break;
+      case Gate::S:
+        s(q);
+        break;
+      case Gate::S_DAG:
+        sdag(q);
+        break;
+      case Gate::SQRT_X:
+        sqrtX(q);
+        break;
+      case Gate::SQRT_X_DAG:
+        sqrtXDag(q);
+        break;
+      default:
+        TRAQ_PANIC("applySingle: not a single-qubit unitary");
+    }
+}
+
+void
+TableauSim::applyPair(Gate g, std::size_t a, std::size_t b)
+{
+    switch (g) {
+      case Gate::CX:
+        cx(a, b);
+        break;
+      case Gate::CZ:
+        cz(a, b);
+        break;
+      case Gate::SWAP:
+        swapq(a, b);
+        break;
+      default:
+        TRAQ_PANIC("applyPair: not a two-qubit unitary");
+    }
+}
+
+std::vector<bool>
+TableauSim::run(const Circuit &circuit, bool noiseless)
+{
+    TRAQ_REQUIRE(circuit.numQubits() <= n_,
+                 "circuit uses more qubits than the simulator has");
+    std::vector<bool> record;
+    record.reserve(circuit.numMeasurements());
+
+    for (const auto &inst : circuit.instructions()) {
+        const GateInfo &info = gateInfo(inst.gate);
+        if (info.unitary) {
+            if (info.twoQubit) {
+                for (std::size_t i = 0; i + 1 < inst.targets.size();
+                     i += 2)
+                    applyPair(inst.gate, inst.targets[i],
+                              inst.targets[i + 1]);
+            } else {
+                for (std::uint32_t q : inst.targets)
+                    applySingle(inst.gate, q);
+            }
+        } else if (info.noise) {
+            if (noiseless)
+                continue;
+            const double p = inst.arg;
+            switch (inst.gate) {
+              case Gate::X_ERROR:
+                for (std::uint32_t q : inst.targets)
+                    if (rng_.bernoulli(p))
+                        x(q);
+                break;
+              case Gate::Y_ERROR:
+                for (std::uint32_t q : inst.targets)
+                    if (rng_.bernoulli(p))
+                        y(q);
+                break;
+              case Gate::Z_ERROR:
+                for (std::uint32_t q : inst.targets)
+                    if (rng_.bernoulli(p))
+                        z(q);
+                break;
+              case Gate::DEPOLARIZE1:
+                for (std::uint32_t q : inst.targets) {
+                    if (rng_.bernoulli(p)) {
+                        switch (rng_.below(3)) {
+                          case 0: x(q); break;
+                          case 1: y(q); break;
+                          default: z(q); break;
+                        }
+                    }
+                }
+                break;
+              case Gate::DEPOLARIZE2:
+                for (std::size_t i = 0; i + 1 < inst.targets.size();
+                     i += 2) {
+                    if (rng_.bernoulli(p)) {
+                        // One of 15 non-identity Pauli pairs.
+                        std::uint64_t k = rng_.below(15) + 1;
+                        std::size_t pa = k / 4, pb = k % 4;
+                        auto applyP = [this](std::size_t pk,
+                                             std::size_t q) {
+                            switch (pk) {
+                              case 1: x(q); break;
+                              case 2: y(q); break;
+                              case 3: z(q); break;
+                              default: break;
+                            }
+                        };
+                        applyP(pa, inst.targets[i]);
+                        applyP(pb, inst.targets[i + 1]);
+                    }
+                }
+                break;
+              default:
+                TRAQ_PANIC("unhandled noise channel");
+            }
+        } else if (info.measurement || info.reset) {
+            for (std::uint32_t q : inst.targets) {
+                switch (inst.gate) {
+                  case Gate::M:
+                    record.push_back(measure(q, noiseless).value);
+                    break;
+                  case Gate::MX:
+                    record.push_back(measureX(q, noiseless).value);
+                    break;
+                  case Gate::MR: {
+                    MeasureResult res = measure(q, noiseless);
+                    record.push_back(res.value);
+                    if (res.value)
+                        x(q);
+                    break;
+                  }
+                  case Gate::R:
+                    reset(q);
+                    break;
+                  case Gate::RX:
+                    resetX(q);
+                    break;
+                  default:
+                    TRAQ_PANIC("unhandled measurement/reset");
+                }
+            }
+        }
+        // Annotations are no-ops during state evolution.
+    }
+    return record;
+}
+
+PauliString
+TableauSim::stabilizer(std::size_t i) const
+{
+    TRAQ_REQUIRE(i < n_, "stabilizer index out of range");
+    PauliString p(n_);
+    std::size_t row = n_ + i;
+    for (std::size_t q = 0; q < n_; ++q) {
+        p.setX(q, xBit(row, q));
+        p.setZ(q, zBit(row, q));
+    }
+    // Aaronson–Gottesman rows represent
+    // (-1)^sign · prod_q (i^{x z} X^x Z^z), i.e. Y sites are literal
+    // Y operators; the row sign is the full phase.
+    p.setPhase(sign_[row] ? 2 : 0);
+    return p;
+}
+
+PauliString
+TableauSim::destabilizer(std::size_t i) const
+{
+    TRAQ_REQUIRE(i < n_, "destabilizer index out of range");
+    PauliString p(n_);
+    for (std::size_t q = 0; q < n_; ++q) {
+        p.setX(q, xBit(i, q));
+        p.setZ(q, zBit(i, q));
+    }
+    p.setPhase(sign_[i] ? 2 : 0);
+    return p;
+}
+
+bool
+TableauSim::stateStabilizedBy(const PauliString &p) const
+{
+    TRAQ_REQUIRE(p.numQubits() == n_, "stateStabilizedBy size mismatch");
+    // Solve for a combination of stabilizer rows whose symplectic
+    // vector matches p, then check that the phases agree.
+    Gf2Matrix m(n_, 2 * n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+        PauliString s = stabilizer(i);
+        for (std::size_t q = 0; q < n_; ++q) {
+            if (s.xBit(q))
+                m.set(i, q, true);
+            if (s.zBit(q))
+                m.set(i, n_ + q, true);
+        }
+    }
+    // Solve M^T c = target.
+    Gf2Matrix mt = m.transpose();
+    std::vector<int> target(2 * n_, 0);
+    for (std::size_t q = 0; q < n_; ++q) {
+        target[q] = p.xBit(q) ? 1 : 0;
+        target[n_ + q] = p.zBit(q) ? 1 : 0;
+    }
+    std::vector<int> combo;
+    if (!mt.solve(target, &combo))
+        return false;
+    PauliString prod(n_);
+    for (std::size_t i = 0; i < n_; ++i)
+        if (combo[i])
+            prod.multiplyBy(stabilizer(i));
+    return prod == p;
+}
+
+} // namespace traq::sim

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Aaronson–Gottesman stabilizer tableau simulator.
+ *
+ * Exact simulation of Clifford circuits with measurement, used as the
+ * ground-truth reference for the fast Pauli-frame sampler and for
+ * verifying code constructions (stabilizer groups, logical action of
+ * transversal gates).  The representation is the standard 2n x (2n+1)
+ * binary tableau: rows 0..n-1 are destabilizers, rows n..2n-1 are
+ * stabilizers.
+ */
+
+#ifndef TRAQ_SIM_TABLEAU_HH
+#define TRAQ_SIM_TABLEAU_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.hh"
+#include "src/sim/circuit.hh"
+#include "src/sim/pauli.hh"
+
+namespace traq::sim {
+
+/** Result of a single measurement. */
+struct MeasureResult
+{
+    bool value = false;     //!< measured bit
+    bool random = false;    //!< true if the outcome was 50/50
+};
+
+/** Stabilizer state simulator over n qubits, starting in |0...0>. */
+class TableauSim
+{
+  public:
+    explicit TableauSim(std::size_t numQubits,
+                        std::uint64_t seed = 0x7261712dULL);
+
+    std::size_t numQubits() const { return n_; }
+
+    /** @name Clifford gates. */
+    /// @{
+    void h(std::size_t q);
+    void s(std::size_t q);
+    void sdag(std::size_t q);
+    void x(std::size_t q);
+    void y(std::size_t q);
+    void z(std::size_t q);
+    void sqrtX(std::size_t q);
+    void sqrtXDag(std::size_t q);
+    void cx(std::size_t a, std::size_t b);
+    void cz(std::size_t a, std::size_t b);
+    void swapq(std::size_t a, std::size_t b);
+    /// @}
+
+    /**
+     * Measure qubit q in the Z basis.
+     * @param forceZero if the outcome is random, deterministically
+     *        project onto 0 (used for reference samples).
+     */
+    MeasureResult measure(std::size_t q, bool forceZero = false);
+
+    /** Measure in the X basis (H-conjugated Z measurement). */
+    MeasureResult measureX(std::size_t q, bool forceZero = false);
+
+    /** Reset to |0> (measure, flip if 1). */
+    void reset(std::size_t q);
+
+    /** Reset to |+>. */
+    void resetX(std::size_t q);
+
+    /**
+     * Execute a circuit.  Noise channels are sampled with the internal
+     * RNG unless noiseless is true (in which case they are skipped and
+     * random measurement results are forced to zero — this yields the
+     * canonical reference sample).
+     * @return the measurement record.
+     */
+    std::vector<bool> run(const Circuit &circuit,
+                          bool noiseless = false);
+
+    /** Stabilizer generator row i (0..n-1) as a PauliString. */
+    PauliString stabilizer(std::size_t i) const;
+
+    /** Destabilizer generator row i (0..n-1). */
+    PauliString destabilizer(std::size_t i) const;
+
+    /**
+     * True if p (with its phase) is an element of the stabilizer group
+     * of the current state.  O(n^3); intended for tests.
+     */
+    bool stateStabilizedBy(const PauliString &p) const;
+
+    /** Direct access to the RNG (tests may reseed). */
+    Rng &rng() { return rng_; }
+
+  private:
+    std::size_t n_;
+    // Row-major bit storage: for row r, xBit(r,q), zBit(r,q), sign_[r].
+    std::vector<std::uint64_t> xBits_;
+    std::vector<std::uint64_t> zBits_;
+    std::vector<std::uint8_t> sign_;   //!< r in {0,1}: sign (-1)^r
+    std::size_t wordsPerRow_;
+    Rng rng_;
+
+    bool xBit(std::size_t row, std::size_t q) const;
+    bool zBit(std::size_t row, std::size_t q) const;
+    void setXBit(std::size_t row, std::size_t q, bool v);
+    void setZBit(std::size_t row, std::size_t q, bool v);
+
+    /** row h *= row i (Pauli product with exact sign tracking). */
+    void rowSum(std::size_t h, std::size_t i);
+
+    /** Phase contribution g() of the rowsum, summed over qubits. */
+    int rowSumPhase(std::size_t h, std::size_t i) const;
+
+    void applySingle(Gate g, std::size_t q);
+    void applyPair(Gate g, std::size_t a, std::size_t b);
+};
+
+} // namespace traq::sim
+
+#endif // TRAQ_SIM_TABLEAU_HH

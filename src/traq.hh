@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Umbrella header for the traq library: transversal resource
+ * analysis for reconfigurable atom arrays.
+ *
+ * Re-exports the full public API.  Downstream users normally need
+ * only a subset:
+ *   - estimators:   src/estimator/{shor,optimizer,baselines,
+ *                   chemistry,qldpc}.hh
+ *   - gadgets:      src/gadgets/{factory,adder,lookup,ghz,parallel,
+ *                   rotation}.hh
+ *   - error model:  src/model/{error_model,fit,cultivation}.hh
+ *   - platform:     src/platform/{params,movement}.hh and
+ *                   src/arch/{qec_cycle,se_schedule,tracker}.hh
+ *   - simulation:   src/sim/*.hh, src/codes/*.hh, src/decoder/*.hh
+ */
+
+#ifndef TRAQ_TRAQ_HH
+#define TRAQ_TRAQ_HH
+
+#include "src/common/assert.hh"
+#include "src/common/gf2.hh"
+#include "src/common/math.hh"
+#include "src/common/rng.hh"
+#include "src/common/stats.hh"
+#include "src/common/strings.hh"
+#include "src/common/table.hh"
+
+#include "src/sim/circuit.hh"
+#include "src/sim/conjugate.hh"
+#include "src/sim/dem.hh"
+#include "src/sim/frame.hh"
+#include "src/sim/gates.hh"
+#include "src/sim/pauli.hh"
+#include "src/sim/tableau.hh"
+
+#include "src/codes/css.hh"
+#include "src/codes/experiments.hh"
+#include "src/codes/surface_code.hh"
+
+#include "src/decoder/graph.hh"
+#include "src/decoder/monte_carlo.hh"
+#include "src/decoder/mwpm.hh"
+#include "src/decoder/union_find.hh"
+
+#include "src/model/cultivation.hh"
+#include "src/model/error_model.hh"
+#include "src/model/fit.hh"
+
+#include "src/platform/movement.hh"
+#include "src/platform/params.hh"
+
+#include "src/arch/qec_cycle.hh"
+#include "src/arch/se_schedule.hh"
+#include "src/arch/tracker.hh"
+
+#include "src/gadgets/adder.hh"
+#include "src/gadgets/factory.hh"
+#include "src/gadgets/ghz.hh"
+#include "src/gadgets/lookup.hh"
+#include "src/gadgets/parallel.hh"
+#include "src/gadgets/rotation.hh"
+
+#include "src/estimator/baselines.hh"
+#include "src/estimator/calibration.hh"
+#include "src/estimator/chemistry.hh"
+#include "src/estimator/optimizer.hh"
+#include "src/estimator/qldpc.hh"
+#include "src/estimator/shor.hh"
+
+#endif // TRAQ_TRAQ_HH

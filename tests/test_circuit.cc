@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the circuit IR: building, validation, counting, and
+ * text round-tripping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/common/assert.hh"
+#include "src/sim/circuit.hh"
+
+namespace traq::sim {
+namespace {
+
+TEST(Circuit, CountsQubitsAndMeasurements)
+{
+    Circuit c;
+    c.h(0);
+    c.cx(0, 5);
+    c.m(0);
+    c.m(5);
+    EXPECT_EQ(c.numQubits(), 6u);
+    EXPECT_EQ(c.numMeasurements(), 2u);
+    EXPECT_EQ(c.numDetectors(), 0u);
+}
+
+TEST(Circuit, DetectorLookbacksValidated)
+{
+    Circuit c;
+    c.m(0);
+    EXPECT_NO_THROW(c.detector({1}));
+    EXPECT_THROW(c.detector({2}), traq::FatalError);
+    EXPECT_THROW(c.detector({0}), traq::FatalError);
+}
+
+TEST(Circuit, ObservableIndexTracked)
+{
+    Circuit c;
+    c.m(0);
+    c.m(1);
+    c.observable(3, {1, 2});
+    EXPECT_EQ(c.numObservables(), 4u);
+}
+
+TEST(Circuit, TwoQubitParityEnforced)
+{
+    Circuit c;
+    EXPECT_THROW(c.append(Gate::CX, {0, 1, 2}), traq::FatalError);
+    EXPECT_THROW(c.append(Gate::CX, {1, 1}), traq::FatalError);
+    EXPECT_NO_THROW(c.append(Gate::CX, {0, 1, 2, 3}));
+}
+
+TEST(Circuit, NoiseProbabilityValidated)
+{
+    Circuit c;
+    EXPECT_THROW(c.xError(1.5, {0}), traq::FatalError);
+    EXPECT_THROW(c.xError(-0.1, {0}), traq::FatalError);
+    EXPECT_NO_THROW(c.xError(0.5, {0}));
+}
+
+TEST(Circuit, BatchedMeasurementCount)
+{
+    Circuit c;
+    c.append(Gate::MR, {0, 1, 2, 3});
+    EXPECT_EQ(c.numMeasurements(), 4u);
+    c.detector({1, 4});
+    EXPECT_EQ(c.numDetectors(), 1u);
+}
+
+TEST(Circuit, ParsePrintRoundTrip)
+{
+    const char *text =
+        "R 0 1 2\n"
+        "H 0\n"
+        "CX 0 1 1 2\n"
+        "DEPOLARIZE2(0.001) 0 1\n"
+        "X_ERROR(0.002) 2\n"
+        "M 0 1\n"
+        "DETECTOR rec[-1] rec[-2]\n"
+        "OBSERVABLE_INCLUDE(0) rec[-1]\n";
+    Circuit c = Circuit::parse(text);
+    EXPECT_EQ(c.numQubits(), 3u);
+    EXPECT_EQ(c.numMeasurements(), 2u);
+    EXPECT_EQ(c.numDetectors(), 1u);
+    EXPECT_EQ(c.numObservables(), 1u);
+    // Round trip: parse(print(c)) yields identical text.
+    Circuit c2 = Circuit::parse(c.str());
+    EXPECT_EQ(c.str(), c2.str());
+}
+
+TEST(Circuit, ParseSkipsCommentsAndBlanks)
+{
+    Circuit c = Circuit::parse("# comment\n\n  H 0 \n");
+    EXPECT_EQ(c.instructions().size(), 1u);
+}
+
+TEST(Circuit, ParseRejectsUnknownGate)
+{
+    EXPECT_THROW(Circuit::parse("FROB 0"), traq::FatalError);
+}
+
+TEST(Circuit, AppendCircuitKeepsAnnotationsValid)
+{
+    Circuit a;
+    a.m(0);
+    a.detector({1});
+    Circuit b;
+    b.m(1);
+    b.detector({1});
+    Circuit joined;
+    joined.append(a);
+    joined.append(b);
+    EXPECT_EQ(joined.numDetectors(), 2u);
+    EXPECT_EQ(joined.numMeasurements(), 2u);
+}
+
+TEST(Circuit, TotalTargets)
+{
+    Circuit c;
+    c.cx(0, 1);
+    c.m(0);
+    EXPECT_EQ(c.totalTargets(), 3u);
+}
+
+TEST(Gates, MetadataConsistency)
+{
+    EXPECT_TRUE(gateInfo(Gate::CX).twoQubit);
+    EXPECT_TRUE(gateInfo(Gate::CX).unitary);
+    EXPECT_TRUE(gateInfo(Gate::DEPOLARIZE2).twoQubit);
+    EXPECT_TRUE(gateInfo(Gate::DEPOLARIZE2).noise);
+    EXPECT_TRUE(gateInfo(Gate::MR).measurement);
+    EXPECT_TRUE(gateInfo(Gate::MR).reset);
+    EXPECT_TRUE(gateInfo(Gate::DETECTOR).annotation);
+    EXPECT_FALSE(gateInfo(Gate::H).noise);
+}
+
+TEST(Gates, NameLookupRoundTrip)
+{
+    for (auto g : {Gate::H, Gate::CX, Gate::M, Gate::DEPOLARIZE1,
+                   Gate::OBSERVABLE_INCLUDE, Gate::SQRT_X_DAG}) {
+        auto name = gateName(g);
+        auto back = gateFromName(name);
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(*back, g);
+    }
+    EXPECT_FALSE(gateFromName("NOPE").has_value());
+}
+
+} // namespace
+} // namespace traq::sim

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Cross-validation of the two simulation engines: the fast bit-sliced
+ * Pauli-frame sampler must agree statistically with the exact
+ * Aaronson-Gottesman tableau simulator on detector flip rates, for
+ * random Clifford circuits with random noise placements.  This is the
+ * substrate-level guarantee behind every Monte-Carlo number in the
+ * benches.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.hh"
+#include "src/common/stats.hh"
+#include "src/sim/circuit.hh"
+#include "src/sim/frame.hh"
+#include "src/sim/tableau.hh"
+
+namespace traq::sim {
+namespace {
+
+/**
+ * Build a random small stabilizer circuit with noise and detectors:
+ * a layer structure of reset, random Cliffords, noise, measure-reset
+ * cycles, and detectors comparing consecutive rounds.
+ */
+Circuit
+randomNoisyCircuit(std::uint64_t seed, double p)
+{
+    traq::Rng rng(seed);
+    const std::uint32_t n = 4;
+    Circuit c;
+    for (std::uint32_t q = 0; q < n; ++q)
+        c.r(q);
+    // Two rounds of random Cliffords on qubits 0-2 with noise, each
+    // followed by a parity extraction onto qubit 3 that is measured
+    // *twice back to back* with noise in between.  Repeated
+    // measurements of the same qubit are deterministically equal, so
+    // the detector comparing them is valid even though the parity
+    // value itself is random — exactly the kind of detector the
+    // frame formalism must get right.
+    for (int round = 0; round < 2; ++round) {
+        for (int g = 0; g < 6; ++g) {
+            std::uint32_t a = static_cast<std::uint32_t>(
+                rng.below(3));
+            std::uint32_t b = static_cast<std::uint32_t>(
+                rng.below(3));
+            switch (rng.below(3)) {
+              case 0:
+                if (a != b)
+                    c.cx(a, b);
+                break;
+              case 1:
+                if (a != b)
+                    c.cz(a, b);
+                break;
+              default:
+                c.h(a);
+                break;
+            }
+        }
+        c.depolarize1(p, {0, 1, 2});
+        c.append(Gate::CX, {0, 3, 1, 3, 2, 3});
+        c.m(3);
+        c.xError(p, {3});
+        c.depolarize1(p, {3});
+        c.m(3);
+        c.detector({1, 2});
+        c.r(3);
+    }
+    return c;
+}
+
+class CrossValidation : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CrossValidation, DetectorRatesAgree)
+{
+    const std::uint64_t seed = 9000 + GetParam();
+    const double p = 0.05;
+    Circuit c = randomNoisyCircuit(seed, p);
+
+    // Frame sampler estimate.
+    FrameSimulator fs(seed * 31 + 1);
+    std::uint64_t frameFlips = 0, frameShots = 0;
+    for (int i = 0; i < 400; ++i) {
+        auto batch = fs.sample(c);
+        frameFlips += __builtin_popcountll(batch.detectors[1]);
+        frameShots += 64;
+    }
+
+    // Tableau Monte Carlo: evaluate the detector from raw records.
+    std::uint64_t tabFlips = 0, tabShots = 3000;
+    for (std::uint64_t s = 0; s < tabShots; ++s) {
+        TableauSim sim(c.numQubits(), seed * 77 + s);
+        auto rec = sim.run(c);
+        bool det = rec[rec.size() - 1] ^ rec[rec.size() - 2];
+        tabFlips += det ? 1 : 0;
+    }
+
+    auto pf = wilson(frameFlips, frameShots, 3.0);
+    auto pt = wilson(tabFlips, tabShots, 3.0);
+    // Three-sigma intervals must overlap.
+    EXPECT_LT(pf.lo, pt.hi) << "frame " << pf.mean << " vs tableau "
+                            << pt.mean;
+    EXPECT_LT(pt.lo, pf.hi) << "frame " << pf.mean << " vs tableau "
+                            << pt.mean;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossValidation,
+                         ::testing::Range(0, 8));
+
+TEST(CrossValidationExact, NoiselessAgreementOnRecordCount)
+{
+    Circuit c = randomNoisyCircuit(123, 0.0);
+    TableauSim sim(c.numQubits(), 5);
+    auto rec = sim.run(c);
+    EXPECT_EQ(rec.size(), c.numMeasurements());
+    FrameSimulator fs(5);
+    auto batch = fs.sample(c);
+    EXPECT_EQ(batch.detectors.size(), c.numDetectors());
+    EXPECT_EQ(batch.detectors[0], 0u);
+}
+
+} // namespace
+} // namespace traq::sim

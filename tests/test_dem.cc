@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for detector-error-model extraction: hand-checkable circuits
+ * (repetition code), component probabilities, merging, and agreement
+ * with Monte-Carlo detector statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "src/sim/circuit.hh"
+#include "src/sim/dem.hh"
+#include "src/sim/frame.hh"
+
+namespace traq::sim {
+namespace {
+
+/** Three-qubit repetition code, one round: hand-checkable DEM. */
+Circuit
+repetitionCircuit(double p)
+{
+    // Data: 0, 1, 2; ancillas 3 (checks 0,1) and 4 (checks 1,2).
+    Circuit c;
+    c.append(Gate::R, {0, 1, 2, 3, 4});
+    c.xError(p, {0, 1, 2});
+    c.append(Gate::CX, {0, 3, 1, 4});
+    c.append(Gate::CX, {1, 3, 2, 4});
+    c.append(Gate::MR, {3, 4});
+    c.detector({2});           // ancilla 3
+    c.detector({1});           // ancilla 4
+    c.m(0);
+    c.m(1);
+    c.m(2);
+    c.observable(0, {3});      // data 0
+    return c;
+}
+
+TEST(Dem, RepetitionCodeStructure)
+{
+    DetectorErrorModel dem = buildDem(repetitionCircuit(0.01));
+    EXPECT_EQ(dem.numDetectors, 2u);
+    EXPECT_EQ(dem.numObservables, 1u);
+    // Three mechanisms: X0 -> {D0, obs}, X1 -> {D0, D1}, X2 -> {D1}.
+    ASSERT_EQ(dem.errors.size(), 3u);
+    std::map<std::vector<std::uint32_t>,
+             std::pair<double, std::uint32_t>> found;
+    for (const auto &e : dem.errors)
+        found[e.detectors] = {e.probability, e.observables};
+    const std::vector<std::uint32_t> d0{0};
+    const std::vector<std::uint32_t> d01{0, 1};
+    const std::vector<std::uint32_t> d1{1};
+    ASSERT_TRUE(found.count(d0));
+    ASSERT_TRUE(found.count(d01));
+    ASSERT_TRUE(found.count(d1));
+    EXPECT_NEAR(found[d0].first, 0.01, 1e-12);
+    EXPECT_EQ(found[d0].second, 1u);      // flips the observable
+    EXPECT_EQ(found[d01].second, 0u);
+    EXPECT_EQ(found[d1].second, 0u);
+}
+
+TEST(Dem, MergesIdenticalSymptoms)
+{
+    // Two X_ERROR instructions on the same qubit before measurement
+    // merge into one mechanism with XOR-combined probability.
+    Circuit c;
+    c.xError(0.1, {0});
+    c.xError(0.2, {0});
+    c.m(0);
+    c.detector({1});
+    DetectorErrorModel dem = buildDem(c);
+    ASSERT_EQ(dem.errors.size(), 1u);
+    EXPECT_NEAR(dem.errors[0].probability, 0.1 * 0.8 + 0.2 * 0.9,
+                1e-12);
+}
+
+// Local reference for XOR probability combination.
+double
+pXorRef(double a, double b)
+{
+    return a * (1 - b) + b * (1 - a);
+}
+
+TEST(Dem, Depolarize1SplitsComponents)
+{
+    // X and Y components flip a Z measurement; Z component is
+    // invisible and dropped.
+    Circuit c;
+    c.depolarize1(0.3, {0});
+    c.m(0);
+    c.detector({1});
+    DetectorErrorModel dem = buildDem(c);
+    ASSERT_EQ(dem.errors.size(), 1u);
+    EXPECT_NEAR(dem.errors[0].probability, pXorRef(0.1, 0.1), 1e-12);
+}
+
+TEST(Dem, KeepInvisibleFlagCountsNoiseVolume)
+{
+    Circuit c;
+    c.zError(0.25, {0});
+    c.m(0);
+    c.detector({1});
+    DetectorErrorModel demDrop = buildDem(c, true);
+    EXPECT_TRUE(demDrop.errors.empty());
+    DetectorErrorModel demKeep = buildDem(c, false);
+    ASSERT_EQ(demKeep.errors.size(), 1u);
+    EXPECT_TRUE(demKeep.errors[0].detectors.empty());
+}
+
+TEST(Dem, ErrorAfterGatePropagates)
+{
+    // Noise between two CX gates: the X error on qubit 0 spreads to
+    // qubit 1 through the second CX only.
+    Circuit c;
+    c.append(Gate::R, {0, 1});
+    c.cx(0, 1);
+    c.xError(1.0, {0});
+    c.cx(0, 1);
+    c.m(0);
+    c.m(1);
+    c.detector({2});
+    c.detector({1});
+    DetectorErrorModel dem = buildDem(c);
+    ASSERT_EQ(dem.errors.size(), 1u);
+    EXPECT_EQ(dem.errors[0].detectors.size(), 2u);
+}
+
+TEST(Dem, TotalErrorWeightSums)
+{
+    Circuit c;
+    c.xError(0.1, {0, 1});
+    c.m(0);
+    c.m(1);
+    c.detector({2});
+    c.detector({1});
+    DetectorErrorModel dem = buildDem(c);
+    EXPECT_NEAR(dem.totalErrorWeight(), 0.2, 1e-12);
+}
+
+/**
+ * Property: detector flip rates predicted by the DEM (to first order)
+ * match frame-simulator Monte Carlo on the repetition circuit.
+ */
+TEST(Dem, MatchesMonteCarloRates)
+{
+    const double p = 0.02;
+    Circuit c = repetitionCircuit(p);
+    DetectorErrorModel dem = buildDem(c);
+
+    // Exact per-detector flip probability from the DEM (independent
+    // mechanisms, XOR semantics).
+    std::vector<double> predicted(dem.numDetectors, 0.0);
+    for (const auto &e : dem.errors)
+        for (std::uint32_t d : e.detectors)
+            predicted[d] = predicted[d] * (1 - e.probability) +
+                           e.probability * (1 - predicted[d]);
+
+    FrameSimulator sim(2718);
+    std::vector<std::uint64_t> flips(dem.numDetectors, 0);
+    std::uint64_t shots = 0;
+    for (int i = 0; i < 3000; ++i) {
+        FrameBatch b = sim.sample(c);
+        for (std::size_t d = 0; d < flips.size(); ++d)
+            flips[d] += __builtin_popcountll(b.detectors[d]);
+        shots += 64;
+    }
+    for (std::size_t d = 0; d < flips.size(); ++d) {
+        double observed = static_cast<double>(flips[d]) / shots;
+        EXPECT_NEAR(observed, predicted[d], 0.004) << "detector " << d;
+    }
+}
+
+} // namespace
+} // namespace traq::sim

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Tests for the end-to-end estimators: the factoring headline, the
+ * parameter optimizer, the lattice-surgery baselines, the chemistry
+ * estimator, and the sensitivity behaviours of Figs. 13/14.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/common/assert.hh"
+#include "src/estimator/baselines.hh"
+#include "src/estimator/chemistry.hh"
+#include "src/estimator/optimizer.hh"
+#include "src/estimator/shor.hh"
+
+namespace traq::est {
+namespace {
+
+TEST(Factoring, HeadlineReproduction)
+{
+    // Paper: 2048-bit RSA with 19M qubits in 5.6 days at Table II
+    // parameters; we must land within ~15%.
+    FactoringSpec spec;
+    FactoringReport r = estimateFactoring(spec);
+    EXPECT_TRUE(r.feasible);
+    EXPECT_EQ(r.distance, 27);
+    EXPECT_EQ(r.rpad, 43);
+    EXPECT_NEAR(r.days, 5.6, 0.9);
+    EXPECT_NEAR(r.physicalQubits / 19e6, 1.0, 0.15);
+    EXPECT_NEAR(r.lookupAdditions / 1.07e6, 1.0, 0.05);
+    EXPECT_NEAR(r.cczTotal / 3e9, 1.0, 0.15);
+    EXPECT_NEAR(r.timePerLookup, 0.17, 0.02);
+    EXPECT_NEAR(r.timePerAddition, 0.28, 0.02);
+}
+
+TEST(Factoring, FiftyXSpeedupVsLatticeSurgery)
+{
+    FactoringSpec spec;
+    FactoringReport ours = estimateFactoring(spec);
+    GidneyEkeraSpec ge;
+    ge.tCycle = 900e-6;
+    ge.tReaction = 1e-3;
+    BaselinePoint base = gidneyEkera(ge);
+    double speedup = base.seconds / ours.totalSeconds;
+    EXPECT_GT(speedup, 35.0);
+    EXPECT_LT(speedup, 80.0);
+    // No increase in space footprint (paper Fig. 2).
+    EXPECT_NEAR(ours.physicalQubits / base.physicalQubits, 1.0,
+                0.25);
+}
+
+TEST(Factoring, ErrorBudgetsRespected)
+{
+    FactoringSpec spec;
+    FactoringReport r = estimateFactoring(spec);
+    EXPECT_LE(r.cczError, spec.cczErrorBudget * 1.2);
+    EXPECT_LE(r.algorithmLogicalError + r.idleError,
+              spec.logicalErrorBudget);
+    EXPECT_LE(r.runwayError, spec.runwayErrorBudget * 10);
+}
+
+TEST(Factoring, SmallerModulusIsCheaper)
+{
+    FactoringSpec big, small;
+    small.nBits = 1024;
+    small.rsep = 64;
+    auto rb = estimateFactoring(big);
+    auto rs = estimateFactoring(small);
+    EXPECT_LT(rs.totalSeconds, rb.totalSeconds);
+    EXPECT_LT(rs.physicalQubits, rb.physicalQubits);
+    EXPECT_LT(rs.cczTotal, rb.cczTotal);
+}
+
+TEST(Factoring, LargerRsepFewerFactoriesSlowerAdds)
+{
+    FactoringSpec narrow, wide;
+    narrow.rsep = 96;
+    wide.rsep = 512;
+    auto rn = estimateFactoring(narrow);
+    auto rw = estimateFactoring(wide);
+    EXPECT_GT(rw.timePerAddition, rn.timePerAddition);
+    EXPECT_LT(rw.factories, rn.factories);
+}
+
+TEST(Factoring, AlphaSensitivityBounded)
+{
+    // Fig. 13(a): threshold drop 0.86% -> 0.6% costs <= ~50% volume.
+    FactoringSpec base;
+    auto ref = estimateFactoring(base);
+    FactoringSpec worse = base;
+    worse.errorModel.alpha = 2.0 / 3.0;   // pth_eff(x=1) = 0.6%
+    auto r = estimateFactoring(worse);
+    double ratio = r.spacetimeVolume / ref.spacetimeVolume;
+    EXPECT_GE(ratio, 1.0);
+    EXPECT_LE(ratio, 1.6);
+}
+
+TEST(Factoring, CoherenceKneeBelowOneSecond)
+{
+    // Fig. 13(b): volume accelerates below ~1 s coherence.
+    FactoringSpec base;
+    base.idlePeriod = -1.0;   // auto-optimized
+    auto at = [&](double tcoh) {
+        FactoringSpec s = base;
+        s.atom.coherenceTime = tcoh;
+        return estimateFactoring(s).spacetimeVolume;
+    };
+    double v10 = at(10.0);
+    double v1 = at(1.0);
+    double v01 = at(0.1);
+    EXPECT_LE(v1 / v10, 1.5);    // mild until ~1 s
+    EXPECT_GT(v01 / v10, 1.3);   // accelerating below
+    EXPECT_GT(v01, v1);
+}
+
+TEST(Factoring, ReactionTimeSweepHasFanoutFloor)
+{
+    // Fig. 14(c): faster reaction helps, but gains flatten.
+    FactoringSpec base;
+    auto at = [&](double tr) {
+        FactoringSpec s = base;
+        s.atom.measureTime = tr / 2;
+        s.atom.decodeTime = tr / 2;
+        return estimateFactoring(s);
+    };
+    auto r1 = at(1e-3);
+    auto r01 = at(0.1e-3);
+    auto r10 = at(10e-3);
+    EXPECT_LT(r01.totalSeconds, r1.totalSeconds);
+    EXPECT_GT(r10.totalSeconds, r1.totalSeconds);
+    // Far less than 10x gain at 10x faster reaction: fan-out floor.
+    double gain = r1.totalSeconds / r01.totalSeconds;
+    EXPECT_LT(gain, 10.0);
+    EXPECT_GT(gain, 2.0);
+}
+
+TEST(Factoring, AccelerationSpeedsQecCycle)
+{
+    FactoringSpec base;
+    auto slow = estimateFactoring(base);
+    FactoringSpec fast = base;
+    fast.atom.acceleration *= 10.0;
+    auto rf = estimateFactoring(fast);
+    EXPECT_LE(rf.totalSeconds, slow.totalSeconds);
+}
+
+TEST(Factoring, ForcedParametersRespected)
+{
+    FactoringSpec s;
+    s.distance = 31;
+    s.rpad = 50;
+    s.factories = 200;
+    auto r = estimateFactoring(s);
+    EXPECT_EQ(r.distance, 31);
+    EXPECT_EQ(r.rpad, 50);
+    EXPECT_EQ(r.factories, 200);
+}
+
+TEST(Factoring, LedgersAreConsistent)
+{
+    FactoringSpec spec;
+    auto r = estimateFactoring(spec);
+    EXPECT_EQ(r.lookupPhase.entries().size(), 4u);
+    EXPECT_EQ(r.additionPhase.entries().size(), 4u);
+    // Each phase ledger covers everything except the other phase's
+    // active gadget.
+    EXPECT_NEAR(r.lookupPhase.totalQubits(),
+                r.physicalQubits - r.adderQubits,
+                r.physicalQubits * 1e-9);
+    EXPECT_NEAR(r.additionPhase.totalQubits(),
+                r.physicalQubits - r.lookupQubits,
+                r.physicalQubits * 1e-9);
+}
+
+TEST(Factoring, RejectsBadSpecs)
+{
+    FactoringSpec s;
+    s.nBits = 8;
+    EXPECT_THROW(estimateFactoring(s), FatalError);
+}
+
+TEST(Optimizer, FindsTableIIClassParameters)
+{
+    FactoringSpec base;
+    OptimizerOptions opts;
+    auto res = optimizeFactoring(base, opts);
+    ASSERT_TRUE(res.found);
+    EXPECT_GT(res.evaluated, 100u);
+    // Table II neighbourhood: small windows, short runways.
+    EXPECT_GE(res.bestSpec.wExp, 2);
+    EXPECT_LE(res.bestSpec.wExp, 4);
+    EXPECT_GE(res.bestSpec.wMul, 3);
+    EXPECT_LE(res.bestSpec.wMul, 6);
+    EXPECT_LE(res.bestSpec.rsep, 256);
+    // The optimum cannot be worse than the paper's configuration.
+    auto paperRep = estimateFactoring(base);
+    EXPECT_LE(res.bestReport.spacetimeVolume,
+              paperRep.spacetimeVolume * 1.001);
+}
+
+TEST(Optimizer, QubitCapProducesTradeoff)
+{
+    // Fig. 14(d): tighter qubit caps stretch the runtime.
+    FactoringSpec base;
+    OptimizerOptions loose;
+    OptimizerOptions tight;
+    tight.maxQubits = 13e6;
+    auto rl = optimizeFactoring(base, loose);
+    auto rt = optimizeFactoring(base, tight);
+    ASSERT_TRUE(rl.found);
+    ASSERT_TRUE(rt.found);
+    EXPECT_LE(rt.bestReport.physicalQubits, 13e6);
+    EXPECT_GE(rt.bestReport.totalSeconds,
+              rl.bestReport.totalSeconds);
+}
+
+TEST(Baselines, GidneyEkeraAnchor)
+{
+    // Their headline: ~8 hours at 1 us cycle, 10 us reaction.
+    GidneyEkeraSpec ge;
+    auto p = gidneyEkera(ge);
+    EXPECT_NEAR(p.seconds / 3600.0, 8.0, 1.0);
+    EXPECT_NEAR(p.physicalQubits, 20e6, 1e5);
+}
+
+TEST(Baselines, CycleTimeScalesRuntime)
+{
+    GidneyEkeraSpec a, b;
+    b.tCycle = 900e-6;
+    auto pa = gidneyEkera(a);
+    auto pb = gidneyEkera(b);
+    EXPECT_NEAR(pb.seconds / pa.seconds, 900.0, 5.0);
+}
+
+TEST(Baselines, ReactionFloorAtFastCycles)
+{
+    GidneyEkeraSpec fast;
+    fast.tCycle = 1e-7;          // 100 ns cycles
+    fast.tReaction = 10e-6;
+    auto p = gidneyEkera(fast);
+    GidneyEkeraSpec faster = fast;
+    faster.tCycle = 1e-8;
+    // Reaction-limited: no further gain.
+    EXPECT_NEAR(gidneyEkera(faster).seconds, p.seconds, 1e-6);
+}
+
+TEST(Baselines, BeverlandAnchorShape)
+{
+    auto p = beverlandAnchor();
+    EXPECT_GT(p.seconds, 3.0 * 365.25 * 86400.0);
+    EXPECT_GT(p.physicalQubits, 20e6);
+}
+
+TEST(Chemistry, FeMoCoClassEstimate)
+{
+    ChemistrySpec spec;
+    auto r = estimateChemistry(spec);
+    EXPECT_GT(r.iterations, 1e6);
+    EXPECT_GT(r.cczTotal, 1e8);
+    EXPECT_GT(r.speedup, 5.0);   // the O(d) story carries over
+    EXPECT_GT(r.physicalQubits, 1e5);
+    EXPECT_LT(r.days, 365.0);
+}
+
+TEST(Chemistry, AccuracyDrivesIterations)
+{
+    ChemistrySpec coarse, fine;
+    fine.energyError = coarse.energyError / 10.0;
+    auto rc = estimateChemistry(coarse);
+    auto rf = estimateChemistry(fine);
+    EXPECT_NEAR(rf.iterations / rc.iterations, 10.0, 0.1);
+}
+
+TEST(Chemistry, RejectsBadSpecs)
+{
+    ChemistrySpec s;
+    s.energyError = 0.0;
+    EXPECT_THROW(estimateChemistry(s), FatalError);
+}
+
+} // namespace
+} // namespace traq::est

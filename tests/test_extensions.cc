@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the extension analyses: rotation synthesis (Fig. 1 /
+ * Sec. III.3) and hybrid qLDPC dense storage (Sec. IV.3.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/assert.hh"
+#include "src/estimator/qldpc.hh"
+#include "src/gadgets/rotation.hh"
+
+namespace traq {
+namespace {
+
+using gadgets::RotationCost;
+using platform::AtomArrayParams;
+
+TEST(Rotation, CliffordTScalesLogarithmically)
+{
+    auto p = AtomArrayParams::paperDefaults();
+    auto c6 = gadgets::synthesizeCliffordT(1e-6, p);
+    auto c12 = gadgets::synthesizeCliffordT(1e-12, p);
+    // T-count grows by ~1.15 * 20 when eps drops 1e-6 -> 1e-12...
+    // (log2(1e6) ~ 19.9 extra bits).
+    EXPECT_NEAR(c12.tCount - c6.tCount, 1.15 * 19.93, 0.5);
+    EXPECT_GT(c6.tCount, 10.0);
+    EXPECT_GT(c12.time, c6.time);
+}
+
+TEST(Rotation, PhaseGradientUsesOneAdditionOfBBits)
+{
+    auto p = AtomArrayParams::paperDefaults();
+    auto r = gadgets::synthesizePhaseGradient(1e-9, p);
+    EXPECT_EQ(r.gradientBits, 30);
+    EXPECT_DOUBLE_EQ(r.cczCount, 30.0);
+    EXPECT_DOUBLE_EQ(r.tCount, 0.0);
+    EXPECT_NEAR(r.time, 60.0 * p.reactionTime(), 1e-12);
+}
+
+TEST(Rotation, RouteChoiceIsConsistent)
+{
+    auto p = AtomArrayParams::paperDefaults();
+    for (double eps : {1e-3, 1e-6, 1e-9, 1e-12}) {
+        auto best = gadgets::chooseRotationRoute(eps, p);
+        auto direct = gadgets::synthesizeCliffordT(eps, p);
+        auto grad = gadgets::synthesizePhaseGradient(eps, p);
+        double bestT = best.tCount + 4.0 * best.cczCount;
+        EXPECT_LE(bestT, direct.tCount + 1e-9);
+        EXPECT_LE(bestT, 4.0 * grad.cczCount + 1e-9);
+    }
+}
+
+TEST(Rotation, RejectsBadAccuracy)
+{
+    auto p = AtomArrayParams::paperDefaults();
+    EXPECT_THROW(gadgets::synthesizeCliffordT(0.0, p), FatalError);
+    EXPECT_THROW(gadgets::synthesizePhaseGradient(2.0, p),
+                 FatalError);
+}
+
+class QldpcFixture : public ::testing::Test
+{
+  protected:
+    est::FactoringSpec spec;
+    est::FactoringReport base = est::estimateFactoring(spec);
+};
+
+TEST_F(QldpcFixture, TenXCompressionSavesAboutTwentyPercent)
+{
+    est::QldpcStorageSpec qs;   // 10x, 85% eligible
+    auto r = est::applyQldpcStorage(base, spec, qs);
+    // Paper Sec. IV.3.4: ~20% footprint reduction.
+    EXPECT_GT(r.footprintReduction, 0.15);
+    EXPECT_LT(r.footprintReduction, 0.35);
+    EXPECT_LT(r.physicalQubits, base.physicalQubits);
+    EXPECT_NEAR(r.spacetimeVolume,
+                r.physicalQubits * base.totalSeconds, 1.0);
+}
+
+TEST_F(QldpcFixture, CompressionMonotone)
+{
+    double prev = base.physicalQubits;
+    for (double comp : {2.0, 5.0, 10.0, 20.0}) {
+        est::QldpcStorageSpec qs;
+        qs.compressionFactor = comp;
+        auto r = est::applyQldpcStorage(base, spec, qs);
+        EXPECT_LT(r.physicalQubits, prev);
+        prev = r.physicalQubits;
+    }
+}
+
+TEST_F(QldpcFixture, SavingsSaturateWithEligibility)
+{
+    // The ineligible (actively-streamed) fraction bounds the gain.
+    est::QldpcStorageSpec all;
+    all.eligibleFraction = 1.0;
+    all.compressionFactor = 1e6;
+    auto r = est::applyQldpcStorage(base, spec, all);
+    double bound = base.storageQubits / base.physicalQubits;
+    EXPECT_NEAR(r.footprintReduction, bound, 1e-6);
+}
+
+TEST_F(QldpcFixture, AccessCycleLongerThanCompute)
+{
+    est::QldpcStorageSpec qs;
+    auto r = est::applyQldpcStorage(base, spec, qs);
+    EXPECT_GT(r.accessCycleTime, r.computeCycleTime);
+}
+
+TEST_F(QldpcFixture, RejectsBadSpecs)
+{
+    est::QldpcStorageSpec bad;
+    bad.compressionFactor = 0.5;
+    EXPECT_THROW(est::applyQldpcStorage(base, spec, bad),
+                 FatalError);
+    est::QldpcStorageSpec badFrac;
+    badFrac.eligibleFraction = 1.5;
+    EXPECT_THROW(est::applyQldpcStorage(base, spec, badFrac),
+                 FatalError);
+}
+
+} // namespace
+} // namespace traq

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Tests for the bit-sliced Pauli-frame sampler: noiseless silence,
+ * forced-error propagation through every gate type, and statistical
+ * agreement of noise channels with expectations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/sim/circuit.hh"
+#include "src/sim/frame.hh"
+
+namespace traq::sim {
+namespace {
+
+TEST(Frame, NoiselessCircuitHasNoEvents)
+{
+    Circuit c;
+    c.h(0);
+    c.cx(0, 1);
+    c.m(0);
+    c.m(1);
+    c.detector({1, 2});
+    c.observable(0, {1});
+    FrameSimulator sim(1);
+    FrameBatch batch = sim.sample(c);
+    ASSERT_EQ(batch.detectors.size(), 1u);
+    EXPECT_EQ(batch.detectors[0], 0u);
+    EXPECT_EQ(batch.observables[0], 0u);
+}
+
+TEST(Frame, CertainXErrorFlipsMeasurement)
+{
+    Circuit c;
+    c.xError(1.0, {0});
+    c.m(0);
+    c.detector({1});
+    FrameSimulator sim(2);
+    FrameBatch batch = sim.sample(c);
+    EXPECT_EQ(batch.detectors[0], ~0ULL);
+}
+
+TEST(Frame, ZErrorInvisibleToZMeasurement)
+{
+    Circuit c;
+    c.zError(1.0, {0});
+    c.m(0);
+    c.detector({1});
+    FrameSimulator sim(2);
+    EXPECT_EQ(sim.sample(c).detectors[0], 0u);
+}
+
+TEST(Frame, ZErrorVisibleToXMeasurement)
+{
+    Circuit c;
+    c.zError(1.0, {0});
+    c.mx(0);
+    c.detector({1});
+    FrameSimulator sim(2);
+    EXPECT_EQ(sim.sample(c).detectors[0], ~0ULL);
+}
+
+TEST(Frame, HadamardRotatesFrame)
+{
+    // Z error, then H, then Z-measure: error becomes X-like, flips.
+    Circuit c;
+    c.zError(1.0, {0});
+    c.h(0);
+    c.m(0);
+    c.detector({1});
+    FrameSimulator sim(3);
+    EXPECT_EQ(sim.sample(c).detectors[0], ~0ULL);
+}
+
+TEST(Frame, CxPropagatesXForward)
+{
+    Circuit c;
+    c.xError(1.0, {0});
+    c.cx(0, 1);
+    c.m(1);
+    c.detector({1});
+    FrameSimulator sim(4);
+    EXPECT_EQ(sim.sample(c).detectors[0], ~0ULL);
+}
+
+TEST(Frame, CxPropagatesZBackward)
+{
+    Circuit c;
+    c.zError(1.0, {1});
+    c.cx(0, 1);
+    c.mx(0);
+    c.detector({1});
+    FrameSimulator sim(4);
+    EXPECT_EQ(sim.sample(c).detectors[0], ~0ULL);
+}
+
+TEST(Frame, CzConvertsXToZOnPartner)
+{
+    Circuit c;
+    c.xError(1.0, {0});
+    c.cz(0, 1);
+    c.mx(1);
+    c.detector({1});
+    FrameSimulator sim(4);
+    EXPECT_EQ(sim.sample(c).detectors[0], ~0ULL);
+}
+
+TEST(Frame, SwapMovesFrame)
+{
+    Circuit c;
+    c.xError(1.0, {0});
+    c.swapq(0, 1);
+    c.m(0);
+    c.m(1);
+    c.detector({2});  // qubit 0 measurement
+    c.detector({1});  // qubit 1 measurement
+    FrameSimulator sim(4);
+    FrameBatch b = sim.sample(c);
+    EXPECT_EQ(b.detectors[0], 0u);
+    EXPECT_EQ(b.detectors[1], ~0ULL);
+}
+
+TEST(Frame, SGateMixesXintoZ)
+{
+    // X error + S + X-measurement: S X S^dag = Y which anticommutes
+    // with X, so the X-basis measurement flips.
+    Circuit c;
+    c.xError(1.0, {0});
+    c.s(0);
+    c.mx(0);
+    c.detector({1});
+    FrameSimulator sim(4);
+    EXPECT_EQ(sim.sample(c).detectors[0], ~0ULL);
+}
+
+TEST(Frame, ResetClearsFrame)
+{
+    Circuit c;
+    c.xError(1.0, {0});
+    c.r(0);
+    c.m(0);
+    c.detector({1});
+    FrameSimulator sim(4);
+    EXPECT_EQ(sim.sample(c).detectors[0], 0u);
+}
+
+TEST(Frame, MrRecordsThenClears)
+{
+    Circuit c;
+    c.xError(1.0, {0});
+    c.mr(0);
+    c.m(0);
+    c.detector({2});
+    c.detector({1});
+    FrameSimulator sim(4);
+    FrameBatch b = sim.sample(c);
+    EXPECT_EQ(b.detectors[0], ~0ULL);  // first measurement flipped
+    EXPECT_EQ(b.detectors[1], 0u);     // after reset, clean
+}
+
+TEST(Frame, ObservableAccumulatesMultipleRecords)
+{
+    Circuit c;
+    c.xError(1.0, {0});
+    c.m(0);
+    c.m(1);
+    c.observable(0, {2, 1});  // XOR of both measurements
+    FrameSimulator sim(4);
+    FrameBatch b = sim.sample(c);
+    EXPECT_EQ(b.observables[0], ~0ULL);
+}
+
+TEST(Frame, XErrorRateMatches)
+{
+    Circuit c;
+    c.xError(0.3, {0});
+    c.m(0);
+    c.detector({1});
+    FrameSimulator sim(99);
+    std::uint64_t flips = 0, shots = 0;
+    for (int i = 0; i < 500; ++i) {
+        flips += __builtin_popcountll(sim.sample(c).detectors[0]);
+        shots += 64;
+    }
+    double rate = static_cast<double>(flips) / shots;
+    EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(Frame, Depolarize1VisibleFraction)
+{
+    // Depolarizing errors show in Z measurement 2/3 of the time
+    // (X and Y components).
+    Circuit c;
+    c.depolarize1(0.9, {0});
+    c.m(0);
+    c.detector({1});
+    FrameSimulator sim(123);
+    std::uint64_t flips = 0, shots = 0;
+    for (int i = 0; i < 500; ++i) {
+        flips += __builtin_popcountll(sim.sample(c).detectors[0]);
+        shots += 64;
+    }
+    double rate = static_cast<double>(flips) / shots;
+    EXPECT_NEAR(rate, 0.9 * 2.0 / 3.0, 0.02);
+}
+
+TEST(Frame, Depolarize2MarginalVisibleFraction)
+{
+    // Of the 15 two-qubit components, 8 have an X/Y on the first
+    // qubit; a Z measurement of qubit 0 flips for those.
+    Circuit c;
+    c.depolarize2(0.9, {0, 1});
+    c.m(0);
+    c.detector({1});
+    FrameSimulator sim(321);
+    std::uint64_t flips = 0, shots = 0;
+    for (int i = 0; i < 500; ++i) {
+        flips += __builtin_popcountll(sim.sample(c).detectors[0]);
+        shots += 64;
+    }
+    double rate = static_cast<double>(flips) / shots;
+    EXPECT_NEAR(rate, 0.9 * 8.0 / 15.0, 0.02);
+}
+
+TEST(Frame, CountObservableFlipsHelper)
+{
+    Circuit c;
+    c.xError(0.5, {0});
+    c.m(0);
+    c.observable(0, {1});
+    FrameSimulator sim(55);
+    std::uint64_t shots = 0;
+    auto counts = sim.countObservableFlips(c, 10000, &shots);
+    ASSERT_EQ(counts.size(), 1u);
+    EXPECT_GE(shots, 10000u);
+    double rate = static_cast<double>(counts[0]) / shots;
+    EXPECT_NEAR(rate, 0.5, 0.03);
+}
+
+} // namespace
+} // namespace traq::sim

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Integration tests: end-to-end Monte-Carlo logical-error estimation
+ * on memory and transversal-CNOT experiments.  These validate the
+ * paper-relevant qualitative behaviours: error suppression with
+ * distance below threshold, failure above threshold scaling, and
+ * error-rate elevation with CNOT density (the decoding factor).
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/codes/experiments.hh"
+#include "src/decoder/monte_carlo.hh"
+
+namespace traq::decoder {
+namespace {
+
+using codes::NoiseParams;
+using codes::SurfaceCode;
+
+TEST(MonteCarlo, NoiselessNeverFails)
+{
+    SurfaceCode sc(3);
+    auto e = codes::buildMemory(sc, 'Z', 3, NoiseParams::none());
+    McOptions opts;
+    opts.shots = 256;
+    auto res = runMonteCarlo(e, opts);
+    EXPECT_EQ(res.anyObservable.hits, 0u);
+    EXPECT_EQ(res.avgDefects, 0.0);
+}
+
+TEST(MonteCarlo, HighNoiseFailsOften)
+{
+    SurfaceCode sc(3);
+    auto e =
+        codes::buildMemory(sc, 'Z', 3, NoiseParams::uniform(0.08));
+    McOptions opts;
+    opts.shots = 2048;
+    opts.decoder = DecoderKind::UnionFind;
+    auto res = runMonteCarlo(e, opts);
+    // Far above threshold: logical failure should approach 50%.
+    EXPECT_GT(res.perObservable[0].mean, 0.2);
+}
+
+TEST(MonteCarlo, DistanceSuppressionBelowThreshold)
+{
+    // At p = 0.2% (well below the ~0.7-1% circuit threshold), d = 5
+    // must beat d = 3 with the matching decoder.
+    const double p = 0.002;
+    McOptions opts;
+    opts.shots = 6000;
+    opts.seed = 1234;
+    opts.decoder = DecoderKind::Mwpm;
+
+    SurfaceCode sc3(3);
+    auto e3 = codes::buildMemory(sc3, 'Z', 3,
+                                 NoiseParams::uniform(p));
+    auto r3 = runMonteCarlo(e3, opts);
+
+    SurfaceCode sc5(5);
+    auto e5 = codes::buildMemory(sc5, 'Z', 5,
+                                 NoiseParams::uniform(p));
+    auto r5 = runMonteCarlo(e5, opts);
+
+    EXPECT_GT(r3.perObservable[0].mean, 0.0);
+    EXPECT_LT(r5.perObservable[0].mean, r3.perObservable[0].mean)
+        << "d=3: " << r3.perObservable[0].mean
+        << " d=5: " << r5.perObservable[0].mean;
+}
+
+TEST(MonteCarlo, XBasisMemoryAlsoDecodes)
+{
+    SurfaceCode sc(3);
+    auto e =
+        codes::buildMemory(sc, 'X', 3, NoiseParams::uniform(0.003));
+    McOptions opts;
+    opts.shots = 4000;
+    auto res = runMonteCarlo(e, opts);
+    // Should be suppressed well below raw physical accumulation.
+    EXPECT_LT(res.perObservable[0].mean, 0.05);
+}
+
+TEST(MonteCarlo, TransversalCnotDecodes)
+{
+    codes::TransversalCnotSpec spec;
+    spec.distance = 3;
+    spec.cnotLayers = 4;
+    spec.cnotsPerBatch = 1;
+    spec.seRoundsPerBatch = 1;
+    spec.noise = NoiseParams::uniform(0.002);
+    auto e = codes::buildTransversalCnot(spec);
+    McOptions opts;
+    opts.shots = 4000;
+    auto res = runMonteCarlo(e, opts);
+    ASSERT_EQ(res.perObservable.size(), 2u);
+    // Both logical qubits decode with suppressed error.
+    EXPECT_LT(res.perObservable[0].mean, 0.1);
+    EXPECT_LT(res.perObservable[1].mean, 0.1);
+    EXPECT_GT(res.avgDefects, 0.0);
+}
+
+TEST(MonteCarlo, CnotPackingTradeoffMatchesEq4)
+{
+    // The heart of Eq. (4): with the total CNOT count fixed, packing
+    // more transversal CNOTs per SE round (larger x) lowers the total
+    // error below threshold (fewer SE rounds' worth of noise), but
+    // the *per-SE-round* error rate is elevated by the (1 + alpha x)
+    // factor.  Both effects must be visible.
+    McOptions opts;
+    opts.shots = 6000;
+    opts.seed = 99;
+    const double p = 0.004;
+
+    auto run = [&](int cnotsPerBatch) {
+        codes::TransversalCnotSpec spec;
+        spec.distance = 3;
+        spec.cnotLayers = 8;
+        spec.cnotsPerBatch = cnotsPerBatch;
+        spec.seRoundsPerBatch = 1;
+        spec.noise = NoiseParams::uniform(p);
+        auto e = codes::buildTransversalCnot(spec);
+        auto r = runMonteCarlo(e, opts);
+        return r.anyObservable.mean;
+    };
+
+    double sparse = run(1);   // 8 SE blocks, x = 1
+    double dense = run(4);    // 2 SE blocks, x = 4
+    // Total error: dense packing wins below threshold (Fig. 6(b):
+    // optimal SE rounds per CNOT <= 1).
+    EXPECT_LT(dense, sparse)
+        << "dense=" << dense << " sparse=" << sparse;
+    // Per-SE-round error: dense is elevated (alpha > 0 in Eq. (4)).
+    EXPECT_GT(dense / 2.0, sparse / 8.0)
+        << "dense=" << dense << " sparse=" << sparse;
+}
+
+TEST(MonteCarlo, MwpmFallbackCounted)
+{
+    SurfaceCode sc(3);
+    auto e =
+        codes::buildMemory(sc, 'Z', 3, NoiseParams::uniform(0.05));
+    McOptions opts;
+    opts.shots = 1024;
+    opts.decoder = DecoderKind::Mwpm;
+    opts.mwpmMaxDefects = 2;   // force frequent fallback
+    auto res = runMonteCarlo(e, opts);
+    EXPECT_GT(res.mwpmFallbacks, 0u);
+}
+
+} // namespace
+} // namespace traq::decoder

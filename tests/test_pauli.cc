@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Unit and property tests for PauliString algebra and Heisenberg
+ * conjugation through Clifford circuits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hh"
+#include "src/sim/circuit.hh"
+#include "src/sim/conjugate.hh"
+#include "src/sim/pauli.hh"
+
+namespace traq::sim {
+namespace {
+
+TEST(Pauli, ParseAndPrint)
+{
+    PauliString p = PauliString::fromText("+XZIY");
+    EXPECT_EQ(p.numQubits(), 4u);
+    EXPECT_EQ(p.pauli(0), 'X');
+    EXPECT_EQ(p.pauli(1), 'Z');
+    EXPECT_EQ(p.pauli(2), 'I');
+    EXPECT_EQ(p.pauli(3), 'Y');
+    EXPECT_EQ(p.str(), "+XZIY");
+    EXPECT_EQ(PauliString::fromText("-ZZ").str(), "-ZZ");
+    EXPECT_EQ(PauliString::fromText("iX").phase(), 1);
+    EXPECT_EQ(PauliString::fromText("-iX").phase(), 3);
+}
+
+TEST(Pauli, Weight)
+{
+    EXPECT_EQ(PauliString::fromText("XIZY").weight(), 3u);
+    EXPECT_EQ(PauliString(5).weight(), 0u);
+}
+
+TEST(Pauli, SingleQubitProducts)
+{
+    // X * Y = i Z.
+    PauliString x = PauliString::fromText("X");
+    x.multiplyBy(PauliString::fromText("Y"));
+    EXPECT_EQ(x.str(), "iZ");
+    // Y * X = -i Z.
+    PauliString y = PauliString::fromText("Y");
+    y.multiplyBy(PauliString::fromText("X"));
+    EXPECT_EQ(y.str(), "-iZ");
+    // Z * X = i Y.
+    PauliString z = PauliString::fromText("Z");
+    z.multiplyBy(PauliString::fromText("X"));
+    EXPECT_EQ(z.str(), "iY");
+    // X * X = I.
+    PauliString xx = PauliString::fromText("X");
+    xx.multiplyBy(PauliString::fromText("X"));
+    EXPECT_EQ(xx.str(), "+I");
+}
+
+TEST(Pauli, CommutationRules)
+{
+    auto X = PauliString::fromText("X");
+    auto Y = PauliString::fromText("Y");
+    auto Z = PauliString::fromText("Z");
+    auto I = PauliString::fromText("I");
+    EXPECT_FALSE(X.commutesWith(Y));
+    EXPECT_FALSE(X.commutesWith(Z));
+    EXPECT_FALSE(Y.commutesWith(Z));
+    EXPECT_TRUE(X.commutesWith(X));
+    EXPECT_TRUE(I.commutesWith(X));
+    // Two anticommuting sites make the strings commute overall.
+    EXPECT_TRUE(PauliString::fromText("XX").commutesWith(
+        PauliString::fromText("ZZ")));
+    EXPECT_FALSE(PauliString::fromText("XI").commutesWith(
+        PauliString::fromText("ZI")));
+}
+
+/** Property: P*Q and Q*P agree up to the commutation sign. */
+TEST(Pauli, ProductCommutatorProperty)
+{
+    traq::Rng rng(1234);
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::size_t n = 1 + rng.below(6);
+        PauliString p(n), q(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            p.setPauli(i, "IXYZ"[rng.below(4)]);
+            q.setPauli(i, "IXYZ"[rng.below(4)]);
+        }
+        PauliString pq = p;
+        pq.multiplyBy(q);
+        PauliString qp = q;
+        qp.multiplyBy(p);
+        int expectDelta = p.commutesWith(q) ? 0 : 2;
+        EXPECT_EQ(((pq.phase() - qp.phase()) % 4 + 4) % 4,
+                  expectDelta);
+        // Bit content must match regardless of order.
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(pq.pauli(i), qp.pauli(i));
+    }
+}
+
+/** Property: multiplication is associative. */
+TEST(Pauli, Associativity)
+{
+    traq::Rng rng(99);
+    for (int trial = 0; trial < 100; ++trial) {
+        const std::size_t n = 1 + rng.below(5);
+        PauliString a(n), b(n), c(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            a.setPauli(i, "IXYZ"[rng.below(4)]);
+            b.setPauli(i, "IXYZ"[rng.below(4)]);
+            c.setPauli(i, "IXYZ"[rng.below(4)]);
+        }
+        PauliString ab_c = a;
+        ab_c.multiplyBy(b);
+        ab_c.multiplyBy(c);
+        PauliString bc = b;
+        bc.multiplyBy(c);
+        PauliString a_bc = a;
+        a_bc.multiplyBy(bc);
+        EXPECT_EQ(ab_c, a_bc);
+    }
+}
+
+TEST(Conjugate, HadamardSwapsXZ)
+{
+    Circuit c;
+    c.h(0);
+    EXPECT_EQ(conjugateByCircuit(PauliString::fromText("X"), c).str(),
+              "+Z");
+    EXPECT_EQ(conjugateByCircuit(PauliString::fromText("Z"), c).str(),
+              "+X");
+    EXPECT_EQ(conjugateByCircuit(PauliString::fromText("Y"), c).str(),
+              "-Y");
+}
+
+TEST(Conjugate, PhaseGate)
+{
+    Circuit c;
+    c.s(0);
+    EXPECT_EQ(conjugateByCircuit(PauliString::fromText("X"), c).str(),
+              "+Y");
+    EXPECT_EQ(conjugateByCircuit(PauliString::fromText("Y"), c).str(),
+              "-X");
+    Circuit cd;
+    cd.sdag(0);
+    EXPECT_EQ(conjugateByCircuit(PauliString::fromText("X"), cd).str(),
+              "-Y");
+    EXPECT_EQ(conjugateByCircuit(PauliString::fromText("Y"), cd).str(),
+              "+X");
+}
+
+TEST(Conjugate, CxSpreadsPaulis)
+{
+    Circuit c;
+    c.cx(0, 1);
+    EXPECT_EQ(conjugateByCircuit(PauliString::fromText("XI"), c).str(),
+              "+XX");
+    EXPECT_EQ(conjugateByCircuit(PauliString::fromText("IZ"), c).str(),
+              "+ZZ");
+    EXPECT_EQ(conjugateByCircuit(PauliString::fromText("ZI"), c).str(),
+              "+ZI");
+    EXPECT_EQ(conjugateByCircuit(PauliString::fromText("IX"), c).str(),
+              "+IX");
+    // Y on control: Y_c -> Y_c X_t.
+    EXPECT_EQ(conjugateByCircuit(PauliString::fromText("YI"), c).str(),
+              "+YX");
+    // Y on target: Y_t -> Z_c Y_t.
+    EXPECT_EQ(conjugateByCircuit(PauliString::fromText("IY"), c).str(),
+              "+ZY");
+}
+
+TEST(Conjugate, CzSpreadsPaulis)
+{
+    Circuit c;
+    c.cz(0, 1);
+    EXPECT_EQ(conjugateByCircuit(PauliString::fromText("XI"), c).str(),
+              "+XZ");
+    EXPECT_EQ(conjugateByCircuit(PauliString::fromText("IX"), c).str(),
+              "+ZX");
+    EXPECT_EQ(conjugateByCircuit(PauliString::fromText("ZI"), c).str(),
+              "+ZI");
+    // X_a X_b -> (X_a Z_b)(Z_a X_b) = Y_a Y_b.
+    EXPECT_EQ(conjugateByCircuit(PauliString::fromText("XX"), c).str(),
+              "+YY");
+    // Y_a X_b -> -X_a Y_b (see tableau sign analysis).
+    EXPECT_EQ(conjugateByCircuit(PauliString::fromText("YX"), c).str(),
+              "-XY");
+}
+
+TEST(Conjugate, SwapMovesOperators)
+{
+    Circuit c;
+    c.swapq(0, 1);
+    EXPECT_EQ(conjugateByCircuit(PauliString::fromText("XZ"), c).str(),
+              "+ZX");
+}
+
+/** Property: conjugation preserves commutation relations. */
+TEST(Conjugate, PreservesCommutation)
+{
+    traq::Rng rng(2024);
+    for (int trial = 0; trial < 60; ++trial) {
+        const std::size_t n = 3;
+        Circuit c;
+        for (int g = 0; g < 12; ++g) {
+            switch (rng.below(5)) {
+              case 0:
+                c.h(static_cast<std::uint32_t>(rng.below(n)));
+                break;
+              case 1:
+                c.s(static_cast<std::uint32_t>(rng.below(n)));
+                break;
+              case 2: {
+                std::uint32_t a =
+                    static_cast<std::uint32_t>(rng.below(n));
+                std::uint32_t b =
+                    static_cast<std::uint32_t>(rng.below(n));
+                if (a != b)
+                    c.cx(a, b);
+                break;
+              }
+              case 3: {
+                std::uint32_t a =
+                    static_cast<std::uint32_t>(rng.below(n));
+                std::uint32_t b =
+                    static_cast<std::uint32_t>(rng.below(n));
+                if (a != b)
+                    c.cz(a, b);
+                break;
+              }
+              default:
+                c.sdag(static_cast<std::uint32_t>(rng.below(n)));
+                break;
+            }
+        }
+        PauliString p(n), q(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            p.setPauli(i, "IXYZ"[rng.below(4)]);
+            q.setPauli(i, "IXYZ"[rng.below(4)]);
+        }
+        PauliString pc = conjugateByCircuit(p, c);
+        PauliString qc = conjugateByCircuit(q, c);
+        EXPECT_EQ(p.commutesWith(q), pc.commutesWith(qc));
+    }
+}
+
+/** Property: conjugation is multiplicative: U(PQ)U' = (UPU')(UQU'). */
+TEST(Conjugate, Multiplicative)
+{
+    traq::Rng rng(777);
+    for (int trial = 0; trial < 60; ++trial) {
+        const std::size_t n = 3;
+        Circuit c;
+        c.h(0);
+        c.cx(0, 1);
+        c.s(1);
+        c.cz(1, 2);
+        c.sdag(2);
+        c.cx(2, 0);
+        PauliString p(n), q(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            p.setPauli(i, "IXYZ"[rng.below(4)]);
+            q.setPauli(i, "IXYZ"[rng.below(4)]);
+        }
+        PauliString pq = p;
+        pq.multiplyBy(q);
+        PauliString lhs = conjugateByCircuit(pq, c);
+        PauliString rhs = conjugateByCircuit(p, c);
+        rhs.multiplyBy(conjugateByCircuit(q, c));
+        EXPECT_EQ(lhs, rhs) << "trial " << trial;
+    }
+}
+
+} // namespace
+} // namespace traq::sim

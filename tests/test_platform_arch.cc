@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the platform (Table I, Eq. (1) movement) and architecture
+ * (QEC-cycle timing, idle-SE scheduling, space-time ledger) layers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/arch/qec_cycle.hh"
+#include "src/arch/se_schedule.hh"
+#include "src/arch/tracker.hh"
+#include "src/common/assert.hh"
+#include "src/platform/movement.hh"
+#include "src/platform/params.hh"
+
+namespace traq {
+namespace {
+
+using platform::AtomArrayParams;
+
+TEST(Platform, MoveTimeEq1)
+{
+    auto p = AtomArrayParams::paperDefaults();
+    // Table I calibration: 55 um in 200 us.
+    EXPECT_NEAR(platform::moveTime(55e-6, p), 200e-6, 1e-6);
+    EXPECT_DOUBLE_EQ(platform::moveTime(0.0, p), 0.0);
+}
+
+TEST(Platform, MoveTimeSqrtScaling)
+{
+    auto p = AtomArrayParams::paperDefaults();
+    double t1 = platform::moveTime(100e-6, p);
+    double t4 = platform::moveTime(400e-6, p);
+    EXPECT_NEAR(t4 / t1, 2.0, 1e-9);
+}
+
+TEST(Platform, PatchMoveNear500usAtD27)
+{
+    auto p = AtomArrayParams::paperDefaults();
+    // "Moving a code patch across the distance of a logical qubit
+    // takes around 500 us" (Sec. IV.2).
+    double t = platform::patchMoveTime(27, p);
+    EXPECT_GT(t, 400e-6);
+    EXPECT_LT(t, 550e-6);
+}
+
+TEST(Platform, ReactionTimeIsOneMs)
+{
+    auto p = AtomArrayParams::paperDefaults();
+    EXPECT_DOUBLE_EQ(p.reactionTime(), 1e-3);
+}
+
+TEST(Platform, MoveScheduleAccumulates)
+{
+    auto p = AtomArrayParams::paperDefaults();
+    platform::MoveSchedule sched(p);
+    sched.addMoveSites(1.0);
+    sched.addGateLayer();
+    sched.addMeasurement();
+    EXPECT_EQ(sched.steps().size(), 3u);
+    double expected = platform::moveTimeSites(1.0, p) + p.gateTime +
+                      p.measureTime;
+    EXPECT_NEAR(sched.totalTime(), expected, 1e-12);
+    EXPECT_NEAR(sched.maxMoveDistance(), p.siteSpacing, 1e-12);
+}
+
+TEST(Platform, PipelinedMeasureMoveTakesMax)
+{
+    auto p = AtomArrayParams::paperDefaults();
+    platform::MoveSchedule sched(p);
+    sched.addPipelinedMeasureMove(27.0);
+    // Patch move (485 us) < measure (500 us): pipelining hides it.
+    EXPECT_NEAR(sched.totalTime(), p.measureTime, 1e-9);
+    platform::MoveSchedule far(p);
+    far.addPipelinedMeasureMove(200.0);
+    EXPECT_GT(far.totalTime(), p.measureTime);
+}
+
+TEST(Platform, RejectsBadInputs)
+{
+    auto p = AtomArrayParams::paperDefaults();
+    EXPECT_THROW(platform::moveTime(-1.0, p), FatalError);
+    EXPECT_THROW(platform::patchWidth(0, p), FatalError);
+}
+
+TEST(QecCycle, PaperTimingQuotes)
+{
+    auto p = AtomArrayParams::paperDefaults();
+    auto cyc = arch::qecCycle(27, p);
+    // "gates in a QEC cycle taking around 400 us".
+    EXPECT_GT(cyc.seGatePhase, 300e-6);
+    EXPECT_LT(cyc.seGatePhase, 450e-6);
+    // Patch move pipelined under the 500 us measurement.
+    EXPECT_NEAR(cyc.measurePhase, 500e-6, 1e-9);
+    EXPECT_NEAR(cyc.total, cyc.seGatePhase + cyc.measurePhase,
+                1e-12);
+    EXPECT_LT(cyc.total, 1e-3);
+}
+
+TEST(QecCycle, LongMovesStretchTheCycle)
+{
+    auto p = AtomArrayParams::paperDefaults();
+    auto local = arch::qecCycle(27, p);
+    auto longMove = arch::qecCycle(27, p, /*moveSites=*/500.0);
+    EXPECT_GT(longMove.total, local.total);
+}
+
+TEST(QecCycle, FasterAccelerationShortensCycle)
+{
+    auto p = AtomArrayParams::paperDefaults();
+    auto slow = arch::qecCycle(27, p);
+    p.acceleration *= 10.0;
+    auto fast = arch::qecCycle(27, p);
+    EXPECT_LT(fast.seGatePhase, slow.seGatePhase);
+}
+
+TEST(SeSchedule, IdleErrorLinearRegime)
+{
+    auto p = AtomArrayParams::paperDefaults();
+    EXPECT_NEAR(arch::idleError(1e-3, p), 1e-4, 1e-6);
+    EXPECT_NEAR(arch::idleError(0.0, p), 0.0, 1e-15);
+}
+
+TEST(SeSchedule, OptimalPeriodNearPaper8ms)
+{
+    auto p = AtomArrayParams::paperDefaults();
+    auto em = model::ErrorModelParams::paperDefaults();
+    double tau = arch::optimalIdlePeriod(27, p, em);
+    // Paper: "a QEC round for storage qubits every 8 ms".
+    EXPECT_GT(tau, 2e-3);
+    EXPECT_LT(tau, 30e-3);
+    double approx = arch::optimalIdlePeriodApprox(27, p, em);
+    EXPECT_GT(approx, 1e-3);
+    EXPECT_LT(approx, 20e-3);
+}
+
+TEST(SeSchedule, OptimumLargelyDistanceIndependent)
+{
+    // Fig. 11(c): weak dependence on code distance.
+    auto p = AtomArrayParams::paperDefaults();
+    auto em = model::ErrorModelParams::paperDefaults();
+    double t13 = arch::optimalIdlePeriod(13, p, em);
+    double t31 = arch::optimalIdlePeriod(31, p, em);
+    EXPECT_LT(t13 / t31, 4.0);
+    EXPECT_GT(t13 / t31, 1.0);   // slightly longer at small d
+}
+
+TEST(SeSchedule, OptimumScalesWithCoherence)
+{
+    auto p = AtomArrayParams::paperDefaults();
+    auto em = model::ErrorModelParams::paperDefaults();
+    double t10 = arch::optimalIdlePeriod(27, p, em);
+    p.coherenceTime = 1.0;
+    double t1 = arch::optimalIdlePeriod(27, p, em);
+    EXPECT_LT(t1, t10);
+}
+
+TEST(SeSchedule, PeriodFlooredByQecCycle)
+{
+    auto p = AtomArrayParams::paperDefaults();
+    auto em = model::ErrorModelParams::paperDefaults();
+    p.coherenceTime = 0.01;   // absurdly short
+    double tau = arch::optimalIdlePeriod(27, p, em);
+    EXPECT_GE(tau, arch::qecCycle(27, p).total * 0.999);
+}
+
+TEST(SeSchedule, RateMinimizedAtOptimum)
+{
+    auto p = AtomArrayParams::paperDefaults();
+    auto em = model::ErrorModelParams::paperDefaults();
+    double tau = arch::optimalIdlePeriod(27, p, em);
+    double rOpt = arch::idleLogicalErrorRate(tau, 27, p, em);
+    EXPECT_LE(rOpt,
+              arch::idleLogicalErrorRate(tau * 3.0, 27, p, em));
+    EXPECT_LE(rOpt,
+              arch::idleLogicalErrorRate(tau / 3.0, 27, p, em));
+}
+
+TEST(Ledger, TotalsAndFractions)
+{
+    arch::SpaceTimeLedger ledger;
+    ledger.add("a", 100.0, 2.0, 0.01);
+    ledger.add("b", 300.0, 1.0, 0.03);
+    EXPECT_DOUBLE_EQ(ledger.totalQubits(), 400.0);
+    EXPECT_DOUBLE_EQ(ledger.makespan(), 2.0);
+    EXPECT_DOUBLE_EQ(ledger.totalVolume(), 500.0);
+    EXPECT_DOUBLE_EQ(ledger.totalError(), 0.04);
+    auto space = ledger.spaceFractions();
+    EXPECT_DOUBLE_EQ(space[0].second, 0.25);
+    EXPECT_DOUBLE_EQ(space[1].second, 0.75);
+    auto err = ledger.errorFractions();
+    EXPECT_DOUBLE_EQ(err[0].second, 0.25);
+    EXPECT_DOUBLE_EQ(err[1].second, 0.75);
+}
+
+TEST(Ledger, RejectsNegativeEntries)
+{
+    arch::SpaceTimeLedger ledger;
+    EXPECT_THROW(ledger.add("x", -1.0, 1.0), FatalError);
+}
+
+} // namespace
+} // namespace traq

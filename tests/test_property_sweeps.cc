@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Parameterized property sweeps (TEST_P) over the analytic stack:
+ * closed-form identities, inversions and monotonicities that must
+ * hold across the whole parameter space, not just at the paper's
+ * operating point.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "src/estimator/shor.hh"
+#include "src/gadgets/adder.hh"
+#include "src/gadgets/factory.hh"
+#include "src/gadgets/lookup.hh"
+#include "src/model/error_model.hh"
+
+namespace traq {
+namespace {
+
+// ---------------------------------------------------------------
+// Error model identities over a (d, x) grid.
+// ---------------------------------------------------------------
+
+class ErrorModelGrid
+    : public ::testing::TestWithParam<std::tuple<int, double>>
+{
+};
+
+TEST_P(ErrorModelGrid, Eq4ClosedFormIdentity)
+{
+    auto [d, x] = GetParam();
+    model::ErrorModelParams p;
+    double lhs = model::cnotLogicalError(d, x, p) * x / 2.0;
+    double rhs = p.prefactorC *
+                 std::pow((1.0 + p.alpha * x) / p.lambda(),
+                          (d + 1) / 2.0);
+    EXPECT_NEAR(lhs / rhs, 1.0, 1e-12);
+}
+
+TEST_P(ErrorModelGrid, DistanceInversionTight)
+{
+    auto [d, x] = GetParam();
+    model::ErrorModelParams p;
+    double target = model::cnotLogicalError(d, x, p);
+    // Solving for this exact target must return exactly d.
+    EXPECT_EQ(model::requiredDistanceCnot(target, x, p), d);
+}
+
+TEST_P(ErrorModelGrid, SuppressionPerDistanceStep)
+{
+    auto [d, x] = GetParam();
+    model::ErrorModelParams p;
+    double ratio = model::cnotLogicalError(d, x, p) /
+                   model::cnotLogicalError(d + 2, x, p);
+    // One distance step buys Lambda_eff = Lambda / (1 + alpha x).
+    EXPECT_NEAR(ratio, p.lambdaEff(x), 1e-9 * ratio);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ErrorModelGrid,
+    ::testing::Combine(::testing::Values(3, 7, 13, 21, 27, 35),
+                       ::testing::Values(0.25, 0.5, 1.0, 2.0, 4.0)));
+
+// ---------------------------------------------------------------
+// Adder design properties over an (nBits, rsep) grid.
+// ---------------------------------------------------------------
+
+class AdderGrid
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(AdderGrid, StructuralInvariants)
+{
+    auto [nBits, rsep] = GetParam();
+    gadgets::AdderSpec spec;
+    spec.nBits = nBits;
+    spec.rsep = rsep;
+    auto r = gadgets::designAdder(spec);
+    // Segments cover the register.
+    EXPECT_GE(r.segments * rsep, nBits);
+    EXPECT_LT((r.segments - 1) * rsep, nBits);
+    // One CCZ per bit including runway bits.
+    EXPECT_DOUBLE_EQ(r.cczPerAddition, r.bitsWithRunways);
+    EXPECT_EQ(r.bitsWithRunways, nBits + r.segments * spec.rpad);
+    // Reaction-limited time: independent of nBits at fixed rsep.
+    EXPECT_NEAR(r.timePerAddition,
+                2.0 * (rsep + spec.rpad) * spec.kappaAdd * 1e-3,
+                1e-9);
+    // Space scales with segment count.
+    EXPECT_DOUBLE_EQ(r.activeLogicalQubits, 17.0 * r.segments);
+}
+
+TEST_P(AdderGrid, ErrorScalesWithBits)
+{
+    auto [nBits, rsep] = GetParam();
+    gadgets::AdderSpec a;
+    a.nBits = nBits;
+    a.rsep = rsep;
+    gadgets::AdderSpec b = a;
+    b.nBits = nBits * 2;
+    auto ra = gadgets::designAdder(a);
+    auto rb = gadgets::designAdder(b);
+    EXPECT_GT(rb.logicalErrorPerAddition,
+              ra.logicalErrorPerAddition * 1.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AdderGrid,
+    ::testing::Combine(::testing::Values(256, 1024, 2048, 4096),
+                       ::testing::Values(32, 96, 256)));
+
+// ---------------------------------------------------------------
+// Lookup design properties over address sizes.
+// ---------------------------------------------------------------
+
+class LookupSizes : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LookupSizes, CountFormulas)
+{
+    int m = GetParam();
+    gadgets::LookupSpec spec;
+    spec.addressBits = m;
+    auto r = gadgets::designLookup(spec);
+    EXPECT_EQ(r.entries, 1ULL << m);
+    EXPECT_DOUBLE_EQ(r.cczPerLookup,
+                     std::pow(2.0, m) - m - 1);
+    EXPECT_NEAR(r.unlookupCcz, std::pow(2.0, m / 2.0), 1e-9);
+    // Iteration dominates the clock for large tables.
+    if (m >= 7)
+        EXPECT_GT(r.iterationTime, r.fanoutTime);
+}
+
+TEST_P(LookupSizes, TimeMonotoneInAddressBits)
+{
+    int m = GetParam();
+    gadgets::LookupSpec a, b;
+    a.addressBits = m;
+    b.addressBits = m + 1;
+    EXPECT_GT(gadgets::designLookup(b).timePerLookup,
+              gadgets::designLookup(a).timePerLookup);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LookupSizes,
+                         ::testing::Values(3, 5, 7, 8, 10, 12));
+
+// ---------------------------------------------------------------
+// Factory designs across CCZ error targets.
+// ---------------------------------------------------------------
+
+class FactoryTargets : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(FactoryTargets, MeetsItsBudget)
+{
+    double target = GetParam();
+    gadgets::FactorySpec spec;
+    spec.targetCczError = target;
+    auto r = gadgets::designFactory(spec);
+    EXPECT_LE(r.cczError, target * 1.05);
+    EXPECT_GE(r.distance, 3);
+    // Below ~1e-12 per CCZ, direct cultivation supply becomes
+    // unbalanced (one would stack a distillation round instead);
+    // the design must flag that rather than silently oversize.
+    if (target >= 1e-12)
+        EXPECT_TRUE(r.cultivationFits);
+    else
+        EXPECT_FALSE(r.cultivationFits);
+    EXPECT_GT(r.throughput, 0.0);
+    // Footprint width is always 12d.
+    EXPECT_EQ(r.footprintWidthSites, 12 * r.distance);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, FactoryTargets,
+                         ::testing::Values(1e-8, 1e-9, 1e-10,
+                                           1.6e-11, 1e-12, 1e-13));
+
+// ---------------------------------------------------------------
+// Factoring estimates across modulus sizes.
+// ---------------------------------------------------------------
+
+class FactoringSizes : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FactoringSizes, CostsGrowWithModulus)
+{
+    int n = GetParam();
+    est::FactoringSpec small, large;
+    small.nBits = n;
+    large.nBits = n * 2;
+    auto rs = est::estimateFactoring(small);
+    auto rl = est::estimateFactoring(large);
+    // Lookup-additions grow ~quadratically in n.
+    EXPECT_NEAR(rl.lookupAdditions / rs.lookupAdditions, 4.0, 0.3);
+    EXPECT_GT(rl.cczTotal, rs.cczTotal * 4.0);
+    EXPECT_GT(rl.physicalQubits, rs.physicalQubits);
+    EXPECT_GT(rl.totalSeconds, rs.totalSeconds);
+}
+
+TEST_P(FactoringSizes, VolumeIsQubitsTimesSeconds)
+{
+    int n = GetParam();
+    est::FactoringSpec s;
+    s.nBits = n;
+    auto r = est::estimateFactoring(s);
+    EXPECT_NEAR(r.spacetimeVolume,
+                r.physicalQubits * r.totalSeconds,
+                1e-6 * r.spacetimeVolume);
+    EXPECT_NEAR(r.days, r.totalSeconds / 86400.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FactoringSizes,
+                         ::testing::Values(512, 1024, 2048, 3072));
+
+} // namespace
+} // namespace traq

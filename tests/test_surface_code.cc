@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the rotated surface code layout: stabilizer counts,
+ * commutation, logical operators, CX-schedule conflict freedom, and
+ * cross-validation against the generic CSS machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/codes/css.hh"
+#include "src/common/assert.hh"
+#include "src/codes/surface_code.hh"
+#include "src/sim/pauli.hh"
+
+namespace traq::codes {
+namespace {
+
+class SurfaceCodeP : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SurfaceCodeP, Counts)
+{
+    const int d = GetParam();
+    SurfaceCode sc(d);
+    EXPECT_EQ(sc.numData(), static_cast<std::uint32_t>(d * d));
+    EXPECT_EQ(sc.numAncilla(), static_cast<std::uint32_t>(d * d - 1));
+    EXPECT_EQ(sc.plaquettes().size(),
+              static_cast<std::size_t>(d * d - 1));
+    // Equal numbers of X and Z plaquettes.
+    int nx = 0, nz = 0;
+    for (const auto &p : sc.plaquettes())
+        (p.isX ? nx : nz)++;
+    EXPECT_EQ(nx, (d * d - 1) / 2);
+    EXPECT_EQ(nz, (d * d - 1) / 2);
+}
+
+TEST_P(SurfaceCodeP, PlaquetteWeights)
+{
+    SurfaceCode sc(GetParam());
+    for (const auto &p : sc.plaquettes()) {
+        EXPECT_TRUE(p.support.size() == 2 || p.support.size() == 4);
+        // Schedule entries match the support set.
+        std::set<int> sched;
+        for (int s : p.schedule)
+            if (s >= 0)
+                sched.insert(s);
+        EXPECT_EQ(sched.size(), p.support.size());
+    }
+}
+
+TEST_P(SurfaceCodeP, StabilizersCommute)
+{
+    SurfaceCode sc(GetParam());
+    const auto &ps = sc.plaquettes();
+    auto toPauli = [&](const Plaquette &p) {
+        sim::PauliString s(sc.numData());
+        for (std::uint32_t q : p.support)
+            s.setPauli(q, p.isX ? 'X' : 'Z');
+        return s;
+    };
+    for (std::size_t i = 0; i < ps.size(); ++i)
+        for (std::size_t j = i + 1; j < ps.size(); ++j)
+            EXPECT_TRUE(toPauli(ps[i]).commutesWith(toPauli(ps[j])))
+                << "plaquettes " << i << "," << j;
+}
+
+TEST_P(SurfaceCodeP, LogicalsCommuteWithStabilizersAnticommuteEachOther)
+{
+    SurfaceCode sc(GetParam());
+    sim::PauliString lx(sc.numData()), lz(sc.numData());
+    for (std::uint32_t q : sc.logicalX())
+        lx.setPauli(q, 'X');
+    for (std::uint32_t q : sc.logicalZ())
+        lz.setPauli(q, 'Z');
+    for (const auto &p : sc.plaquettes()) {
+        sim::PauliString s(sc.numData());
+        for (std::uint32_t q : p.support)
+            s.setPauli(q, p.isX ? 'X' : 'Z');
+        EXPECT_TRUE(lx.commutesWith(s));
+        EXPECT_TRUE(lz.commutesWith(s));
+    }
+    EXPECT_FALSE(lx.commutesWith(lz));
+    EXPECT_EQ(lx.weight(), static_cast<std::size_t>(sc.distance()));
+    EXPECT_EQ(lz.weight(), static_cast<std::size_t>(sc.distance()));
+}
+
+TEST_P(SurfaceCodeP, ScheduleConflictFree)
+{
+    SurfaceCode sc(GetParam());
+    for (int layer = 0; layer < 4; ++layer) {
+        std::set<int> used;
+        for (const auto &p : sc.plaquettes()) {
+            int dq = p.schedule[layer];
+            if (dq < 0)
+                continue;
+            EXPECT_TRUE(used.insert(dq).second)
+                << "data qubit " << dq << " reused in layer "
+                << layer;
+        }
+    }
+}
+
+TEST_P(SurfaceCodeP, CssParametersMatch)
+{
+    const int d = GetParam();
+    CssCode css = makeSurfaceCodeCss(d);
+    EXPECT_EQ(css.numQubits(), static_cast<std::size_t>(d * d));
+    EXPECT_EQ(css.numLogical(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, SurfaceCodeP,
+                         ::testing::Values(3, 5, 7, 9));
+
+TEST(SurfaceCodeDistance, BruteForceD3)
+{
+    CssCode css = makeSurfaceCodeCss(3);
+    EXPECT_EQ(css.bruteForceDistance(), 3u);
+}
+
+TEST(SurfaceCode, RejectsBadDistance)
+{
+    EXPECT_THROW(SurfaceCode(2), traq::FatalError);
+    EXPECT_THROW(SurfaceCode(4), traq::FatalError);
+    EXPECT_THROW(SurfaceCode(1), traq::FatalError);
+}
+
+TEST(SurfaceCode, IndexingLayout)
+{
+    SurfaceCode sc(5);
+    EXPECT_EQ(sc.dataIndex(0, 0), 0u);
+    EXPECT_EQ(sc.dataIndex(1, 0), 5u);
+    EXPECT_EQ(sc.dataIndex(4, 4), 24u);
+    EXPECT_EQ(sc.ancillaIndex(0), 25u);
+    EXPECT_EQ(sc.numQubits(), 49u);
+}
+
+TEST(SurfaceCode, EveryDataQubitCovered)
+{
+    SurfaceCode sc(5);
+    // Each data qubit must appear in at least one X and one Z
+    // plaquette (otherwise errors there are undetectable).
+    std::vector<int> xCover(sc.numData(), 0), zCover(sc.numData(), 0);
+    for (const auto &p : sc.plaquettes())
+        for (std::uint32_t q : p.support)
+            (p.isX ? xCover : zCover)[q]++;
+    for (std::uint32_t q = 0; q < sc.numData(); ++q) {
+        EXPECT_GE(xCover[q], 1) << "qubit " << q;
+        EXPECT_GE(zCover[q], 1) << "qubit " << q;
+    }
+}
+
+} // namespace
+} // namespace traq::codes

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Tests for the Aaronson–Gottesman tableau simulator: gate semantics,
+ * measurement statistics, entangled-state correlations, and the
+ * stabilizer-membership test hook.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/sim/circuit.hh"
+#include "src/sim/tableau.hh"
+
+namespace traq::sim {
+namespace {
+
+TEST(Tableau, InitialStateStabilizers)
+{
+    TableauSim sim(3);
+    for (std::size_t q = 0; q < 3; ++q) {
+        PauliString z(3);
+        z.setPauli(q, 'Z');
+        EXPECT_TRUE(sim.stateStabilizedBy(z));
+        PauliString x(3);
+        x.setPauli(q, 'X');
+        EXPECT_FALSE(sim.stateStabilizedBy(x));
+    }
+}
+
+TEST(Tableau, DeterministicMeasurementOfZero)
+{
+    TableauSim sim(1);
+    auto res = sim.measure(0);
+    EXPECT_FALSE(res.value);
+    EXPECT_FALSE(res.random);
+}
+
+TEST(Tableau, XFlipsMeasurement)
+{
+    TableauSim sim(1);
+    sim.x(0);
+    auto res = sim.measure(0);
+    EXPECT_TRUE(res.value);
+    EXPECT_FALSE(res.random);
+}
+
+TEST(Tableau, PlusStateIsRandomThenSticky)
+{
+    TableauSim sim(1, 5);
+    sim.h(0);
+    auto first = sim.measure(0);
+    EXPECT_TRUE(first.random);
+    // Repeated measurement must reproduce the collapsed value.
+    for (int i = 0; i < 5; ++i) {
+        auto again = sim.measure(0);
+        EXPECT_FALSE(again.random);
+        EXPECT_EQ(again.value, first.value);
+    }
+}
+
+TEST(Tableau, MeasurementStatisticsFair)
+{
+    int ones = 0;
+    for (int i = 0; i < 400; ++i) {
+        TableauSim sim(1, 1000 + i);
+        sim.h(0);
+        ones += sim.measure(0).value ? 1 : 0;
+    }
+    EXPECT_GT(ones, 140);
+    EXPECT_LT(ones, 260);
+}
+
+TEST(Tableau, BellPairCorrelations)
+{
+    for (int i = 0; i < 50; ++i) {
+        TableauSim sim(2, 42 + i);
+        sim.h(0);
+        sim.cx(0, 1);
+        // State (|00> + |11>)/sqrt(2): stabilized by XX and ZZ.
+        EXPECT_TRUE(
+            sim.stateStabilizedBy(PauliString::fromText("XX")));
+        EXPECT_TRUE(
+            sim.stateStabilizedBy(PauliString::fromText("ZZ")));
+        EXPECT_FALSE(
+            sim.stateStabilizedBy(PauliString::fromText("ZI")));
+        auto a = sim.measure(0);
+        auto b = sim.measure(1);
+        EXPECT_TRUE(a.random);
+        EXPECT_FALSE(b.random);
+        EXPECT_EQ(a.value, b.value);
+    }
+}
+
+TEST(Tableau, GhzCorrelations)
+{
+    TableauSim sim(3, 7);
+    sim.h(0);
+    sim.cx(0, 1);
+    sim.cx(1, 2);
+    EXPECT_TRUE(sim.stateStabilizedBy(PauliString::fromText("XXX")));
+    EXPECT_TRUE(sim.stateStabilizedBy(PauliString::fromText("ZZI")));
+    EXPECT_TRUE(sim.stateStabilizedBy(PauliString::fromText("IZZ")));
+    auto a = sim.measure(0);
+    EXPECT_EQ(sim.measure(1).value, a.value);
+    EXPECT_EQ(sim.measure(2).value, a.value);
+}
+
+TEST(Tableau, GateIdentitiesViaStabilizers)
+{
+    // H Z H = X: start in |0> (stabilized by Z), apply H -> |+>.
+    TableauSim sim(1);
+    sim.h(0);
+    EXPECT_TRUE(sim.stateStabilizedBy(PauliString::fromText("X")));
+    // S|+> has stabilizer Y.
+    sim.s(0);
+    EXPECT_TRUE(sim.stateStabilizedBy(PauliString::fromText("Y")));
+    // S again: S Y S^dag = -X... state stabilizer becomes -X.
+    sim.s(0);
+    EXPECT_TRUE(sim.stateStabilizedBy(PauliString::fromText("-X")));
+}
+
+TEST(Tableau, SdagUndoesS)
+{
+    TableauSim sim(1);
+    sim.h(0);
+    sim.s(0);
+    sim.sdag(0);
+    EXPECT_TRUE(sim.stateStabilizedBy(PauliString::fromText("X")));
+}
+
+TEST(Tableau, SqrtXBehaviour)
+{
+    // SQRT_X |0> is stabilized by -Y.
+    TableauSim sim(1);
+    sim.sqrtX(0);
+    EXPECT_TRUE(sim.stateStabilizedBy(PauliString::fromText("-Y")));
+    sim.sqrtXDag(0);
+    EXPECT_TRUE(sim.stateStabilizedBy(PauliString::fromText("Z")));
+}
+
+TEST(Tableau, CzMakesClusterState)
+{
+    TableauSim sim(2);
+    sim.h(0);
+    sim.h(1);
+    sim.cz(0, 1);
+    EXPECT_TRUE(sim.stateStabilizedBy(PauliString::fromText("XZ")));
+    EXPECT_TRUE(sim.stateStabilizedBy(PauliString::fromText("ZX")));
+}
+
+TEST(Tableau, SwapMovesState)
+{
+    TableauSim sim(2);
+    sim.x(0);
+    sim.swapq(0, 1);
+    EXPECT_FALSE(sim.measure(0).value);
+    EXPECT_TRUE(sim.measure(1).value);
+}
+
+TEST(Tableau, ResetAfterEntanglement)
+{
+    TableauSim sim(2, 3);
+    sim.h(0);
+    sim.cx(0, 1);
+    sim.reset(0);
+    EXPECT_FALSE(sim.measure(0).value);
+    // The reset's internal measurement collapsed the partner too, so
+    // its value is now deterministic.
+    EXPECT_FALSE(sim.measure(1).random);
+}
+
+TEST(Tableau, MeasureXBasis)
+{
+    TableauSim sim(1);
+    sim.h(0);  // |+>
+    auto res = sim.measureX(0);
+    EXPECT_FALSE(res.value);
+    EXPECT_FALSE(res.random);
+    TableauSim sim2(1);
+    sim2.x(0);
+    sim2.h(0);  // |->
+    auto res2 = sim2.measureX(0);
+    EXPECT_TRUE(res2.value);
+    EXPECT_FALSE(res2.random);
+}
+
+TEST(Tableau, RunCircuitRecordsMeasurements)
+{
+    Circuit c;
+    c.x(0);
+    c.m(0);
+    c.m(1);
+    TableauSim sim(2);
+    auto rec = sim.run(c);
+    ASSERT_EQ(rec.size(), 2u);
+    EXPECT_TRUE(rec[0]);
+    EXPECT_FALSE(rec[1]);
+}
+
+TEST(Tableau, NoiselessRunForcesZeroOnRandom)
+{
+    Circuit c;
+    c.h(0);
+    c.m(0);
+    TableauSim sim(1, 9);
+    auto rec = sim.run(c, /*noiseless=*/true);
+    ASSERT_EQ(rec.size(), 1u);
+    EXPECT_FALSE(rec[0]);
+}
+
+TEST(Tableau, NoiseChannelsSkippedWhenNoiseless)
+{
+    Circuit c;
+    c.xError(1.0, {0});
+    c.m(0);
+    TableauSim sim(1);
+    auto rec = sim.run(c, /*noiseless=*/true);
+    EXPECT_FALSE(rec[0]);
+    TableauSim sim2(1);
+    auto rec2 = sim2.run(c, /*noiseless=*/false);
+    EXPECT_TRUE(rec2[0]);
+}
+
+TEST(Tableau, MrMeasuresAndResets)
+{
+    Circuit c;
+    c.x(0);
+    c.mr(0);
+    c.m(0);
+    TableauSim sim(1);
+    auto rec = sim.run(c);
+    ASSERT_EQ(rec.size(), 2u);
+    EXPECT_TRUE(rec[0]);
+    EXPECT_FALSE(rec[1]);
+}
+
+/** Random Clifford circuits preserve the stabilizer-group size. */
+TEST(Tableau, StabilizerConsistencyUnderRandomCircuits)
+{
+    for (int trial = 0; trial < 10; ++trial) {
+        TableauSim sim(4, 100 + trial);
+        Circuit c;
+        traq::Rng rng(50 + trial);
+        for (int g = 0; g < 30; ++g) {
+            std::uint32_t a =
+                static_cast<std::uint32_t>(rng.below(4));
+            std::uint32_t b =
+                static_cast<std::uint32_t>(rng.below(4));
+            switch (rng.below(4)) {
+              case 0:
+                c.h(a);
+                break;
+              case 1:
+                c.s(a);
+                break;
+              case 2:
+                if (a != b)
+                    c.cx(a, b);
+                break;
+              default:
+                if (a != b)
+                    c.cz(a, b);
+                break;
+            }
+        }
+        sim.run(c);
+        // Every stabilizer row must stabilize the state, trivially by
+        // construction; verify via the membership hook (exercises the
+        // GF(2) solve path end-to-end).
+        for (std::size_t i = 0; i < 4; ++i)
+            EXPECT_TRUE(sim.stateStabilizedBy(sim.stabilizer(i)));
+        // Destabilizers must anticommute with their stabilizer
+        // partner and commute with the others.
+        for (std::size_t i = 0; i < 4; ++i) {
+            for (std::size_t j = 0; j < 4; ++j) {
+                bool comm = sim.destabilizer(i).commutesWith(
+                    sim.stabilizer(j));
+                EXPECT_EQ(comm, i != j);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace traq::sim
