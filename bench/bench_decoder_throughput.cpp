@@ -8,7 +8,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <span>
+
 #include "src/codes/experiments.hh"
+#include "src/decoder/decoder.hh"
 #include "src/decoder/graph.hh"
 #include "src/decoder/mwpm.hh"
 #include "src/decoder/union_find.hh"
@@ -32,17 +35,15 @@ struct Fixture
           graph(decoder::DecodingGraph::fromDem(dem, exp.meta))
     {
         sim::FrameSimulator fs(7);
+        sim::FrameBatch batch;
         while (syndromes.size() < 256) {
-            auto batch = fs.sample(exp.circuit);
-            for (int s = 0; s < 64; ++s) {
-                std::vector<std::uint32_t> syn;
-                for (std::size_t k = 0; k < batch.detectors.size();
-                     ++k)
-                    if ((batch.detectors[k] >> s) & 1)
-                        syn.push_back(
-                            static_cast<std::uint32_t>(k));
-                syndromes.push_back(std::move(syn));
-            }
+            fs.sampleInto(exp.circuit, batch);
+            const std::size_t base = syndromes.size();
+            syndromes.resize(base + 64);
+            sim::extractSyndromes(
+                batch, ~0ULL,
+                std::span<std::vector<std::uint32_t>, 64>(
+                    &syndromes[base], 64));
         }
     }
 
@@ -107,16 +108,15 @@ BENCHMARK(BM_UnionFindDecode)->Arg(3)->Arg(5)->Arg(7);
 void
 BM_MwpmDecode(benchmark::State &state)
 {
+    // Exact matching with UF fallback, through the polymorphic
+    // Decoder interface (same path the Monte-Carlo engine uses).
     Fixture f(static_cast<int>(state.range(0)), false);
-    decoder::MwpmDecoder mwpm(f.graph, 16);
-    decoder::UnionFindDecoder uf(f.graph);
+    auto dec =
+        decoder::makeDecoder(decoder::DecoderKind::Fallback, f.graph);
     std::size_t i = 0;
     for (auto _ : state) {
-        const auto &syn = f.syndromes[i % f.syndromes.size()];
-        if (mwpm.canDecode(syn))
-            benchmark::DoNotOptimize(mwpm.decode(syn));
-        else
-            benchmark::DoNotOptimize(uf.decode(syn));
+        benchmark::DoNotOptimize(
+            dec->decode(f.syndromes[i % f.syndromes.size()]));
         ++i;
     }
     state.SetItemsProcessed(state.iterations());

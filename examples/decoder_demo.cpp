@@ -32,15 +32,14 @@ main(int argc, char **argv)
         codes::SurfaceCode sc(d);
         auto e = codes::buildMemory(sc, 'Z', d,
                                     codes::NoiseParams::uniform(p));
-        for (auto kind : {decoder::DecoderKind::Mwpm,
+        for (auto kind : {decoder::DecoderKind::Fallback,
                           decoder::DecoderKind::UnionFind}) {
             decoder::McOptions opts;
             opts.shots = shots;
             opts.decoder = kind;
             auto res = decoder::runMonteCarlo(e, opts);
             t.addRow({std::to_string(d),
-                      kind == decoder::DecoderKind::Mwpm
-                          ? "matching" : "union-find",
+                      decoder::decoderKindName(kind),
                       fmtE(res.perObservable[0].mean, 2),
                       "[" + fmtE(res.perObservable[0].lo, 1) + ", " +
                           fmtE(res.perObservable[0].hi, 1) + "]",

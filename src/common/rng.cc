@@ -22,8 +22,16 @@ rotl(std::uint64_t x, int k)
 } // namespace
 
 Rng::Rng(std::uint64_t seed)
+    : Rng(seed, 0)
+{}
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream)
 {
-    std::uint64_t sm = seed;
+    // splitmix64 advances its state by a fixed gamma per draw, so
+    // starting stream k at seed + 4k*gamma hands it the k-th disjoint
+    // 4-word window of the same splitmix sequence; stream 0 matches
+    // the plain Rng(seed) construction exactly.
+    std::uint64_t sm = seed + stream * (4 * 0x9e3779b97f4a7c15ULL);
     for (auto &word : s_)
         word = splitmix64(sm);
     // Avoid the all-zero state (cannot occur from splitmix64 in

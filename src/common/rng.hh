@@ -30,6 +30,17 @@ class Rng
     /** Construct from a 64-bit seed, expanded via splitmix64. */
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
+    /**
+     * Stream-split constructor: derive an independent generator for
+     * (seed, stream).  Stream k seeds its xoshiro state from the
+     * k-th disjoint 4-word window of the splitmix64 sequence anchored
+     * at seed, so streams never share splitmix outputs and stream 0
+     * is bit-identical to Rng(seed).  This is what makes sharded
+     * Monte-Carlo sampling deterministic for any thread count: shard
+     * i always draws from Rng(seed, i) no matter which worker runs it.
+     */
+    Rng(std::uint64_t seed, std::uint64_t stream);
+
     static constexpr result_type min() { return 0; }
     static constexpr result_type max() { return ~0ULL; }
 

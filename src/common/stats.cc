@@ -32,6 +32,42 @@ wilson(std::uint64_t hits, std::uint64_t shots, double z)
 }
 
 void
+Tally::ensureBins(std::size_t n)
+{
+    if (binHits.size() < n)
+        binHits.resize(n, 0);
+}
+
+Tally &
+Tally::merge(const Tally &other)
+{
+    TRAQ_REQUIRE(binHits.size() == other.binHits.size() ||
+                     binHits.empty() || other.binHits.empty(),
+                 "merging tallies with different bin counts");
+    shots += other.shots;
+    anyHits += other.anyHits;
+    weight += other.weight;
+    aux += other.aux;
+    ensureBins(other.binHits.size());
+    for (std::size_t i = 0; i < other.binHits.size(); ++i)
+        binHits[i] += other.binHits[i];
+    return *this;
+}
+
+Proportion
+Tally::binProportion(std::size_t bin, double z) const
+{
+    TRAQ_REQUIRE(bin < binHits.size(), "tally bin out of range");
+    return wilson(binHits[bin], shots, z);
+}
+
+Proportion
+Tally::anyProportion(double z) const
+{
+    return wilson(anyHits, shots, z);
+}
+
+void
 RunningStats::add(double x)
 {
     ++n_;

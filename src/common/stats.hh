@@ -29,6 +29,36 @@ struct Proportion
 Proportion wilson(std::uint64_t hits, std::uint64_t shots,
                   double z = 1.96);
 
+/**
+ * Mergeable shot tally for sharded Monte-Carlo runs.
+ *
+ * Each shard accumulates its own Tally; merging is pure integer
+ * addition, so the combined result is independent of shard-to-worker
+ * assignment and merge order — the property the deterministic
+ * multithreaded engine relies on.  Interval math (wilson) happens
+ * only after the final merge.
+ */
+struct Tally
+{
+    std::uint64_t shots = 0;     //!< decoded trials.
+    std::uint64_t anyHits = 0;   //!< trials where any bin hit.
+    std::uint64_t weight = 0;    //!< generic accumulator (defects).
+    std::uint64_t aux = 0;       //!< generic accumulator (fallbacks).
+    std::vector<std::uint64_t> binHits; //!< per-bin hit counts.
+
+    /** Size binHits (idempotent; sizes must agree when merging). */
+    void ensureBins(std::size_t n);
+
+    /** Add another tally's counts into this one. */
+    Tally &merge(const Tally &other);
+
+    /** Wilson proportion for one bin. */
+    Proportion binProportion(std::size_t bin, double z = 1.96) const;
+
+    /** Wilson proportion for the any-bin-hit count. */
+    Proportion anyProportion(double z = 1.96) const;
+};
+
 /** Running mean / variance accumulator (Welford). */
 class RunningStats
 {

@@ -1,0 +1,84 @@
+#include "src/decoder/decoder.hh"
+
+#include <map>
+#include <mutex>
+
+#include "src/common/assert.hh"
+#include "src/decoder/fallback.hh"
+#include "src/decoder/mwpm.hh"
+#include "src/decoder/union_find.hh"
+
+namespace traq::decoder {
+namespace {
+
+std::mutex &
+registryMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::map<DecoderKind, DecoderFactory> &
+registry()
+{
+    // Built-ins are seeded on first access so makeDecoder works
+    // without any static-initialization-order coupling.
+    static std::map<DecoderKind, DecoderFactory> r = {
+        {DecoderKind::UnionFind,
+         [](const DecodingGraph &g, const DecoderConfig &) {
+             return std::make_unique<UnionFindDecoder>(g);
+         }},
+        {DecoderKind::Mwpm,
+         [](const DecodingGraph &g, const DecoderConfig &c) {
+             return std::make_unique<MwpmDecoder>(g,
+                                                  c.mwpmMaxDefects);
+         }},
+        {DecoderKind::Fallback,
+         [](const DecodingGraph &g, const DecoderConfig &c) {
+             return std::make_unique<FallbackDecoder>(
+                 g, c.mwpmMaxDefects);
+         }},
+    };
+    return r;
+}
+
+} // namespace
+
+const char *
+decoderKindName(DecoderKind kind)
+{
+    switch (kind) {
+      case DecoderKind::UnionFind:
+        return "union-find";
+      case DecoderKind::Mwpm:
+        return "mwpm";
+      case DecoderKind::Fallback:
+        return "mwpm+uf-fallback";
+    }
+    return "unknown";
+}
+
+void
+registerDecoder(DecoderKind kind, DecoderFactory factory)
+{
+    TRAQ_REQUIRE(factory != nullptr, "null decoder factory");
+    std::lock_guard<std::mutex> lock(registryMutex());
+    registry()[kind] = std::move(factory);
+}
+
+std::unique_ptr<Decoder>
+makeDecoder(DecoderKind kind, const DecodingGraph &graph,
+            const DecoderConfig &config)
+{
+    DecoderFactory factory;
+    {
+        std::lock_guard<std::mutex> lock(registryMutex());
+        auto it = registry().find(kind);
+        TRAQ_REQUIRE(it != registry().end(),
+                     "no decoder registered for kind");
+        factory = it->second;
+    }
+    return factory(graph, config);
+}
+
+} // namespace traq::decoder

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Polymorphic decoder interface and factory.
+ *
+ * Every decoder consumes one syndrome (the list of flipped detector
+ * ids) and predicts the logical-observable flip mask.  Concrete
+ * decoders (union-find, exact MWPM, the MWPM->UF fallback composite)
+ * implement this interface over a shared DecodingGraph; the
+ * Monte-Carlo engine and benches are written against the interface
+ * only, so a new decoder plugs in by registering a factory under a
+ * DecoderKind without touching the harness.
+ *
+ * Decoder instances own their scratch buffers and are NOT thread
+ * safe; parallel callers (MonteCarloEngine workers) each create
+ * their own instance via makeDecoder().
+ */
+
+#ifndef TRAQ_DECODER_DECODER_HH
+#define TRAQ_DECODER_DECODER_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/decoder/graph.hh"
+
+namespace traq::decoder {
+
+/** Decoder selection for makeDecoder() and the Monte-Carlo harness. */
+enum class DecoderKind
+{
+    /** Weighted union-find: fast, slightly less accurate. */
+    UnionFind,
+    /** Exact MWPM; throws above the defect cap (no fallback). */
+    Mwpm,
+    /** Exact MWPM with union-find fallback above the cap (default). */
+    Fallback,
+};
+
+/** Human-readable name of a decoder kind. */
+const char *decoderKindName(DecoderKind kind);
+
+/** Construction-time options shared by all decoder kinds. */
+struct DecoderConfig
+{
+    /** Largest syndrome the exact MWPM stage decodes. */
+    std::size_t mwpmMaxDefects = 16;
+};
+
+/** Abstract decoder over a fixed decoding graph. */
+class Decoder
+{
+  public:
+    virtual ~Decoder() = default;
+
+    /**
+     * Decode one syndrome (flipped detector ids, ascending).
+     * @return predicted logical-observable flip mask.
+     */
+    virtual std::uint32_t
+    decode(const std::vector<std::uint32_t> &syndrome) = 0;
+
+    /** Clear per-run statistics (fallback counters etc.). */
+    virtual void reset() {}
+
+    /** Short stable identifier, e.g. "union-find". */
+    virtual const char *name() const = 0;
+
+    /** Syndromes routed to a fallback stage since reset(). */
+    virtual std::uint64_t fallbacks() const { return 0; }
+};
+
+/** Factory signature used by the decoder registry. */
+using DecoderFactory = std::function<std::unique_ptr<Decoder>(
+    const DecodingGraph &, const DecoderConfig &)>;
+
+/**
+ * Register (or replace) the factory for a decoder kind.  Built-in
+ * kinds are pre-registered; external code may override them or
+ * claim a new enum value without touching the harness.
+ */
+void registerDecoder(DecoderKind kind, DecoderFactory factory);
+
+/**
+ * Instantiate a decoder.  Each call returns a fresh instance with
+ * its own scratch state, suitable for per-thread use.
+ */
+std::unique_ptr<Decoder> makeDecoder(DecoderKind kind,
+                                     const DecodingGraph &graph,
+                                     const DecoderConfig &config = {});
+
+} // namespace traq::decoder
+
+#endif // TRAQ_DECODER_DECODER_HH

@@ -1,0 +1,19 @@
+#include "src/decoder/fallback.hh"
+
+namespace traq::decoder {
+
+FallbackDecoder::FallbackDecoder(const DecodingGraph &graph,
+                                 std::size_t mwpmMaxDefects)
+    : mwpm_(graph, mwpmMaxDefects), uf_(graph)
+{}
+
+std::uint32_t
+FallbackDecoder::decode(const std::vector<std::uint32_t> &syndrome)
+{
+    if (mwpm_.canDecode(syndrome))
+        return mwpm_.decode(syndrome);
+    ++fallbacks_;
+    return uf_.decode(syndrome);
+}
+
+} // namespace traq::decoder

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * MWPM -> union-find fallback composite decoder.
+ *
+ * Exact matching is the accuracy reference but is exponential in the
+ * defect count, so it only handles small syndromes; union-find handles
+ * anything.  This composite owns the routing policy that used to be
+ * inlined in runMonteCarlo: decode exactly when the syndrome is within
+ * the MWPM cap, otherwise fall back to union-find and count it.  The
+ * fallback count feeds McResult::mwpmFallbacks, which the paper-level
+ * sweeps use to check the exact decoder actually covered the
+ * below-threshold regime being measured.
+ */
+
+#ifndef TRAQ_DECODER_FALLBACK_HH
+#define TRAQ_DECODER_FALLBACK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/decoder/decoder.hh"
+#include "src/decoder/mwpm.hh"
+#include "src/decoder/union_find.hh"
+
+namespace traq::decoder {
+
+/** Exact-MWPM-first decoder with union-find fallback. */
+class FallbackDecoder final : public Decoder
+{
+  public:
+    FallbackDecoder(const DecodingGraph &graph,
+                    std::size_t mwpmMaxDefects = 16);
+
+    std::uint32_t
+    decode(const std::vector<std::uint32_t> &syndrome) override;
+
+    void reset() override { fallbacks_ = 0; }
+    const char *name() const override { return "mwpm+uf-fallback"; }
+    std::uint64_t fallbacks() const override { return fallbacks_; }
+
+  private:
+    MwpmDecoder mwpm_;
+    UnionFindDecoder uf_;
+    std::uint64_t fallbacks_ = 0;
+};
+
+} // namespace traq::decoder
+
+#endif // TRAQ_DECODER_FALLBACK_HH

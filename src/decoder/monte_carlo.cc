@@ -1,81 +1,202 @@
 #include "src/decoder/monte_carlo.hh"
 
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <exception>
+#include <mutex>
+#include <thread>
+
 #include "src/common/assert.hh"
-#include "src/decoder/mwpm.hh"
-#include "src/decoder/union_find.hh"
+#include "src/common/rng.hh"
 #include "src/sim/dem.hh"
 #include "src/sim/frame.hh"
 
 namespace traq::decoder {
 
+/** Per-thread state: decoder, sampler, and reusable scratch. */
+struct MonteCarloEngine::Worker
+{
+    std::unique_ptr<Decoder> dec;
+    sim::FrameSimulator fsim{0};
+    sim::FrameBatch batch;
+    /** Per-shot syndromes for one 64-shot batch. */
+    std::array<std::vector<std::uint32_t>, 64> syndromes;
+};
+
+MonteCarloEngine::MonteCarloEngine(const codes::Experiment &exp,
+                                   const McOptions &opts)
+    : exp_(exp), opts_(opts),
+      graph_(DecodingGraph::fromDem(sim::buildDem(exp.circuit),
+                                    exp.meta))
+{
+    TRAQ_REQUIRE(graph_.numUndetectableLogical() == 0,
+                 "circuit has undetectable logical errors");
+}
+
+Tally
+MonteCarloEngine::runShard(std::uint64_t shard,
+                           std::uint64_t shardShots, Worker &w)
+{
+    const auto &circuit = exp_.circuit;
+    const std::uint32_t numObs = circuit.numObservables();
+
+    Tally tally;
+    tally.ensureBins(numObs);
+
+    // The shard's identity, not the executing worker's, fixes the
+    // RNG stream: determinism for any thread count.
+    w.fsim.rng() = Rng(opts_.seed, shard);
+
+    const std::uint64_t fallbacksBefore = w.dec->fallbacks();
+    std::uint64_t done = 0;
+    std::array<std::uint32_t, 64> actual;
+
+    while (done < shardShots) {
+        w.fsim.sampleInto(circuit, w.batch);
+        const std::uint64_t n =
+            std::min<std::uint64_t>(64, shardShots - done);
+        const std::uint64_t live =
+            n == 64 ? ~0ULL : ((1ULL << n) - 1);
+
+        for (std::uint64_t s = 0; s < n; ++s)
+            w.syndromes[s].clear();
+        sim::extractSyndromes(w.batch, live, w.syndromes);
+
+        actual.fill(0);
+        for (std::uint32_t k = 0; k < numObs; ++k) {
+            std::uint64_t word = w.batch.observables[k] & live;
+            while (word) {
+                const int s = std::countr_zero(word);
+                word &= word - 1;
+                actual[s] |= (1u << k);
+            }
+        }
+
+        for (std::uint64_t s = 0; s < n; ++s) {
+            tally.weight += w.syndromes[s].size();
+            const std::uint32_t predicted =
+                w.dec->decode(w.syndromes[s]);
+            std::uint32_t diff = predicted ^ actual[s];
+            if (diff)
+                ++tally.anyHits;
+            while (diff) {
+                const int k = std::countr_zero(diff);
+                diff &= diff - 1;
+                ++tally.binHits[k];
+            }
+        }
+        done += n;
+        tally.shots += n;
+    }
+    tally.aux = w.dec->fallbacks() - fallbacksBefore;
+    return tally;
+}
+
+McResult
+MonteCarloEngine::run()
+{
+    return run(opts_);
+}
+
+McResult
+MonteCarloEngine::run(const McOptions &opts)
+{
+    opts_ = opts;
+    // Shards are whole 64-shot sampler batches so shard boundaries
+    // never split a batch (which would entangle RNG streams).
+    shardUnit_ = std::max<std::uint64_t>(64, opts_.shardShots);
+    shardUnit_ = (shardUnit_ + 63) / 64 * 64;
+
+    const std::uint32_t numObs = exp_.circuit.numObservables();
+    const std::uint64_t numShards =
+        (opts_.shots + shardUnit_ - 1) / shardUnit_;
+
+    unsigned threads = opts_.threads
+                           ? opts_.threads
+                           : std::max(1u,
+                                      std::thread::
+                                          hardware_concurrency());
+    threads = static_cast<unsigned>(
+        std::min<std::uint64_t>(threads, std::max<std::uint64_t>(
+                                             1, numShards)));
+
+    std::vector<Tally> shardTallies(numShards);
+    std::atomic<std::uint64_t> nextShard{0};
+    std::mutex errorMutex;
+    std::exception_ptr firstError;
+
+    auto workerMain = [&]() {
+        try {
+            Worker w;
+            w.dec = makeDecoder(opts_.decoder, graph_,
+                                {opts_.mwpmMaxDefects});
+            std::uint64_t shard;
+            while ((shard = nextShard.fetch_add(1)) < numShards) {
+                const std::uint64_t lo = shard * shardUnit_;
+                const std::uint64_t size = std::min<std::uint64_t>(
+                    shardUnit_, opts_.shots - lo);
+                shardTallies[shard] = runShard(shard, size, w);
+            }
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(errorMutex);
+            if (!firstError)
+                firstError = std::current_exception();
+            // Drain remaining shards so peers exit promptly.
+            nextShard.store(numShards);
+        }
+    };
+
+    if (threads <= 1) {
+        workerMain();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t)
+            pool.emplace_back(workerMain);
+        for (auto &th : pool)
+            th.join();
+    }
+    if (firstError)
+        std::rethrow_exception(firstError);
+
+    // Merge in shard order.  The counts are commutative sums so any
+    // order would do, but fixed order keeps the loop auditable.
+    Tally total;
+    total.ensureBins(numObs);
+    for (const auto &t : shardTallies)
+        total.merge(t);
+
+    McResult res;
+    res.shots = total.shots;
+    // Every shard samples in whole 64-shot batches; the tail batch
+    // is sampled in full but only partially decoded.
+    res.sampledShots = 0;
+    for (std::uint64_t shard = 0; shard < numShards; ++shard) {
+        const std::uint64_t lo = shard * shardUnit_;
+        const std::uint64_t size =
+            std::min<std::uint64_t>(shardUnit_, opts_.shots - lo);
+        res.sampledShots += (size + 63) / 64 * 64;
+    }
+    for (std::uint32_t k = 0; k < numObs; ++k)
+        res.perObservable.push_back(total.binProportion(k));
+    res.anyObservable = total.anyProportion();
+    res.avgDefects =
+        total.shots
+            ? static_cast<double>(total.weight) / total.shots
+            : 0.0;
+    res.mwpmFallbacks = total.aux;
+    res.shards = numShards;
+    res.threadsUsed = threads;
+    return res;
+}
+
 McResult
 runMonteCarlo(const codes::Experiment &exp, const McOptions &opts)
 {
-    const auto &circuit = exp.circuit;
-    sim::DetectorErrorModel dem = sim::buildDem(circuit);
-    DecodingGraph graph = DecodingGraph::fromDem(dem, exp.meta);
-    TRAQ_REQUIRE(graph.numUndetectableLogical() == 0,
-                 "circuit has undetectable logical errors");
-
-    UnionFindDecoder uf(graph);
-    MwpmDecoder mwpm(graph, opts.mwpmMaxDefects);
-
-    const std::uint32_t numObs = circuit.numObservables();
-    std::vector<std::uint64_t> failures(numObs, 0);
-    std::uint64_t anyFailures = 0;
-    std::uint64_t shots = 0;
-    std::uint64_t totalDefects = 0;
-    std::uint64_t fallbacks = 0;
-
-    sim::FrameSimulator fsim(opts.seed);
-    std::vector<std::uint32_t> syndrome;
-
-    while (shots < opts.shots) {
-        sim::FrameBatch batch = fsim.sample(circuit);
-        const std::uint64_t batchShots =
-            std::min<std::uint64_t>(64, opts.shots - shots);
-        for (std::uint64_t s = 0; s < batchShots; ++s) {
-            syndrome.clear();
-            for (std::size_t d = 0; d < batch.detectors.size(); ++d)
-                if ((batch.detectors[d] >> s) & 1)
-                    syndrome.push_back(
-                        static_cast<std::uint32_t>(d));
-            totalDefects += syndrome.size();
-
-            std::uint32_t predicted;
-            if (opts.decoder == DecoderKind::Mwpm &&
-                mwpm.canDecode(syndrome)) {
-                predicted = mwpm.decode(syndrome);
-            } else {
-                if (opts.decoder == DecoderKind::Mwpm)
-                    ++fallbacks;
-                predicted = uf.decode(syndrome);
-            }
-
-            std::uint32_t actual = 0;
-            for (std::uint32_t k = 0; k < numObs; ++k)
-                if ((batch.observables[k] >> s) & 1)
-                    actual |= (1u << k);
-
-            std::uint32_t diff = predicted ^ actual;
-            if (diff)
-                ++anyFailures;
-            for (std::uint32_t k = 0; k < numObs; ++k)
-                if ((diff >> k) & 1)
-                    ++failures[k];
-        }
-        shots += batchShots;
-    }
-
-    McResult res;
-    res.shots = shots;
-    for (std::uint32_t k = 0; k < numObs; ++k)
-        res.perObservable.push_back(wilson(failures[k], shots));
-    res.anyObservable = wilson(anyFailures, shots);
-    res.avgDefects =
-        shots ? static_cast<double>(totalDefects) / shots : 0.0;
-    res.mwpmFallbacks = fallbacks;
-    return res;
+    MonteCarloEngine engine(exp, opts);
+    return engine.run();
 }
 
 } // namespace traq::decoder

@@ -7,8 +7,8 @@
  * partner), and the optimal pairing is found by bitmask dynamic
  * programming — exact for up to ~20 defects, which covers the
  * below-threshold sampling regime used to extract the paper's
- * decoding factor alpha.  Falls back is the caller's responsibility
- * (see MonteCarlo, which switches to union-find above the cap).
+ * decoding factor alpha.  Fallback above the cap is FallbackDecoder's
+ * job (it routes oversized syndromes to union-find).
  */
 
 #ifndef TRAQ_DECODER_MWPM_HH
@@ -17,12 +17,13 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/decoder/decoder.hh"
 #include "src/decoder/graph.hh"
 
 namespace traq::decoder {
 
 /** Exact MWPM decoder over a fixed decoding graph. */
-class MwpmDecoder
+class MwpmDecoder final : public Decoder
 {
   public:
     /**
@@ -39,10 +40,14 @@ class MwpmDecoder
     }
 
     /**
-     * Decode one syndrome.
+     * Decode one syndrome.  Throws FatalError above the cap; use
+     * FallbackDecoder when syndromes may exceed it.
      * @return predicted logical-observable flip mask.
      */
-    std::uint32_t decode(const std::vector<std::uint32_t> &syndrome);
+    std::uint32_t
+    decode(const std::vector<std::uint32_t> &syndrome) override;
+
+    const char *name() const override { return "mwpm"; }
 
   private:
     const DecodingGraph &graph_;

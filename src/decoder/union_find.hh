@@ -16,12 +16,13 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/decoder/decoder.hh"
 #include "src/decoder/graph.hh"
 
 namespace traq::decoder {
 
 /** Union-find decoder over a fixed decoding graph. */
-class UnionFindDecoder
+class UnionFindDecoder final : public Decoder
 {
   public:
     explicit UnionFindDecoder(const DecodingGraph &graph);
@@ -30,7 +31,10 @@ class UnionFindDecoder
      * Decode one syndrome (list of flipped detector ids).
      * @return the predicted logical-observable flip mask.
      */
-    std::uint32_t decode(const std::vector<std::uint32_t> &syndrome);
+    std::uint32_t
+    decode(const std::vector<std::uint32_t> &syndrome) override;
+
+    const char *name() const override { return "union-find"; }
 
   private:
     const DecodingGraph &graph_;

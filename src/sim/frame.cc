@@ -1,8 +1,24 @@
 #include "src/sim/frame.hh"
 
+#include <bit>
+
 #include "src/common/assert.hh"
 
 namespace traq::sim {
+
+void
+extractSyndromes(const FrameBatch &batch, std::uint64_t liveMask,
+                 std::span<std::vector<std::uint32_t>, 64> out)
+{
+    for (std::size_t d = 0; d < batch.detectors.size(); ++d) {
+        std::uint64_t word = batch.detectors[d] & liveMask;
+        while (word) {
+            const int s = std::countr_zero(word);
+            word &= word - 1;
+            out[s].push_back(static_cast<std::uint32_t>(d));
+        }
+    }
+}
 
 FrameSimulator::FrameSimulator(std::uint64_t seed)
     : rng_(seed)
@@ -85,13 +101,21 @@ FrameSimulator::applyNoise(const Instruction &inst)
 FrameBatch
 FrameSimulator::sample(const Circuit &circuit)
 {
+    FrameBatch out;
+    sampleInto(circuit, out);
+    return out;
+}
+
+void
+FrameSimulator::sampleInto(const Circuit &circuit, FrameBatch &out)
+{
     const std::size_t n = circuit.numQubits();
     xf_.assign(n, 0);
     zf_.assign(n, 0);
     mrec_.clear();
     mrec_.reserve(circuit.numMeasurements());
 
-    FrameBatch out;
+    out.detectors.clear();
     out.detectors.reserve(circuit.numDetectors());
     out.observables.assign(circuit.numObservables(), 0);
 
@@ -193,7 +217,6 @@ FrameSimulator::sample(const Circuit &circuit)
         }
         // TICK: no-op.
     }
-    return out;
 }
 
 std::vector<std::uint64_t>
@@ -203,8 +226,9 @@ FrameSimulator::countObservableFlips(const Circuit &circuit,
 {
     std::vector<std::uint64_t> counts(circuit.numObservables(), 0);
     std::uint64_t shots = 0;
+    FrameBatch batch;
     while (shots < minShots) {
-        FrameBatch batch = sample(circuit);
+        sampleInto(circuit, batch);
         for (std::size_t k = 0; k < counts.size(); ++k)
             counts[k] += __builtin_popcountll(batch.observables[k]);
         shots += 64;

@@ -16,6 +16,7 @@
 #define TRAQ_SIM_FRAME_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/common/rng.hh"
@@ -32,6 +33,18 @@ struct FrameBatch
     std::vector<std::uint64_t> observables;
 };
 
+/**
+ * Scatter a batch's detector words into per-shot syndrome lists
+ * (appending detector ids in ascending order).  Word-level: zero
+ * words — the common case below threshold — are skipped wholesale
+ * and set bits are walked with countr_zero.  Shots outside liveMask
+ * are ignored; out must cover 64 shots and arrive cleared (entries
+ * are appended, not reset).  Shared by the Monte-Carlo engine and
+ * the decoder benches so both measure the same extraction.
+ */
+void extractSyndromes(const FrameBatch &batch, std::uint64_t liveMask,
+                      std::span<std::vector<std::uint32_t>, 64> out);
+
 /** 64-way bit-sliced frame simulator. */
 class FrameSimulator
 {
@@ -40,6 +53,13 @@ class FrameSimulator
 
     /** Run one 64-shot batch of the circuit. */
     FrameBatch sample(const Circuit &circuit);
+
+    /**
+     * Run one 64-shot batch into an existing FrameBatch, reusing its
+     * allocations.  The hot path for long runs: after the first call
+     * the per-batch cost is pure simulation, no heap traffic.
+     */
+    void sampleInto(const Circuit &circuit, FrameBatch &out);
 
     /**
      * Run at least minShots shots (rounded up to batches of 64) and

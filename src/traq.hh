@@ -38,6 +38,8 @@
 #include "src/codes/experiments.hh"
 #include "src/codes/surface_code.hh"
 
+#include "src/decoder/decoder.hh"
+#include "src/decoder/fallback.hh"
 #include "src/decoder/graph.hh"
 #include "src/decoder/monte_carlo.hh"
 #include "src/decoder/mwpm.hh"

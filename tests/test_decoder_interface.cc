@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Tests for the polymorphic Decoder interface / factory and the
+ * sharded multithreaded MonteCarloEngine: decoder parity on
+ * hand-built syndromes, bit-identical results for any thread count,
+ * stream-split RNG determinism, tally merging, and exact tail-shot
+ * accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/codes/experiments.hh"
+#include "src/common/rng.hh"
+#include "src/common/stats.hh"
+#include "src/decoder/decoder.hh"
+#include "src/decoder/fallback.hh"
+#include "src/decoder/monte_carlo.hh"
+#include "src/sim/dem.hh"
+
+namespace traq::decoder {
+namespace {
+
+using codes::CircuitMeta;
+using sim::DetectorErrorModel;
+using sim::ErrorMechanism;
+
+/** 1D repetition-code-like chain of n detectors (see test_decoder). */
+DetectorErrorModel
+chainDem(int n, double p)
+{
+    DetectorErrorModel dem;
+    dem.numDetectors = n;
+    dem.numObservables = 1;
+    ErrorMechanism left;
+    left.probability = p;
+    left.detectors = {0};
+    left.observables = 1;
+    dem.errors.push_back(left);
+    for (int i = 0; i + 1 < n; ++i) {
+        ErrorMechanism e;
+        e.probability = p;
+        e.detectors = {static_cast<std::uint32_t>(i),
+                       static_cast<std::uint32_t>(i + 1)};
+        dem.errors.push_back(e);
+    }
+    ErrorMechanism right;
+    right.probability = p;
+    right.detectors = {static_cast<std::uint32_t>(n - 1)};
+    dem.errors.push_back(right);
+    return dem;
+}
+
+CircuitMeta
+chainMeta(int n)
+{
+    CircuitMeta meta;
+    meta.detectorIsX.assign(n, 0);
+    meta.observableIsX.assign(1, 0);
+    return meta;
+}
+
+TEST(DecoderFactory, MakesAllBuiltinKinds)
+{
+    auto dem = chainDem(5, 0.01);
+    DecodingGraph g = DecodingGraph::fromDem(dem, chainMeta(5));
+    for (auto kind : {DecoderKind::UnionFind, DecoderKind::Mwpm,
+                      DecoderKind::Fallback}) {
+        auto dec = makeDecoder(kind, g);
+        ASSERT_NE(dec, nullptr);
+        EXPECT_STREQ(dec->name(), decoderKindName(kind));
+        EXPECT_EQ(dec->decode({}), 0u);
+        EXPECT_EQ(dec->fallbacks(), 0u);
+    }
+}
+
+TEST(DecoderFactory, CustomRegistrationPlugsIn)
+{
+    // A new decoder can take over a kind without touching the
+    // harness; restore the builtin afterwards.
+    struct Fixed final : Decoder
+    {
+        std::uint32_t
+        decode(const std::vector<std::uint32_t> &) override
+        {
+            return 42;
+        }
+        const char *name() const override { return "fixed"; }
+    };
+    registerDecoder(DecoderKind::UnionFind,
+                    [](const DecodingGraph &, const DecoderConfig &) {
+                        return std::unique_ptr<Decoder>(new Fixed);
+                    });
+    auto dem = chainDem(3, 0.01);
+    DecodingGraph g = DecodingGraph::fromDem(dem, chainMeta(3));
+    EXPECT_EQ(makeDecoder(DecoderKind::UnionFind, g)->decode({0}),
+              42u);
+    registerDecoder(DecoderKind::UnionFind,
+                    [](const DecodingGraph &g2,
+                       const DecoderConfig &) {
+                        return std::make_unique<UnionFindDecoder>(g2);
+                    });
+    EXPECT_STREQ(makeDecoder(DecoderKind::UnionFind, g)->name(),
+                 "union-find");
+}
+
+TEST(DecoderParity, AgreeOnHandBuiltSyndromes)
+{
+    // On single defects and adjacent pairs of a uniform chain the
+    // minimum-weight explanation is unique, so union-find, exact
+    // MWPM, and the fallback composite must all agree.
+    const int n = 9;
+    auto dem = chainDem(n, 0.01);
+    DecodingGraph g = DecodingGraph::fromDem(dem, chainMeta(n));
+    auto uf = makeDecoder(DecoderKind::UnionFind, g);
+    auto mwpm = makeDecoder(DecoderKind::Mwpm, g);
+    auto fb = makeDecoder(DecoderKind::Fallback, g);
+
+    std::vector<std::vector<std::uint32_t>> syndromes;
+    for (const auto &mech : dem.errors)
+        syndromes.push_back(mech.detectors);
+    syndromes.push_back({3, 4});
+    syndromes.push_back({0, 8});
+
+    for (const auto &syn : syndromes) {
+        const std::uint32_t expected = mwpm->decode(syn);
+        EXPECT_EQ(uf->decode(syn), expected)
+            << "uf vs mwpm, |syn|=" << syn.size();
+        EXPECT_EQ(fb->decode(syn), expected)
+            << "fallback vs mwpm, |syn|=" << syn.size();
+    }
+    EXPECT_EQ(fb->fallbacks(), 0u);
+}
+
+TEST(FallbackDecoder, RoutesOversizedToUnionFindAndCounts)
+{
+    auto dem = chainDem(15, 0.01);
+    DecodingGraph g = DecodingGraph::fromDem(dem, chainMeta(15));
+    FallbackDecoder fb(g, /*mwpmMaxDefects=*/2);
+    EXPECT_EQ(fb.decode({4, 5}), 0u);
+    EXPECT_EQ(fb.fallbacks(), 0u);
+    fb.decode({0, 4, 5, 9});
+    EXPECT_EQ(fb.fallbacks(), 1u);
+    fb.reset();
+    EXPECT_EQ(fb.fallbacks(), 0u);
+}
+
+TEST(Rng, StreamZeroMatchesPlainSeed)
+{
+    Rng a(12345);
+    Rng b(12345, 0);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, StreamsAreDistinctAndDeterministic)
+{
+    Rng s1(777, 1), s2(777, 2), s1again(777, 1);
+    bool anyDiff = false;
+    for (int i = 0; i < 16; ++i) {
+        std::uint64_t x = s1.next();
+        anyDiff |= (x != s2.next());
+        EXPECT_EQ(x, s1again.next());
+    }
+    EXPECT_TRUE(anyDiff);
+}
+
+TEST(Tally, MergeAddsCounts)
+{
+    Tally a, b;
+    a.ensureBins(2);
+    b.ensureBins(2);
+    a.shots = 100;
+    a.anyHits = 5;
+    a.weight = 40;
+    a.aux = 1;
+    a.binHits = {3, 2};
+    b.shots = 50;
+    b.anyHits = 1;
+    b.weight = 10;
+    b.aux = 0;
+    b.binHits = {1, 0};
+    a.merge(b);
+    EXPECT_EQ(a.shots, 150u);
+    EXPECT_EQ(a.anyHits, 6u);
+    EXPECT_EQ(a.weight, 50u);
+    EXPECT_EQ(a.aux, 1u);
+    EXPECT_EQ(a.binHits[0], 4u);
+    EXPECT_EQ(a.binHits[1], 2u);
+    EXPECT_EQ(a.binProportion(0).hits, 4u);
+    EXPECT_EQ(a.anyProportion().shots, 150u);
+}
+
+TEST(MonteCarloEngine, ThreadCountDoesNotChangeResults)
+{
+    codes::SurfaceCode sc(3);
+    auto e = codes::buildMemory(sc, 'Z', 3,
+                                codes::NoiseParams::uniform(0.01));
+    McOptions opts;
+    opts.shots = 4000;
+    opts.seed = 424242;
+    opts.shardShots = 256; // force many shards
+    opts.mwpmMaxDefects = 8;
+
+    McResult ref;
+    bool first = true;
+    for (unsigned threads : {1u, 2u, 4u}) {
+        opts.threads = threads;
+        auto res = runMonteCarlo(e, opts);
+        EXPECT_EQ(res.threadsUsed, threads);
+        EXPECT_EQ(res.shards, (opts.shots + 255) / 256);
+        if (first) {
+            ref = res;
+            first = false;
+            EXPECT_GT(ref.anyObservable.hits, 0u);
+            continue;
+        }
+        EXPECT_EQ(res.shots, ref.shots);
+        EXPECT_EQ(res.sampledShots, ref.sampledShots);
+        EXPECT_EQ(res.anyObservable.hits, ref.anyObservable.hits);
+        ASSERT_EQ(res.perObservable.size(),
+                  ref.perObservable.size());
+        for (std::size_t k = 0; k < ref.perObservable.size(); ++k)
+            EXPECT_EQ(res.perObservable[k].hits,
+                      ref.perObservable[k].hits);
+        EXPECT_EQ(res.mwpmFallbacks, ref.mwpmFallbacks);
+        EXPECT_DOUBLE_EQ(res.avgDefects, ref.avgDefects);
+    }
+}
+
+TEST(MonteCarloEngine, TailShotsAccountedExactly)
+{
+    codes::SurfaceCode sc(3);
+    auto e = codes::buildMemory(sc, 'Z', 3,
+                                codes::NoiseParams::uniform(0.005));
+    McOptions opts;
+    opts.shots = 100; // not a multiple of 64
+    opts.threads = 1;
+    auto res = runMonteCarlo(e, opts);
+    EXPECT_EQ(res.shots, 100u);
+    EXPECT_EQ(res.sampledShots, 128u); // two 64-shot batches
+    EXPECT_EQ(res.anyObservable.shots, 100u);
+}
+
+TEST(MonteCarloEngine, UnionFindKindUsesNoFallback)
+{
+    codes::SurfaceCode sc(3);
+    auto e = codes::buildMemory(sc, 'Z', 3,
+                                codes::NoiseParams::uniform(0.02));
+    McOptions opts;
+    opts.shots = 512;
+    opts.decoder = DecoderKind::UnionFind;
+    auto res = runMonteCarlo(e, opts);
+    EXPECT_EQ(res.mwpmFallbacks, 0u);
+}
+
+} // namespace
+} // namespace traq::decoder

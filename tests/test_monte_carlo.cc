@@ -50,7 +50,7 @@ TEST(MonteCarlo, DistanceSuppressionBelowThreshold)
     McOptions opts;
     opts.shots = 6000;
     opts.seed = 1234;
-    opts.decoder = DecoderKind::Mwpm;
+    opts.decoder = DecoderKind::Fallback;
 
     SurfaceCode sc3(3);
     auto e3 = codes::buildMemory(sc3, 'Z', 3,
@@ -141,7 +141,7 @@ TEST(MonteCarlo, MwpmFallbackCounted)
         codes::buildMemory(sc, 'Z', 3, NoiseParams::uniform(0.05));
     McOptions opts;
     opts.shots = 1024;
-    opts.decoder = DecoderKind::Mwpm;
+    opts.decoder = DecoderKind::Fallback;
     opts.mwpmMaxDefects = 2;   // force frequent fallback
     auto res = runMonteCarlo(e, opts);
     EXPECT_GT(res.mwpmFallbacks, 0u);
