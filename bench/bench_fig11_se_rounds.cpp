@@ -1,6 +1,7 @@
 /**
  * @file
- * Fig. 11 reproduction.
+ * Fig. 11 reproduction, driven by SweepRunner grids over the
+ * "factory-design" and "idle-storage" estimators.
  *  (a,b) factory space-time volume vs SE rounds per transversal gate,
  *        for alpha = 1/6 (pth_eff 0.86%) and alpha = 1/2 (0.67%):
  *        the optimum sits near 1 SE round per gate.
@@ -12,9 +13,8 @@
 
 #include <cstdio>
 
-#include "src/arch/se_schedule.hh"
 #include "src/common/table.hh"
-#include "src/gadgets/factory.hh"
+#include "src/estimator/sweep.hh"
 
 int
 main()
@@ -23,18 +23,24 @@ main()
 
     std::printf("=== Fig. 11(a,b): factory volume vs SE rounds per "
                 "gate ===\n\n");
+    est::SweepRunner factorySweep(
+        est::EstimateRequest{"factory-design", {}});
+    factorySweep
+        .addAxis("seRoundsPerGate", {0.25, 0.5, 1.0, 2.0, 4.0})
+        .addAxis("errorModel.alpha", {1.0 / 6.0, 0.5});
+    est::SweepResult fr = factorySweep.run();
+
     Table t({"SE rounds/gate", "alpha=1/6: d", "volume [site-s]",
              "alpha=1/2: d", "volume [site-s]"});
-    for (double rounds : {0.25, 0.5, 1.0, 2.0, 4.0}) {
-        std::vector<std::string> row{fmtF(rounds, 2)};
-        for (double alpha : {1.0 / 6.0, 0.5}) {
-            gadgets::FactorySpec spec;
-            spec.seRoundsPerGate = rounds;
-            spec.errorModel.alpha = alpha;
-            auto r = gadgets::designFactory(spec);
-            double volume = r.qubits * r.cczTime;
-            row.push_back(std::to_string(r.distance));
-            row.push_back(fmtF(volume, 0));
+    // Row-major grid: two alpha columns per SE-rounds row.
+    for (std::size_t i = 0; i < fr.results.size(); i += 2) {
+        std::vector<std::string> row{
+            fmtF(fr.results[i].params.at("seRoundsPerGate"), 2)};
+        for (std::size_t j = 0; j < 2; ++j) {
+            const est::EstimateResult &r = fr.results[i + j];
+            row.push_back(std::to_string(
+                static_cast<int>(r.metric("distance"))));
+            row.push_back(fmtF(r.metric("volume"), 0));
         }
         t.addRow(row);
     }
@@ -44,30 +50,35 @@ main()
 
     std::printf("\n=== Fig. 11(c): optimal idle SE period vs "
                 "distance ===\n\n");
-    auto atom = platform::AtomArrayParams::paperDefaults();
-    auto em = model::ErrorModelParams::paperDefaults();
+    est::SweepRunner periodSweep(
+        est::EstimateRequest{"idle-storage", {}});
+    periodSweep.addAxis("distance", {13, 17, 21, 25, 27, 31});
+    est::SweepResult pr = periodSweep.run();
     Table c({"d", "optimal period", "closed-form approx"});
-    for (int d : {13, 17, 21, 25, 27, 31}) {
-        c.addRow({std::to_string(d),
-                  fmtDuration(arch::optimalIdlePeriod(d, atom, em)),
-                  fmtDuration(
-                      arch::optimalIdlePeriodApprox(d, atom, em))});
+    for (const est::EstimateResult &r : pr.results) {
+        c.addRow({std::to_string(
+                      static_cast<int>(r.params.at("distance"))),
+                  fmtDuration(r.metric("optimalPeriod")),
+                  fmtDuration(r.metric("approxPeriod"))});
     }
     c.print();
 
     std::printf("\n=== Fig. 11(d): idle logical error rate vs SE "
                 "period (d=27) ===\n\n");
+    est::SweepRunner rateSweep(
+        est::EstimateRequest{"idle-storage", {{"distance", 27}}});
+    rateSweep
+        .addAxis("sePeriod", {1e-3, 2e-3, 4e-3, 8e-3, 16e-3, 32e-3,
+                              64e-3})
+        .addAxis("errorModel.pPhys", {1e-3, 5e-4, 2e-3});
+    est::SweepResult rr = rateSweep.run();
     Table dtab({"SE period", "p=1e-3 rate [1/s]", "p=5e-4 rate",
                 "p=2e-3 rate"});
-    for (double tau : {1e-3, 2e-3, 4e-3, 8e-3, 16e-3, 32e-3,
-                       64e-3}) {
-        std::vector<std::string> row{fmtDuration(tau)};
-        for (double p : {1e-3, 5e-4, 2e-3}) {
-            model::ErrorModelParams m = em;
-            m.pPhys = p;
-            row.push_back(fmtE(
-                arch::idleLogicalErrorRate(tau, 27, atom, m), 2));
-        }
+    for (std::size_t i = 0; i < rr.results.size(); i += 3) {
+        std::vector<std::string> row{
+            fmtDuration(rr.results[i].params.at("sePeriod"))};
+        for (std::size_t j = 0; j < 3; ++j)
+            row.push_back(fmtE(rr.results[i + j].metric("rate"), 2));
         dtab.addRow(row);
     }
     dtab.print();

@@ -1,6 +1,7 @@
 /**
  * @file
- * Fig. 13 reproduction.
+ * Fig. 13 reproduction — parallel SweepRunner sensitivity scans of
+ * the "factoring" estimator.
  *  (a) sensitivity to decoder performance: sweeping the decoding
  *      factor alpha (threshold at 1 CNOT/round from 0.86% down to
  *      0.6%) should raise the space-time volume by <~50%.
@@ -12,7 +13,7 @@
 
 #include "src/arch/se_schedule.hh"
 #include "src/common/table.hh"
-#include "src/estimator/shor.hh"
+#include "src/estimator/sweep.hh"
 #include "src/model/error_model.hh"
 
 int
@@ -20,25 +21,34 @@ main()
 {
     using namespace traq;
 
-    est::FactoringSpec base;
-    est::FactoringReport ref = est::estimateFactoring(base);
+    auto factoring = est::makeEstimator("factoring");
+    est::EstimateResult ref =
+        factoring->estimate({"factoring", {}});
+    const double refVolume = ref.metric("spacetimeVolume");
 
     std::printf("=== Fig. 13(a): sensitivity to decoding factor "
                 "alpha ===\n\n");
+    est::SweepRunner alphaSweep(
+        est::EstimateRequest{"factoring", {}});
+    alphaSweep.addAxis("errorModel.alpha",
+                       {1.0 / 6.0, 0.25, 1.0 / 3.0, 0.5, 2.0 / 3.0,
+                        1.0});
+    est::SweepResult ar = alphaSweep.run();
+
     Table t({"alpha", "pth_eff @x=1", "d", "qubits", "run time",
              "volume ratio"});
-    for (double alpha : {1.0 / 6.0, 0.25, 1.0 / 3.0, 0.5, 2.0 / 3.0,
-                         1.0}) {
-        est::FactoringSpec s = base;
-        s.errorModel.alpha = alpha;
-        auto r = est::estimateFactoring(s);
-        t.addRow({fmtF(alpha, 3),
-                  fmtF(100 * model::effectiveThreshold(
-                                 1.0, s.errorModel), 2) + "%",
-                  std::to_string(r.distance),
-                  fmtSi(r.physicalQubits, 1),
-                  fmtDuration(r.totalSeconds),
-                  fmtF(r.spacetimeVolume / ref.spacetimeVolume, 2)});
+    for (const est::EstimateResult &r : ar.results) {
+        model::ErrorModelParams em =
+            model::ErrorModelParams::paperDefaults();
+        em.alpha = r.params.at("errorModel.alpha");
+        t.addRow({fmtF(em.alpha, 3),
+                  fmtF(100 * model::effectiveThreshold(1.0, em), 2) +
+                      "%",
+                  std::to_string(
+                      static_cast<int>(r.metric("distance"))),
+                  fmtSi(r.metric("physicalQubits"), 1),
+                  fmtDuration(r.metric("totalSeconds")),
+                  fmtF(r.metric("spacetimeVolume") / refVolume, 2)});
     }
     t.print();
     std::printf("\n(paper: dropping the CNOT threshold from 0.86%% "
@@ -46,19 +56,31 @@ main()
 
     std::printf("\n=== Fig. 13(b): sensitivity to coherence time "
                 "===\n\n");
+    // Zipped axes (not a grid): each coherence time re-optimizes the
+    // idle SE cadence, so build the request list explicitly and run
+    // it through the same parallel engine.
+    auto atom = platform::AtomArrayParams::paperDefaults();
+    auto em = model::ErrorModelParams::paperDefaults();
+    std::vector<est::EstimateRequest> jobs;
+    for (double tcoh : {100.0, 30.0, 10.0, 3.0, 1.0, 0.3, 0.1}) {
+        platform::AtomArrayParams a = atom;
+        a.coherenceTime = tcoh;
+        jobs.push_back(
+            {"factoring",
+             {{"atom.coherenceTime", tcoh},
+              {"idlePeriod",
+               arch::optimalIdlePeriod(27, a, em)}}});
+    }
+    est::SweepResult cr = est::runRequests(*factoring, jobs);
+
     Table c({"T_coh", "idle SE period", "qubits", "run time",
              "volume ratio"});
-    for (double tcoh : {100.0, 30.0, 10.0, 3.0, 1.0, 0.3, 0.1}) {
-        est::FactoringSpec s = base;
-        s.atom.coherenceTime = tcoh;
-        // Re-optimize the idle cadence for the new coherence time.
-        s.idlePeriod = arch::optimalIdlePeriod(27, s.atom,
-                                               s.errorModel);
-        auto r = est::estimateFactoring(s);
-        c.addRow({fmtDuration(tcoh), fmtDuration(s.idlePeriod),
-                  fmtSi(r.physicalQubits, 1),
-                  fmtDuration(r.totalSeconds),
-                  fmtF(r.spacetimeVolume / ref.spacetimeVolume, 2)});
+    for (const est::EstimateResult &r : cr.results) {
+        c.addRow({fmtDuration(r.params.at("atom.coherenceTime")),
+                  fmtDuration(r.params.at("idlePeriod")),
+                  fmtSi(r.metric("physicalQubits"), 1),
+                  fmtDuration(r.metric("totalSeconds")),
+                  fmtF(r.metric("spacetimeVolume") / refVolume, 2)});
     }
     c.print();
     std::printf("\n(paper: volume accelerates once coherence drops "

@@ -1,58 +1,68 @@
 /**
  * @file
- * Fig. 14 reproduction.
+ * Fig. 14 reproduction — SweepRunner scans of the "factoring"
+ * estimator plus the retained-frontier optimizer.
  *  (a,b) space-time volume and QEC-round duration vs atom
  *        acceleration rescaling;
  *  (c)   volume vs reaction time (gains flatten at small t_r where
  *        the CNOT fan-out floor dominates);
  *  (d)   qubits vs run time trade-off (volume degrades below ~15 M
- *        qubits).
+ *        qubits): ONE uncapped optimizer sweep retains every
+ *        feasible point, and each qubit cap is answered from that
+ *        Pareto set via bestUnder().
  */
 
 #include <cstdio>
 
-#include "src/arch/qec_cycle.hh"
 #include "src/common/table.hh"
 #include "src/estimator/optimizer.hh"
-#include "src/estimator/shor.hh"
+#include "src/estimator/sweep.hh"
 
 int
 main()
 {
     using namespace traq;
 
-    est::FactoringSpec base;
-    est::FactoringReport ref = est::estimateFactoring(base);
+    auto factoring = est::makeEstimator("factoring");
+    est::EstimateResult ref =
+        factoring->estimate({"factoring", {}});
+    const double refVolume = ref.metric("spacetimeVolume");
 
     std::printf("=== Fig. 14(a,b): acceleration sweep ===\n\n");
+    est::SweepRunner accelSweep(
+        est::EstimateRequest{"factoring", {}});
+    accelSweep.addAxis("atom.acceleration",
+                       {5500.0 * 0.1, 5500.0 * 0.3, 5500.0 * 1.0,
+                        5500.0 * 3.0, 5500.0 * 10.0});
+    est::SweepResult as = accelSweep.run();
     Table a({"accel scale", "QEC round", "run time", "qubits",
              "volume ratio"});
-    for (double scale : {0.1, 0.3, 1.0, 3.0, 10.0}) {
-        est::FactoringSpec s = base;
-        s.atom.acceleration = 5500.0 * scale;
-        auto r = est::estimateFactoring(s);
-        auto cyc = arch::qecCycle(r.distance, s.atom);
-        a.addRow({fmtF(scale, 1), fmtDuration(cyc.total),
-                  fmtDuration(r.totalSeconds),
-                  fmtSi(r.physicalQubits, 1),
-                  fmtF(r.spacetimeVolume / ref.spacetimeVolume, 2)});
+    for (const est::EstimateResult &r : as.results) {
+        a.addRow({fmtF(r.params.at("atom.acceleration") / 5500.0, 1),
+                  fmtDuration(r.metric("qecRound")),
+                  fmtDuration(r.metric("totalSeconds")),
+                  fmtSi(r.metric("physicalQubits"), 1),
+                  fmtF(r.metric("spacetimeVolume") / refVolume, 2)});
     }
     a.print();
 
     std::printf("\n=== Fig. 14(c): reaction-time sweep ===\n\n");
+    // atom.reactionTime splits evenly between measurement and
+    // decoding, as in the paper.
+    est::SweepRunner reactionSweep(
+        est::EstimateRequest{"factoring", {}});
+    reactionSweep.addAxis("atom.reactionTime",
+                          {0.1e-3, 0.2e-3, 0.5e-3, 1e-3, 2e-3, 5e-3,
+                           10e-3});
+    est::SweepResult rs = reactionSweep.run();
     Table c({"reaction time", "t_lookup", "t_add", "run time",
              "volume ratio"});
-    for (double tr : {0.1e-3, 0.2e-3, 0.5e-3, 1e-3, 2e-3, 5e-3,
-                      10e-3}) {
-        est::FactoringSpec s = base;
-        // Split the reaction time between measurement and decoding.
-        s.atom.measureTime = tr / 2.0;
-        s.atom.decodeTime = tr / 2.0;
-        auto r = est::estimateFactoring(s);
-        c.addRow({fmtDuration(tr), fmtDuration(r.timePerLookup),
-                  fmtDuration(r.timePerAddition),
-                  fmtDuration(r.totalSeconds),
-                  fmtF(r.spacetimeVolume / ref.spacetimeVolume, 2)});
+    for (const est::EstimateResult &r : rs.results) {
+        c.addRow({fmtDuration(r.params.at("atom.reactionTime")),
+                  fmtDuration(r.metric("timePerLookup")),
+                  fmtDuration(r.metric("timePerAddition")),
+                  fmtDuration(r.metric("totalSeconds")),
+                  fmtF(r.metric("spacetimeVolume") / refVolume, 2)});
     }
     c.print();
     std::printf("\n(paper: gains from faster reaction eventually "
@@ -60,22 +70,20 @@ main()
 
     std::printf("\n=== Fig. 14(d): qubits vs run time trade-off "
                 "===\n\n");
+    est::FactoringSpec base;
+    auto frontier = est::optimizeFactoring(base);
     Table d({"qubit cap", "achieved qubits", "run time",
              "rsep chosen", "volume ratio"});
     for (double cap : {8e6, 10e6, 12e6, 15e6, 20e6, 30e6}) {
-        est::OptimizerOptions opts;
-        opts.maxQubits = cap;
-        auto res = est::optimizeFactoring(base, opts);
-        if (!res.found) {
+        const est::OptimizerPoint *p = frontier.bestUnder(cap);
+        if (!p) {
             d.addRow({fmtSi(cap, 0), "infeasible", "-", "-", "-"});
             continue;
         }
-        d.addRow({fmtSi(cap, 0),
-                  fmtSi(res.bestReport.physicalQubits, 1),
-                  fmtDuration(res.bestReport.totalSeconds),
-                  std::to_string(res.bestSpec.rsep),
-                  fmtF(res.bestReport.spacetimeVolume /
-                           ref.spacetimeVolume, 2)});
+        d.addRow({fmtSi(cap, 0), fmtSi(p->physicalQubits, 1),
+                  fmtDuration(p->totalSeconds),
+                  std::to_string(p->spec.rsep),
+                  fmtF(p->spacetimeVolume / refVolume, 2)});
     }
     d.print();
     std::printf("\n(paper: comparable volume until the qubit count "

@@ -5,13 +5,17 @@
  * 900 us QEC cycle (reaction-time sweep) and the Beverland-et-al.
  * anchor.  The headline shape: ~50x runtime reduction at equal
  * footprint, i.e. an order-of-magnitude lower space-time volume.
+ *
+ * Both series run through the unified Estimator API: "factoring"
+ * serves this work, "gidney-ekera" the baseline, and the
+ * reaction-time scan is a parallel SweepRunner grid.
  */
 
 #include <cstdio>
 
 #include "src/common/table.hh"
 #include "src/estimator/baselines.hh"
-#include "src/estimator/shor.hh"
+#include "src/estimator/sweep.hh"
 
 int
 main()
@@ -22,44 +26,52 @@ main()
                 "===\n\n");
     Table t({"series", "qubits", "run time", "volume [qubit-s]"});
 
-    // This work at the Table II operating point.
-    est::FactoringSpec spec;
-    est::FactoringReport ours = est::estimateFactoring(spec);
-    t.addRow({"this work (transversal)",
-              fmtSi(ours.physicalQubits, 1),
-              fmtDuration(ours.totalSeconds),
-              fmtE(ours.spacetimeVolume, 2)});
-
-    // Ours, trading qubits for time via the runway separation
-    // (fewer segments -> fewer factories and runway bits but longer
-    // reaction-limited carry chains; cf. Fig. 14(d)).
-    for (int rsep : {256, 1024}) {
-        est::FactoringSpec s = spec;
-        s.rsep = rsep;
-        est::FactoringReport r = est::estimateFactoring(s);
-        t.addRow({"this work (rsep=" + std::to_string(rsep) + ")",
-                  fmtSi(r.physicalQubits, 1),
-                  fmtDuration(r.totalSeconds),
-                  fmtE(r.spacetimeVolume, 2)});
+    // This work at the Table II operating point, then trading qubits
+    // for time via the runway separation (fewer segments -> fewer
+    // factories and runway bits but longer reaction-limited carry
+    // chains; cf. Fig. 14(d)).
+    auto factoring = est::makeEstimator("factoring");
+    std::vector<est::EstimateRequest> ourJobs = {
+        {"factoring", {}},
+        {"factoring", {{"rsep", 256}}},
+        {"factoring", {{"rsep", 1024}}},
+    };
+    est::SweepResult ours = est::runRequests(*factoring, ourJobs);
+    for (std::size_t i = 0; i < ours.results.size(); ++i) {
+        const est::EstimateResult &r = ours.results[i];
+        std::string label =
+            i == 0 ? "this work (transversal)"
+                   : "this work (rsep=" +
+                         std::to_string(static_cast<int>(
+                             r.params.at("rsep"))) +
+                         ")";
+        t.addRow({label, fmtSi(r.metric("physicalQubits"), 1),
+                  fmtDuration(r.metric("totalSeconds")),
+                  fmtE(r.metric("spacetimeVolume"), 2)});
     }
 
     // Gidney-Ekera at 900 us cycle, reaction sweep (blue points).
-    for (double tr : {0.1e-3, 1e-3, 10e-3}) {
-        est::GidneyEkeraSpec ge;
-        ge.tCycle = 900e-6;
-        ge.tReaction = tr;
-        auto p = est::gidneyEkera(ge);
-        t.addRow({p.label + " t_r=" + fmtDuration(tr),
-                  fmtSi(p.physicalQubits, 1),
-                  fmtDuration(p.seconds),
-                  fmtE(p.spacetimeVolume, 2)});
+    est::SweepRunner geSweep(
+        est::EstimateRequest{"gidney-ekera",
+                             {{"tCycle", 900e-6}}});
+    geSweep.addAxis("tReaction", {0.1e-3, 1e-3, 10e-3});
+    est::SweepResult ge = geSweep.run();
+    for (const est::EstimateResult &r : ge.results) {
+        t.addRow({"Gidney-Ekera (lattice surgery) t_r=" +
+                      fmtDuration(r.params.at("tReaction")),
+                  fmtSi(r.metric("physicalQubits"), 1),
+                  fmtDuration(r.metric("totalSeconds")),
+                  fmtE(r.metric("spacetimeVolume"), 2)});
     }
 
     // Original GE operating point (superconducting, 1 us).
-    est::GidneyEkeraSpec ge1us;
-    auto geP = est::gidneyEkera(ge1us);
-    t.addRow({"GE anchor (1 us cycle)", fmtSi(geP.physicalQubits, 1),
-              fmtDuration(geP.seconds), fmtE(geP.spacetimeVolume, 2)});
+    auto gidneyEkera = est::makeEstimator("gidney-ekera");
+    est::EstimateResult geAnchor =
+        gidneyEkera->estimate({"gidney-ekera", {}});
+    t.addRow({"GE anchor (1 us cycle)",
+              fmtSi(geAnchor.metric("physicalQubits"), 1),
+              fmtDuration(geAnchor.metric("totalSeconds")),
+              fmtE(geAnchor.metric("spacetimeVolume"), 2)});
 
     auto bev = est::beverlandAnchor();
     t.addRow({bev.label, fmtSi(bev.physicalQubits, 1),
@@ -67,14 +79,14 @@ main()
               fmtE(bev.spacetimeVolume, 2)});
     t.print();
 
-    est::GidneyEkeraSpec ge900;
-    ge900.tCycle = 900e-6;
-    ge900.tReaction = 1e-3;
-    auto base = est::gidneyEkera(ge900);
+    const est::EstimateResult &base = ge.results[1]; // t_r = 1 ms
+    const est::EstimateResult &ref = ours.results[0];
     std::printf("\nspeed-up vs lattice surgery @900us: %.1fx "
                 "(paper: ~50x)\n",
-                base.seconds / ours.totalSeconds);
+                base.metric("totalSeconds") /
+                    ref.metric("totalSeconds"));
     std::printf("volume ratio: %.1fx lower (paper: >10x)\n",
-                base.spacetimeVolume / ours.spacetimeVolume);
+                base.metric("spacetimeVolume") /
+                    ref.metric("spacetimeVolume"));
     return 0;
 }

@@ -4,47 +4,50 @@
  * storage compression applied to the idle registers (4-6M qubits),
  * the paper expects a ~20% reduction in space footprint at unchanged
  * run time.
+ *
+ * The compression scan is a SweepRunner grid over the
+ * "qldpc-storage" estimator, whose underlying factoring solve is
+ * memoized — the whole sweep pays for one reference estimate.
  */
 
 #include <cstdio>
 
 #include "src/common/table.hh"
-#include "src/estimator/qldpc.hh"
+#include "src/estimator/sweep.hh"
 
 int
 main()
 {
     using namespace traq;
 
-    est::FactoringSpec spec;
-    est::FactoringReport base = est::estimateFactoring(spec);
-
     std::printf("=== Sec. IV.3.4: dense qLDPC storage ===\n\n");
+    est::SweepRunner sweep(
+        est::EstimateRequest{"qldpc-storage", {}});
+    sweep.addAxis("compressionFactor", {2.0, 5.0, 10.0, 20.0});
+    est::SweepResult sr = sweep.run();
+
     Table t({"compression", "storage before", "storage after",
              "total qubits", "footprint saving", "access cycle"});
-    for (double comp : {2.0, 5.0, 10.0, 20.0}) {
-        est::QldpcStorageSpec qs;
-        qs.compressionFactor = comp;
-        auto r = est::applyQldpcStorage(base, spec, qs);
-        t.addRow({fmtF(comp, 0) + "x",
-                  fmtSi(r.surfaceStorageQubits, 1),
-                  fmtSi(r.denseStorageQubits +
-                            r.residualSurfaceQubits, 1),
-                  fmtSi(r.physicalQubits, 1),
-                  fmtF(100 * r.footprintReduction, 1) + "%",
-                  fmtDuration(r.accessCycleTime)});
+    for (const est::EstimateResult &r : sr.results) {
+        t.addRow({fmtF(r.params.at("compressionFactor"), 0) + "x",
+                  fmtSi(r.metric("surfaceStorageQubits"), 1),
+                  fmtSi(r.metric("denseStorageQubits") +
+                            r.metric("residualSurfaceQubits"), 1),
+                  fmtSi(r.metric("physicalQubits"), 1),
+                  fmtF(100 * r.metric("footprintReduction"), 1) +
+                      "%",
+                  fmtDuration(r.metric("accessCycleTime"))});
     }
     t.print();
 
-    est::QldpcStorageSpec ten;
-    auto r10 = est::applyQldpcStorage(base, spec, ten);
+    const est::EstimateResult &r10 = sr.results[2]; // 10x point
     std::printf("\nat 10x compression: %.1f%% footprint saving "
                 "(paper: ~20%%), run time unchanged at %s\n",
-                100 * r10.footprintReduction,
-                fmtDuration(base.totalSeconds).c_str());
+                100 * r10.metric("footprintReduction"),
+                fmtDuration(r10.metric("totalSeconds")).c_str());
     std::printf("compute cycle %s vs storage-access cycle %s "
                 "(longer qLDPC moves)\n",
-                fmtDuration(r10.computeCycleTime).c_str(),
-                fmtDuration(r10.accessCycleTime).c_str());
+                fmtDuration(r10.metric("computeCycleTime")).c_str(),
+                fmtDuration(r10.metric("accessCycleTime")).c_str());
     return 0;
 }

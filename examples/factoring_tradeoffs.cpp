@@ -14,6 +14,7 @@
 
 #include "src/common/table.hh"
 #include "src/estimator/shor.hh"
+#include "src/estimator/sweep.hh"
 
 int
 main(int argc, char **argv)
@@ -50,24 +51,33 @@ main(int argc, char **argv)
     t.print();
 
     std::printf("\n=== Neighbourhood sweep ===\n\n");
+    // A SweepRunner grid around the requested point, over an
+    // estimator carrying the full spec as its base.
+    std::vector<double> weValues, rsepValues;
+    for (int we : {spec.wExp - 1, spec.wExp, spec.wExp + 1})
+        if (we >= 1)
+            weValues.push_back(we);
+    for (int rsep : {spec.rsep / 2, spec.rsep, spec.rsep * 2})
+        if (rsep >= 8)
+            rsepValues.push_back(rsep);
+    est::SweepRunner sweep(
+        std::shared_ptr<const est::Estimator>(
+            est::makeFactoringEstimator(spec)),
+        est::EstimateRequest{"factoring", {}});
+    sweep.addAxis("wExp", weValues).addAxis("rsep", rsepValues);
+    est::SweepResult sr = sweep.run();
+
     Table s({"wexp", "wmul", "rsep", "qubits", "run time",
              "volume"});
-    for (int we : {spec.wExp - 1, spec.wExp, spec.wExp + 1}) {
-        if (we < 1)
-            continue;
-        for (int rsep : {spec.rsep / 2, spec.rsep, spec.rsep * 2}) {
-            if (rsep < 8)
-                continue;
-            est::FactoringSpec v = spec;
-            v.wExp = we;
-            v.rsep = rsep;
-            auto r = est::estimateFactoring(v);
-            s.addRow({std::to_string(we), std::to_string(v.wMul),
-                      std::to_string(rsep),
-                      fmtSi(r.physicalQubits, 1),
-                      fmtDuration(r.totalSeconds),
-                      fmtE(r.spacetimeVolume, 2)});
-        }
+    for (const est::EstimateResult &r : sr.results) {
+        s.addRow({std::to_string(
+                      static_cast<int>(r.params.at("wExp"))),
+                  std::to_string(spec.wMul),
+                  std::to_string(
+                      static_cast<int>(r.params.at("rsep"))),
+                  fmtSi(r.metric("physicalQubits"), 1),
+                  fmtDuration(r.metric("totalSeconds")),
+                  fmtE(r.metric("spacetimeVolume"), 2)});
     }
     s.print();
     return 0;

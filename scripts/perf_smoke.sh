@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Perf smoke check: run the benches listed in bench/perf_baseline.txt
+# and fail on a crash or a gross (> MARGIN x) wall-clock regression
+# against the stored per-bench baseline.
+#
+# Usage: scripts/perf_smoke.sh [build-dir]
+#
+# The baseline file holds "<bench-binary> <baseline-seconds>" pairs;
+# baselines are deliberately loose (they bound machine-class, not
+# noise) and the 3x margin on top makes the check a tripwire for
+# pathological slowdowns, not a micro-benchmark.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+BASELINE_FILE="$(dirname "$0")/../bench/perf_baseline.txt"
+MARGIN=3
+
+fail=0
+while read -r name baseline; do
+    case "$name" in
+      ''|\#*) continue ;;
+    esac
+    bin="$BUILD_DIR/$name"
+    if [[ ! -x "$bin" ]]; then
+        echo "perf-smoke: MISSING $bin" >&2
+        fail=1
+        continue
+    fi
+    start=$(date +%s%N)
+    if ! "$bin" > /dev/null; then
+        echo "perf-smoke: CRASH $name" >&2
+        fail=1
+        continue
+    fi
+    end=$(date +%s%N)
+    elapsed=$(awk -v s="$start" -v e="$end" \
+        'BEGIN { printf "%.3f", (e - s) / 1e9 }')
+    limit=$(awk -v b="$baseline" -v m="$MARGIN" \
+        'BEGIN { printf "%.3f", b * m }')
+    if awk -v e="$elapsed" -v l="$limit" \
+        'BEGIN { exit !(e > l) }'; then
+        echo "perf-smoke: FAIL $name took ${elapsed}s" \
+             "(baseline ${baseline}s, limit ${limit}s)" >&2
+        fail=1
+    else
+        echo "perf-smoke: OK   $name ${elapsed}s" \
+             "(baseline ${baseline}s, limit ${limit}s)"
+    fi
+done < "$BASELINE_FILE"
+
+exit "$fail"

@@ -1,0 +1,90 @@
+#include "src/common/serialize.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace traq {
+
+std::string
+fmtRoundTrip(double v)
+{
+    if (std::isnan(v))
+        return "nan";
+    if (std::isinf(v))
+        return v > 0 ? "inf" : "-inf";
+    if (v == 0.0)
+        return "0";
+    char buf[64];
+    auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    if (ec != std::errc()) {
+        // Unreachable with a 64-byte buffer; keep a safe fallback.
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        return buf;
+    }
+    return std::string(buf, ptr);
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    return fmtRoundTrip(v);
+}
+
+std::string
+jsonQuote(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+csvField(std::string_view s)
+{
+    if (s.find_first_of(",\"\n\r") == std::string_view::npos)
+        return std::string(s);
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (const char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace traq

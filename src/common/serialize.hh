@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Serialization helpers shared by the sweep/report machinery: stable
+ * textual encodings of doubles (exact round-trip), CSV field quoting
+ * and JSON string escaping.
+ *
+ * Stability matters twice over: sweep outputs are diffed across runs
+ * and thread counts (bit-identical results must serialize to
+ * identical bytes), and memoization keys are built from serialized
+ * parameter maps (two requests must collide exactly when their
+ * parameters are bitwise equal).
+ */
+
+#ifndef TRAQ_COMMON_SERIALIZE_HH
+#define TRAQ_COMMON_SERIALIZE_HH
+
+#include <string>
+#include <string_view>
+
+namespace traq {
+
+/**
+ * Shortest decimal form of v that parses back to exactly the same
+ * double (std::to_chars round-trip guarantee).  Non-finite values
+ * encode as "nan", "inf", "-inf"; negative zero as "0".
+ */
+std::string fmtRoundTrip(double v);
+
+/**
+ * JSON number token for v.  Finite values use fmtRoundTrip; JSON has
+ * no non-finite literals, so those encode as null.
+ */
+std::string jsonNumber(double v);
+
+/** Escape and double-quote a JSON string. */
+std::string jsonQuote(std::string_view s);
+
+/**
+ * CSV field per RFC 4180: quoted (with doubled inner quotes) only
+ * when the value contains a comma, quote, or newline.
+ */
+std::string csvField(std::string_view s);
+
+} // namespace traq
+
+#endif // TRAQ_COMMON_SERIALIZE_HH

@@ -65,27 +65,62 @@ Table::print() const
     std::fputs(str().c_str(), stdout);
 }
 
+namespace {
+
+/**
+ * Platform-independent spelling of non-finite values ("nan", "inf",
+ * "-inf"); nullptr for finite input.  snprintf's spelling of these
+ * varies by libc ("nan" vs "-nan(0x...)"), which would make
+ * serialized sweep output unstable.
+ */
+const char *
+nonFiniteName(double v)
+{
+    if (std::isnan(v))
+        return "nan";
+    if (std::isinf(v))
+        return v > 0 ? "inf" : "-inf";
+    return nullptr;
+}
+
+/** Map negative zero to zero so "-0.00" never appears in tables. */
+double
+normalizeZero(double v)
+{
+    return v == 0.0 ? 0.0 : v;
+}
+
+} // namespace
+
 std::string
 fmtF(double v, int decimals)
 {
+    if (const char *name = nonFiniteName(v))
+        return name;
     char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals,
+                  normalizeZero(v));
     return buf;
 }
 
 std::string
 fmtE(double v, int sig)
 {
+    if (const char *name = nonFiniteName(v))
+        return name;
     char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.*e", sig - 1, v);
+    std::snprintf(buf, sizeof(buf), "%.*e", sig - 1,
+                  normalizeZero(v));
     return buf;
 }
 
 std::string
 fmtSi(double v, int decimals)
 {
+    if (const char *name = nonFiniteName(v))
+        return name;
     const char *suffix = "";
-    double scaled = v;
+    double scaled = normalizeZero(v);
     double av = std::fabs(v);
     if (av >= 1e9) {
         scaled = v / 1e9;
@@ -105,6 +140,11 @@ fmtSi(double v, int decimals)
 std::string
 fmtDuration(double seconds)
 {
+    if (const char *name = nonFiniteName(seconds))
+        return name;
+    if (seconds < 0.0)
+        return "-" + fmtDuration(-seconds);
+    seconds = normalizeZero(seconds);
     char buf[64];
     if (seconds < 1e-3)
         std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);

@@ -37,6 +37,11 @@ class Table
     std::vector<std::vector<std::string>> rows_;
 };
 
+// All formatters are total and platform-stable: non-finite inputs
+// render as "nan" / "inf" / "-inf" (never libc-specific spellings),
+// negative zero as zero, and negative durations with a leading '-',
+// so serialized sweep output is byte-identical across runs.
+
 /** Fixed-notation formatting with the given number of decimals. */
 std::string fmtF(double v, int decimals = 2);
 

@@ -1,0 +1,23 @@
+#include "src/common/threads.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+
+namespace traq {
+
+unsigned
+resolveThreadCount(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("TRAQ_THREADS")) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            return static_cast<unsigned>(v);
+    }
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+} // namespace traq

@@ -10,6 +10,7 @@
 
 #include "src/common/assert.hh"
 #include "src/common/rng.hh"
+#include "src/common/threads.hh"
 #include "src/sim/dem.hh"
 #include "src/sim/frame.hh"
 
@@ -113,11 +114,7 @@ MonteCarloEngine::run(const McOptions &opts)
     const std::uint64_t numShards =
         (opts_.shots + shardUnit_ - 1) / shardUnit_;
 
-    unsigned threads = opts_.threads
-                           ? opts_.threads
-                           : std::max(1u,
-                                      std::thread::
-                                          hardware_concurrency());
+    unsigned threads = resolveThreadCount(opts_.threads);
     threads = static_cast<unsigned>(
         std::min<std::uint64_t>(threads, std::max<std::uint64_t>(
                                              1, numShards)));

@@ -39,7 +39,8 @@ struct McOptions
     /** Decoder to instantiate per worker (see makeDecoder). */
     DecoderKind decoder = DecoderKind::Fallback;
     std::size_t mwpmMaxDefects = 16;
-    /** Worker threads; 0 = hardware concurrency. */
+    /** Worker threads; 0 = TRAQ_THREADS env or hardware (see
+     *  common/threads.hh). */
     unsigned threads = 0;
     /**
      * Shots per shard (rounded up to a multiple of 64).  The shard

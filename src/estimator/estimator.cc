@@ -1,0 +1,594 @@
+#include "src/estimator/estimator.hh"
+
+#include <cmath>
+#include <mutex>
+#include <utility>
+
+#include "src/arch/qec_cycle.hh"
+#include "src/arch/se_schedule.hh"
+#include "src/common/assert.hh"
+#include "src/common/serialize.hh"
+#include "src/gadgets/factory.hh"
+
+namespace traq::est {
+namespace {
+
+int
+asInt(double v)
+{
+    return static_cast<int>(std::llround(v));
+}
+
+/** Apply an "atom.*" parameter; returns false if key is not one. */
+bool
+applyAtomParam(platform::AtomArrayParams &atom,
+               const std::string &key, double v)
+{
+    if (key == "atom.siteSpacing")
+        atom.siteSpacing = v;
+    else if (key == "atom.acceleration")
+        atom.acceleration = v;
+    else if (key == "atom.gateTime")
+        atom.gateTime = v;
+    else if (key == "atom.measureTime")
+        atom.measureTime = v;
+    else if (key == "atom.decodeTime")
+        atom.decodeTime = v;
+    else if (key == "atom.coherenceTime")
+        atom.coherenceTime = v;
+    else if (key == "atom.pPhys")
+        atom.pPhys = v;
+    else if (key == "atom.reactionTime") {
+        // The paper splits the reaction time evenly between
+        // measurement and decoding (Sec. II.2); Fig. 14(c) sweeps it
+        // as one knob.
+        atom.measureTime = v / 2.0;
+        atom.decodeTime = v / 2.0;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+/** Apply an "errorModel.*" parameter; false if key is not one. */
+bool
+applyErrorModelParam(model::ErrorModelParams &em,
+                     const std::string &key, double v)
+{
+    if (key == "errorModel.prefactorC")
+        em.prefactorC = v;
+    else if (key == "errorModel.pPhys")
+        em.pPhys = v;
+    else if (key == "errorModel.pThres")
+        em.pThres = v;
+    else if (key == "errorModel.alpha")
+        em.alpha = v;
+    else
+        return false;
+    return true;
+}
+
+/** Apply a factoring-spec parameter; false if key is not one. */
+bool
+applyFactoringParam(FactoringSpec &spec, const std::string &key,
+                    double v)
+{
+    if (key == "nBits")
+        spec.nBits = asInt(v);
+    else if (key == "wExp")
+        spec.wExp = asInt(v);
+    else if (key == "wMul")
+        spec.wMul = asInt(v);
+    else if (key == "rsep")
+        spec.rsep = asInt(v);
+    else if (key == "rpad")
+        spec.rpad = asInt(v);
+    else if (key == "distance")
+        spec.distance = asInt(v);
+    else if (key == "factories")
+        spec.factories = asInt(v);
+    else if (key == "cczErrorBudget")
+        spec.cczErrorBudget = v;
+    else if (key == "logicalErrorBudget")
+        spec.logicalErrorBudget = v;
+    else if (key == "runwayErrorBudget")
+        spec.runwayErrorBudget = v;
+    else if (key == "idlePeriod")
+        spec.idlePeriod = v;
+    else if (applyAtomParam(spec.atom, key, v))
+        return true;
+    else if (applyErrorModelParam(spec.errorModel, key, v))
+        return true;
+    else
+        return false;
+    return true;
+}
+
+FactoringSpec
+factoringSpecFor(const FactoringSpec &base, const ParamMap &params)
+{
+    FactoringSpec spec = base;
+    for (const auto &[key, v] : params)
+        if (!applyFactoringParam(spec, key, v))
+            TRAQ_FATAL("unknown factoring parameter '" + key + "'");
+    return spec;
+}
+
+EstimateResult
+resultShell(const char *kind, const ParamMap &params)
+{
+    EstimateResult res;
+    res.kind = kind;
+    res.params = params;
+    return res;
+}
+
+class FactoringEstimator : public Estimator
+{
+  public:
+    explicit FactoringEstimator(const FactoringSpec &base)
+        : base_(base)
+    {}
+
+    const char *kind() const override { return "factoring"; }
+
+    EstimateResult estimate(const EstimateRequest &req) const override
+    {
+        const FactoringSpec spec =
+            factoringSpecFor(base_, req.params);
+        const FactoringReport rep = estimateFactoring(spec);
+
+        EstimateResult res = resultShell(kind(), req.params);
+        res.feasible = rep.feasible;
+        res.metrics = {
+            {"exponentBits", rep.exponentBits},
+            {"lookupAdditions", rep.lookupAdditions},
+            {"cczTotal", rep.cczTotal},
+            {"distance", static_cast<double>(rep.distance)},
+            {"rpad", static_cast<double>(rep.rpad)},
+            {"factories", static_cast<double>(rep.factories)},
+            {"idlePeriodUsed", rep.idlePeriodUsed},
+            {"timePerLookup", rep.timePerLookup},
+            {"timePerAddition", rep.timePerAddition},
+            {"totalSeconds", rep.totalSeconds},
+            {"days", rep.days},
+            {"storageQubits", rep.storageQubits},
+            {"adderQubits", rep.adderQubits},
+            {"lookupQubits", rep.lookupQubits},
+            {"factoryQubits", rep.factoryQubits},
+            {"routingQubits", rep.routingQubits},
+            {"physicalQubits", rep.physicalQubits},
+            {"algorithmLogicalError", rep.algorithmLogicalError},
+            {"idleError", rep.idleError},
+            {"runwayError", rep.runwayError},
+            {"cczError", rep.cczError},
+            {"spacetimeVolume", rep.spacetimeVolume},
+            // Derived timing the Fig. 14(a,b) sweep reports.
+            {"qecRound",
+             arch::qecCycle(rep.distance, spec.atom).total},
+        };
+        return res;
+    }
+
+  private:
+    FactoringSpec base_;
+};
+
+class ChemistryEstimator : public Estimator
+{
+  public:
+    explicit ChemistryEstimator(const ChemistrySpec &base)
+        : base_(base)
+    {}
+
+    const char *kind() const override { return "chemistry"; }
+
+    EstimateResult estimate(const EstimateRequest &req) const override
+    {
+        ChemistrySpec spec = base_;
+        for (const auto &[key, v] : req.params) {
+            if (key == "spinOrbitals")
+                spec.spinOrbitals = asInt(v);
+            else if (key == "lambdaHam")
+                spec.lambdaHam = v;
+            else if (key == "energyError")
+                spec.energyError = v;
+            else if (key == "thcRank")
+                spec.thcRank = asInt(v);
+            else if (key == "rotationBits")
+                spec.rotationBits = asInt(v);
+            else if (key == "distance")
+                spec.distance = asInt(v);
+            else if (applyAtomParam(spec.atom, key, v) ||
+                     applyErrorModelParam(spec.errorModel, key, v))
+                continue;
+            else
+                TRAQ_FATAL("unknown chemistry parameter '" + key +
+                           "'");
+        }
+        const ChemistryReport rep = estimateChemistry(spec);
+
+        EstimateResult res = resultShell(kind(), req.params);
+        res.metrics = {
+            {"iterations", rep.iterations},
+            {"lookupAddressBits",
+             static_cast<double>(rep.lookupAddressBits)},
+            {"cczPerIteration", rep.cczPerIteration},
+            {"cczTotal", rep.cczTotal},
+            {"timePerIteration", rep.timePerIteration},
+            {"totalSeconds", rep.totalSeconds},
+            {"days", rep.days},
+            {"physicalQubits", rep.physicalQubits},
+            {"distance", static_cast<double>(rep.distance)},
+            {"spacetimeVolume", rep.spacetimeVolume},
+            {"latticeSurgerySeconds", rep.latticeSurgerySeconds},
+            {"speedup", rep.speedup},
+        };
+        return res;
+    }
+
+  private:
+    ChemistrySpec base_;
+};
+
+class GidneyEkeraEstimator : public Estimator
+{
+  public:
+    explicit GidneyEkeraEstimator(const GidneyEkeraSpec &base)
+        : base_(base)
+    {}
+
+    const char *kind() const override { return "gidney-ekera"; }
+
+    EstimateResult estimate(const EstimateRequest &req) const override
+    {
+        GidneyEkeraSpec spec = base_;
+        for (const auto &[key, v] : req.params) {
+            if (key == "nBits")
+                spec.nBits = asInt(v);
+            else if (key == "wExp")
+                spec.wExp = asInt(v);
+            else if (key == "wMul")
+                spec.wMul = asInt(v);
+            else if (key == "rsep")
+                spec.rsep = asInt(v);
+            else if (key == "rpad")
+                spec.rpad = asInt(v);
+            else if (key == "distance")
+                spec.distance = asInt(v);
+            else if (key == "tCycle")
+                spec.tCycle = v;
+            else if (key == "tReaction")
+                spec.tReaction = v;
+            else
+                TRAQ_FATAL("unknown gidney-ekera parameter '" + key +
+                           "'");
+        }
+        const BaselinePoint p = gidneyEkera(spec);
+
+        EstimateResult res = resultShell(kind(), req.params);
+        res.metrics = {
+            {"physicalQubits", p.physicalQubits},
+            {"totalSeconds", p.seconds},
+            {"spacetimeVolume", p.spacetimeVolume},
+        };
+        return res;
+    }
+
+  private:
+    GidneyEkeraSpec base_;
+};
+
+class QldpcStorageEstimator : public Estimator
+{
+  public:
+    QldpcStorageEstimator(const FactoringSpec &factoringBase,
+                          const QldpcStorageSpec &storageBase)
+        : factoringBase_(factoringBase), storageBase_(storageBase)
+    {}
+
+    const char *kind() const override { return "qldpc-storage"; }
+
+    EstimateResult estimate(const EstimateRequest &req) const override
+    {
+        QldpcStorageSpec storage = storageBase_;
+        ParamMap factoringParams;
+        for (const auto &[key, v] : req.params) {
+            if (key == "compressionFactor")
+                storage.compressionFactor = v;
+            else if (key == "eligibleFraction")
+                storage.eligibleFraction = v;
+            else if (key == "accessMovePatches")
+                storage.accessMovePatches = v;
+            else
+                factoringParams[key] = v;  // validated below
+        }
+        const FactoringSpec spec =
+            factoringSpecFor(factoringBase_, factoringParams);
+        const FactoringReport &base = solveBase(factoringParams,
+                                                spec);
+        const QldpcStorageReport rep =
+            applyQldpcStorage(base, spec, storage);
+
+        EstimateResult res = resultShell(kind(), req.params);
+        res.feasible = base.feasible;
+        res.metrics = {
+            {"surfaceStorageQubits", rep.surfaceStorageQubits},
+            {"denseStorageQubits", rep.denseStorageQubits},
+            {"residualSurfaceQubits", rep.residualSurfaceQubits},
+            {"physicalQubits", rep.physicalQubits},
+            {"footprintReduction", rep.footprintReduction},
+            {"accessCycleTime", rep.accessCycleTime},
+            {"computeCycleTime", rep.computeCycleTime},
+            {"spacetimeVolume", rep.spacetimeVolume},
+            {"totalSeconds", base.totalSeconds},
+            {"basePhysicalQubits", base.physicalQubits},
+        };
+        return res;
+    }
+
+  private:
+    /**
+     * Memoized reference solve: sweeping storage parameters reuses
+     * the (expensive) factoring estimate for identical factoring
+     * parameter sets.
+     */
+    const FactoringReport &solveBase(const ParamMap &factoringParams,
+                                     const FactoringSpec &spec) const
+    {
+        EstimateRequest keyReq{"factoring", factoringParams};
+        const std::string key = canonicalKey(keyReq);
+        {
+            std::lock_guard<std::mutex> lock(cacheMutex_);
+            auto it = cache_.find(key);
+            if (it != cache_.end())
+                return it->second;
+        }
+        // Solve outside the lock so distinct parameter sets run in
+        // parallel; a racing duplicate solve is deterministic, and
+        // the losing insert is discarded.  std::map references stay
+        // valid across later insertions.
+        FactoringReport report = estimateFactoring(spec);
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        return cache_.emplace(key, std::move(report)).first->second;
+    }
+
+    FactoringSpec factoringBase_;
+    QldpcStorageSpec storageBase_;
+    mutable std::mutex cacheMutex_;
+    mutable std::map<std::string, FactoringReport> cache_;
+};
+
+class FactoryDesignEstimator : public Estimator
+{
+  public:
+    const char *kind() const override { return "factory-design"; }
+
+    EstimateResult estimate(const EstimateRequest &req) const override
+    {
+        gadgets::FactorySpec spec;
+        for (const auto &[key, v] : req.params) {
+            if (key == "targetCczError")
+                spec.targetCczError = v;
+            else if (key == "seRoundsPerGate")
+                spec.seRoundsPerGate = v;
+            else if (key == "forcedDistance")
+                spec.forcedDistance = asInt(v);
+            else if (applyAtomParam(spec.atom, key, v) ||
+                     applyErrorModelParam(spec.errorModel, key, v))
+                continue;
+            else
+                TRAQ_FATAL("unknown factory-design parameter '" +
+                           key + "'");
+        }
+        const gadgets::FactoryReport rep =
+            gadgets::designFactory(spec);
+
+        EstimateResult res = resultShell(kind(), req.params);
+        res.metrics = {
+            {"distance", static_cast<double>(rep.distance)},
+            {"tInputError", rep.tInputError},
+            {"cczError", rep.cczError},
+            {"qubits", rep.qubits},
+            {"cczTime", rep.cczTime},
+            {"volume", rep.qubits * rep.cczTime},
+            {"throughput", rep.throughput},
+            {"retryOverhead", rep.retryOverhead},
+            {"cultivationRows",
+             static_cast<double>(rep.cultivationRows)},
+            {"cultivationFits", rep.cultivationFits ? 1.0 : 0.0},
+        };
+        return res;
+    }
+};
+
+class IdleStorageEstimator : public Estimator
+{
+  public:
+    const char *kind() const override { return "idle-storage"; }
+
+    EstimateResult estimate(const EstimateRequest &req) const override
+    {
+        int d = 27;
+        double sePeriod = 0.0;  // <= 0: report only the optimum
+        auto atom = platform::AtomArrayParams::paperDefaults();
+        auto em = model::ErrorModelParams::paperDefaults();
+        for (const auto &[key, v] : req.params) {
+            if (key == "distance")
+                d = asInt(v);
+            else if (key == "sePeriod")
+                sePeriod = v;
+            else if (applyAtomParam(atom, key, v) ||
+                     applyErrorModelParam(em, key, v))
+                continue;
+            else
+                TRAQ_FATAL("unknown idle-storage parameter '" + key +
+                           "'");
+        }
+
+        EstimateResult res = resultShell(kind(), req.params);
+        res.metrics = {
+            {"optimalPeriod", arch::optimalIdlePeriod(d, atom, em)},
+            {"approxPeriod",
+             arch::optimalIdlePeriodApprox(d, atom, em)},
+        };
+        if (sePeriod > 0.0)
+            res.metrics["rate"] =
+                arch::idleLogicalErrorRate(sePeriod, d, atom, em);
+        return res;
+    }
+};
+
+std::mutex &
+registryMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::map<std::string, EstimatorFactory> &
+registry()
+{
+    // Built-ins are seeded on first access so makeEstimator works
+    // without any static-initialization-order coupling.
+    static std::map<std::string, EstimatorFactory> r = {
+        {"factoring",
+         [] { return makeFactoringEstimator(FactoringSpec{}); }},
+        {"chemistry",
+         [] { return makeChemistryEstimator(ChemistrySpec{}); }},
+        {"gidney-ekera",
+         [] { return makeGidneyEkeraEstimator(GidneyEkeraSpec{}); }},
+        {"qldpc-storage",
+         [] {
+             return makeQldpcStorageEstimator(FactoringSpec{},
+                                              QldpcStorageSpec{});
+         }},
+        {"factory-design",
+         [] { return std::make_unique<FactoryDesignEstimator>(); }},
+        {"idle-storage",
+         [] { return std::make_unique<IdleStorageEstimator>(); }},
+    };
+    return r;
+}
+
+} // namespace
+
+double
+EstimateResult::metric(const std::string &name) const
+{
+    auto it = metrics.find(name);
+    if (it == metrics.end())
+        TRAQ_FATAL("estimate result has no metric '" + name + "'");
+    return it->second;
+}
+
+bool
+EstimateResult::hasMetric(const std::string &name) const
+{
+    return metrics.count(name) != 0;
+}
+
+std::string
+canonicalKey(const EstimateRequest &req)
+{
+    std::string key = req.kind;
+    for (const auto &[name, v] : req.params) {
+        key += '|';
+        key += name;
+        key += '=';
+        key += fmtRoundTrip(v);
+    }
+    return key;
+}
+
+std::string
+toJson(const EstimateResult &res)
+{
+    auto mapJson = [](const ParamMap &m) {
+        std::string out = "{";
+        bool first = true;
+        for (const auto &[name, v] : m) {
+            if (!first)
+                out += ",";
+            first = false;
+            out += jsonQuote(name);
+            out += ":";
+            out += jsonNumber(v);
+        }
+        out += "}";
+        return out;
+    };
+    std::string out = "{\"kind\":";
+    out += jsonQuote(res.kind);
+    out += ",\"feasible\":";
+    out += res.feasible ? "true" : "false";
+    out += ",\"params\":";
+    out += mapJson(res.params);
+    out += ",\"metrics\":";
+    out += mapJson(res.metrics);
+    out += "}";
+    return out;
+}
+
+void
+registerEstimator(const std::string &kind, EstimatorFactory factory)
+{
+    TRAQ_REQUIRE(factory != nullptr, "null estimator factory");
+    TRAQ_REQUIRE(!kind.empty(), "empty estimator kind");
+    std::lock_guard<std::mutex> lock(registryMutex());
+    registry()[kind] = std::move(factory);
+}
+
+std::unique_ptr<Estimator>
+makeEstimator(const std::string &kind)
+{
+    EstimatorFactory factory;
+    {
+        std::lock_guard<std::mutex> lock(registryMutex());
+        auto it = registry().find(kind);
+        TRAQ_REQUIRE(it != registry().end(),
+                     "no estimator registered for kind '" + kind +
+                         "'");
+        factory = it->second;
+    }
+    return factory();
+}
+
+std::vector<std::string>
+registeredEstimators()
+{
+    std::lock_guard<std::mutex> lock(registryMutex());
+    std::vector<std::string> kinds;
+    kinds.reserve(registry().size());
+    for (const auto &[kind, factory] : registry())
+        kinds.push_back(kind);
+    return kinds;
+}
+
+std::unique_ptr<Estimator>
+makeFactoringEstimator(const FactoringSpec &base)
+{
+    return std::make_unique<FactoringEstimator>(base);
+}
+
+std::unique_ptr<Estimator>
+makeChemistryEstimator(const ChemistrySpec &base)
+{
+    return std::make_unique<ChemistryEstimator>(base);
+}
+
+std::unique_ptr<Estimator>
+makeGidneyEkeraEstimator(const GidneyEkeraSpec &base)
+{
+    return std::make_unique<GidneyEkeraEstimator>(base);
+}
+
+std::unique_ptr<Estimator>
+makeQldpcStorageEstimator(const FactoringSpec &factoringBase,
+                          const QldpcStorageSpec &storageBase)
+{
+    return std::make_unique<QldpcStorageEstimator>(factoringBase,
+                                                   storageBase);
+}
+
+} // namespace traq::est

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unified estimator interface and registry (mirrors the Decoder
+ * registry of src/decoder).
+ *
+ * Every resource estimate in the repo — factoring on the transversal
+ * architecture, chemistry, the Gidney–Ekerå lattice-surgery baseline,
+ * hybrid qLDPC storage, factory design, idle-storage cadence — is
+ * servable from one request shape: a string kind plus a named
+ * parameter map.  Results come back as a scalar metric map plus a
+ * feasibility flag, serializable to JSON, so sweeps, benches, tests
+ * and (eventually) a service front-end all speak the same type.
+ *
+ * Concrete estimators are registered under a string key; external
+ * code may register new kinds (or override built-ins) without
+ * touching the harness.  The original free-function entry points
+ * (estimateFactoring, estimateChemistry, gidneyEkera,
+ * applyQldpcStorage, ...) remain the numeric core; the estimators
+ * here are thin, stateless adapters over them.
+ *
+ * Estimator::estimate() is const and must be thread-safe: the
+ * parallel SweepRunner (src/estimator/sweep.hh) shares a single
+ * instance across its workers.
+ */
+
+#ifndef TRAQ_ESTIMATOR_ESTIMATOR_HH
+#define TRAQ_ESTIMATOR_ESTIMATOR_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/estimator/baselines.hh"
+#include "src/estimator/chemistry.hh"
+#include "src/estimator/qldpc.hh"
+#include "src/estimator/shor.hh"
+
+namespace traq::est {
+
+/** Named scalar parameters / metrics. */
+using ParamMap = std::map<std::string, double>;
+
+/**
+ * One estimate request: which estimator kind, and named parameter
+ * overrides applied on top of the estimator's base specification.
+ * Integer-valued spec fields (window sizes, distances, counts) are
+ * rounded from the double value.  Unknown parameter names throw
+ * FatalError — a sweep over a misspelled axis must not silently
+ * no-op.
+ */
+struct EstimateRequest
+{
+    std::string kind;
+    ParamMap params;
+};
+
+/** Uniform estimate output: echoed parameters + scalar metrics. */
+struct EstimateResult
+{
+    std::string kind;
+    ParamMap params;      //!< the request parameters, as applied
+    ParamMap metrics;     //!< named scalar outputs
+    bool feasible = true; //!< all budgets/constraints satisfied
+
+    /** Metric by name; throws FatalError if absent. */
+    double metric(const std::string &name) const;
+
+    /** True if the metric exists. */
+    bool hasMetric(const std::string &name) const;
+};
+
+/**
+ * Canonical serialization of a request — kind plus sorted
+ * exact-round-trip parameter encodings.  Two requests share a key
+ * exactly when they are equivalent; the SweepRunner memoization is
+ * keyed on this.
+ */
+std::string canonicalKey(const EstimateRequest &req);
+
+/** Serialize one result as a JSON object. */
+std::string toJson(const EstimateResult &res);
+
+/** Abstract resource estimator. */
+class Estimator
+{
+  public:
+    virtual ~Estimator() = default;
+
+    /** Stable registry key, e.g. "factoring". */
+    virtual const char *kind() const = 0;
+
+    /**
+     * Run one estimate.  Must be thread-safe (SweepRunner workers
+     * share the instance).  Throws FatalError on unknown parameter
+     * names or invalid configurations.
+     */
+    virtual EstimateResult estimate(const EstimateRequest &req)
+        const = 0;
+};
+
+/** Factory signature used by the estimator registry. */
+using EstimatorFactory =
+    std::function<std::unique_ptr<Estimator>()>;
+
+/**
+ * Register (or replace) the factory for an estimator kind.
+ * Built-ins ("factoring", "chemistry", "gidney-ekera",
+ * "qldpc-storage", "factory-design", "idle-storage") are
+ * pre-registered.
+ */
+void registerEstimator(const std::string &kind,
+                       EstimatorFactory factory);
+
+/** Instantiate an estimator; throws FatalError on unknown kinds. */
+std::unique_ptr<Estimator> makeEstimator(const std::string &kind);
+
+/** Sorted list of registered kinds. */
+std::vector<std::string> registeredEstimators();
+
+// Constructors with non-default base specifications.  Request
+// parameters are applied on top of the given base.
+
+/** Factoring estimator over a custom base spec. */
+std::unique_ptr<Estimator>
+makeFactoringEstimator(const FactoringSpec &base);
+
+/** Chemistry estimator over a custom base spec. */
+std::unique_ptr<Estimator>
+makeChemistryEstimator(const ChemistrySpec &base);
+
+/** Gidney–Ekerå baseline estimator over a custom base spec. */
+std::unique_ptr<Estimator>
+makeGidneyEkeraEstimator(const GidneyEkeraSpec &base);
+
+/**
+ * Hybrid qLDPC-storage estimator.  Factoring parameters select the
+ * underlying computation; storage parameters (compressionFactor,
+ * eligibleFraction, accessMovePatches) the dense encoding.  The
+ * underlying factoring solve is memoized per distinct factoring
+ * parameter set, so sweeping storage parameters pays for one
+ * reference solve.
+ */
+std::unique_ptr<Estimator>
+makeQldpcStorageEstimator(const FactoringSpec &factoringBase,
+                          const QldpcStorageSpec &storageBase);
+
+} // namespace traq::est
+
+#endif // TRAQ_ESTIMATOR_ESTIMATOR_HH

@@ -1,44 +1,79 @@
 #include "src/estimator/optimizer.hh"
 
 #include <limits>
+#include <memory>
+
+#include "src/estimator/sweep.hh"
 
 namespace traq::est {
+
+const OptimizerPoint *
+OptimizerResult::bestUnder(double maxQubits, double maxSeconds) const
+{
+    const OptimizerPoint *best = nullptr;
+    double bestVolume = std::numeric_limits<double>::infinity();
+    for (const OptimizerPoint &p : feasiblePoints) {
+        if (maxQubits > 0 && p.physicalQubits > maxQubits)
+            continue;
+        if (maxSeconds > 0 && p.totalSeconds > maxSeconds)
+            continue;
+        if (p.spacetimeVolume < bestVolume) {
+            bestVolume = p.spacetimeVolume;
+            best = &p;
+        }
+    }
+    return best;
+}
 
 OptimizerResult
 optimizeFactoring(const FactoringSpec &base,
                   const OptimizerOptions &opts)
 {
-    OptimizerResult res;
-    double bestVolume = std::numeric_limits<double>::infinity();
+    // The search resolves runway padding and factory count per
+    // candidate; distance honors any forcing on the base spec.
+    FactoringSpec searchBase = base;
+    searchBase.rpad = -1;
+    searchBase.factories = -1;
 
-    for (int we : opts.wExpCandidates) {
-        for (int wm : opts.wMulCandidates) {
-            for (int rsep : opts.rsepCandidates) {
-                FactoringSpec s = base;
-                s.wExp = we;
-                s.wMul = wm;
-                s.rsep = rsep;
-                s.rpad = -1;
-                s.distance = base.distance;
-                s.factories = -1;
-                FactoringReport rep = estimateFactoring(s);
-                ++res.evaluated;
-                if (!rep.feasible)
-                    continue;
-                if (opts.maxQubits > 0 &&
-                    rep.physicalQubits > opts.maxQubits)
-                    continue;
-                if (opts.maxSeconds > 0 &&
-                    rep.totalSeconds > opts.maxSeconds)
-                    continue;
-                if (rep.spacetimeVolume < bestVolume) {
-                    bestVolume = rep.spacetimeVolume;
-                    res.bestSpec = s;
-                    res.bestReport = rep;
-                    res.found = true;
-                }
-            }
-        }
+    auto axisValues = [](const std::vector<int> &candidates) {
+        return std::vector<double>(candidates.begin(),
+                                   candidates.end());
+    };
+
+    SweepOptions sweepOpts;
+    sweepOpts.threads = opts.threads;
+    SweepRunner sweep(
+        std::shared_ptr<const Estimator>(
+            makeFactoringEstimator(searchBase)),
+        EstimateRequest{"factoring", {}}, sweepOpts);
+    sweep.addAxis("wExp", axisValues(opts.wExpCandidates))
+        .addAxis("wMul", axisValues(opts.wMulCandidates))
+        .addAxis("rsep", axisValues(opts.rsepCandidates));
+    const SweepResult grid = sweep.run();
+
+    OptimizerResult res;
+    res.evaluated = grid.results.size();
+    for (const EstimateResult &r : grid.results) {
+        if (!r.feasible)
+            continue;
+        OptimizerPoint p;
+        p.spec = searchBase;
+        p.spec.wExp = static_cast<int>(r.params.at("wExp"));
+        p.spec.wMul = static_cast<int>(r.params.at("wMul"));
+        p.spec.rsep = static_cast<int>(r.params.at("rsep"));
+        p.physicalQubits = r.metric("physicalQubits");
+        p.totalSeconds = r.metric("totalSeconds");
+        p.spacetimeVolume = r.metric("spacetimeVolume");
+        p.distance = static_cast<int>(r.metric("distance"));
+        p.factories = static_cast<int>(r.metric("factories"));
+        res.feasiblePoints.push_back(std::move(p));
+    }
+
+    if (const OptimizerPoint *best =
+            res.bestUnder(opts.maxQubits, opts.maxSeconds)) {
+        res.found = true;
+        res.bestSpec = best->spec;
+        res.bestReport = estimateFactoring(best->spec);
     }
     return res;
 }

@@ -6,11 +6,18 @@
  * code distance, runway padding and factory count per candidate, and
  * returns the feasible configuration minimizing the space-time
  * volume — the paper's objective (Sec. II.2).
+ *
+ * The grid search is a SweepRunner client: candidates evaluate in
+ * parallel (deterministically — the result is independent of the
+ * thread count) and every feasible point is retained, so one
+ * uncapped sweep can answer all the Fig. 14(d) qubit-cap frontier
+ * queries via bestUnder() without re-evaluating the grid.
  */
 
 #ifndef TRAQ_ESTIMATOR_OPTIMIZER_HH
 #define TRAQ_ESTIMATOR_OPTIMIZER_HH
 
+#include <cstddef>
 #include <vector>
 
 #include "src/estimator/shor.hh"
@@ -28,6 +35,19 @@ struct OptimizerOptions
     double maxQubits = -1.0;
     /** Optional cap on runtime in seconds; <= 0: none. */
     double maxSeconds = -1.0;
+    /** Sweep worker threads; 0 = TRAQ_THREADS env or hardware. */
+    unsigned threads = 0;
+};
+
+/** One feasible evaluated configuration with its key metrics. */
+struct OptimizerPoint
+{
+    FactoringSpec spec;
+    double physicalQubits = 0.0;
+    double totalSeconds = 0.0;
+    double spacetimeVolume = 0.0;
+    int distance = 0;
+    int factories = 0;
 };
 
 /** Result of the sweep. */
@@ -35,8 +55,22 @@ struct OptimizerResult
 {
     FactoringSpec bestSpec;
     FactoringReport bestReport;
+    /**
+     * Every feasible evaluated point, in grid order (wExp outermost,
+     * rsep innermost) — independent of the caps, which only select
+     * the best.  Feeds the Fig. 14(d) qubit-cap frontier.
+     */
+    std::vector<OptimizerPoint> feasiblePoints;
     std::size_t evaluated = 0;
     bool found = false;
+
+    /**
+     * Minimum-volume feasible point under the given caps (<= 0: no
+     * cap), resolving ties toward the earlier grid point exactly as
+     * the sweep's own best selection does; nullptr if none qualify.
+     */
+    const OptimizerPoint *bestUnder(double maxQubits,
+                                    double maxSeconds = -1.0) const;
 };
 
 /**

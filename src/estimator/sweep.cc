@@ -1,0 +1,236 @@
+#include "src/estimator/sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <unordered_map>
+
+#include "src/common/assert.hh"
+#include "src/common/serialize.hh"
+#include "src/common/threads.hh"
+
+namespace traq::est {
+
+std::string
+SweepResult::cell(std::size_t row, const std::string &column) const
+{
+    TRAQ_REQUIRE(row < results.size(), "sweep row out of range");
+    const EstimateResult &r = results[row];
+    if (column == "kind")
+        return r.kind;
+    if (column == "feasible")
+        return r.feasible ? "true" : "false";
+    if (auto it = r.params.find(column); it != r.params.end())
+        return fmtRoundTrip(it->second);
+    if (auto it = r.metrics.find(column); it != r.metrics.end())
+        return fmtRoundTrip(it->second);
+    return "";
+}
+
+std::vector<std::string>
+SweepResult::defaultColumns() const
+{
+    std::set<std::string> params, metrics;
+    for (const EstimateResult &r : results) {
+        for (const auto &[name, v] : r.params)
+            params.insert(name);
+        for (const auto &[name, v] : r.metrics)
+            metrics.insert(name);
+    }
+    std::vector<std::string> columns{"kind", "feasible"};
+    columns.insert(columns.end(), params.begin(), params.end());
+    columns.insert(columns.end(), metrics.begin(), metrics.end());
+    return columns;
+}
+
+Table
+SweepResult::toTable(const std::vector<std::string> &columns) const
+{
+    Table t(columns);
+    for (std::size_t row = 0; row < results.size(); ++row) {
+        std::vector<std::string> cells;
+        cells.reserve(columns.size());
+        for (const std::string &c : columns)
+            cells.push_back(cell(row, c));
+        t.addRow(std::move(cells));
+    }
+    return t;
+}
+
+std::string
+SweepResult::toCsv(std::vector<std::string> columns) const
+{
+    if (columns.empty())
+        columns = defaultColumns();
+    std::string out;
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+        if (c)
+            out += ',';
+        out += csvField(columns[c]);
+    }
+    out += '\n';
+    for (std::size_t row = 0; row < results.size(); ++row) {
+        for (std::size_t c = 0; c < columns.size(); ++c) {
+            if (c)
+                out += ',';
+            out += csvField(cell(row, columns[c]));
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+SweepResult::toJson() const
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        if (i)
+            out += ",";
+        out += est::toJson(results[i]);
+    }
+    out += "]";
+    return out;
+}
+
+SweepResult
+runRequests(const Estimator &estimator,
+            const std::vector<EstimateRequest> &requests,
+            const SweepOptions &opts)
+{
+    SweepResult res;
+    res.results.resize(requests.size());
+    if (requests.empty()) {
+        res.threadsUsed = 0;
+        return res;
+    }
+
+    // Deduplicate up front: `owner[i]` is the first job with job i's
+    // canonical request; only owners are evaluated.  Resolving the
+    // memoization serially keeps the worker loop lock-free and the
+    // hit counts deterministic for any thread count.
+    std::vector<std::size_t> owner(requests.size());
+    std::vector<std::size_t> unique;
+    if (opts.memoize) {
+        std::unordered_map<std::string, std::size_t> firstByKey;
+        firstByKey.reserve(requests.size());
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+            auto [it, inserted] =
+                firstByKey.emplace(canonicalKey(requests[i]), i);
+            owner[i] = it->second;
+            if (inserted)
+                unique.push_back(i);
+        }
+    } else {
+        unique.resize(requests.size());
+        for (std::size_t i = 0; i < requests.size(); ++i)
+            owner[i] = unique[i] = i;
+    }
+
+    unsigned threads = resolveThreadCount(opts.threads);
+    threads = static_cast<unsigned>(
+        std::min<std::size_t>(threads, unique.size()));
+
+    std::atomic<std::size_t> nextJob{0};
+    std::mutex errorMutex;
+    std::exception_ptr firstError;
+
+    auto workerMain = [&]() {
+        try {
+            std::size_t k;
+            while ((k = nextJob.fetch_add(1)) < unique.size()) {
+                const std::size_t job = unique[k];
+                res.results[job] = estimator.estimate(requests[job]);
+            }
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(errorMutex);
+            if (!firstError)
+                firstError = std::current_exception();
+            // Drain remaining jobs so peers exit promptly.
+            nextJob.store(unique.size());
+        }
+    };
+
+    if (threads <= 1) {
+        workerMain();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t)
+            pool.emplace_back(workerMain);
+        for (auto &th : pool)
+            th.join();
+    }
+    if (firstError)
+        std::rethrow_exception(firstError);
+
+    for (std::size_t i = 0; i < requests.size(); ++i)
+        if (owner[i] != i)
+            res.results[i] = res.results[owner[i]];
+
+    res.evaluated = unique.size();
+    res.memoHits = requests.size() - unique.size();
+    res.threadsUsed = std::max(1u, threads);
+    return res;
+}
+
+SweepRunner::SweepRunner(EstimateRequest base, SweepOptions opts)
+    : estimator_(makeEstimator(base.kind)), base_(std::move(base)),
+      opts_(opts)
+{}
+
+SweepRunner::SweepRunner(std::shared_ptr<const Estimator> estimator,
+                         EstimateRequest base, SweepOptions opts)
+    : estimator_(std::move(estimator)), base_(std::move(base)),
+      opts_(opts)
+{
+    TRAQ_REQUIRE(estimator_ != nullptr, "null estimator");
+}
+
+SweepRunner &
+SweepRunner::addAxis(std::string param, std::vector<double> values)
+{
+    TRAQ_REQUIRE(!values.empty(), "sweep axis needs values");
+    axes_.push_back({std::move(param), std::move(values)});
+    return *this;
+}
+
+std::size_t
+SweepRunner::numJobs() const
+{
+    std::size_t n = 1;
+    for (const SweepAxis &axis : axes_)
+        n *= axis.values.size();
+    return n;
+}
+
+EstimateRequest
+SweepRunner::request(std::size_t job) const
+{
+    TRAQ_REQUIRE(job < numJobs(), "sweep job out of range");
+    EstimateRequest req = base_;
+    // Row-major: the last axis is the fastest-varying digit.
+    for (std::size_t a = axes_.size(); a-- > 0;) {
+        const SweepAxis &axis = axes_[a];
+        req.params[axis.param] = axis.values[job %
+                                             axis.values.size()];
+        job /= axis.values.size();
+    }
+    return req;
+}
+
+SweepResult
+SweepRunner::run() const
+{
+    std::vector<EstimateRequest> requests;
+    const std::size_t n = numJobs();
+    requests.reserve(n);
+    for (std::size_t job = 0; job < n; ++job)
+        requests.push_back(request(job));
+    return runRequests(*estimator_, requests, opts_);
+}
+
+} // namespace traq::est

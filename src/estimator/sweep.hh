@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Declarative, parallel parameter sweeps over the unified Estimator
+ * API — the engine behind every figure reproduction that scans an
+ * axis (Fig. 2 comparison, Fig. 11–14 sensitivity sweeps, Table II
+ * optimization, qLDPC storage).
+ *
+ * A sweep is a base request plus SweepAxis grids; the runner expands
+ * the axes into a cartesian job list (row-major: the first axis
+ * varies slowest), executes the jobs on a worker pool using the same
+ * shard/merge discipline as MonteCarloEngine — job index, not worker
+ * identity, determines where a result lands — and memoizes repeated
+ * requests so duplicated grid points and repeated reference solves
+ * are evaluated once.  Because every estimator is a deterministic
+ * pure function, the result vector is bit-identical for any thread
+ * count.
+ *
+ * Results serialize uniformly: common::Table for terminal output,
+ * CSV for spreadsheets, JSON for downstream tooling.
+ */
+
+#ifndef TRAQ_ESTIMATOR_SWEEP_HH
+#define TRAQ_ESTIMATOR_SWEEP_HH
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/table.hh"
+#include "src/estimator/estimator.hh"
+
+namespace traq::est {
+
+/** One swept parameter: a name and the values it takes. */
+struct SweepAxis
+{
+    std::string param;
+    std::vector<double> values;
+};
+
+/** Execution options for a sweep. */
+struct SweepOptions
+{
+    /** Worker threads; 0 = TRAQ_THREADS env or hardware. */
+    unsigned threads = 0;
+    /** Evaluate duplicated requests once (keyed canonically). */
+    bool memoize = true;
+};
+
+/** Outcome of a sweep: one result per job, in job order. */
+struct SweepResult
+{
+    std::vector<EstimateResult> results;
+    std::size_t evaluated = 0; //!< estimator invocations performed
+    std::size_t memoHits = 0;  //!< jobs served from the memo cache
+    unsigned threadsUsed = 0;
+
+    /**
+     * Value of a named column for one result: "kind" and "feasible"
+     * are synthetic; otherwise params are consulted before metrics.
+     * Missing names render as the empty string.
+     */
+    std::string cell(std::size_t row,
+                     const std::string &column) const;
+
+    /** Render selected columns as an aligned Table. */
+    Table toTable(const std::vector<std::string> &columns) const;
+
+    /**
+     * CSV with a header row.  An empty column list selects
+     * kind, feasible, every parameter and every metric (sorted
+     * union across rows).
+     */
+    std::string toCsv(std::vector<std::string> columns = {}) const;
+
+    /** JSON array of per-job result objects. */
+    std::string toJson() const;
+
+  private:
+    std::vector<std::string> defaultColumns() const;
+};
+
+/**
+ * Execute an explicit request list on a worker pool.  The low-level
+ * entry point behind SweepRunner::run(); useful directly when jobs
+ * are not a cartesian grid (e.g. zipped axes).  All requests are
+ * served by the one estimator instance (estimate() is const and
+ * thread-safe by contract).
+ */
+SweepResult runRequests(const Estimator &estimator,
+                        const std::vector<EstimateRequest> &requests,
+                        const SweepOptions &opts = {});
+
+/** Declarative grid sweep over one estimator. */
+class SweepRunner
+{
+  public:
+    /** Sweep base.kind's registered estimator. */
+    explicit SweepRunner(EstimateRequest base,
+                         SweepOptions opts = {});
+
+    /** Sweep a caller-supplied estimator (custom base specs). */
+    SweepRunner(std::shared_ptr<const Estimator> estimator,
+                EstimateRequest base, SweepOptions opts = {});
+
+    /** Append an axis; the first axis added varies slowest. */
+    SweepRunner &addAxis(std::string param,
+                         std::vector<double> values);
+
+    /** Total grid size (product of axis lengths; 1 when no axes). */
+    std::size_t numJobs() const;
+
+    /** The deterministic job -> request mapping. */
+    EstimateRequest request(std::size_t job) const;
+
+    /** Expand the grid and execute. */
+    SweepResult run() const;
+
+  private:
+    std::shared_ptr<const Estimator> estimator_;
+    EstimateRequest base_;
+    SweepOptions opts_;
+    std::vector<SweepAxis> axes_;
+};
+
+} // namespace traq::est
+
+#endif // TRAQ_ESTIMATOR_SWEEP_HH

@@ -22,9 +22,11 @@
 #include "src/common/gf2.hh"
 #include "src/common/math.hh"
 #include "src/common/rng.hh"
+#include "src/common/serialize.hh"
 #include "src/common/stats.hh"
 #include "src/common/strings.hh"
 #include "src/common/table.hh"
+#include "src/common/threads.hh"
 
 #include "src/sim/circuit.hh"
 #include "src/sim/conjugate.hh"
@@ -66,8 +68,10 @@
 #include "src/estimator/baselines.hh"
 #include "src/estimator/calibration.hh"
 #include "src/estimator/chemistry.hh"
+#include "src/estimator/estimator.hh"
 #include "src/estimator/optimizer.hh"
 #include "src/estimator/qldpc.hh"
 #include "src/estimator/shor.hh"
+#include "src/estimator/sweep.hh"
 
 #endif // TRAQ_TRAQ_HH

@@ -7,12 +7,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
+#include <limits>
 #include <set>
 
 #include "src/common/assert.hh"
 #include "src/common/gf2.hh"
 #include "src/common/math.hh"
 #include "src/common/rng.hh"
+#include "src/common/serialize.hh"
 #include "src/common/stats.hh"
 #include "src/common/strings.hh"
 #include "src/common/table.hh"
@@ -310,6 +313,78 @@ TEST(TableFmt, Formatters)
     EXPECT_EQ(fmtDuration(0.4e-3), "400.0 us");
     EXPECT_EQ(fmtDuration(0.004), "4.00 ms");
     EXPECT_EQ(fmtDuration(484000), "5.6 days");
+}
+
+TEST(TableFmt, EdgeCasesAreStable)
+{
+    const double nan = std::nan("");
+    const double inf = std::numeric_limits<double>::infinity();
+
+    EXPECT_EQ(fmtF(nan, 2), "nan");
+    EXPECT_EQ(fmtF(inf, 2), "inf");
+    EXPECT_EQ(fmtF(-inf, 2), "-inf");
+    EXPECT_EQ(fmtF(0.0, 2), "0.00");
+    EXPECT_EQ(fmtF(-0.0, 2), "0.00");  // never "-0.00"
+    EXPECT_EQ(fmtF(-1.5, 1), "-1.5");
+
+    EXPECT_EQ(fmtE(nan, 2), "nan");
+    EXPECT_EQ(fmtE(-inf, 3), "-inf");
+    EXPECT_EQ(fmtE(-0.0, 2), "0.0e+00");
+
+    EXPECT_EQ(fmtSi(nan, 1), "nan");
+    EXPECT_EQ(fmtSi(inf, 1), "inf");
+    EXPECT_EQ(fmtSi(0.0, 1), "0.0");
+    EXPECT_EQ(fmtSi(-0.0, 1), "0.0");
+    EXPECT_EQ(fmtSi(-19.2e6, 1), "-19.2M");
+    EXPECT_EQ(fmtSi(-250.0, 0), "-250");
+
+    EXPECT_EQ(fmtDuration(nan), "nan");
+    EXPECT_EQ(fmtDuration(inf), "inf");
+    EXPECT_EQ(fmtDuration(-inf), "-inf");
+    EXPECT_EQ(fmtDuration(0.0), "0.0 us");
+    EXPECT_EQ(fmtDuration(-0.0), "0.0 us");
+    EXPECT_EQ(fmtDuration(-484000), "-5.6 days");
+    EXPECT_EQ(fmtDuration(-0.004), "-4.00 ms");
+}
+
+TEST(Serialize, RoundTripNumbers)
+{
+    for (double v : {0.0, -0.0, 1.0, -1.5, 0.1, 1e-300, 1e300,
+                     3.141592653589793, 469169.9789845182}) {
+        std::string s = fmtRoundTrip(v);
+        EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+    }
+    EXPECT_EQ(fmtRoundTrip(0.0), "0");
+    EXPECT_EQ(fmtRoundTrip(-0.0), "0");
+    EXPECT_EQ(fmtRoundTrip(std::nan("")), "nan");
+    EXPECT_EQ(fmtRoundTrip(
+                  std::numeric_limits<double>::infinity()),
+              "inf");
+    EXPECT_EQ(fmtRoundTrip(
+                  -std::numeric_limits<double>::infinity()),
+              "-inf");
+}
+
+TEST(Serialize, JsonHelpers)
+{
+    EXPECT_EQ(jsonQuote("plain"), "\"plain\"");
+    EXPECT_EQ(jsonQuote("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    EXPECT_EQ(jsonQuote("line\nbreak\ttab"),
+              "\"line\\nbreak\\ttab\"");
+    EXPECT_EQ(jsonQuote(std::string(1, '\x01')), "\"\\u0001\"");
+    EXPECT_EQ(jsonNumber(2.5), "2.5");
+    EXPECT_EQ(jsonNumber(std::nan("")), "null");
+    EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity()),
+              "null");
+}
+
+TEST(Serialize, CsvFieldQuoting)
+{
+    EXPECT_EQ(csvField("plain"), "plain");
+    EXPECT_EQ(csvField("has,comma"), "\"has,comma\"");
+    EXPECT_EQ(csvField("has\"quote"), "\"has\"\"quote\"");
+    EXPECT_EQ(csvField("has\nnewline"), "\"has\nnewline\"");
+    EXPECT_EQ(csvField(""), "");
 }
 
 TEST(Strings, SplitAndTrim)
