@@ -36,14 +36,15 @@ struct Fixture
     {
         sim::FrameSimulator fs(7);
         sim::FrameBatch batch;
+        const std::uint64_t live = ~0ULL;
         while (syndromes.size() < 256) {
             fs.sampleInto(exp.circuit, batch);
             const std::size_t base = syndromes.size();
-            syndromes.resize(base + 64);
+            syndromes.resize(base + batch.shots());
             sim::extractSyndromes(
-                batch, ~0ULL,
-                std::span<std::vector<std::uint32_t>, 64>(
-                    &syndromes[base], 64));
+                batch, {&live, 1},
+                std::span<std::vector<std::uint32_t>>(
+                    &syndromes[base], batch.shots()));
         }
     }
 

@@ -4,6 +4,10 @@
  *  (a) the Eq. (4) ansatz against the reference transversal-CNOT
  *      dataset, with the (alpha, C) fit at fixed Lambda — the paper
  *      reports alpha ~ 1/6;
+ *  (a') the same extraction from fully in-repo Monte Carlo: the
+ *      "mc-alpha" estimator simulates memory anchors and a
+ *      transversal-CNOT (d, x) grid with the wide-bit-plane frame
+ *      sampler and fits the same ansatz — no embedded data;
  *  (b) space-time volume per logical CNOT vs SE rounds per CNOT
  *      (Eq. (6)); the optimum sits at <= 1 SE round per CNOT.
  */
@@ -11,6 +15,7 @@
 #include <cstdio>
 
 #include "src/common/table.hh"
+#include "src/estimator/simulation.hh"
 #include "src/model/error_model.hh"
 #include "src/model/fit.hh"
 
@@ -40,6 +45,26 @@ main()
                   fmtE(cnotLogicalError(pt.d, pt.x, fitted), 2)});
     }
     t.print();
+
+    std::printf("\n=== Fig. 6(a'): alpha from in-repo Monte Carlo "
+                "(mc-alpha estimator) ===\n\n");
+    {
+        est::EstimateRequest req{
+            "mc-alpha",
+            {{"p", 4e-3}, {"shots", 8000}, {"seed", 2025}}};
+        est::EstimateResult mc =
+            est::makeEstimator("mc-alpha")->estimate(req);
+        std::printf("simulated fit: alpha = %.3f (paper: 1/6 = "
+                    "0.167), Lambda(matching, p=4e-3) = %.2f, "
+                    "C = %.3f, rms log-residual = %.3f\n",
+                    mc.metric("alpha"), mc.metric("lambda"),
+                    mc.metric("prefactorC"),
+                    mc.metric("rmsLogResidual"));
+        std::printf("(%.0f grid points, %.0f shots; memory anchors "
+                    "pin Lambda, the x-grid bends out alpha)\n",
+                    mc.metric("dataPoints"),
+                    mc.metric("totalShots"));
+    }
 
     std::printf("\n=== Fig. 6(b): space-time volume per CNOT "
                 "(Eq. (6), p_targ = 1e-12) ===\n\n");

@@ -10,6 +10,11 @@
  * "decoding factor" sensitivity the paper explores via alpha; what
  * must reproduce is the structure: error suppression with d, and
  * elevation of the per-round error with CNOT density at fixed d.
+ *
+ * Also benchmarks the two frame-sampler word backends (portable
+ * 64-bit vs wide bit-planes, common/word.hh) and the sharded engine's
+ * thread scaling; the final "parallel-efficiency@4" line is consumed
+ * by scripts/perf_smoke.sh.
  */
 
 #include <chrono>
@@ -17,7 +22,49 @@
 
 #include "src/codes/experiments.hh"
 #include "src/common/table.hh"
+#include "src/common/word.hh"
 #include "src/decoder/monte_carlo.hh"
+#include "src/sim/frame.hh"
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/**
+ * Raw sampler throughput for one backend: sampleInto +
+ * extractSyndromes (no decoding), the exact per-batch work the
+ * Monte-Carlo engine performs before handing shots to the decoder.
+ */
+double
+samplerShotsPerSec(const traq::codes::Experiment &e, unsigned lanes,
+                   std::uint64_t shots)
+{
+    using namespace traq;
+    sim::FrameSimulator fs(1234, lanes);
+    sim::FrameBatch batch;
+    std::vector<std::uint64_t> live(lanes, ~0ULL);
+    std::vector<std::vector<std::uint32_t>> syndromes(64ULL * lanes);
+    // Warm allocations outside the timed window.
+    fs.sampleInto(e.circuit, batch);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t done = 0;
+    while (done < shots) {
+        fs.sampleInto(e.circuit, batch);
+        for (auto &s : syndromes)
+            s.clear();
+        sim::extractSyndromes(batch, live, syndromes);
+        done += batch.shots();
+    }
+    return static_cast<double>(done) / secondsSince(t0);
+}
+
+} // namespace
 
 int
 main()
@@ -71,6 +118,27 @@ main()
                 "(1 + alpha x); total error still drops with x "
                 "below threshold)\n");
 
+    std::printf("\n=== Sampler word backends: d=5 memory, "
+                "sample+extract (no decode) ===\n\n");
+    {
+        codes::SurfaceCode sc5(5);
+        auto e5 = codes::buildMemory(
+            sc5, 'Z', 5, codes::NoiseParams::uniform(1e-3));
+        const std::uint64_t shots = 1 << 21;
+        Table b({"backend", "lanes", "shots/s", "speedup"});
+        const double scalarRate = samplerShotsPerSec(e5, 1, shots);
+        b.addRow({wordBackendName(WordBackend::Scalar64), "1",
+                  fmtE(scalarRate, 2), "1.00x"});
+        const double wideRate =
+            samplerShotsPerSec(e5, kWideWordLanes, shots);
+        b.addRow({wordBackendName(WordBackend::Wide),
+                  std::to_string(kWideWordLanes), fmtE(wideRate, 2),
+                  fmtF(wideRate / scalarRate, 2) + "x"});
+        b.print();
+        std::printf("\nwide-vs-scalar64 sampler speedup: %.2fx "
+                    "(target >= 2x)\n", wideRate / scalarRate);
+    }
+
     std::printf("\n=== Engine scaling: d=5 memory, sharded "
                 "multithreaded decode ===\n\n");
     Table s({"threads", "shots/s", "speedup", "pL", "failures"});
@@ -83,16 +151,17 @@ main()
     // the table measures sampling+decoding throughput only.
     decoder::MonteCarloEngine engine(e5, scal);
     double baseRate = 0.0;
+    double rate4 = 0.0;
     for (unsigned threads : {1u, 2u, 4u}) {
         scal.threads = threads;
         auto t0 = std::chrono::steady_clock::now();
         auto res = engine.run(scal);
-        auto dt = std::chrono::duration<double>(
-                      std::chrono::steady_clock::now() - t0)
-                      .count();
-        double rate = static_cast<double>(res.shots) / dt;
+        double rate = static_cast<double>(res.shots) /
+                      secondsSince(t0);
         if (threads == 1)
             baseRate = rate;
+        if (threads == 4)
+            rate4 = rate;
         s.addRow({std::to_string(threads), fmtE(rate, 2),
                   fmtF(rate / baseRate, 2) + "x",
                   fmtE(res.perObservable[0].mean, 2),
@@ -102,5 +171,8 @@ main()
     std::printf("\n(failure counts are bit-identical across thread "
                 "counts: shard i always samples RNG stream "
                 "(seed, i))\n");
+    // Machine-readable: scripts/perf_smoke.sh gates on this.
+    std::printf("parallel-efficiency@4: %.3f\n",
+                baseRate > 0 ? rate4 / (4.0 * baseRate) : 0.0);
     return 0;
 }

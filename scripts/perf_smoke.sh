@@ -1,7 +1,12 @@
 #!/usr/bin/env bash
 # Perf smoke check: run the benches listed in bench/perf_baseline.txt
 # and fail on a crash or a gross (> MARGIN x) wall-clock regression
-# against the stored per-bench baseline.
+# against the stored per-bench baseline.  Additionally records the
+# multithreaded Monte-Carlo engine's thread-scaling efficiency
+# (N-thread vs 1-thread speedup reported by bench_sim_montecarlo as
+# "parallel-efficiency@4") and warns when it drops under
+# EFF_WARN_THRESHOLD — a warning, not a failure, because CI runners
+# and laptops legitimately have fewer than 4 cores.
 #
 # Usage: scripts/perf_smoke.sh [build-dir]
 #
@@ -14,8 +19,13 @@ set -euo pipefail
 BUILD_DIR="${1:-build}"
 BASELINE_FILE="$(dirname "$0")/../bench/perf_baseline.txt"
 MARGIN=3
+EFF_WARN_THRESHOLD=0.6
 
 fail=0
+outfile=$(mktemp)
+trap 'rm -f "$outfile"' EXIT
+efficiency=""
+
 while read -r name baseline; do
     case "$name" in
       ''|\#*) continue ;;
@@ -27,7 +37,7 @@ while read -r name baseline; do
         continue
     fi
     start=$(date +%s%N)
-    if ! "$bin" > /dev/null; then
+    if ! "$bin" > "$outfile"; then
         echo "perf-smoke: CRASH $name" >&2
         fail=1
         continue
@@ -46,6 +56,27 @@ while read -r name baseline; do
         echo "perf-smoke: OK   $name ${elapsed}s" \
              "(baseline ${baseline}s, limit ${limit}s)"
     fi
+    if [[ "$name" == "bench_sim_montecarlo" ]]; then
+        efficiency=$(awk '/^parallel-efficiency@4:/ { print $2 }' \
+            "$outfile")
+    fi
 done < "$BASELINE_FILE"
+
+# Thread-scaling efficiency of the sharded Monte-Carlo engine
+# (ROADMAP: track scaling, not just wall-clock).
+if [[ -n "$efficiency" ]]; then
+    if awk -v e="$efficiency" -v t="$EFF_WARN_THRESHOLD" \
+        'BEGIN { exit !(e < t) }'; then
+        echo "perf-smoke: WARN thread-scaling efficiency@4 =" \
+             "$efficiency (< $EFF_WARN_THRESHOLD; expected on" \
+             "< 4-core machines, investigate on larger ones)"
+    else
+        echo "perf-smoke: OK   thread-scaling efficiency@4 =" \
+             "$efficiency (threshold $EFF_WARN_THRESHOLD)"
+    fi
+else
+    echo "perf-smoke: WARN no parallel-efficiency@4 line from" \
+         "bench_sim_montecarlo"
+fi
 
 exit "$fail"

@@ -1,5 +1,7 @@
 #include "src/common/rng.hh"
 
+#include <cmath>
+
 namespace traq {
 namespace {
 
@@ -92,14 +94,72 @@ Rng::bernoulli(double p)
 std::uint64_t
 Rng::bernoulliWord(double p)
 {
-    if (p <= 0.0)
-        return 0;
-    if (p >= 1.0)
-        return ~0ULL;
-    std::uint64_t w = 0;
-    for (int i = 0; i < 64; ++i)
-        w |= static_cast<std::uint64_t>(uniform() < p) << i;
+    std::uint64_t w;
+    bernoulliPlane(p, &w, 1);
     return w;
+}
+
+void
+Rng::bernoulliPlane(double p, std::uint64_t *words,
+                    std::size_t numWords)
+{
+    // !(p > 0) also routes NaN to the all-zeros branch.
+    if (!(p > 0.0)) {
+        for (std::size_t w = 0; w < numWords; ++w)
+            words[w] = 0;
+        return;
+    }
+    if (p >= 1.0) {
+        for (std::size_t w = 0; w < numWords; ++w)
+            words[w] = ~0ULL;
+        return;
+    }
+
+    // Geometric gap sampling: the number of failures before the next
+    // success is floor(log(u) / log(1 - p)) for u uniform on (0, 1).
+    // Walking successes instead of trials costs one log per set bit
+    // plus one per plane, so at physical error rates the plane cost
+    // is dominated by the single terminating draw — and halves again
+    // every time the plane width doubles.
+    auto sparseFill = [&](double q, bool setOnes) {
+        const double invLogQ = 1.0 / std::log1p(-q);
+        const double total =
+            static_cast<double>(numWords) * 64.0;
+        double pos = 0.0;
+        for (;;) {
+            double u = uniform();
+            while (u == 0.0) // 2^-53 tail; redraw keeps u in (0, 1)
+                u = uniform();
+            pos += std::floor(std::log(u) * invLogQ);
+            if (pos >= total)
+                break;
+            const auto bit = static_cast<std::uint64_t>(pos);
+            if (setOnes)
+                words[bit >> 6] |= 1ULL << (bit & 63);
+            else
+                words[bit >> 6] &= ~(1ULL << (bit & 63));
+            pos += 1.0;
+        }
+    };
+
+    if (p <= 0.25) {
+        for (std::size_t w = 0; w < numWords; ++w)
+            words[w] = 0;
+        sparseFill(p, /*setOnes=*/true);
+    } else if (p >= 0.75) {
+        // Dense: start from all-ones and clear the (sparse) zeros.
+        for (std::size_t w = 0; w < numWords; ++w)
+            words[w] = ~0ULL;
+        sparseFill(1.0 - p, /*setOnes=*/false);
+    } else {
+        for (std::size_t w = 0; w < numWords; ++w) {
+            std::uint64_t bits = 0;
+            for (int i = 0; i < 64; ++i)
+                bits |= static_cast<std::uint64_t>(uniform() < p)
+                        << i;
+            words[w] = bits;
+        }
+    }
 }
 
 } // namespace traq

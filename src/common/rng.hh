@@ -11,6 +11,7 @@
 #ifndef TRAQ_COMMON_RNG_HH
 #define TRAQ_COMMON_RNG_HH
 
+#include <cstddef>
 #include <cstdint>
 
 namespace traq {
@@ -60,10 +61,28 @@ class Rng
 
     /**
      * 64 independent Bernoulli(p) trials packed into a word
-     * (bit i = trial i).  Uses a per-bit threshold comparison; this is
-     * the workhorse of the bit-sliced frame sampler's noise injection.
+     * (bit i = trial i).  One-word convenience over bernoulliPlane.
      */
     std::uint64_t bernoulliWord(double p);
+
+    /**
+     * Fill words[0..numWords) with 64 * numWords independent
+     * Bernoulli(p) trials (bit i of word w = trial 64 w + i) — the
+     * workhorse of the bit-sliced frame sampler's noise injection.
+     *
+     * Exact at the edges (p <= 0 -> all zeros, p >= 1 -> all ones;
+     * NaN is treated as 0).  Sparse probabilities (p <= 0.25, the
+     * regime of physical error rates) are sampled by geometric gap
+     * skipping — one uniform draw per *success* plus one per plane,
+     * instead of one per trial — which both removes the per-bit
+     * 2^-53 quantization floor of threshold comparison (probabilities
+     * below ~1e-16 are honored in expectation instead of being
+     * rounded up) and makes the draw cost per shot shrink with the
+     * plane width.  Dense probabilities (p >= 0.75) sample the
+     * complement; the mid range falls back to per-bit thresholds.
+     */
+    void bernoulliPlane(double p, std::uint64_t *words,
+                        std::size_t numWords);
 
   private:
     std::uint64_t s_[4];

@@ -1,0 +1,40 @@
+#include "src/common/word.hh"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace traq {
+
+WordBackend
+resolveWordBackend(WordBackend requested)
+{
+    if (requested != WordBackend::Auto)
+        return requested;
+    if (const char *env = std::getenv("TRAQ_WORD_BACKEND")) {
+        const std::string_view v(env);
+        if (v == "64" || v == "scalar" || v == "scalar64")
+            return WordBackend::Scalar64;
+    }
+    return WordBackend::Wide;
+}
+
+unsigned
+wordBackendLanes(WordBackend backend)
+{
+    return resolveWordBackend(backend) == WordBackend::Scalar64
+               ? 1
+               : kWideWordLanes;
+}
+
+const char *
+wordBackendName(WordBackend backend)
+{
+    switch (resolveWordBackend(backend)) {
+      case WordBackend::Scalar64:
+        return "scalar64";
+      default:
+        return kWideWordLanes == 1 ? "wide(64)" : "wide256";
+    }
+}
+
+} // namespace traq

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Wide bit-plane word configuration for the frame sampler.
+ *
+ * The bit-sliced simulator historically processed exactly 64 shots
+ * per pass (one machine word).  This header generalizes the word to
+ * a configurable number of 64-bit lanes: a "plane" of lanes * 64
+ * Bernoulli trials is drawn in one call, frames are lanes words per
+ * qubit, and one pass over the circuit simulates lanes * 64 shots.
+ * Wider planes amortize both the per-instruction dispatch cost and
+ * the at-least-one-RNG-draw-per-plane floor of the sparse Bernoulli
+ * sampler (see Rng::bernoulliPlane), which is where the throughput
+ * win over the 64-bit path comes from; building the library with
+ * -DTRAQ_ENABLE_AVX2=ON additionally lets the 4-lane plane ops
+ * compile to single 256-bit vector instructions (the default build
+ * stays on the portable x86-64 baseline).
+ *
+ * Two backends are exposed:
+ *  - Scalar64: the portable one-lane path (64 shots per batch);
+ *  - Wide:     kWideWordLanes lanes (256-bit planes by default).
+ *
+ * Selection is per run: engines take a WordBackend option whose Auto
+ * value defers to the TRAQ_WORD_BACKEND environment variable ("64" /
+ * "scalar" vs "256" / "wide"), defaulting to Wide.  Each backend is
+ * individually deterministic — for a fixed backend, any thread count
+ * reproduces the single-thread tallies bit-identically — but the two
+ * backends consume randomness in different orders, so they agree
+ * statistically, not bit-for-bit (and exactly on deterministic
+ * circuits).
+ *
+ * Building with -DTRAQ_FORCE_WORD64 collapses the wide backend to a
+ * single lane so CI can keep both code paths green from one test
+ * suite.
+ */
+
+#ifndef TRAQ_COMMON_WORD_HH
+#define TRAQ_COMMON_WORD_HH
+
+namespace traq {
+
+/** Lanes (64-bit words) per sampling plane of the wide backend. */
+#ifdef TRAQ_FORCE_WORD64
+inline constexpr unsigned kWideWordLanes = 1;
+#else
+inline constexpr unsigned kWideWordLanes = 4; //!< 256-bit planes
+#endif
+
+/** Bit-plane backend selector for sampling engines. */
+enum class WordBackend
+{
+    Auto,     //!< TRAQ_WORD_BACKEND env var, else Wide
+    Scalar64, //!< portable one-lane path: 64 shots per batch
+    Wide,     //!< kWideWordLanes lanes per batch
+};
+
+/**
+ * Resolve Auto against the TRAQ_WORD_BACKEND environment variable
+ * ("64"/"scalar" -> Scalar64, "256"/"wide" -> Wide, unset or
+ * unrecognized -> Wide).  Scalar64 and Wide pass through unchanged.
+ */
+WordBackend resolveWordBackend(WordBackend requested);
+
+/** Lanes per plane for a resolved backend (Auto is resolved first). */
+unsigned wordBackendLanes(WordBackend backend);
+
+/** Short human-readable backend name ("scalar64" / "wide256"...). */
+const char *wordBackendName(WordBackend backend);
+
+} // namespace traq
+
+#endif // TRAQ_COMMON_WORD_HH

@@ -1,7 +1,6 @@
 #include "src/decoder/monte_carlo.hh"
 
 #include <algorithm>
-#include <array>
 #include <atomic>
 #include <bit>
 #include <exception>
@@ -19,11 +18,20 @@ namespace traq::decoder {
 /** Per-thread state: decoder, sampler, and reusable scratch. */
 struct MonteCarloEngine::Worker
 {
+    explicit Worker(unsigned lanes)
+        : fsim(0, lanes), live(lanes, 0),
+          syndromes(64ULL * lanes), actual(64ULL * lanes, 0)
+    {}
+
     std::unique_ptr<Decoder> dec;
-    sim::FrameSimulator fsim{0};
+    sim::FrameSimulator fsim;
     sim::FrameBatch batch;
-    /** Per-shot syndromes for one 64-shot batch. */
-    std::array<std::vector<std::uint32_t>, 64> syndromes;
+    /** Per-lane live-shot masks for the current batch. */
+    std::vector<std::uint64_t> live;
+    /** Per-shot syndromes for one batch. */
+    std::vector<std::vector<std::uint32_t>> syndromes;
+    /** Per-shot actual observable-flip masks for one batch. */
+    std::vector<std::uint32_t> actual;
 };
 
 MonteCarloEngine::MonteCarloEngine(const codes::Experiment &exp,
@@ -42,6 +50,8 @@ MonteCarloEngine::runShard(std::uint64_t shard,
 {
     const auto &circuit = exp_.circuit;
     const std::uint32_t numObs = circuit.numObservables();
+    const unsigned lanes = w.fsim.lanes();
+    const std::uint64_t batchShots = w.fsim.shotsPerBatch();
 
     Tally tally;
     tally.ensureBins(numObs);
@@ -52,26 +62,33 @@ MonteCarloEngine::runShard(std::uint64_t shard,
 
     const std::uint64_t fallbacksBefore = w.dec->fallbacks();
     std::uint64_t done = 0;
-    std::array<std::uint32_t, 64> actual;
 
     while (done < shardShots) {
         w.fsim.sampleInto(circuit, w.batch);
         const std::uint64_t n =
-            std::min<std::uint64_t>(64, shardShots - done);
-        const std::uint64_t live =
-            n == 64 ? ~0ULL : ((1ULL << n) - 1);
+            std::min<std::uint64_t>(batchShots, shardShots - done);
+        for (unsigned l = 0; l < lanes; ++l) {
+            const std::uint64_t lo = 64ULL * l;
+            const std::uint64_t liveHere =
+                n <= lo ? 0 : std::min<std::uint64_t>(64, n - lo);
+            w.live[l] = liveHere == 64 ? ~0ULL
+                                       : ((1ULL << liveHere) - 1);
+        }
 
         for (std::uint64_t s = 0; s < n; ++s)
             w.syndromes[s].clear();
-        sim::extractSyndromes(w.batch, live, w.syndromes);
+        sim::extractSyndromes(w.batch, w.live, w.syndromes);
 
-        actual.fill(0);
+        std::fill(w.actual.begin(), w.actual.begin() + n, 0u);
         for (std::uint32_t k = 0; k < numObs; ++k) {
-            std::uint64_t word = w.batch.observables[k] & live;
-            while (word) {
-                const int s = std::countr_zero(word);
-                word &= word - 1;
-                actual[s] |= (1u << k);
+            for (unsigned l = 0; l < lanes; ++l) {
+                std::uint64_t word =
+                    w.batch.observables[k * lanes + l] & w.live[l];
+                while (word) {
+                    const int s = std::countr_zero(word);
+                    word &= word - 1;
+                    w.actual[64ULL * l + s] |= (1u << k);
+                }
             }
         }
 
@@ -79,7 +96,7 @@ MonteCarloEngine::runShard(std::uint64_t shard,
             tally.weight += w.syndromes[s].size();
             const std::uint32_t predicted =
                 w.dec->decode(w.syndromes[s]);
-            std::uint32_t diff = predicted ^ actual[s];
+            std::uint32_t diff = predicted ^ w.actual[s];
             if (diff)
                 ++tally.anyHits;
             while (diff) {
@@ -105,10 +122,16 @@ McResult
 MonteCarloEngine::run(const McOptions &opts)
 {
     opts_ = opts;
-    // Shards are whole 64-shot sampler batches so shard boundaries
-    // never split a batch (which would entangle RNG streams).
-    shardUnit_ = std::max<std::uint64_t>(64, opts_.shardShots);
-    shardUnit_ = (shardUnit_ + 63) / 64 * 64;
+    // Resolve the word backend once per run so every worker uses the
+    // same lane count even if the environment changes mid-run.
+    lanes_ = wordBackendLanes(opts_.wordBackend);
+    const std::uint64_t batchShots = 64ULL * lanes_;
+    // Shards are whole sampler batches so shard boundaries never
+    // split a batch (which would entangle RNG streams).
+    shardUnit_ = std::max<std::uint64_t>(batchShots,
+                                         opts_.shardShots);
+    shardUnit_ =
+        (shardUnit_ + batchShots - 1) / batchShots * batchShots;
 
     const std::uint32_t numObs = exp_.circuit.numObservables();
     const std::uint64_t numShards =
@@ -126,7 +149,7 @@ MonteCarloEngine::run(const McOptions &opts)
 
     auto workerMain = [&]() {
         try {
-            Worker w;
+            Worker w(lanes_);
             w.dec = makeDecoder(opts_.decoder, graph_,
                                 {opts_.mwpmMaxDefects});
             std::uint64_t shard;
@@ -167,14 +190,15 @@ MonteCarloEngine::run(const McOptions &opts)
 
     McResult res;
     res.shots = total.shots;
-    // Every shard samples in whole 64-shot batches; the tail batch
-    // is sampled in full but only partially decoded.
+    // Every shard samples in whole batches; the tail batch is
+    // sampled in full but only partially decoded.
     res.sampledShots = 0;
     for (std::uint64_t shard = 0; shard < numShards; ++shard) {
         const std::uint64_t lo = shard * shardUnit_;
         const std::uint64_t size =
             std::min<std::uint64_t>(shardUnit_, opts_.shots - lo);
-        res.sampledShots += (size + 63) / 64 * 64;
+        res.sampledShots +=
+            (size + batchShots - 1) / batchShots * batchShots;
     }
     for (std::uint32_t k = 0; k < numObs; ++k)
         res.perObservable.push_back(total.binProportion(k));
@@ -186,6 +210,7 @@ MonteCarloEngine::run(const McOptions &opts)
     res.mwpmFallbacks = total.aux;
     res.shards = numShards;
     res.threadsUsed = threads;
+    res.wordLanes = lanes_;
     return res;
 }
 

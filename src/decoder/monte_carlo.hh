@@ -2,14 +2,17 @@
  * @file
  * Sharded, multithreaded Monte-Carlo logical-error-rate engine.
  *
- * The run is split into fixed-size shards (multiples of the 64-shot
- * frame-simulator batch).  Shard i always samples from the RNG stream
- * Rng(seed, i) regardless of which worker executes it, and per-shard
- * tallies are pure integer counts merged at the end, so the result is
+ * The run is split into fixed-size shards (whole frame-simulator
+ * batches of 64 * lanes shots; see common/word.hh for the word-width
+ * backends).  Shard i always samples from the RNG stream Rng(seed, i)
+ * regardless of which worker executes it, and per-shard tallies are
+ * pure integer counts merged at the end, so the result is
  * bit-identical for any thread count — threads=1 and threads=N agree
- * exactly.  Each worker owns its decoder instance (via makeDecoder)
- * and reusable sampling/syndrome scratch, so the hot loop is
- * allocation-free and scales with cores.
+ * exactly (per backend; the scalar and wide backends consume
+ * randomness in different orders).  Each worker owns its decoder
+ * instance (via makeDecoder) and reusable sampling/syndrome
+ * scratch, so the hot loop is allocation-free and scales with
+ * cores.
  *
  * This is the engine behind the simulation cross-checks of the
  * paper's logical error model (Fig. 6(a)) and the alpha extraction;
@@ -26,6 +29,7 @@
 
 #include "src/codes/experiments.hh"
 #include "src/common/stats.hh"
+#include "src/common/word.hh"
 #include "src/decoder/decoder.hh"
 #include "src/decoder/graph.hh"
 
@@ -43,10 +47,20 @@ struct McOptions
      *  common/threads.hh). */
     unsigned threads = 0;
     /**
-     * Shots per shard (rounded up to a multiple of 64).  The shard
-     * is the unit of deterministic RNG assignment and of work
-     * stealing; smaller shards balance better, larger shards
-     * amortize decoder setup.
+     * Sampling word backend (common/word.hh).  Auto defers to the
+     * TRAQ_WORD_BACKEND env var, defaulting to the wide backend.
+     * Results are bit-identical across thread counts for a fixed
+     * backend; the two backends agree statistically (and exactly on
+     * noiseless / certain-error circuits) but consume randomness in
+     * different orders.
+     */
+    WordBackend wordBackend = WordBackend::Auto;
+    /**
+     * Shots per shard (rounded up to a whole number of sampler
+     * batches, i.e. a multiple of 64 * lanes).  The shard is the
+     * unit of deterministic RNG assignment and of work stealing;
+     * smaller shards balance better, larger shards amortize decoder
+     * setup.
      */
     std::uint64_t shardShots = 4096;
 };
@@ -58,9 +72,9 @@ struct McResult
     std::uint64_t shots = 0;
     /**
      * Shots actually produced by the sampler (shots rounded up to
-     * whole 64-shot batches).  The excess tail shots are sampled but
-     * never decoded; reported so callers can see the waste instead
-     * of it being silent.
+     * whole (64 * lanes)-shot batches).  The excess tail shots are
+     * sampled but never decoded; reported so callers can see the
+     * waste instead of it being silent.
      */
     std::uint64_t sampledShots = 0;
     /** Per-observable logical failure proportion. */
@@ -71,6 +85,7 @@ struct McResult
     std::uint64_t mwpmFallbacks = 0; //!< shots decoded by UF fallback
     std::uint64_t shards = 0;        //!< shards the run was split into
     unsigned threadsUsed = 0;        //!< workers actually spawned
+    unsigned wordLanes = 0;          //!< 64-bit lanes per batch used
 };
 
 /**
@@ -102,7 +117,8 @@ class MonteCarloEngine
     const codes::Experiment &exp_;
     McOptions opts_;
     DecodingGraph graph_;
-    std::uint64_t shardUnit_ = 0; //!< shots per shard, multiple of 64
+    unsigned lanes_ = 1;          //!< resolved word lanes per batch
+    std::uint64_t shardUnit_ = 0; //!< shots/shard, multiple of batch
 
     /** Decode shard `shard` (shardShots shots) into a fresh tally. */
     Tally runShard(std::uint64_t shard, std::uint64_t shardShots,

@@ -8,6 +8,7 @@
 #include "src/arch/se_schedule.hh"
 #include "src/common/assert.hh"
 #include "src/common/serialize.hh"
+#include "src/estimator/simulation.hh"
 #include "src/gadgets/factory.hh"
 
 namespace traq::est {
@@ -467,6 +468,12 @@ registry()
          [] { return std::make_unique<FactoryDesignEstimator>(); }},
         {"idle-storage",
          [] { return std::make_unique<IdleStorageEstimator>(); }},
+        // Simulation-backed kinds (src/estimator/simulation.hh):
+        // Monte-Carlo logical error rates and the Fig. 6(a) alpha
+        // extraction, served through the same request shape.
+        {"mc-logical-error",
+         [] { return makeMcLogicalErrorEstimator(); }},
+        {"mc-alpha", [] { return makeMcAlphaEstimator(); }},
     };
     return r;
 }

@@ -107,8 +107,9 @@ using EstimatorFactory =
 /**
  * Register (or replace) the factory for an estimator kind.
  * Built-ins ("factoring", "chemistry", "gidney-ekera",
- * "qldpc-storage", "factory-design", "idle-storage") are
- * pre-registered.
+ * "qldpc-storage", "factory-design", "idle-storage", and the
+ * simulation-backed "mc-logical-error" / "mc-alpha" of
+ * src/estimator/simulation.hh) are pre-registered.
  */
 void registerEstimator(const std::string &kind,
                        EstimatorFactory factory);

@@ -1,0 +1,318 @@
+#include "src/estimator/simulation.hh"
+
+#include <cmath>
+#include <vector>
+
+#include "src/codes/experiments.hh"
+#include "src/common/assert.hh"
+#include "src/decoder/monte_carlo.hh"
+#include "src/estimator/sweep.hh"
+#include "src/model/fit.hh"
+
+namespace traq::est {
+namespace {
+
+std::int64_t
+asInt64(double v)
+{
+    return std::llround(v);
+}
+
+/** Round to a positive integer; rejects zero/negative values before
+ *  any unsigned cast can wrap them into huge counts. */
+std::uint64_t
+asPositive(const char *what, double v)
+{
+    const std::int64_t n = asInt64(v);
+    TRAQ_REQUIRE(n > 0, std::string(what) + " must be positive");
+    return static_cast<std::uint64_t>(n);
+}
+
+class McLogicalErrorEstimator : public Estimator
+{
+  public:
+    explicit McLogicalErrorEstimator(const McSimSpec &base)
+        : base_(base)
+    {}
+
+    const char *kind() const override { return "mc-logical-error"; }
+
+    EstimateResult estimate(const EstimateRequest &req) const override
+    {
+        McSimSpec spec = base_;
+        for (const auto &[key, v] : req.params) {
+            if (key == "distance")
+                spec.distance = static_cast<int>(asInt64(v));
+            else if (key == "p")
+                spec.pPhys = v;
+            else if (key == "rounds")
+                spec.rounds = static_cast<int>(asInt64(v));
+            else if (key == "cnotLayers")
+                spec.cnotLayers = static_cast<int>(asInt64(v));
+            else if (key == "cnotsPerBatch")
+                spec.cnotsPerBatch = static_cast<int>(asInt64(v));
+            else if (key == "seRoundsPerBatch")
+                spec.seRoundsPerBatch = static_cast<int>(asInt64(v));
+            else if (key == "shots")
+                spec.shots = asPositive("shots", v);
+            else if (key == "seed")
+                spec.seed = static_cast<std::uint64_t>(asInt64(v));
+            else if (key == "mcThreads")
+                spec.threads = static_cast<unsigned>(
+                    asPositive("mcThreads", v));
+            else
+                TRAQ_FATAL("unknown mc-logical-error parameter '" +
+                           key + "'");
+        }
+        TRAQ_REQUIRE(spec.distance >= 3 && spec.distance % 2 == 1,
+                     "mc-logical-error needs an odd distance >= 3");
+        TRAQ_REQUIRE(spec.shots > 0,
+                     "mc-logical-error needs shots > 0");
+
+        const auto noise = codes::NoiseParams::uniform(spec.pPhys);
+        const bool isCnot = spec.cnotLayers > 0;
+        codes::Experiment exp;
+        int seRounds = 0;
+        double x = 0.0;
+        if (isCnot) {
+            codes::TransversalCnotSpec cnot;
+            cnot.distance = spec.distance;
+            cnot.cnotLayers = spec.cnotLayers;
+            cnot.cnotsPerBatch = spec.cnotsPerBatch;
+            cnot.seRoundsPerBatch = spec.seRoundsPerBatch;
+            cnot.noise = noise;
+            exp = codes::buildTransversalCnot(cnot);
+            const int blocks =
+                (spec.cnotLayers + spec.cnotsPerBatch - 1) /
+                spec.cnotsPerBatch;
+            seRounds = blocks * spec.seRoundsPerBatch;
+            x = static_cast<double>(spec.cnotsPerBatch) /
+                spec.seRoundsPerBatch;
+        } else {
+            const int rounds =
+                spec.rounds > 0 ? spec.rounds : spec.distance;
+            codes::SurfaceCode sc(spec.distance);
+            exp = codes::buildMemory(sc, 'Z', rounds, noise);
+            seRounds = rounds;
+        }
+
+        decoder::McOptions mc;
+        mc.shots = spec.shots;
+        mc.seed = spec.seed;
+        mc.decoder = spec.decoder;
+        mc.threads = spec.threads;
+        mc.wordBackend = spec.wordBackend;
+        const decoder::McResult res = decoder::runMonteCarlo(exp, mc);
+
+        EstimateResult out;
+        out.kind = kind();
+        out.params = req.params;
+        out.metrics = {
+            {"pLogical", res.anyObservable.mean},
+            {"pLogicalLo", res.anyObservable.lo},
+            {"pLogicalHi", res.anyObservable.hi},
+            {"hits", static_cast<double>(res.anyObservable.hits)},
+            {"shots", static_cast<double>(res.shots)},
+            {"seRounds", static_cast<double>(seRounds)},
+            {"pPerRound",
+             seRounds ? res.anyObservable.mean / seRounds : 0.0},
+            {"avgDefects", res.avgDefects},
+            {"wordLanes", static_cast<double>(res.wordLanes)},
+        };
+        if (isCnot) {
+            out.metrics["x"] = x;
+            out.metrics["pPerCnot"] =
+                res.anyObservable.mean / spec.cnotLayers;
+        }
+        return out;
+    }
+
+  private:
+    McSimSpec base_;
+};
+
+class McAlphaEstimator : public Estimator
+{
+  public:
+    explicit McAlphaEstimator(const McAlphaSpec &base) : base_(base)
+    {}
+
+    const char *kind() const override { return "mc-alpha"; }
+
+    EstimateResult estimate(const EstimateRequest &req) const override
+    {
+        McAlphaSpec spec = base_;
+        for (const auto &[key, v] : req.params) {
+            if (key == "p")
+                spec.pPhys = v;
+            else if (key == "shots")
+                spec.shots = asPositive("shots", v);
+            else if (key == "seed")
+                spec.seed = static_cast<std::uint64_t>(asInt64(v));
+            else if (key == "dMin")
+                spec.dMin = static_cast<int>(asInt64(v));
+            else if (key == "dMax")
+                spec.dMax = static_cast<int>(asInt64(v));
+            else if (key == "cnotDMax")
+                spec.cnotDMax = static_cast<int>(asInt64(v));
+            else if (key == "cnotLayers")
+                spec.cnotLayers = static_cast<int>(asInt64(v));
+            else if (key == "xMax")
+                spec.xMax = static_cast<int>(asInt64(v));
+            else if (key == "fixLambda")
+                spec.fixLambda = v;
+            else if (key == "sweepThreads")
+                // 0 = auto (TRAQ_THREADS / hardware), so only
+                // negatives are rejected here.
+                spec.sweepThreads = static_cast<unsigned>(
+                    v == 0.0 ? 0 : asPositive("sweepThreads", v));
+            else if (key == "mcThreads")
+                spec.mcThreads = static_cast<unsigned>(
+                    asPositive("mcThreads", v));
+            else
+                TRAQ_FATAL("unknown mc-alpha parameter '" + key +
+                           "'");
+        }
+        TRAQ_REQUIRE(spec.dMin >= 3 && spec.dMin % 2 == 1 &&
+                         spec.dMax >= spec.dMin,
+                     "mc-alpha needs odd distances with "
+                     "3 <= dMin <= dMax");
+        TRAQ_REQUIRE(spec.cnotLayers > 0 && spec.xMax >= 1,
+                     "mc-alpha needs cnotLayers > 0 and xMax >= 1");
+        const int cnotDMax = std::max(spec.cnotDMax, spec.dMin);
+
+        std::vector<double> distances;
+        for (int d = spec.dMin; d <= spec.dMax; d += 2)
+            distances.push_back(d);
+        std::vector<double> cnotDistances;
+        for (int d = spec.dMin; d <= cnotDMax; d += 2)
+            cnotDistances.push_back(d);
+        std::vector<double> xs;
+        // x beyond the total layer count would mislabel the density.
+        for (int xi = 1; xi <= spec.xMax && xi <= spec.cnotLayers;
+             xi *= 2)
+            xs.push_back(xi);
+
+        McSimSpec mcBase;
+        mcBase.pPhys = spec.pPhys;
+        mcBase.shots = spec.shots;
+        mcBase.seed = spec.seed;
+        mcBase.threads = spec.mcThreads;
+        const std::shared_ptr<const Estimator> mc =
+            makeMcLogicalErrorEstimator(mcBase);
+
+        SweepOptions sweepOpts;
+        sweepOpts.threads = spec.sweepThreads;
+
+        // Memory anchors: the x -> 0 limit of Eq. (4) pins Lambda.
+        SweepRunner memory(mc,
+                           EstimateRequest{"mc-logical-error", {}},
+                           sweepOpts);
+        memory.addAxis("distance", distances);
+
+        // CNOT grid over (distance, x) at fixed total CX layers.
+        SweepRunner cnot(
+            mc,
+            EstimateRequest{
+                "mc-logical-error",
+                {{"cnotLayers",
+                  static_cast<double>(spec.cnotLayers)}}},
+            sweepOpts);
+        cnot.addAxis("distance", cnotDistances);
+        cnot.addAxis("cnotsPerBatch", xs);
+
+        // The grids are independent until the fit, so run their
+        // concatenated job lists on one worker pool instead of two
+        // barriered sweeps; Lambda is read back from the memory
+        // slice afterwards.
+        std::vector<EstimateRequest> jobs;
+        jobs.reserve(memory.numJobs() + cnot.numJobs());
+        for (std::size_t j = 0; j < memory.numJobs(); ++j)
+            jobs.push_back(memory.request(j));
+        for (std::size_t j = 0; j < cnot.numJobs(); ++j)
+            jobs.push_back(cnot.request(j));
+        const SweepResult all = runRequests(*mc, jobs, sweepOpts);
+        const std::size_t numMem = memory.numJobs();
+        const auto memBegin = all.results.begin();
+        const std::vector<EstimateResult>
+            memResults(memBegin, memBegin + numMem),
+            gridResults(memBegin + numMem, all.results.end());
+
+        double lambda = spec.fixLambda;
+        if (lambda <= 0.0) {
+            // Eq. (2): consecutive odd distances suppress per-round
+            // error by Lambda; chain the pairwise estimates via the
+            // geometric mean (endpoints ratio ^ 1/pairs).
+            const double first =
+                memResults.front().metric("pPerRound");
+            const double last =
+                memResults.back().metric("pPerRound");
+            const auto pairs = static_cast<double>(
+                distances.size() - 1);
+            TRAQ_REQUIRE(pairs >= 1.0,
+                         "mc-alpha needs >= 2 distances to "
+                         "estimate Lambda");
+            lambda = std::pow(
+                model::lambdaFromMemoryPair(first, last),
+                1.0 / pairs);
+        }
+
+        std::vector<model::CnotDataPoint> data;
+        std::uint64_t totalShots = 0;
+        for (const EstimateResult &r : memResults)
+            totalShots += static_cast<std::uint64_t>(
+                r.metric("shots"));
+        for (const EstimateResult &r : gridResults) {
+            totalShots += static_cast<std::uint64_t>(
+                r.metric("shots"));
+            if (r.metric("hits") == 0.0)
+                continue; // log-fit cannot use zero-failure points
+            model::CnotDataPoint pt;
+            pt.d = static_cast<int>(r.params.at("distance"));
+            pt.x = r.metric("x");
+            pt.pL = r.metric("pPerCnot");
+            data.push_back(pt);
+        }
+        TRAQ_REQUIRE(data.size() >= 3,
+                     "mc-alpha: too few grid points with observed "
+                     "failures; raise shots or p");
+
+        model::CnotFitOptions fitOpts;
+        fitOpts.fixLambda = lambda;
+        const model::CnotFit fit =
+            model::fitCnotAnsatz(data, fitOpts);
+
+        EstimateResult out;
+        out.kind = kind();
+        out.params = req.params;
+        out.feasible = fit.alpha > 0.0 && fit.prefactorC > 0.0;
+        out.metrics = {
+            {"alpha", fit.alpha},
+            {"prefactorC", fit.prefactorC},
+            {"lambda", fit.lambda},
+            {"rmsLogResidual", fit.rmsLogResidual},
+            {"dataPoints", static_cast<double>(data.size())},
+            {"totalShots", static_cast<double>(totalShots)},
+        };
+        return out;
+    }
+
+  private:
+    McAlphaSpec base_;
+};
+
+} // namespace
+
+std::unique_ptr<Estimator>
+makeMcLogicalErrorEstimator(const McSimSpec &base)
+{
+    return std::make_unique<McLogicalErrorEstimator>(base);
+}
+
+std::unique_ptr<Estimator>
+makeMcAlphaEstimator(const McAlphaSpec &base)
+{
+    return std::make_unique<McAlphaEstimator>(base);
+}
+
+} // namespace traq::est

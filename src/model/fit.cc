@@ -141,9 +141,11 @@ referenceRef17Data()
 }
 
 CnotFit
-fitCnotModel(const std::vector<CnotDataPoint> &data, double fixLambda)
+fitCnotAnsatz(const std::vector<CnotDataPoint> &data,
+              const CnotFitOptions &opts)
 {
     TRAQ_REQUIRE(data.size() >= 3, "need at least 3 data points");
+    const double fixLambda = opts.fixLambda;
 
     auto loss = [&](const std::vector<double> &v) {
         double alpha = v[0];
@@ -154,7 +156,14 @@ fitCnotModel(const std::vector<CnotDataPoint> &data, double fixLambda)
         double sum = 0.0;
         for (const auto &pt : data) {
             double base = (1.0 + alpha * pt.x) / lambda;
-            if (base >= 1.0)
+            // With lambda free, sub-threshold suppression (base < 1)
+            // regularizes the three-parameter fit.  At fixed lambda
+            // the prediction stays log-defined for any base > 0, and
+            // near-threshold Monte-Carlo anchors (small measured
+            // Lambda) legitimately push dense-x points past 1, so
+            // only the free fit keeps the hard wall.
+            if (base <= 0.0 ||
+                (fixLambda <= 0 && base >= 1.0))
                 return 1e12;
             double pred = 2.0 * c / pt.x *
                           std::pow(base, (pt.d + 1) / 2.0);
@@ -173,7 +182,7 @@ fitCnotModel(const std::vector<CnotDataPoint> &data, double fixLambda)
             full = {v[0], v[1]};
         return loss(full);
     };
-    MinimizeResult r = nelderMead(wrapped, x0);
+    MinimizeResult r = nelderMead(wrapped, x0, opts.nelderMead);
 
     CnotFit fit;
     fit.alpha = r.x[0];
@@ -181,6 +190,26 @@ fitCnotModel(const std::vector<CnotDataPoint> &data, double fixLambda)
     fit.lambda = fixLambda > 0 ? fixLambda : r.x[2];
     fit.rmsLogResidual = std::sqrt(r.value);
     return fit;
+}
+
+CnotFit
+fitCnotModel(const std::vector<CnotDataPoint> &data, double fixLambda)
+{
+    CnotFitOptions opts;
+    opts.fixLambda = fixLambda;
+    return fitCnotAnsatz(data, opts);
+}
+
+double
+lambdaFromMemoryPair(double pPerRoundD, double pPerRoundDPlus2)
+{
+    TRAQ_REQUIRE(pPerRoundD > 0.0 && pPerRoundDPlus2 > 0.0,
+                 "memory anchors need nonzero failure rates");
+    const double lambda = pPerRoundD / pPerRoundDPlus2;
+    TRAQ_REQUIRE(lambda > 1.0,
+                 "memory anchors show no error suppression "
+                 "(above threshold?)");
+    return lambda;
 }
 
 } // namespace traq::model

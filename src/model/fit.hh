@@ -9,8 +9,13 @@
  * is not available offline.  We embed a reference dataset
  * reconstructed from the *reported* fit (alpha ~ 1/6, Lambda_MLE ~ 20,
  * C ~ 0.1) with deterministic scatter, which exercises the same
- * fitting path; independent alpha estimates come from our own Monte
- * Carlo (bench_sim_montecarlo).
+ * fitting path.  A fully in-repo alternative now exists: the
+ * "mc-alpha" estimator (src/estimator/simulation.hh) generates
+ * CnotDataPoints from our own circuit-level Monte Carlo via
+ * SweepRunner grids and feeds them to fitCnotAnsatz, so alpha can be
+ * extracted end-to-end without any embedded data (the absolute
+ * calibration then reflects our matching decoder rather than the
+ * paper's MLE decoder).
  */
 
 #ifndef TRAQ_MODEL_FIT_HH
@@ -69,12 +74,36 @@ struct CnotFit
     double rmsLogResidual = 0.0;
 };
 
+/** Options for fitCnotAnsatz. */
+struct CnotFitOptions
+{
+    /** If > 0, hold Lambda fixed and fit only (alpha, C). */
+    double fixLambda = -1.0;
+    /** Simplex minimizer settings. */
+    NelderMeadOptions nelderMead{};
+};
+
 /**
- * Least-squares fit of log p_L to the Eq. (4) ansatz over the data.
- * @param fixLambda if > 0, hold Lambda fixed and fit only (alpha, C).
+ * Least-squares fit of log p_L to the Eq. (4) ansatz over the data
+ * — the Fig. 6(a) extraction.  Works on any CnotDataPoint source:
+ * the embedded reference dataset or in-repo Monte-Carlo sweeps (see
+ * the "mc-alpha" estimator).
  */
+CnotFit fitCnotAnsatz(const std::vector<CnotDataPoint> &data,
+                      const CnotFitOptions &opts = {});
+
+/** Back-compat shim over fitCnotAnsatz. */
 CnotFit fitCnotModel(const std::vector<CnotDataPoint> &data,
                      double fixLambda = -1.0);
+
+/**
+ * Lambda estimate from two memory anchors (Eq. (2)): per-round
+ * logical error at distances d and d + 2 gives
+ * Lambda = pPerRound(d) / pPerRound(d + 2).  Throws unless both
+ * rates are positive and suppressing.
+ */
+double lambdaFromMemoryPair(double pPerRoundD,
+                            double pPerRoundDPlus2);
 
 } // namespace traq::model
 

@@ -1,15 +1,23 @@
 /**
  * @file
- * Bit-sliced Pauli-frame Monte-Carlo sampler.
+ * Bit-sliced Pauli-frame Monte-Carlo sampler with wide bit-plane
+ * batches.
  *
- * Simulates 64 shots of a noisy stabilizer circuit simultaneously by
- * tracking, for every qubit, the X/Z difference ("frame") between each
- * noisy shot and the noiseless reference execution.  Because detectors
- * and observables are parity checks on measurements, their *flips* are
- * exactly what a decoder consumes, so no reference sample is needed.
+ * Simulates lanes * 64 shots of a noisy stabilizer circuit
+ * simultaneously by tracking, for every qubit, the X/Z difference
+ * ("frame") between each noisy shot and the noiseless reference
+ * execution.  Because detectors and observables are parity checks on
+ * measurements, their *flips* are exactly what a decoder consumes, so
+ * no reference sample is needed.
  *
- * This is the same architectural idea as Stim's frame simulator and is
- * what makes large-shot-count logical-error-rate estimation tractable.
+ * This is the same architectural idea as Stim's frame simulator.  The
+ * word width is a runtime property (see common/word.hh): one lane is
+ * the classic portable 64-shot batch; kWideWordLanes lanes (256-bit
+ * planes by default) amortize instruction dispatch and the sparse
+ * Bernoulli sampler's one-draw-per-plane floor over 4x the shots,
+ * which is what makes large-shot-count logical-error-rate estimation
+ * fast.  Back-to-back single-qubit noise channels of the same kind on
+ * the same targets are fused into a single Bernoulli plane draw.
  */
 
 #ifndef TRAQ_SIM_FRAME_HH
@@ -24,45 +32,80 @@
 
 namespace traq::sim {
 
-/** Result of one 64-shot batch. */
+/**
+ * Result of one (lanes * 64)-shot batch.
+ *
+ * Planes are stored lane-major per entry: detector d occupies words
+ * [d * lanes, (d + 1) * lanes), and bit s of lane l is shot
+ * l * 64 + s.  With lanes == 1 this is the historical flat layout
+ * (detectors[d] is detector d's 64-shot word).
+ */
 struct FrameBatch
 {
-    /** detector word d: bit s = detection event in shot s. */
+    unsigned lanes = 1;
+    /** Detector planes: bit = detection event in that shot. */
     std::vector<std::uint64_t> detectors;
-    /** observable word k: bit s = logical flip of observable k. */
+    /** Observable planes: bit = logical flip of that observable. */
     std::vector<std::uint64_t> observables;
+
+    std::uint64_t shots() const { return 64ULL * lanes; }
+    std::size_t numDetectors() const
+    { return lanes ? detectors.size() / lanes : 0; }
+    std::size_t numObservables() const
+    { return lanes ? observables.size() / lanes : 0; }
+
+    /** The lane words of one detector / observable plane. */
+    std::span<const std::uint64_t> detector(std::size_t d) const
+    { return {detectors.data() + d * lanes, lanes}; }
+    std::span<const std::uint64_t> observable(std::size_t k) const
+    { return {observables.data() + k * lanes, lanes}; }
 };
 
 /**
- * Scatter a batch's detector words into per-shot syndrome lists
+ * Scatter a batch's detector planes into per-shot syndrome lists
  * (appending detector ids in ascending order).  Word-level: zero
  * words — the common case below threshold — are skipped wholesale
- * and set bits are walked with countr_zero.  Shots outside liveMask
- * are ignored; out must cover 64 shots and arrive cleared (entries
- * are appended, not reset).  Shared by the Monte-Carlo engine and
- * the decoder benches so both measure the same extraction.
+ * and set bits are walked with countr_zero.  liveMask holds one word
+ * per lane; shots whose mask bit is clear are ignored.  out must
+ * cover the batch's 64 * lanes shots (shot l * 64 + s lands in
+ * out[l * 64 + s]) and arrive cleared: entries are appended, not
+ * reset.  Shared by the Monte-Carlo engine and the decoder benches
+ * so both measure the same extraction.
  */
-void extractSyndromes(const FrameBatch &batch, std::uint64_t liveMask,
-                      std::span<std::vector<std::uint32_t>, 64> out);
+void extractSyndromes(const FrameBatch &batch,
+                      std::span<const std::uint64_t> liveMask,
+                      std::span<std::vector<std::uint32_t>> out);
 
-/** 64-way bit-sliced frame simulator. */
+/** Bit-sliced frame simulator over a configurable word width. */
 class FrameSimulator
 {
   public:
-    explicit FrameSimulator(std::uint64_t seed = 0x66726d65ULL);
+    /**
+     * @param seed  RNG seed (reassignable via rng()).
+     * @param lanes 64-bit lanes per sampling plane; each batch
+     *              simulates lanes * 64 shots.  1 is the portable
+     *              64-shot path; kWideWordLanes the wide backend.
+     *              Any positive count works (tests use odd widths).
+     */
+    explicit FrameSimulator(std::uint64_t seed = 0x66726d65ULL,
+                            unsigned lanes = 1);
 
-    /** Run one 64-shot batch of the circuit. */
+    unsigned lanes() const { return lanes_; }
+    /** Shots per sample()/sampleInto() call (64 * lanes). */
+    std::uint64_t shotsPerBatch() const { return 64ULL * lanes_; }
+
+    /** Run one batch of the circuit. */
     FrameBatch sample(const Circuit &circuit);
 
     /**
-     * Run one 64-shot batch into an existing FrameBatch, reusing its
+     * Run one batch into an existing FrameBatch, reusing its
      * allocations.  The hot path for long runs: after the first call
      * the per-batch cost is pure simulation, no heap traffic.
      */
     void sampleInto(const Circuit &circuit, FrameBatch &out);
 
     /**
-     * Run at least minShots shots (rounded up to batches of 64) and
+     * Run at least minShots shots (rounded up to whole batches) and
      * count, for each observable, shots where the decoder-free logical
      * value flipped.  Convenience for noise-only sanity tests.
      */
@@ -74,12 +117,19 @@ class FrameSimulator
     Rng &rng() { return rng_; }
 
   private:
-    Rng rng_;
-    std::vector<std::uint64_t> xf_;   //!< X frame per qubit
-    std::vector<std::uint64_t> zf_;   //!< Z frame per qubit
-    std::vector<std::uint64_t> mrec_; //!< measurement flip words
+    template <unsigned L>
+    void sampleIntoImpl(const Circuit &circuit, FrameBatch &out);
+    template <unsigned L>
+    void applyNoise(const Instruction &inst, double p,
+                    unsigned lanes);
 
-    void applyNoise(const Instruction &inst);
+    Rng rng_;
+    unsigned lanes_ = 1;
+    std::vector<std::uint64_t> xf_;    //!< X frame planes per qubit
+    std::vector<std::uint64_t> zf_;    //!< Z frame planes per qubit
+    std::vector<std::uint64_t> mrec_;  //!< measurement flip planes
+    std::vector<std::uint64_t> plane_; //!< Bernoulli plane scratch
+    std::uint64_t numRec_ = 0;         //!< measurements recorded
 };
 
 } // namespace traq::sim

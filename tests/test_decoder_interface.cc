@@ -235,9 +235,28 @@ TEST(MonteCarloEngine, TailShotsAccountedExactly)
     McOptions opts;
     opts.shots = 100; // not a multiple of 64
     opts.threads = 1;
+    opts.wordBackend = WordBackend::Scalar64;
     auto res = runMonteCarlo(e, opts);
     EXPECT_EQ(res.shots, 100u);
+    EXPECT_EQ(res.wordLanes, 1u);
     EXPECT_EQ(res.sampledShots, 128u); // two 64-shot batches
+    EXPECT_EQ(res.anyObservable.shots, 100u);
+}
+
+TEST(MonteCarloEngine, TailShotsRoundToWideBatches)
+{
+    codes::SurfaceCode sc(3);
+    auto e = codes::buildMemory(sc, 'Z', 3,
+                                codes::NoiseParams::uniform(0.005));
+    McOptions opts;
+    opts.shots = 100;
+    opts.threads = 1;
+    opts.wordBackend = WordBackend::Wide;
+    auto res = runMonteCarlo(e, opts);
+    const std::uint64_t batch = 64ULL * kWideWordLanes;
+    EXPECT_EQ(res.shots, 100u);
+    EXPECT_EQ(res.wordLanes, kWideWordLanes);
+    EXPECT_EQ(res.sampledShots, (100 + batch - 1) / batch * batch);
     EXPECT_EQ(res.anyObservable.shots, 100u);
 }
 

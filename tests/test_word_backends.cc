@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Width-backend agreement tests for the wide bit-plane sampling
+ * stack: the scalar (1-lane) and wide (kWideWordLanes) backends must
+ * agree exactly on deterministic circuits, statistically on noisy
+ * ones, and each backend must stay bit-identical across thread
+ * counts.  Also covers extractSyndromes for non-64 widths and
+ * partial live masks, and the noise-fusion path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "src/codes/experiments.hh"
+#include "src/common/word.hh"
+#include "src/decoder/monte_carlo.hh"
+#include "src/sim/frame.hh"
+
+namespace traq::sim {
+namespace {
+
+/** All-lane popcount of one observable plane. */
+std::uint64_t
+planeCount(const FrameBatch &b, std::size_t k)
+{
+    std::uint64_t n = 0;
+    for (std::uint64_t w : b.observable(k))
+        n += static_cast<std::uint64_t>(std::popcount(w));
+    return n;
+}
+
+TEST(WordBackends, DeterministicCircuitAgreesExactly)
+{
+    // p = 1 noise and forced propagation: every shot of every lane
+    // must flip identically on both backends.
+    Circuit c;
+    c.xError(1.0, {0});
+    c.cx(0, 1);
+    c.m(0);
+    c.m(1);
+    c.detector({2});
+    c.detector({1});
+    c.observable(0, {1, 2});
+    for (unsigned lanes : {1u, kWideWordLanes, 3u}) {
+        FrameSimulator sim(7, lanes);
+        FrameBatch b = sim.sample(c);
+        ASSERT_EQ(b.lanes, lanes);
+        ASSERT_EQ(b.numDetectors(), 2u);
+        for (std::uint64_t w : b.detector(0))
+            EXPECT_EQ(w, ~0ULL);
+        for (std::uint64_t w : b.detector(1))
+            EXPECT_EQ(w, ~0ULL);
+        // X on both qubits: the XOR observable never flips.
+        EXPECT_EQ(planeCount(b, 0), 0u);
+    }
+}
+
+TEST(WordBackends, ObservableFlipCountsAgreeStatistically)
+{
+    // Same seed, both backends: the statistical path must produce
+    // matching observable-flip counts within tight Monte-Carlo
+    // tolerance (the backends consume randomness in different
+    // orders, so equality is distributional, not bitwise).
+    Circuit c;
+    c.xError(0.3, {0});
+    c.m(0);
+    c.observable(0, {1});
+    const std::uint64_t minShots = 1 << 17;
+    std::vector<double> rates;
+    for (unsigned lanes : {1u, kWideWordLanes}) {
+        FrameSimulator sim(99, lanes);
+        std::uint64_t shots = 0;
+        auto counts = sim.countObservableFlips(c, minShots, &shots);
+        ASSERT_EQ(counts.size(), 1u);
+        EXPECT_GE(shots, minShots);
+        rates.push_back(static_cast<double>(counts[0]) / shots);
+    }
+    EXPECT_NEAR(rates[0], 0.3, 0.01);
+    EXPECT_NEAR(rates[1], rates[0], 0.01);
+}
+
+TEST(WordBackends, EngineBackendsAgreeStatistically)
+{
+    codes::SurfaceCode sc(3);
+    auto e = codes::buildMemory(sc, 'Z', 3,
+                                codes::NoiseParams::uniform(0.02));
+    decoder::McOptions opts;
+    opts.shots = 20000;
+    opts.seed = 77;
+    opts.decoder = decoder::DecoderKind::UnionFind;
+
+    opts.wordBackend = WordBackend::Scalar64;
+    auto scalar = decoder::runMonteCarlo(e, opts);
+    opts.wordBackend = WordBackend::Wide;
+    auto wide = decoder::runMonteCarlo(e, opts);
+
+    EXPECT_EQ(scalar.wordLanes, 1u);
+    EXPECT_EQ(wide.wordLanes, kWideWordLanes);
+    EXPECT_EQ(scalar.shots, wide.shots);
+    // ~5 sigma of a binomial proportion at these settings.
+    const double sigma =
+        std::sqrt(scalar.anyObservable.mean *
+                  (1 - scalar.anyObservable.mean) / scalar.shots);
+    EXPECT_NEAR(wide.anyObservable.mean, scalar.anyObservable.mean,
+                5.0 * sigma + 1e-12);
+    EXPECT_NEAR(wide.avgDefects, scalar.avgDefects,
+                0.05 * scalar.avgDefects);
+}
+
+TEST(WordBackends, WideBackendThreadCountInvariant)
+{
+    // The per-backend determinism guarantee: with the wide backend,
+    // any thread count reproduces the 1-thread tallies exactly.
+    codes::SurfaceCode sc(3);
+    auto e = codes::buildMemory(sc, 'Z', 3,
+                                codes::NoiseParams::uniform(0.01));
+    decoder::McOptions opts;
+    opts.shots = 4000;
+    opts.seed = 4242;
+    opts.shardShots = 512; // force many shards
+    opts.wordBackend = WordBackend::Wide;
+
+    decoder::McResult ref;
+    bool first = true;
+    for (unsigned threads : {1u, 2u, 4u}) {
+        opts.threads = threads;
+        auto res = decoder::runMonteCarlo(e, opts);
+        EXPECT_EQ(res.wordLanes, kWideWordLanes);
+        if (first) {
+            ref = res;
+            first = false;
+            EXPECT_GT(ref.anyObservable.hits, 0u);
+            continue;
+        }
+        EXPECT_EQ(res.anyObservable.hits, ref.anyObservable.hits);
+        EXPECT_EQ(res.shots, ref.shots);
+        EXPECT_EQ(res.sampledShots, ref.sampledShots);
+        ASSERT_EQ(res.perObservable.size(),
+                  ref.perObservable.size());
+        for (std::size_t k = 0; k < ref.perObservable.size(); ++k)
+            EXPECT_EQ(res.perObservable[k].hits,
+                      ref.perObservable[k].hits);
+        EXPECT_DOUBLE_EQ(res.avgDefects, ref.avgDefects);
+    }
+}
+
+TEST(WordBackends, ExtractSyndromesRoundTripsNon64Widths)
+{
+    // Hand-built batch over 2 lanes (128 shots), 3 detectors.
+    FrameBatch b;
+    b.lanes = 2;
+    b.detectors = {
+        // d0: shots 0, 64 (bit 0 of each lane)
+        1ULL, 1ULL,
+        // d1: shots 3 and 127
+        8ULL, 1ULL << 63,
+        // d2: all shots of lane 1 only
+        0ULL, ~0ULL,
+    };
+    ASSERT_EQ(b.numDetectors(), 3u);
+
+    const std::vector<std::uint64_t> full{~0ULL, ~0ULL};
+    std::vector<std::vector<std::uint32_t>> out(b.shots());
+    extractSyndromes(b, full, out);
+    EXPECT_EQ(out[0], (std::vector<std::uint32_t>{0}));
+    EXPECT_EQ(out[3], (std::vector<std::uint32_t>{1}));
+    EXPECT_EQ(out[64], (std::vector<std::uint32_t>{0, 2}));
+    EXPECT_EQ(out[127], (std::vector<std::uint32_t>{1, 2}));
+    EXPECT_TRUE(out[1].empty());
+    std::size_t total = 0;
+    for (const auto &s : out)
+        total += s.size();
+    EXPECT_EQ(total, 2u + 2u + 64u);
+
+    // Partial live mask: only shots 0..2 of lane 0 and 64..66 of
+    // lane 1 are live; everything else must be dropped.
+    const std::vector<std::uint64_t> partial{7ULL, 7ULL};
+    std::vector<std::vector<std::uint32_t>> masked(b.shots());
+    extractSyndromes(b, partial, masked);
+    EXPECT_EQ(masked[0], (std::vector<std::uint32_t>{0}));
+    EXPECT_TRUE(masked[3].empty());  // shot 3 masked out
+    EXPECT_EQ(masked[64], (std::vector<std::uint32_t>{0, 2}));
+    EXPECT_EQ(masked[65], (std::vector<std::uint32_t>{2}));
+    EXPECT_TRUE(masked[127].empty());
+    total = 0;
+    for (const auto &s : masked)
+        total += s.size();
+    EXPECT_EQ(total, 1u + 1u + 3u);
+}
+
+TEST(WordBackends, FusedNoiseMatchesCombinedProbability)
+{
+    // Two certain X errors back-to-back cancel (XOR), on every
+    // backend — exercises the fusion path end to end.
+    Circuit cancel;
+    cancel.xError(1.0, {0});
+    cancel.xError(1.0, {0});
+    cancel.m(0);
+    cancel.detector({1});
+    for (unsigned lanes : {1u, kWideWordLanes}) {
+        FrameSimulator sim(5, lanes);
+        FrameBatch b = sim.sample(cancel);
+        for (std::uint64_t w : b.detector(0))
+            EXPECT_EQ(w, 0u);
+    }
+
+    // Two p = 0.5 flips fuse to an effective 0.5 flip rate.
+    Circuit half;
+    half.xError(0.5, {0});
+    half.xError(0.5, {0});
+    half.m(0);
+    half.observable(0, {1});
+    FrameSimulator sim(11, kWideWordLanes);
+    std::uint64_t shots = 0;
+    auto counts = sim.countObservableFlips(half, 1 << 16, &shots);
+    const double rate = static_cast<double>(counts[0]) / shots;
+    EXPECT_NEAR(rate, 0.5, 0.02);
+}
+
+} // namespace
+} // namespace traq::sim
