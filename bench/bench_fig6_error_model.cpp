@@ -8,6 +8,11 @@
  *      "mc-alpha" estimator simulates memory anchors and a
  *      transversal-CNOT (d, x) grid with the wide-bit-plane frame
  *      sampler and fits the same ansatz — no embedded data;
+ *  (a'') the full (d, x) grid with the two-pass correlated decoder:
+ *      correlation reweighting across transversal-CNOT hyperedges
+ *      restores monotone cross-distance suppression, so the fit can
+ *      use both d = 3 and d = 5 CNOT circuits (plain matching is
+ *      pinned to a single CNOT distance);
  *  (b) space-time volume per logical CNOT vs SE rounds per CNOT
  *      (Eq. (6)); the optimum sits at <= 1 SE round per CNOT.
  */
@@ -62,6 +67,32 @@ main()
                     mc.metric("rmsLogResidual"));
         std::printf("(%.0f grid points, %.0f shots; memory anchors "
                     "pin Lambda, the x-grid bends out alpha)\n",
+                    mc.metric("dataPoints"),
+                    mc.metric("totalShots"));
+    }
+
+    std::printf("\n=== Fig. 6(a''): full (d, x) grid with the "
+                "correlated decoder ===\n\n");
+    {
+        est::McAlphaSpec spec;
+        spec.pPhys = 4e-3;
+        spec.shots = 6000;
+        spec.cnotDMax = 5;  // cross-distance CNOT data in the fit
+        spec.decoder = decoder::DecoderKind::Correlated;
+        est::EstimateRequest req{"mc-alpha", {}};
+        est::EstimateResult mc =
+            est::makeMcAlphaEstimator(spec)->estimate(req);
+        std::printf("correlated-decoder fit over d in {3, 5}: "
+                    "alpha = %.3f (paper: 1/6 = 0.167), "
+                    "Lambda = %.2f, C = %.3f, rms log-residual = "
+                    "%.3f\n",
+                    mc.metric("alpha"), mc.metric("lambda"),
+                    mc.metric("prefactorC"),
+                    mc.metric("rmsLogResidual"));
+        std::printf("(%.0f grid points, %.0f shots; two-pass "
+                    "partner reweighting restores d=5 < d=3 "
+                    "per-CNOT suppression, unlocking the cross-d "
+                    "grid)\n",
                     mc.metric("dataPoints"),
                     mc.metric("totalShots"));
     }

@@ -10,6 +10,14 @@
 #
 # Usage: scripts/perf_smoke.sh [build-dir]
 #
+# When PERF_HISTORY_JSON is set (CI does this), a machine-readable
+# record of the run — per-bench wall clock vs baseline, the
+# thread-scaling efficiency, and the per-decoder decode-latency
+# lines from bench_decoder_throughput — is written there as one JSON
+# document; CI uploads it as a dated perf-history artifact so
+# regressions can be traced across commits, not just against the
+# static baseline.
+#
 # The baseline file holds "<bench-binary> <baseline-seconds>" pairs;
 # baselines are deliberately loose (they bound machine-class, not
 # noise) and the 3x margin on top makes the check a tripwire for
@@ -25,6 +33,8 @@ fail=0
 outfile=$(mktemp)
 trap 'rm -f "$outfile"' EXIT
 efficiency=""
+bench_json=""
+latency_json=""
 
 while read -r name baseline; do
     case "$name" in
@@ -47,17 +57,30 @@ while read -r name baseline; do
         'BEGIN { printf "%.3f", (e - s) / 1e9 }')
     limit=$(awk -v b="$baseline" -v m="$MARGIN" \
         'BEGIN { printf "%.3f", b * m }')
+    status=OK
     if awk -v e="$elapsed" -v l="$limit" \
         'BEGIN { exit !(e > l) }'; then
         echo "perf-smoke: FAIL $name took ${elapsed}s" \
              "(baseline ${baseline}s, limit ${limit}s)" >&2
         fail=1
+        status=FAIL
     else
         echo "perf-smoke: OK   $name ${elapsed}s" \
              "(baseline ${baseline}s, limit ${limit}s)"
     fi
+    bench_json="${bench_json:+$bench_json, }{\"bench\": \"$name\",\
+ \"elapsed_s\": $elapsed, \"baseline_s\": $baseline,\
+ \"status\": \"$status\"}"
     if [[ "$name" == "bench_sim_montecarlo" ]]; then
         efficiency=$(awk '/^parallel-efficiency@4:/ { print $2 }' \
+            "$outfile")
+    fi
+    if [[ "$name" == "bench_decoder_throughput" ]]; then
+        # decode-latency[<kind>]: <us> us/round <PASS|WARN> (...)
+        latency_json=$(awk -F'[][]' '/^decode-latency\[/ {
+            split($3, f, " ");
+            printf "%s{\"decoder\": \"%s\", \"us_per_round\": %s,\
+ \"status\": \"%s\"}", (n++ ? ", " : ""), $2, f[2], f[4] }' \
             "$outfile")
     fi
 done < "$BASELINE_FILE"
@@ -77,6 +100,20 @@ if [[ -n "$efficiency" ]]; then
 else
     echo "perf-smoke: WARN no parallel-efficiency@4 line from" \
          "bench_sim_montecarlo"
+fi
+
+if [[ -n "${PERF_HISTORY_JSON:-}" ]]; then
+    {
+        echo "{"
+        echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+        echo "  \"commit\": \"${GITHUB_SHA:-unknown}\","
+        echo "  \"margin\": $MARGIN,"
+        echo "  \"parallel_efficiency_at_4\": ${efficiency:-null},"
+        echo "  \"benches\": [$bench_json],"
+        echo "  \"decode_latency_us_per_round\": [$latency_json]"
+        echo "}"
+    } > "$PERF_HISTORY_JSON"
+    echo "perf-smoke: history written to $PERF_HISTORY_JSON"
 fi
 
 exit "$fail"

@@ -189,6 +189,8 @@ class MultiPatchBuilder
                 }
                 circ_.detector(lookbacks);
                 meta_.detectorIsX.push_back(isX ? 1 : 0);
+                meta_.detectorPatch.push_back(p);
+                meta_.detectorRound.push_back(round_);
             }
         }
 
@@ -199,6 +201,7 @@ class MultiPatchBuilder
             lastMeas_[p] = cur[p];
         }
         haveLast_ = true;
+        ++round_;
     }
 
     /** Transversal CX between patches a (control) and b (target). */
@@ -259,6 +262,8 @@ class MultiPatchBuilder
                         now - dataMeasIndex(p, dq)));
                 circ_.detector(lookbacks);
                 meta_.detectorIsX.push_back(plaqs[i].isX ? 1 : 0);
+                meta_.detectorPatch.push_back(p);
+                meta_.detectorRound.push_back(round_);
             }
             // Logical observable of this patch.
             const auto &logical =
@@ -270,7 +275,9 @@ class MultiPatchBuilder
             circ_.observable(static_cast<std::uint32_t>(p),
                              lookbacks);
             meta_.observableIsX.push_back(zBasis ? 0 : 1);
+            meta_.observablePatch.push_back(p);
         }
+        meta_.numRounds = round_ + 1;
     }
 
   private:
@@ -280,6 +287,7 @@ class MultiPatchBuilder
     Circuit circ_;
     CircuitMeta meta_;
     char initBasis_ = 'Z';
+    int round_ = 0;  //!< SE rounds completed (next detector round)
     std::vector<std::vector<std::uint64_t>> lastMeas_;
     bool haveLast_;
     std::vector<std::uint32_t> frameZ_;

@@ -49,6 +49,26 @@ struct CircuitMeta
     std::vector<std::uint8_t> detectorIsX;
     /** Basis of each logical observable (true = logical X). */
     std::vector<std::uint8_t> observableIsX;
+    /**
+     * Code patch each detector's ancilla belongs to.  The decode
+     * graph uses this to keep hyperedge decomposition patch-local
+     * (a cross-patch mechanism created by a transversal CNOT splits
+     * into per-patch edges that are *correlated*, not into arbitrary
+     * detector pairs).  May be empty for hand-built metadata, in
+     * which case every detector is treated as patch 0.
+     */
+    std::vector<std::int32_t> detectorPatch;
+    /**
+     * SE round each detector was emitted in (the final
+     * data-measurement detectors get the last round + 1).  Drives
+     * the windowed decoder's sliding commit/window regions.  May be
+     * empty, in which case every detector is round 0.
+     */
+    std::vector<std::int32_t> detectorRound;
+    /** Patch each logical observable lives on (empty = patch 0). */
+    std::vector<std::int32_t> observablePatch;
+    /** One past the largest detector round (0 if rounds are empty). */
+    int numRounds = 0;
 };
 
 /** A generated experiment: circuit plus metadata. */

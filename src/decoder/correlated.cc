@@ -1,0 +1,97 @@
+#include "src/decoder/correlated.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/assert.hh"
+
+namespace traq::decoder {
+
+CorrelatedDecoder::CorrelatedDecoder(const DecodeGraph &graph,
+                                     const DecoderConfig &config)
+    : graph_(graph), inner_(graph, config.mwpmMaxDefects)
+{
+    TRAQ_REQUIRE(config.correlationBoost > 0.0 &&
+                     config.correlationBoost <= 0.5,
+                 "correlationBoost must be in (0, 0.5]");
+    boostCap_ = config.correlationBoost;
+    weights_.reserve(graph_.edges().size());
+    for (const auto &e : graph_.edges())
+        weights_.push_back(e.weight);
+}
+
+std::uint32_t
+CorrelatedDecoder::decode(const std::vector<std::uint32_t> &syndrome)
+{
+    return decodeEx(syndrome, {}, nullptr);
+}
+
+std::uint32_t
+CorrelatedDecoder::decodeEx(
+    const std::vector<std::uint32_t> &syndrome,
+    const DecodeContext &ctx, std::vector<std::uint32_t> *usedEdges)
+{
+    TRAQ_REQUIRE(ctx.weights.empty(),
+                 "correlated decoder owns its weight overrides");
+    if (syndrome.empty())
+        return 0;
+    if (graph_.numPartnerLinks() == 0) {
+        // No correlation hints (e.g. hand-built DEMs): one pass.
+        return inner_.decodeEx(syndrome, ctx, usedEdges);
+    }
+
+    used_.clear();
+    const std::uint32_t first =
+        inner_.decodeEx(syndrome, ctx, &used_);
+    // Two matched paths can share an edge; each distinct edge is one
+    // piece of evidence, not one per traversal.
+    std::sort(used_.begin(), used_.end());
+    used_.erase(std::unique(used_.begin(), used_.end()),
+                used_.end());
+
+    // Reweight the partners of every edge the first pass used with
+    // the posterior that their shared mechanism fired.  Posteriors
+    // from several used edges accumulate; a partner's weight only
+    // ever decreases (evidence can make an edge more likely, never
+    // less), and never below the configured cap's weight.
+    touched_.clear();
+    for (std::uint32_t ei : used_) {
+        const auto qs = graph_.partners(ei);
+        const auto cond = graph_.partnerCond(ei);
+        for (std::size_t k = 0; k < qs.size(); ++k) {
+            const std::uint32_t q = qs[k];
+            const GraphEdge &eq = graph_.edges()[q];
+            // Combine the existing belief with the new evidence as
+            // independent alternatives: p' = p + c - p * c, capped
+            // at the configured posterior ceiling.
+            const double pPrior =
+                weights_[q] == eq.weight
+                    ? eq.probability
+                    : 1.0 / (1.0 + std::exp(weights_[q]));
+            const double p2 = std::min(
+                boostCap_, pPrior + cond[k] - pPrior * cond[k]);
+            const double w2 =
+                std::log((1.0 - p2) / std::max(p2, 1e-12));
+            if (w2 < weights_[q]) {
+                // Record the first effective touch only, so the
+                // restoration below rewinds exactly once.
+                if (weights_[q] == eq.weight)
+                    touched_.push_back(q);
+                weights_[q] = w2;
+            }
+        }
+    }
+    if (touched_.empty())
+        return first;
+
+    ++secondPasses_;
+    DecodeContext second = ctx;
+    second.weights = weights_;
+    const std::uint32_t correction =
+        inner_.decodeEx(syndrome, second, usedEdges);
+    for (std::uint32_t q : touched_)
+        weights_[q] = graph_.edges()[q].weight;
+    return correction;
+}
+
+} // namespace traq::decoder

@@ -1,0 +1,222 @@
+#include "src/decoder/decode_graph.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "src/common/assert.hh"
+#include "src/common/math.hh"
+
+namespace traq::decoder {
+namespace {
+
+/** Key of one edge during accumulation: packed endpoints + obs. */
+using EdgeKey = std::pair<std::uint64_t, std::uint32_t>;
+
+} // namespace
+
+DecodeGraph
+DecodeGraph::build(const codes::Experiment &exp)
+{
+    return fromDem(sim::buildDem(exp.circuit), exp.meta);
+}
+
+DecodeGraph
+DecodeGraph::fromDem(const sim::DetectorErrorModel &dem,
+                     const codes::CircuitMeta &meta)
+{
+    TRAQ_REQUIRE(meta.detectorIsX.size() == dem.numDetectors,
+                 "detector metadata size mismatch");
+    TRAQ_REQUIRE(meta.detectorPatch.empty() ||
+                     meta.detectorPatch.size() == dem.numDetectors,
+                 "detector patch metadata size mismatch");
+    TRAQ_REQUIRE(meta.detectorRound.empty() ||
+                     meta.detectorRound.size() == dem.numDetectors,
+                 "detector round metadata size mismatch");
+    DecodeGraph g;
+    g.numNodes_ = dem.numDetectors;
+    g.detectorPatch_ = meta.detectorPatch;
+    g.detectorRound_ = meta.detectorRound;
+    g.observablePatch_ = meta.observablePatch;
+    // Rounds: at least what the builder declared, and at least one
+    // past every detector round actually present.
+    g.numRounds_ = std::max(1, meta.numRounds);
+    for (std::int32_t r : g.detectorRound_)
+        g.numRounds_ = std::max(g.numRounds_, r + 1);
+
+    // Observable masks routed to X-basis vs Z-basis graph parts.
+    std::uint32_t xObsMask = 0, zObsMask = 0;
+    for (std::size_t k = 0; k < meta.observableIsX.size(); ++k) {
+        if (meta.observableIsX[k])
+            xObsMask |= (1u << k);
+        else
+            zObsMask |= (1u << k);
+    }
+
+    // Accumulate edges keyed by (endpoints, obs) for probability
+    // merging; boundary encoded as numDetectors.
+    std::map<EdgeKey, double> acc;
+    auto edgeKey = [&](std::int64_t a, std::int64_t b) {
+        std::uint64_t ua = static_cast<std::uint64_t>(
+            a < 0 ? dem.numDetectors : a);
+        std::uint64_t ub = static_cast<std::uint64_t>(
+            b < 0 ? dem.numDetectors : b);
+        if (ua > ub)
+            std::swap(ua, ub);
+        return (ua << 32) | ub;
+    };
+
+    // Per-mechanism decomposition scratch, and the sibling groups of
+    // mechanisms that split into >= 2 parts (the correlation hints).
+    std::vector<EdgeKey> mechParts;
+    std::vector<std::pair<std::vector<EdgeKey>, double>>
+        siblingGroups;
+
+    auto addPart = [&](std::int64_t a, std::int64_t b,
+                       std::uint32_t obs, double p) {
+        EdgeKey key{edgeKey(a, b), obs};
+        auto [it, fresh] = acc.try_emplace(key, 0.0);
+        it->second = pXor(it->second, p);
+        (void)fresh;
+        mechParts.push_back(key);
+    };
+
+    // Decompose the detectors of one basis into <= 2-detector
+    // parts.  Cross-patch mechanisms (transversal CNOTs) keep their
+    // sorted-consecutive pairing: detector ids are patch-major per
+    // round, so a 4-detector cross-patch mechanism splits into the
+    // two per-patch pairs, while odd splits retain a cross-patch
+    // edge — which measurably helps the matcher (the joint problem
+    // of Refs [17,18] genuinely couples the patches).  What the
+    // parts lose in independence they keep as partner hints.
+    auto addBasis = [&](const std::vector<std::uint32_t> &dets,
+                        std::uint32_t obs, double p) {
+        if (dets.empty()) {
+            if (obs != 0)
+                ++g.numUndetectableLogical_;
+            return;
+        }
+        if (dets.size() <= 2) {
+            addPart(dets[0],
+                    dets.size() == 2
+                        ? static_cast<std::int64_t>(dets[1])
+                        : -1,
+                    obs, p);
+            return;
+        }
+        ++g.numUnsplittable_;
+        for (std::size_t i = 0; i < dets.size(); i += 2) {
+            if (i + 1 < dets.size())
+                addPart(dets[i], dets[i + 1], i == 0 ? obs : 0, p);
+            else
+                addPart(dets[i], -1, i == 0 ? obs : 0, p);
+        }
+    };
+
+    for (const auto &mech : dem.errors) {
+        std::vector<std::uint32_t> detsX, detsZ;
+        for (std::uint32_t d : mech.detectors) {
+            if (meta.detectorIsX[d])
+                detsX.push_back(d);
+            else
+                detsZ.push_back(d);
+        }
+        mechParts.clear();
+        // X-basis detectors flag Z-type faults, which flip X-type
+        // logicals; mirror for Z-basis detectors.
+        addBasis(detsX, mech.observables & xObsMask,
+                 mech.probability);
+        addBasis(detsZ, mech.observables & zObsMask,
+                 mech.probability);
+        if (mechParts.size() >= 2)
+            siblingGroups.emplace_back(mechParts,
+                                       mech.probability);
+    }
+
+    // Materialize edges; parallel edges with differing obs stay
+    // distinct (the decoders handle multi-edges).
+    g.adj_.assign(g.numNodes_, {});
+    std::map<EdgeKey, std::uint32_t> keyToEdge;
+    for (const auto &[key, p] : acc) {
+        if (p <= 0.0)
+            continue;
+        std::uint64_t packed = key.first;
+        std::uint32_t obs = key.second;
+        auto ua = static_cast<std::uint32_t>(packed >> 32);
+        auto ub = static_cast<std::uint32_t>(packed & 0xffffffffu);
+        GraphEdge e;
+        e.u = (ua == dem.numDetectors) ? kBoundary
+                                       : static_cast<std::int32_t>(ua);
+        e.v = (ub == dem.numDetectors) ? kBoundary
+                                       : static_cast<std::int32_t>(ub);
+        // Orient boundary to u for convenience.
+        if (e.v == kBoundary && e.u != kBoundary)
+            std::swap(e.u, e.v);
+        e.probability = p;
+        double pc = std::clamp(p, 1e-12, 0.5);
+        e.weight = std::log((1.0 - pc) / pc);
+        e.observables = obs;
+        e.round = 0;
+        if (e.u != kBoundary)
+            e.round = std::max(
+                e.round, g.detectorRound(
+                             static_cast<std::uint32_t>(e.u)));
+        if (e.v != kBoundary)
+            e.round = std::max(
+                e.round, g.detectorRound(
+                             static_cast<std::uint32_t>(e.v)));
+        auto idx = static_cast<std::uint32_t>(g.edges_.size());
+        keyToEdge.emplace(key, idx);
+        g.edges_.push_back(e);
+        if (e.u != kBoundary)
+            g.adj_[static_cast<std::size_t>(e.u)].push_back(idx);
+        if (e.v != kBoundary)
+            g.adj_[static_cast<std::size_t>(e.v)].push_back(idx);
+    }
+
+    // Partner hints: edges decomposed from one mechanism reference
+    // each other.  Many mechanisms can merge onto the same edge pair
+    // and the same ordered link, so each directed link (a -> b)
+    // accumulates the total probability mass of the mechanisms behind
+    // it; normalized by the source edge's own probability this is the
+    // posterior P(b's mechanism half | a used) the correlated decoder
+    // reweights with.
+    std::map<std::pair<std::uint32_t, std::uint32_t>, double> links;
+    for (const auto &[group, pm] : siblingGroups) {
+        std::vector<std::uint32_t> ids;
+        for (const EdgeKey &key : group) {
+            auto it = keyToEdge.find(key);
+            if (it != keyToEdge.end())
+                ids.push_back(it->second);
+        }
+        std::sort(ids.begin(), ids.end());
+        ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+        for (std::size_t i = 0; i < ids.size(); ++i)
+            for (std::size_t j = 0; j < ids.size(); ++j)
+                if (i != j)
+                    links[{ids[i], ids[j]}] += pm;
+    }
+
+    std::vector<std::size_t> count(g.edges_.size() + 1, 0);
+    for (const auto &[ab, pm] : links)
+        ++count[ab.first];
+    g.partnerStart_.assign(g.edges_.size() + 1, 0);
+    for (std::size_t i = 0; i < g.edges_.size(); ++i)
+        g.partnerStart_[i + 1] = g.partnerStart_[i] + count[i];
+    g.partnerList_.assign(g.partnerStart_.back(), 0);
+    g.partnerCondP_.assign(g.partnerStart_.back(), 0.0);
+    std::vector<std::size_t> fill(g.partnerStart_.begin(),
+                                  g.partnerStart_.end() - 1);
+    for (const auto &[ab, pm] : links) {
+        const auto [a, b] = ab;
+        const double pa = g.edges_[a].probability;
+        g.partnerList_[fill[a]] = b;
+        g.partnerCondP_[fill[a]] =
+            pa > 0.0 ? std::min(1.0, pm / pa) : 0.0;
+        ++fill[a];
+    }
+    return g;
+}
+
+} // namespace traq::decoder

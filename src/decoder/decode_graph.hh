@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Shared detector-graph layer for all decoders.
+ *
+ * Surface-code DEMs under depolarizing noise contain hyperedges (a Y
+ * data error flips two X-type and two Z-type detectors; an error
+ * propagated through a transversal CNOT flips detectors in *both*
+ * patches).  As is standard for matching-type decoders, each
+ * mechanism is decomposed by basis into parts with <= 2 detectors
+ * each — but unlike an ad-hoc per-decoder build, the resulting edges
+ * remember each other: every edge carries the list of *partner*
+ * edges that came from the same physical mechanism, with the
+ * posterior probability that the partner's half fired given this
+ * edge is used (shared mechanism mass over edge mass).  Those
+ * correlation hints are what the two-pass correlated decoder
+ * consumes to restore the cross-patch correlations a plain matcher
+ * throws away (Refs [17,18]; the paper's alpha ~ 1/6 per-CNOT
+ * scaling assumes a correlation-aware decoder).
+ *
+ * Detector metadata (basis, patch, SE round) rides along from
+ * codes::CircuitMeta, so clients can slice the graph by time — the
+ * windowed streaming decoder decodes against a growing round
+ * horizon without rebuilding anything.
+ *
+ * All decoders (mwpm, union_find, fallback, correlated, windowed)
+ * are clients of this one graph; per-decode variation (reweighted
+ * edges, round limits) is expressed through DecodeContext rather
+ * than by building new graphs.
+ */
+
+#ifndef TRAQ_DECODER_DECODE_GRAPH_HH
+#define TRAQ_DECODER_DECODE_GRAPH_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/codes/experiments.hh"
+#include "src/sim/dem.hh"
+
+namespace traq::decoder {
+
+/** Sentinel node id for the virtual boundary. */
+constexpr std::int32_t kBoundary = -1;
+
+/** One decoding-graph edge (u == kBoundary for boundary edges). */
+struct GraphEdge
+{
+    std::int32_t u = kBoundary;
+    std::int32_t v = kBoundary;
+    double probability = 0.0;
+    double weight = 0.0;            //!< ln((1-p)/p), clipped
+    std::uint32_t observables = 0;  //!< logical masks flipped
+    /**
+     * Largest SE round among the edge's real endpoints (0 when the
+     * source metadata carries no rounds).  The windowed decoder
+     * excludes edges beyond its horizon by this field.
+     */
+    std::int32_t round = 0;
+};
+
+/**
+ * Per-decode parameters threaded through the decoder clients.
+ * Decoders fall back to the graph's own weights / full horizon when
+ * the fields are left at their defaults.
+ */
+struct DecodeContext
+{
+    /**
+     * Per-edge weight overrides (same indexing as edges()); empty
+     * means "use GraphEdge::weight".  Entries are clamped to >= 0 at
+     * the point of use so posterior-boosted (near-certain) edges
+     * cannot produce negative path costs.
+     */
+    std::span<const double> weights{};
+    /** If >= 0, edges with round > maxRound are invisible. */
+    std::int32_t maxRound = -1;
+};
+
+/** Matching/union-find decode graph shared by every decoder. */
+class DecodeGraph
+{
+  public:
+    /**
+     * Build from a DEM plus detector-basis/patch/round metadata.
+     * Metadata vectors beyond detectorIsX may be empty (hand-built
+     * DEMs): patches and rounds then default to 0.
+     * @param dem the detector error model.
+     * @param meta detector/observable metadata from the circuit
+     *        builder.
+     */
+    static DecodeGraph fromDem(const sim::DetectorErrorModel &dem,
+                               const codes::CircuitMeta &meta);
+
+    /** Convenience: buildDem + fromDem for one experiment. */
+    static DecodeGraph build(const codes::Experiment &exp);
+
+    std::size_t numNodes() const { return numNodes_; }
+    const std::vector<GraphEdge> &edges() const { return edges_; }
+
+    /** Edge indices incident to node n (boundary edges included). */
+    const std::vector<std::uint32_t> &
+    incident(std::size_t n) const
+    {
+        return adj_[n];
+    }
+
+    /**
+     * Correlated sibling edges of edge ei: edges produced by
+     * decomposing the same error mechanism(s).  When one of them is
+     * part of a correction, the physical mechanism likely fired, so
+     * its partners become near-certain — the reweighting signal of
+     * the correlated decoder.
+     */
+    std::span<const std::uint32_t> partners(std::uint32_t ei) const
+    {
+        return {partnerList_.data() + partnerStart_[ei],
+                partnerStart_[ei + 1] - partnerStart_[ei]};
+    }
+
+    /**
+     * Posterior probability that partner k of edge ei also fired,
+     * given a correction used ei: the probability mass of the shared
+     * mechanisms divided by ei's total probability.  Indexed in step
+     * with partners(ei).
+     */
+    std::span<const double> partnerCond(std::uint32_t ei) const
+    {
+        return {partnerCondP_.data() + partnerStart_[ei],
+                partnerStart_[ei + 1] - partnerStart_[ei]};
+    }
+
+    /** Total partner links (2x the number of correlated pairs). */
+    std::size_t numPartnerLinks() const { return partnerList_.size(); }
+
+    /** SE round of a detector (0 when metadata had no rounds). */
+    std::int32_t detectorRound(std::uint32_t d) const
+    {
+        return detectorRound_.empty()
+                   ? 0
+                   : detectorRound_[d];
+    }
+
+    /** Patch of a detector (0 when metadata had no patches). */
+    std::int32_t detectorPatch(std::uint32_t d) const
+    {
+        return detectorPatch_.empty()
+                   ? 0
+                   : detectorPatch_[d];
+    }
+
+    /** Patch of a logical observable (0 when metadata had none). */
+    std::int32_t observablePatch(std::uint32_t k) const
+    {
+        return observablePatch_.empty()
+                   ? 0
+                   : observablePatch_[k];
+    }
+
+    /** One past the largest detector round in the graph. */
+    int numRounds() const { return numRounds_; }
+
+    /** Same-basis mechanism parts needing > 2 detectors (the
+     *  cross-patch hyperedges transversal CNOTs create). */
+    std::size_t numUnsplittable() const { return numUnsplittable_; }
+
+    /**
+     * Mechanisms flipping an observable with no same-basis detector
+     * (invisible logical errors; should be 0 for d >= 3 circuits).
+     */
+    std::size_t numUndetectableLogical() const
+    {
+        return numUndetectableLogical_;
+    }
+
+  private:
+    std::size_t numNodes_ = 0;
+    std::vector<GraphEdge> edges_;
+    std::vector<std::vector<std::uint32_t>> adj_;
+    /** CSR partner lists: edge ei's partners live in
+     *  partnerList_[partnerStart_[ei] .. partnerStart_[ei+1]). */
+    std::vector<std::size_t> partnerStart_;
+    std::vector<std::uint32_t> partnerList_;
+    std::vector<double> partnerCondP_;
+    std::vector<std::int32_t> detectorPatch_;
+    std::vector<std::int32_t> detectorRound_;
+    std::vector<std::int32_t> observablePatch_;
+    int numRounds_ = 1;
+    std::size_t numUnsplittable_ = 0;
+    std::size_t numUndetectableLogical_ = 0;
+};
+
+/** Back-compat alias for the pre-refactor name. */
+using DecodingGraph = DecodeGraph;
+
+} // namespace traq::decoder
+
+#endif // TRAQ_DECODER_DECODE_GRAPH_HH

@@ -1,15 +1,32 @@
 #include "src/decoder/decoder.hh"
 
+#include <cstdlib>
 #include <map>
 #include <mutex>
+#include <string>
 
 #include "src/common/assert.hh"
+#include "src/decoder/correlated.hh"
 #include "src/decoder/fallback.hh"
 #include "src/decoder/mwpm.hh"
 #include "src/decoder/union_find.hh"
+#include "src/decoder/windowed.hh"
 
 namespace traq::decoder {
 namespace {
+
+/** Kind/name table: the single source for the round-trip helpers. */
+constexpr struct
+{
+    DecoderKind kind;
+    const char *name;
+} kKindNames[] = {
+    {DecoderKind::UnionFind, "union-find"},
+    {DecoderKind::Mwpm, "mwpm"},
+    {DecoderKind::Fallback, "mwpm+uf-fallback"},
+    {DecoderKind::Correlated, "correlated"},
+    {DecoderKind::Windowed, "windowed"},
+};
 
 std::mutex &
 registryMutex()
@@ -25,18 +42,26 @@ registry()
     // without any static-initialization-order coupling.
     static std::map<DecoderKind, DecoderFactory> r = {
         {DecoderKind::UnionFind,
-         [](const DecodingGraph &g, const DecoderConfig &) {
+         [](const DecodeGraph &g, const DecoderConfig &) {
              return std::make_unique<UnionFindDecoder>(g);
          }},
         {DecoderKind::Mwpm,
-         [](const DecodingGraph &g, const DecoderConfig &c) {
+         [](const DecodeGraph &g, const DecoderConfig &c) {
              return std::make_unique<MwpmDecoder>(g,
                                                   c.mwpmMaxDefects);
          }},
         {DecoderKind::Fallback,
-         [](const DecodingGraph &g, const DecoderConfig &c) {
+         [](const DecodeGraph &g, const DecoderConfig &c) {
              return std::make_unique<FallbackDecoder>(
                  g, c.mwpmMaxDefects);
+         }},
+        {DecoderKind::Correlated,
+         [](const DecodeGraph &g, const DecoderConfig &c) {
+             return std::make_unique<CorrelatedDecoder>(g, c);
+         }},
+        {DecoderKind::Windowed,
+         [](const DecodeGraph &g, const DecoderConfig &c) {
+             return std::make_unique<WindowedDecoder>(g, c);
          }},
     };
     return r;
@@ -47,15 +72,46 @@ registry()
 const char *
 decoderKindName(DecoderKind kind)
 {
-    switch (kind) {
-      case DecoderKind::UnionFind:
-        return "union-find";
-      case DecoderKind::Mwpm:
-        return "mwpm";
-      case DecoderKind::Fallback:
-        return "mwpm+uf-fallback";
+    for (const auto &entry : kKindNames)
+        if (entry.kind == kind)
+            return entry.name;
+    TRAQ_FATAL("decoderKindName: unknown DecoderKind value " +
+               std::to_string(static_cast<int>(kind)));
+}
+
+DecoderKind
+decoderKindFromName(std::string_view name)
+{
+    std::string known;
+    for (const auto &entry : kKindNames) {
+        if (name == entry.name)
+            return entry.kind;
+        known += known.empty() ? "" : ", ";
+        known += entry.name;
     }
-    return "unknown";
+    TRAQ_FATAL("unknown decoder kind '" + std::string(name) +
+               "' (known: " + known + ")");
+}
+
+std::vector<DecoderKind>
+registeredDecoderKinds()
+{
+    std::lock_guard<std::mutex> lock(registryMutex());
+    std::vector<DecoderKind> kinds;
+    kinds.reserve(registry().size());
+    for (const auto &[kind, factory] : registry())
+        kinds.push_back(kind);
+    return kinds;
+}
+
+DecoderKind
+resolveDecoderKind(DecoderKind requested)
+{
+    if (const char *env = std::getenv("TRAQ_DECODER")) {
+        if (env[0] != '\0')
+            return decoderKindFromName(env);
+    }
+    return requested;
 }
 
 void
@@ -67,15 +123,17 @@ registerDecoder(DecoderKind kind, DecoderFactory factory)
 }
 
 std::unique_ptr<Decoder>
-makeDecoder(DecoderKind kind, const DecodingGraph &graph,
+makeDecoder(DecoderKind kind, const DecodeGraph &graph,
             const DecoderConfig &config)
 {
     DecoderFactory factory;
     {
         std::lock_guard<std::mutex> lock(registryMutex());
         auto it = registry().find(kind);
-        TRAQ_REQUIRE(it != registry().end(),
-                     "no decoder registered for kind");
+        if (it == registry().end())
+            TRAQ_FATAL(
+                "no decoder factory registered for kind " +
+                std::to_string(static_cast<int>(kind)));
         factory = it->second;
     }
     return factory(graph, config);

@@ -4,11 +4,13 @@
  *
  * Every decoder consumes one syndrome (the list of flipped detector
  * ids) and predicts the logical-observable flip mask.  Concrete
- * decoders (union-find, exact MWPM, the MWPM->UF fallback composite)
- * implement this interface over a shared DecodingGraph; the
- * Monte-Carlo engine and benches are written against the interface
- * only, so a new decoder plugs in by registering a factory under a
- * DecoderKind without touching the harness.
+ * decoders (union-find, exact MWPM, the MWPM->UF fallback composite,
+ * the two-pass correlated matcher, the sliding-window streaming
+ * decoder) implement this interface as clients of one shared
+ * DecodeGraph; the Monte-Carlo engine and benches are written
+ * against the interface only, so a new decoder plugs in by
+ * registering a factory under a DecoderKind without touching the
+ * harness.
  *
  * Decoder instances own their scratch buffers and are NOT thread
  * safe; parallel callers (MonteCarloEngine workers) each create
@@ -21,9 +23,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string_view>
 #include <vector>
 
-#include "src/decoder/graph.hh"
+#include "src/decoder/decode_graph.hh"
 
 namespace traq::decoder {
 
@@ -36,19 +39,74 @@ enum class DecoderKind
     Mwpm,
     /** Exact MWPM with union-find fallback above the cap (default). */
     Fallback,
+    /**
+     * Two-pass correlated matching: a first matching pass estimates
+     * which error mechanisms fired, partner edges across
+     * transversal-CNOT / Y-error hyperedges are reweighted with that
+     * posterior, and a second pass produces the correction.  This is
+     * the correlation-aware decoding the paper's alpha ~ 1/6
+     * per-CNOT error model assumes (Refs [17,18]).
+     */
+    Correlated,
+    /**
+     * Sliding-window streaming decode: rounds enter in windows of
+     * DecoderConfig::windowRounds, corrections commit
+     * DecoderConfig::commitRounds at a time, and defects matched
+     * across a commit boundary are re-decoded in the next window.
+     * Models the real-time budget of Table I (~500 us per round).
+     */
+    Windowed,
 };
 
-/** Human-readable name of a decoder kind. */
+/**
+ * Human-readable name of a decoder kind.  Throws FatalError for a
+ * value outside the enum (no silent "unknown" string).
+ */
 const char *decoderKindName(DecoderKind kind);
+
+/**
+ * Parse a decoder kind from its decoderKindName() string (e.g. from
+ * the TRAQ_DECODER environment variable).  Throws FatalError on an
+ * unknown name, listing the registered ones.
+ */
+DecoderKind decoderKindFromName(std::string_view name);
+
+/** All kinds with a registered factory, in enum order. */
+std::vector<DecoderKind> registeredDecoderKinds();
+
+/**
+ * Resolve the decoder kind for a run: the TRAQ_DECODER environment
+ * variable (a decoderKindName() string) wins when set and non-empty,
+ * otherwise the requested kind is returned unchanged.
+ */
+DecoderKind resolveDecoderKind(DecoderKind requested);
 
 /** Construction-time options shared by all decoder kinds. */
 struct DecoderConfig
 {
     /** Largest syndrome the exact MWPM stage decodes. */
     std::size_t mwpmMaxDefects = 16;
+    /**
+     * Ceiling on the posterior probability a partner edge of a
+     * first-pass correction can be boosted to (correlated decoder).
+     * The boost itself is the graph's per-link conditional
+     * P(partner | edge used); 0.5 caps it at "free to use", lower
+     * values cap the reweighting earlier.
+     */
+    double correlationBoost = 0.5;
+    /**
+     * Rounds visible per window (windowed decoder).  The default
+     * 6-round window with a 2-round commit reproduces whole-history
+     * decoding bit for bit on the memory circuits the tests lock in
+     * (the 4-round lookahead exceeds the error correlation length
+     * at circuit noise rates of interest).
+     */
+    int windowRounds = 6;
+    /** Rounds committed per window step; <= windowRounds. */
+    int commitRounds = 2;
 };
 
-/** Abstract decoder over a fixed decoding graph. */
+/** Abstract decoder over a fixed decode graph. */
 class Decoder
 {
   public:
@@ -73,7 +131,7 @@ class Decoder
 
 /** Factory signature used by the decoder registry. */
 using DecoderFactory = std::function<std::unique_ptr<Decoder>(
-    const DecodingGraph &, const DecoderConfig &)>;
+    const DecodeGraph &, const DecoderConfig &)>;
 
 /**
  * Register (or replace) the factory for a decoder kind.  Built-in
@@ -84,10 +142,11 @@ void registerDecoder(DecoderKind kind, DecoderFactory factory);
 
 /**
  * Instantiate a decoder.  Each call returns a fresh instance with
- * its own scratch state, suitable for per-thread use.
+ * its own scratch state, suitable for per-thread use.  Throws
+ * FatalError when no factory is registered for the kind.
  */
 std::unique_ptr<Decoder> makeDecoder(DecoderKind kind,
-                                     const DecodingGraph &graph,
+                                     const DecodeGraph &graph,
                                      const DecoderConfig &config = {});
 
 } // namespace traq::decoder

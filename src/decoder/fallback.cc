@@ -2,7 +2,7 @@
 
 namespace traq::decoder {
 
-FallbackDecoder::FallbackDecoder(const DecodingGraph &graph,
+FallbackDecoder::FallbackDecoder(const DecodeGraph &graph,
                                  std::size_t mwpmMaxDefects)
     : mwpm_(graph, mwpmMaxDefects), uf_(graph)
 {}
@@ -10,10 +10,18 @@ FallbackDecoder::FallbackDecoder(const DecodingGraph &graph,
 std::uint32_t
 FallbackDecoder::decode(const std::vector<std::uint32_t> &syndrome)
 {
+    return decodeEx(syndrome, {}, nullptr);
+}
+
+std::uint32_t
+FallbackDecoder::decodeEx(const std::vector<std::uint32_t> &syndrome,
+                          const DecodeContext &ctx,
+                          std::vector<std::uint32_t> *usedEdges)
+{
     if (mwpm_.canDecode(syndrome))
-        return mwpm_.decode(syndrome);
+        return mwpm_.decodeEx(syndrome, ctx, usedEdges);
     ++fallbacks_;
-    return uf_.decode(syndrome);
+    return uf_.decodeEx(syndrome, ctx, usedEdges);
 }
 
 } // namespace traq::decoder

@@ -10,6 +10,10 @@
  * fallback count feeds McResult::mwpmFallbacks, which the paper-level
  * sweeps use to check the exact decoder actually covered the
  * below-threshold regime being measured.
+ *
+ * decodeEx() forwards the DecodeContext to whichever stage handles
+ * the syndrome, so the correlated and windowed decoders can use the
+ * composite as their inner engine.
  */
 
 #ifndef TRAQ_DECODER_FALLBACK_HH
@@ -18,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/decoder/decode_graph.hh"
 #include "src/decoder/decoder.hh"
 #include "src/decoder/mwpm.hh"
 #include "src/decoder/union_find.hh"
@@ -28,11 +33,17 @@ namespace traq::decoder {
 class FallbackDecoder final : public Decoder
 {
   public:
-    FallbackDecoder(const DecodingGraph &graph,
+    FallbackDecoder(const DecodeGraph &graph,
                     std::size_t mwpmMaxDefects = 16);
 
     std::uint32_t
     decode(const std::vector<std::uint32_t> &syndrome) override;
+
+    /** Context-aware decode (see Decoder clients of DecodeGraph). */
+    std::uint32_t
+    decodeEx(const std::vector<std::uint32_t> &syndrome,
+             const DecodeContext &ctx,
+             std::vector<std::uint32_t> *usedEdges);
 
     void reset() override { fallbacks_ = 0; }
     const char *name() const override { return "mwpm+uf-fallback"; }

@@ -37,8 +37,8 @@ struct MonteCarloEngine::Worker
 MonteCarloEngine::MonteCarloEngine(const codes::Experiment &exp,
                                    const McOptions &opts)
     : exp_(exp), opts_(opts),
-      graph_(DecodingGraph::fromDem(sim::buildDem(exp.circuit),
-                                    exp.meta))
+      graph_(DecodeGraph::fromDem(sim::buildDem(exp.circuit),
+                                  exp.meta))
 {
     TRAQ_REQUIRE(graph_.numUndetectableLogical() == 0,
                  "circuit has undetectable logical errors");
@@ -147,11 +147,19 @@ MonteCarloEngine::run(const McOptions &opts)
     std::mutex errorMutex;
     std::exception_ptr firstError;
 
+    // Resolve the decoder once per run so every worker (and the
+    // result metadata) agrees even if the environment changes.
+    const DecoderKind kind = resolveDecoderKind(opts_.decoder);
+    DecoderConfig decCfg;
+    decCfg.mwpmMaxDefects = opts_.mwpmMaxDefects;
+    decCfg.correlationBoost = opts_.correlationBoost;
+    decCfg.windowRounds = opts_.windowRounds;
+    decCfg.commitRounds = opts_.commitRounds;
+
     auto workerMain = [&]() {
         try {
             Worker w(lanes_);
-            w.dec = makeDecoder(opts_.decoder, graph_,
-                                {opts_.mwpmMaxDefects});
+            w.dec = makeDecoder(kind, graph_, decCfg);
             std::uint64_t shard;
             while ((shard = nextShard.fetch_add(1)) < numShards) {
                 const std::uint64_t lo = shard * shardUnit_;
@@ -208,6 +216,7 @@ MonteCarloEngine::run(const McOptions &opts)
             ? static_cast<double>(total.weight) / total.shots
             : 0.0;
     res.mwpmFallbacks = total.aux;
+    res.decoder = decoderKindName(kind);
     res.shards = numShards;
     res.threadsUsed = threads;
     res.wordLanes = lanes_;

@@ -30,8 +30,8 @@
 #include "src/codes/experiments.hh"
 #include "src/common/stats.hh"
 #include "src/common/word.hh"
+#include "src/decoder/decode_graph.hh"
 #include "src/decoder/decoder.hh"
-#include "src/decoder/graph.hh"
 
 namespace traq::decoder {
 
@@ -40,9 +40,18 @@ struct McOptions
 {
     std::uint64_t shots = 10000;
     std::uint64_t seed = 0x5eed;
-    /** Decoder to instantiate per worker (see makeDecoder). */
+    /**
+     * Decoder to instantiate per worker (see makeDecoder).  The
+     * TRAQ_DECODER environment variable (a decoderKindName string,
+     * e.g. "correlated") overrides this at run() time.
+     */
     DecoderKind decoder = DecoderKind::Fallback;
     std::size_t mwpmMaxDefects = 16;
+    /** Partner-edge posterior for the correlated decoder. */
+    double correlationBoost = 0.5;
+    /** Window/commit depths (rounds) for the windowed decoder. */
+    int windowRounds = 6;
+    int commitRounds = 2;
     /** Worker threads; 0 = TRAQ_THREADS env or hardware (see
      *  common/threads.hh). */
     unsigned threads = 0;
@@ -83,6 +92,8 @@ struct McResult
     Proportion anyObservable;
     double avgDefects = 0.0;         //!< mean syndrome size
     std::uint64_t mwpmFallbacks = 0; //!< shots decoded by UF fallback
+    /** Name of the decoder kind actually run (after TRAQ_DECODER). */
+    const char *decoder = "";
     std::uint64_t shards = 0;        //!< shards the run was split into
     unsigned threadsUsed = 0;        //!< workers actually spawned
     unsigned wordLanes = 0;          //!< 64-bit lanes per batch used
@@ -109,14 +120,14 @@ class MonteCarloEngine
     /** Execute with different options against the same graph. */
     McResult run(const McOptions &opts);
 
-    const DecodingGraph &graph() const { return graph_; }
+    const DecodeGraph &graph() const { return graph_; }
 
   private:
     struct Worker;
 
     const codes::Experiment &exp_;
     McOptions opts_;
-    DecodingGraph graph_;
+    DecodeGraph graph_;
     unsigned lanes_ = 1;          //!< resolved word lanes per batch
     std::uint64_t shardUnit_ = 0; //!< shots/shard, multiple of batch
 

@@ -9,10 +9,30 @@
 namespace traq::decoder {
 
 namespace {
+
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** Context-aware edge weight: override wins, clamped to >= 0 so a
+ *  posterior-boosted (near-certain) edge cannot go negative. */
+inline double
+ctxWeight(const GraphEdge &e, std::uint32_t ei,
+          const DecodeContext &ctx)
+{
+    const double w =
+        ctx.weights.empty() ? e.weight : ctx.weights[ei];
+    return w < 0.0 ? 0.0 : w;
+}
+
+/** True if the context hides this edge (beyond the round horizon). */
+inline bool
+ctxHides(const GraphEdge &e, const DecodeContext &ctx)
+{
+    return ctx.maxRound >= 0 && e.round > ctx.maxRound;
+}
+
 } // namespace
 
-MwpmDecoder::MwpmDecoder(const DecodingGraph &graph,
+MwpmDecoder::MwpmDecoder(const DecodeGraph &graph,
                          std::size_t maxDefects)
     : graph_(graph), maxDefects_(maxDefects)
 {
@@ -23,6 +43,7 @@ MwpmDecoder::MwpmDecoder(const DecodingGraph &graph,
 void
 MwpmDecoder::dijkstra(std::uint32_t source,
                       const std::vector<std::uint32_t> &targets,
+                      const DecodeContext &ctx, bool wantEdges,
                       std::vector<Reach> *out, Reach *boundary)
 {
     const std::size_t n = graph_.numNodes();
@@ -42,67 +63,82 @@ MwpmDecoder::dijkstra(std::uint32_t source,
         pq.pop();
         if (d > dist_[u])
             continue;
-        if (d >= bestBoundary) {
-            // Everything reachable closer than the boundary has been
-            // settled; remaining paths can't improve any pairing that
-            // would rather use two boundary exits.  (We still settle
-            // all nodes for exactness of defect-defect distances.)
-        }
         for (std::uint32_t ei : graph_.incident(u)) {
             const GraphEdge &e = graph_.edges()[ei];
+            if (ctxHides(e, ctx))
+                continue;
+            const double w = ctxWeight(e, ei, ctx);
             if (e.u == kBoundary) {
-                if (d + e.weight < bestBoundary) {
-                    bestBoundary = d + e.weight;
+                if (d + w < bestBoundary) {
+                    bestBoundary = d + w;
                     boundaryEdgeNode = static_cast<std::int32_t>(u);
                     boundaryEdge = static_cast<std::int32_t>(ei);
                 }
                 continue;
             }
-            std::uint32_t w = (static_cast<std::uint32_t>(e.u) == u)
+            std::uint32_t v = (static_cast<std::uint32_t>(e.u) == u)
                                   ? static_cast<std::uint32_t>(e.v)
                                   : static_cast<std::uint32_t>(e.u);
-            if (d + e.weight < dist_[w]) {
-                dist_[w] = d + e.weight;
-                fromEdge_[w] = static_cast<std::int32_t>(ei);
-                pq.emplace(dist_[w], w);
+            if (d + w < dist_[v]) {
+                dist_[v] = d + w;
+                fromEdge_[v] = static_cast<std::int32_t>(ei);
+                pq.emplace(dist_[v], v);
             }
         }
     }
 
-    auto pathObs = [&](std::uint32_t node) {
-        std::uint32_t obs = 0;
+    auto fillPath = [&](std::uint32_t node, Reach *r) {
+        r->obs = 0;
+        r->edges.clear();
         std::uint32_t cur = node;
         while (cur != source) {
             std::int32_t ei = fromEdge_[cur];
             TRAQ_ASSERT(ei >= 0, "broken Dijkstra predecessor chain");
             const GraphEdge &e = graph_.edges()[ei];
-            obs ^= e.observables;
+            r->obs ^= e.observables;
+            if (wantEdges)
+                r->edges.push_back(static_cast<std::uint32_t>(ei));
             cur = (static_cast<std::uint32_t>(e.u) == cur)
                       ? static_cast<std::uint32_t>(e.v)
                       : static_cast<std::uint32_t>(e.u);
         }
-        return obs;
     };
 
-    out->assign(targets.size(), Reach{kInf, 0});
+    out->resize(targets.size());
     for (std::size_t i = 0; i < targets.size(); ++i) {
-        if (dist_[targets[i]] < kInf) {
-            (*out)[i].dist = dist_[targets[i]];
-            (*out)[i].obs = pathObs(targets[i]);
-        }
+        Reach &r = (*out)[i];
+        r.dist = dist_[targets[i]];
+        r.obs = 0;
+        r.edges.clear();
+        if (r.dist < kInf)
+            fillPath(targets[i], &r);
     }
     boundary->dist = bestBoundary;
     boundary->obs = 0;
+    boundary->edges.clear();
     if (boundaryEdgeNode >= 0) {
-        boundary->obs =
-            pathObs(static_cast<std::uint32_t>(boundaryEdgeNode)) ^
-            graph_.edges()[boundaryEdge].observables;
+        fillPath(static_cast<std::uint32_t>(boundaryEdgeNode),
+                 boundary);
+        boundary->obs ^= graph_.edges()[boundaryEdge].observables;
+        boundary->edges.push_back(
+            static_cast<std::uint32_t>(boundaryEdge));
     }
 }
 
 std::uint32_t
 MwpmDecoder::decode(const std::vector<std::uint32_t> &syndrome)
 {
+    return decodeEx(syndrome, {}, nullptr);
+}
+
+std::uint32_t
+MwpmDecoder::decodeEx(const std::vector<std::uint32_t> &syndrome,
+                      const DecodeContext &ctx,
+                      std::vector<std::uint32_t> *usedEdges)
+{
+    TRAQ_REQUIRE(ctx.weights.empty() ||
+                     ctx.weights.size() == graph_.edges().size(),
+                 "context weight override size mismatch");
     const std::size_t m = syndrome.size();
     if (m == 0)
         return 0;
@@ -114,7 +150,8 @@ MwpmDecoder::decode(const std::vector<std::uint32_t> &syndrome)
     std::vector<Reach> toBoundary(m);
     for (std::size_t i = 0; i < m; ++i) {
         std::vector<Reach> row;
-        dijkstra(syndrome[i], syndrome, &row, &toBoundary[i]);
+        dijkstra(syndrome[i], syndrome, ctx, usedEdges != nullptr,
+                 &row, &toBoundary[i]);
         pair[i] = std::move(row);
     }
 
@@ -146,21 +183,26 @@ MwpmDecoder::decode(const std::vector<std::uint32_t> &syndrome)
         }
     }
 
-    // Reconstruct and accumulate observable masks.
+    // Reconstruct and accumulate observable masks / used edges.
     std::uint32_t correction = 0;
     std::size_t mask = full;
     while (mask) {
         int i = __builtin_ctzll(mask);
+        const Reach *r;
         if (choice[mask] == -2) {
-            correction ^= toBoundary[i].obs;
+            r = &toBoundary[i];
             mask ^= (std::size_t{1} << i);
         } else {
             int j = choice[mask];
             TRAQ_ASSERT(j >= 0, "matching reconstruction failed");
-            correction ^= pair[i][j].obs;
+            r = &pair[i][j];
             mask ^= (std::size_t{1} << i);
             mask ^= (std::size_t{1} << j);
         }
+        correction ^= r->obs;
+        if (usedEdges)
+            usedEdges->insert(usedEdges->end(), r->edges.begin(),
+                              r->edges.end());
     }
     return correction;
 }

@@ -3,12 +3,19 @@
  * Exact minimum-weight perfect matching decoder for small defect sets.
  *
  * Pairwise defect distances are computed with Dijkstra over the
- * decoding graph (the virtual boundary acts as an always-available
+ * shared DecodeGraph (the virtual boundary acts as an always-available
  * partner), and the optimal pairing is found by bitmask dynamic
  * programming — exact for up to ~20 defects, which covers the
  * below-threshold sampling regime used to extract the paper's
  * decoding factor alpha.  Fallback above the cap is FallbackDecoder's
  * job (it routes oversized syndromes to union-find).
+ *
+ * The extended entry point decodeEx() is what the composite decoders
+ * build on: a DecodeContext can reweight edges (correlated two-pass
+ * decoding) or hide future rounds (windowed streaming decoding), and
+ * the matched correction can be reported as the list of graph edges
+ * it traverses — the edge posteriors the correlated decoder feeds
+ * back across partner hyperedges.
  */
 
 #ifndef TRAQ_DECODER_MWPM_HH
@@ -17,20 +24,20 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/decoder/decode_graph.hh"
 #include "src/decoder/decoder.hh"
-#include "src/decoder/graph.hh"
 
 namespace traq::decoder {
 
-/** Exact MWPM decoder over a fixed decoding graph. */
+/** Exact MWPM decoder over the shared decode graph. */
 class MwpmDecoder final : public Decoder
 {
   public:
     /**
-     * @param graph decoding graph.
+     * @param graph decode graph.
      * @param maxDefects largest syndrome size decoded exactly.
      */
-    explicit MwpmDecoder(const DecodingGraph &graph,
+    explicit MwpmDecoder(const DecodeGraph &graph,
                          std::size_t maxDefects = 18);
 
     /** True if this syndrome is within the exact-decoding cap. */
@@ -47,10 +54,21 @@ class MwpmDecoder final : public Decoder
     std::uint32_t
     decode(const std::vector<std::uint32_t> &syndrome) override;
 
+    /**
+     * Decode under a context (reweighted edges and/or a round
+     * horizon).  If usedEdges is non-null the edges traversed by the
+     * matched correction are appended to it (unsorted, duplicates
+     * possible when two paths share an edge).
+     */
+    std::uint32_t
+    decodeEx(const std::vector<std::uint32_t> &syndrome,
+             const DecodeContext &ctx,
+             std::vector<std::uint32_t> *usedEdges);
+
     const char *name() const override { return "mwpm"; }
 
   private:
-    const DecodingGraph &graph_;
+    const DecodeGraph &graph_;
     std::size_t maxDefects_;
 
     // Scratch for Dijkstra.
@@ -61,14 +79,18 @@ class MwpmDecoder final : public Decoder
     {
         double dist = 0.0;
         std::uint32_t obs = 0;
+        /** Graph edges of the shortest path (empty if unreachable). */
+        std::vector<std::uint32_t> edges;
     };
 
     /**
-     * Single-source shortest paths from a defect; returns distance and
-     * path-observable mask to every node plus the boundary.
+     * Single-source shortest paths from a defect; returns distance,
+     * path-observable mask, and path edges to every target plus the
+     * boundary, honoring the context's weights and round horizon.
      */
     void dijkstra(std::uint32_t source,
                   const std::vector<std::uint32_t> &targets,
+                  const DecodeContext &ctx, bool wantEdges,
                   std::vector<Reach> *out, Reach *boundary);
 };
 

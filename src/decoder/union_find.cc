@@ -7,18 +7,23 @@
 
 namespace traq::decoder {
 
-UnionFindDecoder::UnionFindDecoder(const DecodingGraph &graph)
-    : graph_(graph)
+std::uint32_t
+UnionFindDecoder::quantize(double w)
 {
     // Quantize edge weights to small integers (>= 1) so growth can
     // proceed in unit steps.  Typical weights at p ~ 1e-3 are ~7, so
     // rounding keeps relative ordering to ~15%.
+    return std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(
+               std::lround(std::max(1.0, w))));
+}
+
+UnionFindDecoder::UnionFindDecoder(const DecodeGraph &graph)
+    : graph_(graph)
+{
     edgeWeightQ_.reserve(graph_.edges().size());
-    for (const auto &e : graph_.edges()) {
-        auto w = static_cast<std::uint32_t>(
-            std::lround(std::max(1.0, e.weight)));
-        edgeWeightQ_.push_back(std::max<std::uint32_t>(1, w));
-    }
+    for (const auto &e : graph_.edges())
+        edgeWeightQ_.push_back(quantize(e.weight));
 }
 
 std::int32_t
@@ -50,6 +55,31 @@ UnionFindDecoder::unite(std::int32_t a, std::int32_t b)
 std::uint32_t
 UnionFindDecoder::decode(const std::vector<std::uint32_t> &syndrome)
 {
+    return decodeEx(syndrome, {}, nullptr);
+}
+
+std::uint32_t
+UnionFindDecoder::decodeEx(const std::vector<std::uint32_t> &syndrome,
+                           const DecodeContext &ctx,
+                           std::vector<std::uint32_t> *usedEdges)
+{
+    // Resolve the effective quantized weights for this call.
+    TRAQ_REQUIRE(ctx.weights.empty() ||
+                     ctx.weights.size() == graph_.edges().size(),
+                 "context weight override size mismatch");
+    const std::vector<std::uint32_t> *wq = &edgeWeightQ_;
+    if (!ctx.weights.empty()) {
+        ctxWeightQ_.resize(ctx.weights.size());
+        for (std::size_t i = 0; i < ctx.weights.size(); ++i)
+            ctxWeightQ_[i] = quantize(ctx.weights[i]);
+        wq = &ctxWeightQ_;
+    }
+    const std::vector<std::uint32_t> &weightQ = *wq;
+    const std::int32_t maxRound = ctx.maxRound;
+    auto hidden = [&](const GraphEdge &e) {
+        return maxRound >= 0 && e.round > maxRound;
+    };
+
     const auto n = static_cast<std::int32_t>(graph_.numNodes());
     parent_.resize(n);
     rankArr_.assign(n, 0);
@@ -96,13 +126,15 @@ UnionFindDecoder::decode(const std::vector<std::uint32_t> &syndrome)
             for (; idx < local.size(); ++idx) {
                 std::uint32_t ei = local[idx];
                 const GraphEdge &e = graph_.edges()[ei];
-                if (growth_[ei] >= edgeWeightQ_[ei])
+                if (hidden(e))
+                    continue;  // beyond the round horizon
+                if (growth_[ei] >= weightQ[ei])
                     continue;  // already solid
                 if (e.u == kBoundary) {
                     if (find(e.v) != root)
                         continue;  // stale
                     ++growth_[ei];
-                    if (growth_[ei] < edgeWeightQ_[ei]) {
+                    if (growth_[ei] < weightQ[ei]) {
                         keep.push_back(ei);
                         continue;
                     }
@@ -118,7 +150,7 @@ UnionFindDecoder::decode(const std::vector<std::uint32_t> &syndrome)
                 if (ru != root && rv != root)
                     continue;  // stale inherited edge
                 ++growth_[ei];
-                if (growth_[ei] < edgeWeightQ_[ei]) {
+                if (growth_[ei] < weightQ[ei]) {
                     keep.push_back(ei);
                     continue;
                 }
@@ -158,7 +190,11 @@ UnionFindDecoder::decode(const std::vector<std::uint32_t> &syndrome)
                 dst.erase(std::unique(dst.begin(), dst.end()),
                           dst.end());
             }
-            if (parity_[m] && !touchesBoundary_[m])
+            // An odd cluster with an empty frontier can never grow
+            // again (every incident edge is beyond the context's
+            // round horizon); drop it rather than spin — the
+            // defect stays unmatched, like MWPM's quiet behavior.
+            if (parity_[m] && !touchesBoundary_[m] && !dst.empty())
                 nextActive.push_back(m);
         }
         // Deduplicate the active list by current root.
@@ -171,11 +207,12 @@ UnionFindDecoder::decode(const std::vector<std::uint32_t> &syndrome)
         active = std::move(nextActive);
     }
 
-    return peel(solid);
+    return peel(solid, usedEdges);
 }
 
 std::uint32_t
-UnionFindDecoder::peel(const std::vector<std::uint32_t> &solidEdges)
+UnionFindDecoder::peel(const std::vector<std::uint32_t> &solidEdges,
+                       std::vector<std::uint32_t> *usedEdges)
 {
     // Build adjacency over solid edges; the boundary is a super-node
     // with id n so excess defects can drain into it.
@@ -231,6 +268,9 @@ UnionFindDecoder::peel(const std::vector<std::uint32_t> &solidEdges)
             if (defect_[u]) {
                 const GraphEdge &e = graph_.edges()[parentEdge[u]];
                 correction ^= e.observables;
+                if (usedEdges)
+                    usedEdges->push_back(static_cast<std::uint32_t>(
+                        parentEdge[u]));
                 std::int32_t a = (e.u == kBoundary) ? n : e.u;
                 std::int32_t b = e.v;
                 std::int32_t other = (a == u) ? b : a;

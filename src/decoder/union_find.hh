@@ -8,6 +8,12 @@
  * spanning forest of the grown region.  This is the "fast but less
  * accurate than matching/MLE" end of the decoder spectrum the paper
  * sweeps via the decoding factor alpha (Sec. III.4, Fig. 13(a)).
+ *
+ * Like the exact matcher, it is a client of the shared DecodeGraph:
+ * decodeEx() accepts a DecodeContext with reweighted edges (the
+ * correlated decoder's second pass falls back here above the MWPM
+ * cap) and/or a round horizon (windowed streaming decode), and can
+ * report the correction's edges.
  */
 
 #ifndef TRAQ_DECODER_UNION_FIND_HH
@@ -16,16 +22,16 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/decoder/decode_graph.hh"
 #include "src/decoder/decoder.hh"
-#include "src/decoder/graph.hh"
 
 namespace traq::decoder {
 
-/** Union-find decoder over a fixed decoding graph. */
+/** Union-find decoder over the shared decode graph. */
 class UnionFindDecoder final : public Decoder
 {
   public:
-    explicit UnionFindDecoder(const DecodingGraph &graph);
+    explicit UnionFindDecoder(const DecodeGraph &graph);
 
     /**
      * Decode one syndrome (list of flipped detector ids).
@@ -34,11 +40,24 @@ class UnionFindDecoder final : public Decoder
     std::uint32_t
     decode(const std::vector<std::uint32_t> &syndrome) override;
 
+    /**
+     * Decode under a context.  Non-default weights are requantized
+     * per call (an O(edges) pass — acceptable because composite
+     * decoders only route the rare oversized syndromes here).  If
+     * usedEdges is non-null the correction's flipped edges are
+     * appended to it.
+     */
+    std::uint32_t
+    decodeEx(const std::vector<std::uint32_t> &syndrome,
+             const DecodeContext &ctx,
+             std::vector<std::uint32_t> *usedEdges);
+
     const char *name() const override { return "union-find"; }
 
   private:
-    const DecodingGraph &graph_;
+    const DecodeGraph &graph_;
     std::vector<std::uint32_t> edgeWeightQ_;  //!< quantized weights
+    std::vector<std::uint32_t> ctxWeightQ_;   //!< per-call override
 
     // Per-decode scratch (sized once, reset cheaply per call).
     std::vector<std::int32_t> parent_;
@@ -51,7 +70,10 @@ class UnionFindDecoder final : public Decoder
     std::int32_t find(std::int32_t a);
     void unite(std::int32_t a, std::int32_t b);
 
-    std::uint32_t peel(const std::vector<std::uint32_t> &solidEdges);
+    static std::uint32_t quantize(double w);
+
+    std::uint32_t peel(const std::vector<std::uint32_t> &solidEdges,
+                       std::vector<std::uint32_t> *usedEdges);
 };
 
 } // namespace traq::decoder

@@ -100,6 +100,9 @@ class McLogicalErrorEstimator : public Estimator
         mc.shots = spec.shots;
         mc.seed = spec.seed;
         mc.decoder = spec.decoder;
+        mc.correlationBoost = spec.correlationBoost;
+        mc.windowRounds = spec.windowRounds;
+        mc.commitRounds = spec.commitRounds;
         mc.threads = spec.threads;
         mc.wordBackend = spec.wordBackend;
         const decoder::McResult res = decoder::runMonteCarlo(exp, mc);
@@ -198,6 +201,7 @@ class McAlphaEstimator : public Estimator
         mcBase.shots = spec.shots;
         mcBase.seed = spec.seed;
         mcBase.threads = spec.mcThreads;
+        mcBase.decoder = spec.decoder;
         const std::shared_ptr<const Estimator> mc =
             makeMcLogicalErrorEstimator(mcBase);
 

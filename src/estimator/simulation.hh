@@ -55,7 +55,13 @@ struct McSimSpec
     /** Engine worker threads per estimate.  Default 1: an outer
      *  SweepRunner already parallelizes over grid jobs. */
     unsigned threads = 1;
+    /** Decoder kind per worker (TRAQ_DECODER env overrides). */
     decoder::DecoderKind decoder = decoder::DecoderKind::Fallback;
+    /** Partner-edge posterior ceiling (correlated decoder). */
+    double correlationBoost = 0.5;
+    /** Window/commit depths in rounds (windowed decoder). */
+    int windowRounds = 6;
+    int commitRounds = 2;
     WordBackend wordBackend = WordBackend::Auto;
 };
 
@@ -63,14 +69,13 @@ struct McSimSpec
  * Base specification of one "mc-alpha" extraction.
  *
  * Lambda comes from the memory anchors over dMin..dMax (Eq. (2)),
- * alpha from the x-dependence of the transversal-CNOT grid over
- * dMin..cnotDMax.  With a single CNOT distance (the default) Lambda
- * only rescales the fitted prefactor C, so alpha is driven purely by
- * how the per-CNOT error bends with CNOT density — the
- * best-conditioned signal our matching decoder provides (its
- * joint-patch decoding does not reproduce the paper's MLE cross-d
- * suppression on CNOT circuits, so cross-d CNOT data is left opt-in
- * via cnotDMax).
+ * alpha from the transversal-CNOT grid over dMin..cnotDMax and the
+ * x grid.  With the default plain matcher, cross-distance CNOT data
+ * is left opt-in via cnotDMax (joint-patch matching alone does not
+ * reproduce the paper's MLE cross-d suppression); with
+ * decoder = DecoderKind::Correlated the suppression is restored and
+ * the full (d, x) Fig. 6 grid fits in one request — see
+ * bench_fig6_error_model.
  */
 struct McAlphaSpec
 {
@@ -92,6 +97,8 @@ struct McAlphaSpec
     double fixLambda = 0.0;
     unsigned sweepThreads = 0; //!< inner grid workers (0 = auto)
     unsigned mcThreads = 1;    //!< engine threads per grid point
+    /** Decoder kind for every grid point (memory and CNOT). */
+    decoder::DecoderKind decoder = decoder::DecoderKind::Fallback;
 };
 
 /** "mc-logical-error" estimator over a custom base spec. */

@@ -40,12 +40,14 @@
 #include "src/codes/experiments.hh"
 #include "src/codes/surface_code.hh"
 
+#include "src/decoder/correlated.hh"
+#include "src/decoder/decode_graph.hh"
 #include "src/decoder/decoder.hh"
 #include "src/decoder/fallback.hh"
-#include "src/decoder/graph.hh"
 #include "src/decoder/monte_carlo.hh"
 #include "src/decoder/mwpm.hh"
 #include "src/decoder/union_find.hh"
+#include "src/decoder/windowed.hh"
 
 #include "src/model/cultivation.hh"
 #include "src/model/error_model.hh"

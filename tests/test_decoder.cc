@@ -10,7 +10,7 @@
 
 #include "src/codes/experiments.hh"
 #include "src/common/assert.hh"
-#include "src/decoder/graph.hh"
+#include "src/decoder/decode_graph.hh"
 #include "src/decoder/mwpm.hh"
 #include "src/decoder/union_find.hh"
 #include "src/sim/dem.hh"
@@ -289,8 +289,9 @@ TEST(DecoderOnRealCircuit, TransversalCnotHasHyperedgesButNoBlindSpots)
     // Transversal CNOTs genuinely create >2-detector mechanisms per
     // basis (an X error that propagates across patches fires Z
     // detectors in both) — that is the correlated-decoding structure
-    // of Refs [17,18].  The graph builder decomposes them into pairs;
-    // what must never happen is an invisible logical error.
+    // of Refs [17,18].  The graph builder decomposes them into pairs
+    // linked as partners; what must never happen is an invisible
+    // logical error.
     codes::TransversalCnotSpec spec;
     spec.distance = 3;
     spec.cnotLayers = 3;
@@ -300,6 +301,8 @@ TEST(DecoderOnRealCircuit, TransversalCnotHasHyperedgesButNoBlindSpots)
     DecodingGraph g = DecodingGraph::fromDem(dem, e.meta);
     EXPECT_GT(g.numUnsplittable(), 0u);
     EXPECT_EQ(g.numUndetectableLogical(), 0u);
+    // The decomposed halves remember each other.
+    EXPECT_GT(g.numPartnerLinks(), 0u);
 }
 
 } // namespace

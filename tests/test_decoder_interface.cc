@@ -9,7 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "src/codes/experiments.hh"
+#include "src/common/assert.hh"
 #include "src/common/rng.hh"
 #include "src/common/stats.hh"
 #include "src/decoder/decoder.hh"
@@ -64,13 +67,76 @@ TEST(DecoderFactory, MakesAllBuiltinKinds)
     auto dem = chainDem(5, 0.01);
     DecodingGraph g = DecodingGraph::fromDem(dem, chainMeta(5));
     for (auto kind : {DecoderKind::UnionFind, DecoderKind::Mwpm,
-                      DecoderKind::Fallback}) {
+                      DecoderKind::Fallback, DecoderKind::Correlated,
+                      DecoderKind::Windowed}) {
         auto dec = makeDecoder(kind, g);
         ASSERT_NE(dec, nullptr);
         EXPECT_STREQ(dec->name(), decoderKindName(kind));
         EXPECT_EQ(dec->decode({}), 0u);
         EXPECT_EQ(dec->fallbacks(), 0u);
     }
+}
+
+TEST(DecoderFactory, TableDrivenKindNameRoundTrip)
+{
+    // Every registered kind round-trips kind -> name -> kind and
+    // instantiates a decoder that reports the same name.
+    auto dem = chainDem(5, 0.01);
+    DecodingGraph g = DecodingGraph::fromDem(dem, chainMeta(5));
+    const auto kinds = registeredDecoderKinds();
+    EXPECT_EQ(kinds.size(), 5u);
+    for (DecoderKind kind : kinds) {
+        const char *name = decoderKindName(kind);
+        ASSERT_NE(name, nullptr);
+        EXPECT_EQ(decoderKindFromName(name), kind);
+        auto dec = makeDecoder(kind, g);
+        ASSERT_NE(dec, nullptr);
+        EXPECT_STREQ(dec->name(), name);
+    }
+}
+
+TEST(DecoderFactory, UnknownKindsFailLoudly)
+{
+    auto dem = chainDem(3, 0.01);
+    DecodingGraph g = DecodingGraph::fromDem(dem, chainMeta(3));
+    const auto bogus = static_cast<DecoderKind>(1000);
+    // No silent "unknown" string and no silent default decoder.
+    EXPECT_THROW(decoderKindName(bogus), FatalError);
+    EXPECT_THROW(makeDecoder(bogus, g), FatalError);
+    EXPECT_THROW(decoderKindFromName("no-such-decoder"),
+                 FatalError);
+    EXPECT_THROW(decoderKindFromName(""), FatalError);
+}
+
+TEST(DecoderFactory, EnvironmentOverrideSelectsKind)
+{
+    ASSERT_EQ(setenv("TRAQ_DECODER", "union-find", 1), 0);
+    EXPECT_EQ(resolveDecoderKind(DecoderKind::Fallback),
+              DecoderKind::UnionFind);
+    ASSERT_EQ(setenv("TRAQ_DECODER", "", 1), 0);
+    EXPECT_EQ(resolveDecoderKind(DecoderKind::Fallback),
+              DecoderKind::Fallback);
+    ASSERT_EQ(setenv("TRAQ_DECODER", "bogus", 1), 0);
+    EXPECT_THROW(resolveDecoderKind(DecoderKind::Fallback),
+                 FatalError);
+    ASSERT_EQ(unsetenv("TRAQ_DECODER"), 0);
+    EXPECT_EQ(resolveDecoderKind(DecoderKind::Correlated),
+              DecoderKind::Correlated);
+}
+
+TEST(MonteCarloEngine, EnvironmentOverridesDecoderKind)
+{
+    codes::SurfaceCode sc(3);
+    auto e = codes::buildMemory(sc, 'Z', 3,
+                                codes::NoiseParams::uniform(0.01));
+    McOptions opts;
+    opts.shots = 256;
+    ASSERT_EQ(setenv("TRAQ_DECODER", "union-find", 1), 0);
+    auto res = runMonteCarlo(e, opts);
+    ASSERT_EQ(unsetenv("TRAQ_DECODER"), 0);
+    EXPECT_STREQ(res.decoder, "union-find");
+    auto plain = runMonteCarlo(e, opts);
+    EXPECT_STREQ(plain.decoder, "mwpm+uf-fallback");
 }
 
 TEST(DecoderFactory, CustomRegistrationPlugsIn)
