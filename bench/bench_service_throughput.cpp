@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Service front-end throughput bench: requests/second through the
+ * JobQueue (src/service/job_queue.hh) with a cold cache (every
+ * request unique, all evaluated) versus a warm cache (the same
+ * request set resubmitted, all served from the canonicalKey memo),
+ * plus the JSON round-trip cost a line-delimited driver like
+ * traq_serve pays per request.
+ *
+ * Machine-readable lines for scripts/perf_smoke.sh:
+ *
+ *     service-throughput[cold]: <req/s> req/s (...)
+ *     service-throughput[warm]: <req/s> req/s (...)
+ *     service-throughput[json]: <req/s> req/s (...)
+ *
+ * The request mix is the closed-form estimator kinds — the traffic a
+ * resource-estimation service actually serves; the Monte-Carlo kinds
+ * are benched by bench_sim_montecarlo.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/estimator/estimator.hh"
+#include "src/service/job_queue.hh"
+
+namespace {
+
+using namespace traq;
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start)
+        .count();
+}
+
+/** A mixed-kind request list with all-distinct canonical keys. */
+std::vector<est::EstimateRequest>
+makeRequests(std::size_t n)
+{
+    std::vector<est::EstimateRequest> reqs;
+    reqs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double knob = 1.0 + static_cast<double>(i);
+        switch (i % 3) {
+          case 0:
+            reqs.push_back(
+                {"gidney-ekera",
+                 {{"tReaction", 1e-5 * knob}}});
+            break;
+          case 1:
+            reqs.push_back(
+                {"idle-storage",
+                 {{"distance", 11 + 2 * static_cast<double>(i % 13)},
+                  {"sePeriod", 1e-4 * knob}}});
+            break;
+          default:
+            reqs.push_back(
+                {"factory-design",
+                 {{"targetCczError", 1e-7 * knob}}});
+            break;
+        }
+    }
+    return reqs;
+}
+
+double
+runPhase(service::JobQueue &queue,
+         const std::vector<est::EstimateRequest> &reqs,
+         const char *label)
+{
+    const auto start = Clock::now();
+    queue.submitBatch(reqs);
+    queue.drain();
+    const double elapsed = secondsSince(start);
+    const double rps = static_cast<double>(reqs.size()) / elapsed;
+    const service::JobQueueStats stats = queue.stats();
+    std::printf("service-throughput[%s]: %.0f req/s "
+                "(%zu requests in %.3f s; totals: %zu evaluated, "
+                "%zu cache hits, %u threads)\n",
+                label, rps, reqs.size(), elapsed, stats.evaluated,
+                stats.cacheHits, queue.threads());
+    return rps;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::size_t n = 20000;
+    const std::vector<est::EstimateRequest> reqs = makeRequests(n);
+
+    service::JobQueue queue;
+    // Cold: every canonical key is new, so all n are evaluated.
+    runPhase(queue, reqs, "cold");
+    // Warm: the same keys again — zero evaluations, pure cache.
+    runPhase(queue, reqs, "warm");
+
+    // JSON round-trip cost per request: what a line-delimited
+    // driver pays on top of the queue (emit + parse back).
+    {
+        const auto start = Clock::now();
+        std::size_t bytes = 0;
+        for (const est::EstimateRequest &req : reqs) {
+            const est::EstimateRequest back =
+                est::requestFromJson(est::toJson(req));
+            bytes += back.kind.size();
+        }
+        const double elapsed = secondsSince(start);
+        std::printf("service-throughput[json]: %.0f req/s "
+                    "(%zu emit+parse round-trips in %.3f s, "
+                    "checksum %zu)\n",
+                    static_cast<double>(n) / elapsed, n, elapsed,
+                    bytes);
+    }
+    return 0;
+}

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Line-delimited JSON estimate server: the shell-scriptable face of
+ * the service front-end (src/service/job_queue.hh).
+ *
+ * Reads one EstimateRequest JSON object — or a batch as a JSON array
+ * of objects — per stdin line, schedules everything on a JobQueue,
+ * and writes one line per input line to stdout in input order: the
+ * result object (est::toJson), an array of result objects for a
+ * batch line, or {"error":"..."} when the line was malformed or the
+ * estimate failed.  Blank lines and #-comment lines are skipped.
+ * Because outcomes are read back in submission order and estimators
+ * are deterministic, stdout is byte-identical for any --threads
+ * value (CI diffs exactly that).
+ *
+ *     $ echo '{"kind":"factoring","params":{"rsep":256}}' \
+ *           | ./build/traq_serve --threads 4
+ *
+ * Queue statistics (jobs, evaluations, cache hits, failures) go to
+ * stderr so stdout stays machine-consumable.
+ */
+
+#include <charconv>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/common/assert.hh"
+#include "src/common/json.hh"
+#include "src/common/serialize.hh"
+#include "src/common/strings.hh"
+#include "src/service/job_queue.hh"
+
+namespace {
+
+using traq::service::JobQueue;
+
+/** One stdin line: a parse error, a single job, or a batch. */
+struct Line
+{
+    bool batch = false;
+    std::vector<JobQueue::JobId> ids;
+    std::string error;  //!< non-empty: the line never enqueued
+};
+
+int
+usage(const char *argv0, int code)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--threads N] [--cache on|off]\n"
+        "  Reads one EstimateRequest JSON object (or an array of\n"
+        "  them) per stdin line; writes one result line per input\n"
+        "  line to stdout in input order.  Stats go to stderr.\n",
+        argv0);
+    return code;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    traq::service::JobQueueOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::string value;
+        auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            value = arg.substr(eq + 1);
+            arg = arg.substr(0, eq);
+        } else if ((arg == "--threads" || arg == "--cache") &&
+                   i + 1 < argc) {
+            value = argv[++i];
+        }
+        if (arg == "--threads") {
+            // Full-consumption parse: "4x" or "1e1" must be a usage
+            // error, not a silently truncated thread count.
+            unsigned n = 0;
+            auto [ptr, ec] = std::from_chars(
+                value.data(), value.data() + value.size(), n);
+            if (ec != std::errc() ||
+                ptr != value.data() + value.size() || n == 0)
+                return usage(argv[0], 2);
+            opts.threads = n;
+        } else if (arg == "--cache") {
+            if (value == "on")
+                opts.cache = true;
+            else if (value == "off")
+                opts.cache = false;
+            else
+                return usage(argv[0], 2);
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(argv[0], 0);
+        } else {
+            return usage(argv[0], 2);
+        }
+    }
+
+    JobQueue queue(opts);
+    std::vector<Line> lines;
+    std::string raw;
+    while (std::getline(std::cin, raw)) {
+        const std::string_view text = traq::trim(raw);
+        if (text.empty() || text[0] == '#')
+            continue;
+        Line line;
+        try {
+            const traq::json::Value doc = traq::json::parse(text);
+            if (doc.isArray()) {
+                // Parse the whole batch before submitting anything
+                // so a malformed element fails the line atomically.
+                std::vector<traq::est::EstimateRequest> reqs;
+                reqs.reserve(doc.asArray().size());
+                for (const traq::json::Value &elem : doc.asArray())
+                    reqs.push_back(traq::est::requestFromJson(elem));
+                line.batch = true;
+                line.ids = queue.submitBatch(std::move(reqs));
+            } else {
+                line.ids.push_back(
+                    queue.submit(traq::est::requestFromJson(doc)));
+            }
+        } catch (const traq::FatalError &e) {
+            line.error = e.what();
+        }
+        lines.push_back(std::move(line));
+    }
+
+    for (const Line &line : lines) {
+        if (!line.error.empty()) {
+            std::cout << "{\"error\":"
+                      << traq::jsonQuote(line.error) << "}\n";
+            continue;
+        }
+        if (line.batch) {
+            std::cout << '[';
+            for (std::size_t i = 0; i < line.ids.size(); ++i) {
+                if (i)
+                    std::cout << ',';
+                std::cout << queue.wait(line.ids[i]).toJson();
+            }
+            std::cout << "]\n";
+        } else {
+            std::cout << queue.wait(line.ids[0]).toJson() << '\n';
+        }
+    }
+    std::cout.flush();
+
+    const traq::service::JobQueueStats stats = queue.stats();
+    std::fprintf(stderr,
+                 "traq_serve: %zu jobs, %zu evaluated, %zu cache "
+                 "hits, %zu failed, %u threads\n",
+                 stats.submitted, stats.evaluated, stats.cacheHits,
+                 stats.failed, queue.threads());
+    return 0;
+}

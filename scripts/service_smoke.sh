@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Service front-end smoke check: pipe the checked-in request set
+# through traq_serve and require
+#
+#   1. byte-identical stdout for 1 vs N worker threads (the JobQueue
+#      determinism contract: submission order, not worker identity,
+#      decides where results land),
+#   2. byte-identical stdout with the canonicalKey cache off (the
+#      cache changes evaluation counts, never bytes),
+#   3. an exact match against the checked-in golden output
+#      (tests/data/service_requests.golden.jsonl), and
+#   4. cache hits actually reported for the duplicated request lines.
+#
+# Usage: scripts/service_smoke.sh [build-dir]
+#
+# Regenerate the golden after an intentional estimator/output change:
+#   build/traq_serve --threads 1 \
+#       < tests/data/service_requests.jsonl \
+#       > tests/data/service_requests.golden.jsonl
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+ROOT="$(dirname "$0")/.."
+REQUESTS="$ROOT/tests/data/service_requests.jsonl"
+GOLDEN="$ROOT/tests/data/service_requests.golden.jsonl"
+SERVE="$BUILD_DIR/traq_serve"
+
+if [[ ! -x "$SERVE" ]]; then
+    echo "service-smoke: MISSING $SERVE" >&2
+    exit 1
+fi
+
+out1=$(mktemp)
+outn=$(mktemp)
+stats=$(mktemp)
+trap 'rm -f "$out1" "$outn" "$stats"' EXIT
+
+"$SERVE" --threads 1 < "$REQUESTS" > "$out1" 2> "$stats"
+"$SERVE" --threads 4 < "$REQUESTS" > "$outn" 2> /dev/null
+if ! diff -u "$out1" "$outn"; then
+    echo "service-smoke: FAIL 1-thread vs 4-thread output differs" >&2
+    exit 1
+fi
+echo "service-smoke: OK   1 vs 4 threads byte-identical"
+
+"$SERVE" --threads 4 --cache off < "$REQUESTS" > "$outn" 2> /dev/null
+if ! diff -u "$out1" "$outn"; then
+    echo "service-smoke: FAIL cache-on vs cache-off output differs" >&2
+    exit 1
+fi
+echo "service-smoke: OK   cache on vs off byte-identical"
+
+if ! diff -u "$GOLDEN" "$out1"; then
+    echo "service-smoke: FAIL output differs from golden" \
+         "($GOLDEN; see header of scripts/service_smoke.sh to" \
+         "regenerate after an intentional change)" >&2
+    exit 1
+fi
+echo "service-smoke: OK   golden output matches"
+
+# The request set duplicates two single requests and repeats one
+# more inside a batch — the cache must report those three hits.
+if ! grep -q " 3 cache hits" "$stats"; then
+    echo "service-smoke: FAIL expected 3 cache hits, stderr was:" >&2
+    cat "$stats" >&2
+    exit 1
+fi
+echo "service-smoke: OK   $(cat "$stats")"

@@ -1,0 +1,535 @@
+#include "src/common/json.hh"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "src/common/assert.hh"
+#include "src/common/serialize.hh"
+
+namespace traq::json {
+
+std::string_view
+kindName(Kind k)
+{
+    switch (k) {
+      case Kind::Null: return "null";
+      case Kind::Bool: return "bool";
+      case Kind::Number: return "number";
+      case Kind::String: return "string";
+      case Kind::Array: return "array";
+      case Kind::Object: return "object";
+    }
+    return "unknown";
+}
+
+Value
+Value::object(Object members)
+{
+    std::sort(members.begin(), members.end(),
+              [](const Member &a, const Member &b) {
+                  return a.first < b.first;
+              });
+    for (std::size_t i = 0; i + 1 < members.size(); ++i) {
+        TRAQ_REQUIRE(members[i].first != members[i + 1].first,
+                     "duplicate JSON object key '" +
+                         members[i].first + "'");
+    }
+    return Value(Repr(std::move(members)));
+}
+
+Kind
+Value::kind() const
+{
+    switch (repr_.index()) {
+      case 0: return Kind::Null;
+      case 1: return Kind::Bool;
+      case 2: return Kind::Number;
+      case 3: return Kind::String;
+      case 4: return Kind::Array;
+      default: return Kind::Object;
+    }
+}
+
+namespace {
+
+[[noreturn]] void
+kindMismatch(Kind want, Kind got)
+{
+    TRAQ_FATAL("JSON value is " + std::string(kindName(got)) +
+               ", expected " + std::string(kindName(want)));
+}
+
+} // namespace
+
+bool
+Value::asBool() const
+{
+    if (const bool *b = std::get_if<bool>(&repr_))
+        return *b;
+    kindMismatch(Kind::Bool, kind());
+}
+
+double
+Value::asNumber() const
+{
+    if (const double *v = std::get_if<double>(&repr_))
+        return *v;
+    kindMismatch(Kind::Number, kind());
+}
+
+const std::string &
+Value::asString() const
+{
+    if (const std::string *s = std::get_if<std::string>(&repr_))
+        return *s;
+    kindMismatch(Kind::String, kind());
+}
+
+const Value::Array &
+Value::asArray() const
+{
+    if (const Array *a = std::get_if<Array>(&repr_))
+        return *a;
+    kindMismatch(Kind::Array, kind());
+}
+
+const Value::Object &
+Value::asObject() const
+{
+    if (const Object *o = std::get_if<Object>(&repr_))
+        return *o;
+    kindMismatch(Kind::Object, kind());
+}
+
+double
+Value::asNumberOrTag() const
+{
+    if (const double *v = std::get_if<double>(&repr_))
+        return *v;
+    if (const std::string *s = std::get_if<std::string>(&repr_)) {
+        if (*s == "nan")
+            return std::nan("");
+        if (*s == "inf")
+            return std::numeric_limits<double>::infinity();
+        if (*s == "-inf")
+            return -std::numeric_limits<double>::infinity();
+        TRAQ_FATAL("JSON string '" + *s +
+                   "' is not a number tag (expected \"nan\", "
+                   "\"inf\" or \"-inf\")");
+    }
+    kindMismatch(Kind::Number, kind());
+}
+
+const Value *
+Value::find(std::string_view key) const
+{
+    const Object &members = asObject();
+    auto it = std::lower_bound(
+        members.begin(), members.end(), key,
+        [](const Member &m, std::string_view k) {
+            return m.first < k;
+        });
+    if (it == members.end() || it->first != key)
+        return nullptr;
+    return &it->second;
+}
+
+const Value &
+Value::at(std::string_view key) const
+{
+    const Value *v = find(key);
+    if (v == nullptr)
+        TRAQ_FATAL("JSON object has no member '" + std::string(key) +
+                   "'");
+    return *v;
+}
+
+std::string
+Value::dump() const
+{
+    switch (kind()) {
+      case Kind::Null:
+        return "null";
+      case Kind::Bool:
+        return asBool() ? "true" : "false";
+      case Kind::Number:
+        return jsonNumber(asNumber());
+      case Kind::String:
+        return jsonQuote(asString());
+      case Kind::Array: {
+        std::string out = "[";
+        bool first = true;
+        for (const Value &v : asArray()) {
+            if (!first)
+                out += ',';
+            first = false;
+            out += v.dump();
+        }
+        out += ']';
+        return out;
+      }
+      case Kind::Object: {
+        std::string out = "{";
+        bool first = true;
+        for (const Member &m : asObject()) {
+            if (!first)
+                out += ',';
+            first = false;
+            out += jsonQuote(m.first);
+            out += ':';
+            out += m.second.dump();
+        }
+        out += '}';
+        return out;
+      }
+    }
+    return "null";  // unreachable
+}
+
+namespace {
+
+/**
+ * Recursive-descent parser over a string_view.  Positions are plain
+ * byte offsets; line/column are derived lazily on error so the happy
+ * path carries no bookkeeping.
+ */
+class Parser
+{
+  public:
+    Parser(std::string_view text, const ParseLimits &limits)
+        : text_(text), limits_(limits)
+    {}
+
+    Value parseDocument()
+    {
+        Value v = parseValue();
+        skipWhitespace();
+        if (pos_ != text_.size())
+            fail("trailing characters after JSON document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string &msg) const
+    {
+        // Derive the 1-based line/column of pos_ for the diagnostic.
+        std::size_t line = 1, col = 1;
+        for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+            if (text_[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+        TRAQ_FATAL("JSON parse error at line " +
+                   std::to_string(line) + ", column " +
+                   std::to_string(col) + ": " + msg);
+    }
+
+    bool atEnd() const { return pos_ >= text_.size(); }
+    char peek() const { return text_[pos_]; }
+
+    void skipWhitespace()
+    {
+        while (!atEnd()) {
+            const char c = peek();
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    void expect(char c, const char *what)
+    {
+        if (atEnd() || peek() != c)
+            fail(std::string("expected ") + what);
+        ++pos_;
+    }
+
+    /** True (and consume) if the literal is next. */
+    bool consumeLiteral(std::string_view lit)
+    {
+        if (text_.substr(pos_, lit.size()) != lit)
+            return false;
+        pos_ += lit.size();
+        return true;
+    }
+
+    Value parseValue()
+    {
+        skipWhitespace();
+        if (atEnd())
+            fail("unexpected end of input, expected a value");
+        const char c = peek();
+        switch (c) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"':
+            return Value::string(parseString());
+          case 't':
+            if (consumeLiteral("true"))
+                return Value::boolean(true);
+            fail("invalid literal (expected 'true')");
+          case 'f':
+            if (consumeLiteral("false"))
+                return Value::boolean(false);
+            fail("invalid literal (expected 'false')");
+          case 'n':
+            if (consumeLiteral("null"))
+                return Value::null();
+            fail("invalid literal (expected 'null')");
+          default:
+            if (c == '-' || (c >= '0' && c <= '9'))
+                return Value::number(parseNumber());
+            fail(std::string("unexpected character '") + c + "'");
+        }
+    }
+
+    Value parseObject()
+    {
+        if (++depth_ > limits_.maxDepth)
+            fail("nesting deeper than " +
+                 std::to_string(limits_.maxDepth) + " levels");
+        expect('{', "'{'");
+        Value::Object members;
+        skipWhitespace();
+        if (!atEnd() && peek() == '}') {
+            ++pos_;
+            --depth_;
+            return Value::object(std::move(members));
+        }
+        while (true) {
+            skipWhitespace();
+            if (atEnd() || peek() != '"')
+                fail("expected a quoted object key");
+            std::string key = parseString();
+            skipWhitespace();
+            expect(':', "':' after object key");
+            Value v = parseValue();
+            // Duplicate keys are rejected by Value::object's
+            // post-sort check at object close — O(n log n), not a
+            // per-member scan an untrusted fat object could turn
+            // quadratic.
+            members.emplace_back(std::move(key), std::move(v));
+            skipWhitespace();
+            if (atEnd())
+                fail("unterminated object (expected ',' or '}')");
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                break;
+            }
+            fail("expected ',' or '}' in object");
+        }
+        --depth_;
+        return Value::object(std::move(members));
+    }
+
+    Value parseArray()
+    {
+        if (++depth_ > limits_.maxDepth)
+            fail("nesting deeper than " +
+                 std::to_string(limits_.maxDepth) + " levels");
+        expect('[', "'['");
+        Value::Array elems;
+        skipWhitespace();
+        if (!atEnd() && peek() == ']') {
+            ++pos_;
+            --depth_;
+            return Value::array(std::move(elems));
+        }
+        while (true) {
+            elems.push_back(parseValue());
+            skipWhitespace();
+            if (atEnd())
+                fail("unterminated array (expected ',' or ']')");
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                break;
+            }
+            fail("expected ',' or ']' in array");
+        }
+        --depth_;
+        return Value::array(std::move(elems));
+    }
+
+    std::string parseString()
+    {
+        expect('"', "'\"'");
+        std::string out;
+        while (true) {
+            if (atEnd())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("unescaped control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (atEnd())
+                fail("unterminated escape sequence");
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                unsigned cp = parseHex4();
+                if (cp >= 0xd800 && cp <= 0xdbff) {
+                    // High surrogate: a low surrogate must follow.
+                    if (!consumeLiteral("\\u"))
+                        fail("high surrogate not followed by "
+                             "\\u low surrogate");
+                    const unsigned lo = parseHex4();
+                    if (lo < 0xdc00 || lo > 0xdfff)
+                        fail("invalid low surrogate");
+                    cp = 0x10000 + ((cp - 0xd800) << 10) +
+                         (lo - 0xdc00);
+                } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+                    fail("unpaired low surrogate");
+                }
+                appendUtf8(out, cp);
+                break;
+              }
+              default:
+                fail(std::string("invalid escape '\\") + esc + "'");
+            }
+        }
+    }
+
+    unsigned parseHex4()
+    {
+        unsigned cp = 0;
+        for (int i = 0; i < 4; ++i) {
+            if (atEnd())
+                fail("unterminated \\u escape");
+            const char c = text_[pos_++];
+            cp <<= 4;
+            if (c >= '0' && c <= '9')
+                cp |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                cp |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                cp |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                fail("invalid hex digit in \\u escape");
+        }
+        return cp;
+    }
+
+    static void appendUtf8(std::string &out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            out += static_cast<char>(0xf0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+    }
+
+    double parseNumber()
+    {
+        // Scan the token extent by the JSON number grammar first —
+        // from_chars alone is laxer (it accepts "inf", hex floats,
+        // leading zeros) than the loudness contract allows.
+        const std::size_t start = pos_;
+        if (!atEnd() && peek() == '-')
+            ++pos_;
+        if (atEnd() || peek() < '0' || peek() > '9')
+            fail("malformed number (expected a digit)");
+        if (peek() == '0') {
+            ++pos_;
+            if (!atEnd() && peek() >= '0' && peek() <= '9')
+                fail("malformed number (leading zero)");
+        } else {
+            while (!atEnd() && peek() >= '0' && peek() <= '9')
+                ++pos_;
+        }
+        if (!atEnd() && peek() == '.') {
+            ++pos_;
+            if (atEnd() || peek() < '0' || peek() > '9')
+                fail("malformed number (expected a fraction digit)");
+            while (!atEnd() && peek() >= '0' && peek() <= '9')
+                ++pos_;
+        }
+        if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+            ++pos_;
+            if (!atEnd() && (peek() == '+' || peek() == '-'))
+                ++pos_;
+            if (atEnd() || peek() < '0' || peek() > '9')
+                fail("malformed number (expected an exponent "
+                     "digit)");
+            while (!atEnd() && peek() >= '0' && peek() <= '9')
+                ++pos_;
+        }
+        const std::string_view tok =
+            text_.substr(start, pos_ - start);
+        double v = 0.0;
+        auto [ptr, ec] =
+            std::from_chars(tok.data(), tok.data() + tok.size(), v);
+        if (ec == std::errc::result_out_of_range) {
+            // from_chars reports both directions as out-of-range;
+            // only overflow is an error.  Underflow (e.g. 1e-400)
+            // rounds toward zero like every mainstream JSON parser.
+            const double rounded =
+                std::strtod(std::string(tok).c_str(), nullptr);
+            if (std::isfinite(rounded))
+                return rounded;
+            pos_ = start;
+            fail("number out of double range: '" +
+                 std::string(tok) + "'");
+        }
+        if (ec != std::errc() || ptr != tok.data() + tok.size() ||
+            !std::isfinite(v)) {
+            pos_ = start;
+            fail("malformed number '" + std::string(tok) + "'");
+        }
+        return v;
+    }
+
+    std::string_view text_;
+    ParseLimits limits_;
+    std::size_t pos_ = 0;
+    std::size_t depth_ = 0;
+};
+
+} // namespace
+
+Value
+parse(std::string_view text, const ParseLimits &limits)
+{
+    Parser parser(text, limits);
+    return parser.parseDocument();
+}
+
+} // namespace traq::json

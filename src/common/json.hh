@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Minimal, dependency-free JSON layer: a tokenizing recursive-descent
+ * parser and an immutable value tree (objects, arrays, numbers,
+ * strings, booleans, null).
+ *
+ * This is the input half of the repo's serialization story — the
+ * emitters (jsonNumber / jsonQuote in common/serialize.hh and the
+ * est::toJson functions) write JSON by string concatenation; this
+ * parser reads it back.  Errors are loud by contract: every malformed
+ * input throws FatalError with a line/column diagnostic, never
+ * crashes, and never yields a silently-truncated value.  Duplicate
+ * object keys are rejected (a request with two "distance" params must
+ * not silently drop one).
+ *
+ * Non-finite policy (shared with jsonNumber and est::canonicalKey):
+ * JSON has no nan/inf literals, so non-finite doubles travel as the
+ * quoted tags "nan", "inf", "-inf".  Value::asNumberOrTag() accepts
+ * either a JSON number or one of exactly those three strings, which
+ * makes request -> JSON -> parse -> canonicalKey a fixed point.
+ */
+
+#ifndef TRAQ_COMMON_JSON_HH
+#define TRAQ_COMMON_JSON_HH
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace traq::json {
+
+/** The JSON value kinds. */
+enum class Kind
+{
+    Null,
+    Bool,
+    Number,
+    String,
+    Array,
+    Object,
+};
+
+/** Kind name for diagnostics ("null", "number", ...). */
+std::string_view kindName(Kind k);
+
+/**
+ * One parsed JSON value.  Object members are kept sorted by key
+ * (the parser rejects duplicates), so dump() output is canonical and
+ * two equivalent objects serialize identically.
+ */
+class Value
+{
+  public:
+    using Array = std::vector<Value>;
+    using Member = std::pair<std::string, Value>;
+    /** Members sorted by key, unique. */
+    using Object = std::vector<Member>;
+
+    /** Constructs null. */
+    Value() = default;
+
+    static Value null() { return Value(); }
+    static Value boolean(bool b) { return Value(Repr(b)); }
+    static Value number(double v) { return Value(Repr(v)); }
+    static Value string(std::string s)
+    { return Value(Repr(std::move(s))); }
+    static Value array(Array a) { return Value(Repr(std::move(a))); }
+    /** Sorts members and rejects duplicate keys (FatalError). */
+    static Value object(Object members);
+
+    Kind kind() const;
+
+    bool isNull() const { return kind() == Kind::Null; }
+    bool isBool() const { return kind() == Kind::Bool; }
+    bool isNumber() const { return kind() == Kind::Number; }
+    bool isString() const { return kind() == Kind::String; }
+    bool isArray() const { return kind() == Kind::Array; }
+    bool isObject() const { return kind() == Kind::Object; }
+
+    /** @name Checked accessors; throw FatalError on kind mismatch. */
+    /// @{
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+    const Array &asArray() const;
+    const Object &asObject() const;
+    /// @}
+
+    /**
+     * Number under the repo non-finite policy: a JSON number, or one
+     * of the quoted tags "nan" / "inf" / "-inf" (what jsonNumber
+     * emits for non-finite doubles).  Any other value throws
+     * FatalError.
+     */
+    double asNumberOrTag() const;
+
+    /** Member lookup; nullptr when absent.  Requires an object. */
+    const Value *find(std::string_view key) const;
+
+    /** Member lookup; throws FatalError when absent. */
+    const Value &at(std::string_view key) const;
+
+    /**
+     * Canonical re-serialization: members sorted, numbers via
+     * jsonNumber (non-finite as quoted tags), strings via jsonQuote,
+     * no whitespace.  parse(dump(v)) reproduces v exactly.
+     */
+    std::string dump() const;
+
+  private:
+    using Repr = std::variant<std::monostate, bool, double,
+                              std::string, Array, Object>;
+
+    explicit Value(Repr repr) : repr_(std::move(repr)) {}
+
+    Repr repr_;
+};
+
+/** Parser limits; the defaults are generous for request traffic. */
+struct ParseLimits
+{
+    /** Maximum container nesting depth before FatalError. */
+    std::size_t maxDepth = 96;
+};
+
+/**
+ * Parse one complete JSON document.  The whole input must be
+ * consumed (trailing non-whitespace is an error).  Throws FatalError
+ * with a "line L, column C" diagnostic on any malformed input.
+ */
+Value parse(std::string_view text, const ParseLimits &limits = {});
+
+} // namespace traq::json
+
+#endif // TRAQ_COMMON_JSON_HH

@@ -28,8 +28,11 @@ fmtRoundTrip(double v)
 std::string
 jsonNumber(double v)
 {
+    // Non-finite values travel as quoted tags so the JSON encoding
+    // and canonicalKey agree on one spelling (json::Value::
+    // asNumberOrTag accepts exactly these on the way back in).
     if (!std::isfinite(v))
-        return "null";
+        return jsonQuote(fmtRoundTrip(v));
     return fmtRoundTrip(v);
 }
 

@@ -28,7 +28,11 @@ std::string fmtRoundTrip(double v);
 
 /**
  * JSON number token for v.  Finite values use fmtRoundTrip; JSON has
- * no non-finite literals, so those encode as null.
+ * no non-finite literals, so those encode as the quoted tags
+ * "\"nan\"", "\"inf\"", "\"-inf\"" — the same spellings fmtRoundTrip
+ * (and therefore est::canonicalKey) uses, and the ones
+ * json::Value::asNumberOrTag accepts on input.  Request -> JSON ->
+ * parse -> canonicalKey is a fixed point under this policy.
  */
 std::string jsonNumber(double v);
 

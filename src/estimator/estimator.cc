@@ -508,33 +508,116 @@ canonicalKey(const EstimateRequest &req)
     return key;
 }
 
+namespace {
+
+std::string
+paramMapToJson(const ParamMap &m)
+{
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[name, v] : m) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += jsonQuote(name);
+        out += ":";
+        out += jsonNumber(v);
+    }
+    out += "}";
+    return out;
+}
+
+ParamMap
+paramMapFromJson(const json::Value &v, const char *what)
+{
+    ParamMap m;
+    for (const auto &[name, val] : v.asObject()) {
+        TRAQ_REQUIRE(val.isNumber() || val.isString(),
+                     std::string(what) + " '" + name +
+                         "' must be a number or a non-finite tag");
+        m[name] = val.asNumberOrTag();
+    }
+    return m;
+}
+
+} // namespace
+
 std::string
 toJson(const EstimateResult &res)
 {
-    auto mapJson = [](const ParamMap &m) {
-        std::string out = "{";
-        bool first = true;
-        for (const auto &[name, v] : m) {
-            if (!first)
-                out += ",";
-            first = false;
-            out += jsonQuote(name);
-            out += ":";
-            out += jsonNumber(v);
-        }
-        out += "}";
-        return out;
-    };
     std::string out = "{\"kind\":";
     out += jsonQuote(res.kind);
     out += ",\"feasible\":";
     out += res.feasible ? "true" : "false";
     out += ",\"params\":";
-    out += mapJson(res.params);
+    out += paramMapToJson(res.params);
     out += ",\"metrics\":";
-    out += mapJson(res.metrics);
+    out += paramMapToJson(res.metrics);
     out += "}";
     return out;
+}
+
+std::string
+toJson(const EstimateRequest &req)
+{
+    std::string out = "{\"kind\":";
+    out += jsonQuote(req.kind);
+    out += ",\"params\":";
+    out += paramMapToJson(req.params);
+    out += "}";
+    return out;
+}
+
+EstimateRequest
+requestFromJson(const json::Value &v)
+{
+    EstimateRequest req;
+    for (const auto &[key, val] : v.asObject()) {
+        if (key == "kind")
+            req.kind = val.asString();
+        else if (key == "params")
+            req.params = paramMapFromJson(val, "request parameter");
+        else
+            TRAQ_FATAL("unknown EstimateRequest member '" + key +
+                       "'");
+    }
+    TRAQ_REQUIRE(!req.kind.empty(),
+                 "EstimateRequest JSON needs a non-empty \"kind\"");
+    return req;
+}
+
+EstimateRequest
+requestFromJson(std::string_view text)
+{
+    return requestFromJson(json::parse(text));
+}
+
+EstimateResult
+resultFromJson(const json::Value &v)
+{
+    EstimateResult res;
+    for (const auto &[key, val] : v.asObject()) {
+        if (key == "kind")
+            res.kind = val.asString();
+        else if (key == "feasible")
+            res.feasible = val.asBool();
+        else if (key == "params")
+            res.params = paramMapFromJson(val, "result parameter");
+        else if (key == "metrics")
+            res.metrics = paramMapFromJson(val, "result metric");
+        else
+            TRAQ_FATAL("unknown EstimateResult member '" + key +
+                       "'");
+    }
+    TRAQ_REQUIRE(!res.kind.empty(),
+                 "EstimateResult JSON needs a non-empty \"kind\"");
+    return res;
+}
+
+EstimateResult
+resultFromJson(std::string_view text)
+{
+    return resultFromJson(json::parse(text));
 }
 
 void

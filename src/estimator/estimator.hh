@@ -30,8 +30,10 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "src/common/json.hh"
 #include "src/estimator/baselines.hh"
 #include "src/estimator/chemistry.hh"
 #include "src/estimator/qldpc.hh"
@@ -81,6 +83,36 @@ std::string canonicalKey(const EstimateRequest &req);
 
 /** Serialize one result as a JSON object. */
 std::string toJson(const EstimateResult &res);
+
+/**
+ * Serialize one request as a JSON object:
+ * {"kind":"factoring","params":{"rsep":96,...}}.  Non-finite
+ * parameter values encode as the quoted tags "nan"/"inf"/"-inf"
+ * (see jsonNumber), which requestFromJson accepts back, so
+ * request -> JSON -> parse -> canonicalKey is a fixed point.
+ */
+std::string toJson(const EstimateRequest &req);
+
+/**
+ * Parse a request from its JSON object form — the inverse of
+ * toJson(EstimateRequest).  "params" may be omitted; any other
+ * unknown member, a missing/empty "kind", or a parameter value that
+ * is neither a number nor a non-finite tag throws FatalError.
+ */
+EstimateRequest requestFromJson(const json::Value &v);
+
+/** Parse a request from JSON text (convenience over json::parse). */
+EstimateRequest requestFromJson(std::string_view text);
+
+/**
+ * Parse a result from its JSON object form — the inverse of
+ * toJson(EstimateResult).  "feasible" defaults to true and "params"
+ * / "metrics" to empty when omitted; unknown members throw.
+ */
+EstimateResult resultFromJson(const json::Value &v);
+
+/** Parse a result from JSON text. */
+EstimateResult resultFromJson(std::string_view text);
 
 /** Abstract resource estimator. */
 class Estimator

@@ -1,0 +1,195 @@
+#include "src/service/job_queue.hh"
+
+#include <utility>
+
+#include "src/common/assert.hh"
+#include "src/common/serialize.hh"
+#include "src/common/threads.hh"
+
+namespace traq::service {
+
+std::string
+JobOutcome::toJson() const
+{
+    if (ok)
+        return est::toJson(result);
+    return "{\"error\":" + jsonQuote(error) + "}";
+}
+
+JobQueue::JobQueue(JobQueueOptions opts) : opts_(opts)
+{
+    threads_ = resolveThreadCount(opts_.threads);
+    workers_.reserve(threads_);
+    for (unsigned t = 0; t < threads_; ++t)
+        workers_.emplace_back([this] { workerMain(); });
+}
+
+JobQueue::~JobQueue()
+{
+    drain();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+JobQueue::JobId
+JobQueue::submit(est::EstimateRequest req)
+{
+    std::shared_ptr<Entry> entry;
+    JobId id = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        id = jobs_.size();
+        ++stats_.submitted;
+        if (opts_.cache) {
+            // Cache membership is decided here, serially, so the
+            // hit/evaluated counters depend only on the submission
+            // sequence — not on whether a worker finished the first
+            // occurrence yet.
+            const std::string key = est::canonicalKey(req);
+            auto it = byKey_.find(key);
+            if (it != byKey_.end()) {
+                entry = it->second;
+                ++stats_.cacheHits;
+                jobs_.push_back(entry);
+                if (!entry->done) {
+                    ++entry->jobRefs;
+                    ++stats_.inflight;
+                }
+                return id;
+            }
+            entry = std::make_shared<Entry>();
+            entry->request = std::move(req);
+            entry->key = key;
+            byKey_.emplace(key, entry);
+        } else {
+            entry = std::make_shared<Entry>();
+            entry->request = std::move(req);
+        }
+        ++stats_.evaluated;
+        entry->jobRefs = 1;
+        ++stats_.inflight;
+        jobs_.push_back(entry);
+        pending_.push_back(entry.get());
+    }
+    workCv_.notify_one();
+    return id;
+}
+
+std::vector<JobQueue::JobId>
+JobQueue::submitBatch(std::vector<est::EstimateRequest> reqs)
+{
+    std::vector<JobId> ids;
+    ids.reserve(reqs.size());
+    for (est::EstimateRequest &req : reqs)
+        ids.push_back(submit(std::move(req)));
+    return ids;
+}
+
+const JobOutcome &
+JobQueue::wait(JobId id)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    TRAQ_REQUIRE(id < jobs_.size(), "job id out of range");
+    Entry &entry = *jobs_[id];
+    doneCv_.wait(lock, [&entry] { return entry.done; });
+    return entry.outcome;
+}
+
+void
+JobQueue::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    doneCv_.wait(lock, [this] { return stats_.inflight == 0; });
+}
+
+JobQueueStats
+JobQueue::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+JobQueue::workerMain()
+{
+    while (true) {
+        Entry *entry = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workCv_.wait(lock, [this] {
+                return stop_ || !pending_.empty();
+            });
+            if (pending_.empty())
+                return;  // stop_ set and no work left
+            entry = pending_.front();
+            pending_.pop_front();
+        }
+        runEntry(*entry);
+    }
+}
+
+void
+JobQueue::runEntry(Entry &entry)
+{
+    JobOutcome outcome;
+    try {
+        std::shared_ptr<const est::Estimator> estimator;
+        const std::string &kind = entry.request.kind;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = estimators_.find(kind);
+            if (it != estimators_.end())
+                estimator = it->second;
+        }
+        if (!estimator) {
+            // makeEstimator throws FatalError on unknown kinds —
+            // that is this job's failure, not the queue's.  A racing
+            // duplicate create is harmless; the first insert wins so
+            // every worker shares one instance (and its memo
+            // caches).
+            std::shared_ptr<const est::Estimator> fresh =
+                est::makeEstimator(kind);
+            std::lock_guard<std::mutex> lock(mutex_);
+            estimator =
+                estimators_.emplace(kind, std::move(fresh))
+                    .first->second;
+        }
+        outcome.result = estimator->estimate(entry.request);
+        outcome.ok = true;
+    } catch (const FatalError &e) {
+        // Deterministic user error (unknown kind/parameter, invalid
+        // configuration): the same request fails the same way
+        // forever, so the failure is cacheable like a result.
+        outcome.ok = false;
+        outcome.error = e.what();
+    } catch (const std::exception &e) {
+        // Transient system failure (bad_alloc, thread creation):
+        // report it to the attached jobs but evict the cache entry
+        // so a later identical request re-evaluates.
+        outcome.ok = false;
+        outcome.error = e.what();
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!entry.key.empty()) {
+            auto it = byKey_.find(entry.key);
+            if (it != byKey_.end() && it->second.get() == &entry)
+                byKey_.erase(it);
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        entry.outcome = std::move(outcome);
+        entry.done = true;
+        if (!entry.outcome.ok)
+            ++stats_.failed;
+        stats_.inflight -= entry.jobRefs;
+        entry.jobRefs = 0;
+    }
+    doneCv_.notify_all();
+}
+
+} // namespace traq::service

@@ -1,13 +1,51 @@
 #include "src/sim/circuit.hh"
 
 #include <algorithm>
-#include <cstdio>
+#include <charconv>
+#include <cmath>
+#include <cstdint>
 #include <sstream>
 
 #include "src/common/assert.hh"
+#include "src/common/serialize.hh"
 #include "src/common/strings.hh"
 
 namespace traq::sim {
+namespace {
+
+// Numeric token parsing for Circuit::parse.  std::stod / std::stol
+// would leak std::invalid_argument / std::out_of_range on malformed
+// tokens and silently accept trailing garbage ("12x" parses as 12);
+// the parser's loudness contract is FatalError with the offending
+// line, always.
+
+double
+parseArgToken(std::string_view tok, std::string_view line)
+{
+    double v = 0.0;
+    auto [ptr, ec] =
+        std::from_chars(tok.data(), tok.data() + tok.size(), v);
+    TRAQ_REQUIRE(ec == std::errc() &&
+                     ptr == tok.data() + tok.size(),
+                 "malformed numeric argument '" + std::string(tok) +
+                     "' in: " + std::string(line));
+    return v;
+}
+
+std::uint32_t
+parseIndexToken(std::string_view tok, std::string_view line)
+{
+    std::uint32_t v = 0;
+    auto [ptr, ec] =
+        std::from_chars(tok.data(), tok.data() + tok.size(), v);
+    TRAQ_REQUIRE(ec == std::errc() &&
+                     ptr == tok.data() + tok.size(),
+                 "malformed index '" + std::string(tok) +
+                     "' in: " + std::string(line));
+    return v;
+}
+
+} // namespace
 
 void
 Circuit::validate(const Instruction &inst) const
@@ -27,6 +65,23 @@ Circuit::validate(const Instruction &inst) const
     if (info.noise) {
         TRAQ_REQUIRE(inst.arg >= 0.0 && inst.arg <= 1.0,
                      "noise probability out of [0,1]");
+    }
+    if (inst.gate == Gate::OBSERVABLE_INCLUDE) {
+        // The index is stored in the double arg; reject anything
+        // whose index + 1 would not fit the uint32 bookkeeping in
+        // bump() (NaN included), and non-integral values the
+        // str() uint cast would silently truncate.
+        TRAQ_REQUIRE(inst.arg >= 0.0 && inst.arg < 4294967295.0 &&
+                         inst.arg == std::floor(inst.arg),
+                     "observable index must be an integer in "
+                     "[0, 2^32 - 1)");
+    } else if (!info.noise) {
+        // Only noise channels and OBSERVABLE_INCLUDE carry an
+        // argument; accepting one elsewhere would drop it silently
+        // on the next str() round trip.
+        TRAQ_REQUIRE(inst.arg == 0.0,
+                     std::string(info.name) +
+                         " takes no argument");
     }
     if (inst.gate == Gate::DETECTOR ||
         inst.gate == Gate::OBSERVABLE_INCLUDE) {
@@ -110,13 +165,14 @@ Circuit::str() const
         const GateInfo &info = gateInfo(inst.gate);
         os << info.name;
         if (info.noise || inst.gate == Gate::OBSERVABLE_INCLUDE) {
-            char buf[48];
+            // Noise probabilities print in shortest exact-round-trip
+            // form: parse(str()) must reproduce inst.arg bit for bit
+            // (the "%g" 6-significant-digit form silently corrupted
+            // e.g. 0.0001234567890123 on the way around).
             if (info.noise)
-                std::snprintf(buf, sizeof(buf), "(%g)", inst.arg);
+                os << '(' << fmtRoundTrip(inst.arg) << ')';
             else
-                std::snprintf(buf, sizeof(buf), "(%u)",
-                              static_cast<unsigned>(inst.arg));
-            os << buf;
+                os << '(' << static_cast<unsigned>(inst.arg) << ')';
         }
         const bool isRec = inst.gate == Gate::DETECTOR ||
                            inst.gate == Gate::OBSERVABLE_INCLUDE;
@@ -147,8 +203,9 @@ Circuit::parse(std::string_view text)
         if (paren != std::string::npos) {
             TRAQ_REQUIRE(head.back() == ')',
                          "malformed argument in: " + std::string(line));
-            arg = std::stod(head.substr(paren + 1,
-                                        head.size() - paren - 2));
+            arg = parseArgToken(head.substr(paren + 1,
+                                            head.size() - paren - 2),
+                                line);
             head = head.substr(0, paren);
         }
         auto g = gateFromName(head);
@@ -161,13 +218,13 @@ Circuit::parse(std::string_view text)
                 TRAQ_REQUIRE(startsWith(tok, "rec[-") &&
                                  tok.back() == ']',
                              "malformed rec target: " + tok);
-                long v = std::stol(tok.substr(5, tok.size() - 6));
+                std::uint32_t v = parseIndexToken(
+                    std::string_view(tok).substr(5, tok.size() - 6),
+                    line);
                 TRAQ_REQUIRE(v >= 1, "rec lookback must be >= 1");
-                targets.push_back(static_cast<std::uint32_t>(v));
+                targets.push_back(v);
             } else {
-                long v = std::stol(tok);
-                TRAQ_REQUIRE(v >= 0, "negative qubit index");
-                targets.push_back(static_cast<std::uint32_t>(v));
+                targets.push_back(parseIndexToken(tok, line));
             }
         }
         c.append(*g, std::move(targets), arg);

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
+
 #include "src/common/assert.hh"
 #include "src/sim/circuit.hh"
 
@@ -86,6 +88,61 @@ TEST(Circuit, ParsePrintRoundTrip)
     // Round trip: parse(print(c)) yields identical text.
     Circuit c2 = Circuit::parse(c.str());
     EXPECT_EQ(c.str(), c2.str());
+}
+
+TEST(Circuit, NoiseArgsRoundTripBitExactly)
+{
+    // str() must emit noise probabilities in exact-round-trip form:
+    // the old "%g" path printed 6 significant digits, so awkward
+    // probabilities came back corrupted from parse(str()).
+    const double awkward[] = {
+        1e-3,
+        0.0001234567890123,
+        1.0 / 3.0,
+        4.9406564584124654e-324,  // smallest subnormal
+        2.2250738585072009e-308,  // largest subnormal
+        1e-300,
+    };
+    Circuit c;
+    for (double p : awkward)
+        c.xError(p, {0});
+    Circuit back = Circuit::parse(c.str());
+    ASSERT_EQ(back.instructions().size(), std::size(awkward));
+    for (std::size_t i = 0; i < std::size(awkward); ++i)
+        EXPECT_EQ(back.instructions()[i].arg, awkward[i])
+            << "probability " << awkward[i];
+    EXPECT_EQ(back.str(), c.str());
+}
+
+TEST(Circuit, ParseRejectsMalformedNumbersLoudly)
+{
+    // Every malformed numeric token must surface as FatalError with
+    // the offending line — never a raw std::invalid_argument /
+    // std::out_of_range out of the standard library.
+    const char *bad[] = {
+        "X_ERROR(abc) 0",        // non-numeric argument
+        "X_ERROR() 0",           // empty argument
+        "X_ERROR(1e999) 0",      // argument out of double range
+        "X_ERROR(0.5x) 0",       // trailing garbage in argument
+        "X_ERROR(0.5) 12x",      // trailing garbage in target
+        "H 0x1",                 // hex-ish target
+        "H abc",                 // non-numeric target
+        "H -1",                  // negative target
+        "H 4294967296",          // target beyond uint32
+        "M 0\nDETECTOR rec[-]",  // empty lookback
+        "M 0\nDETECTOR rec[-x]", // non-numeric lookback
+        "M 0\nDETECTOR rec[-0]", // zero lookback
+        "OBSERVABLE_INCLUDE(nan) rec[-1]", // non-finite index
+        // Index whose + 1 would wrap the uint32 observable count.
+        "M 0\nOBSERVABLE_INCLUDE(4294967295) rec[-1]",
+        // Fractional index str() would silently truncate.
+        "M 0\nOBSERVABLE_INCLUDE(1.5) rec[-1]",
+        "H(0.5) 0",              // argument on an argless gate
+        "M 0\nDETECTOR(1) rec[-1]",
+    };
+    for (const char *text : bad)
+        EXPECT_THROW(Circuit::parse(text), traq::FatalError)
+            << text;
 }
 
 TEST(Circuit, ParseSkipsCommentsAndBlanks)

@@ -441,9 +441,13 @@ TEST(Serialize, JsonHelpers)
               "\"line\\nbreak\\ttab\"");
     EXPECT_EQ(jsonQuote(std::string(1, '\x01')), "\"\\u0001\"");
     EXPECT_EQ(jsonNumber(2.5), "2.5");
-    EXPECT_EQ(jsonNumber(std::nan("")), "null");
+    // Non-finite values use the same quoted tags canonicalKey's
+    // fmtRoundTrip encoding uses, so the two round-trip together.
+    EXPECT_EQ(jsonNumber(std::nan("")), "\"nan\"");
     EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity()),
-              "null");
+              "\"inf\"");
+    EXPECT_EQ(jsonNumber(-std::numeric_limits<double>::infinity()),
+              "\"-inf\"");
 }
 
 TEST(Serialize, CsvFieldQuoting)
