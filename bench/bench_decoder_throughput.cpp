@@ -15,6 +15,10 @@
  *
  * line on the hardest fixture (d=5 joint CNOT decoding), which
  * scripts/perf_smoke.sh archives into the CI perf-history artifact.
+ * Each kind is timed three ways on the same accepted shots: the
+ * per-shot decode() loop, one decodeBatch() call over the packed
+ * CSR syndromes, and decodeBatch() with the predecode pair-peeler
+ * enabled (the "<kind>+batch+predecode" budget lines).
  * WARN rather than FAIL: CI machine classes vary, and the tripwire
  * for gross regressions is the wall-clock baseline in
  * bench/perf_baseline.txt.
@@ -87,14 +91,42 @@ struct Fixture
     }
 };
 
+/** CSR view over a subset of a fixture's pre-sampled syndromes. */
+struct BatchStorage
+{
+    std::vector<std::uint32_t> offsets{0};
+    std::vector<std::uint32_t> defects;
+    std::size_t shots = 0;
+
+    void
+    add(const std::vector<std::uint32_t> &syn)
+    {
+        defects.insert(defects.end(), syn.begin(), syn.end());
+        offsets.push_back(
+            static_cast<std::uint32_t>(defects.size()));
+        ++shots;
+    }
+
+    decoder::SyndromeBatch
+    view() const
+    {
+        decoder::SyndromeBatch b;
+        b.offsets = offsets;
+        b.defects = defects;
+        return b;
+    }
+};
+
 /**
  * Mean decode time per shot, in microseconds.  Kinds that refuse a
  * syndrome (bare MWPM above its defect cap) have it skipped and
- * counted; the mean is over decoded shots.
+ * counted; the mean is over decoded shots.  When `batch` is given,
+ * the accepted shots are also packed into it so the batch timing
+ * below decodes exactly the same work.
  */
 double
 usPerShot(decoder::Decoder &dec, const Fixture &f,
-          std::size_t *skipped)
+          std::size_t *skipped, BatchStorage *batch = nullptr)
 {
     // One warmup pass so lazily-sized scratch does not bill the
     // timed pass (and so refusals are discovered outside it).
@@ -103,6 +135,8 @@ usPerShot(decoder::Decoder &dec, const Fixture &f,
         try {
             dec.decode(syn);
             accepted.push_back(&syn);
+            if (batch)
+                batch->add(syn);
         } catch (const FatalError &) {
         }
     }
@@ -121,6 +155,30 @@ usPerShot(decoder::Decoder &dec, const Fixture &f,
     return 1e6 * secs / static_cast<double>(accepted.size());
 }
 
+/**
+ * Mean decodeBatch time per shot, in microseconds: one batched call
+ * over the packed CSR syndromes — the shape MonteCarloEngine feeds
+ * decoders — so the delta vs usPerShot is the per-shot virtual-call
+ * and vector-copy overhead (plus the predecode win when enabled).
+ */
+double
+usPerShotBatch(decoder::Decoder &dec, const BatchStorage &batch,
+               std::vector<std::uint32_t> &out)
+{
+    if (batch.shots == 0)
+        return 0.0;
+    out.resize(batch.shots);
+    const decoder::SyndromeBatch view = batch.view();
+    dec.decodeBatch(view, out);  // warm scratch
+    dec.reset();
+    const auto t0 = std::chrono::steady_clock::now();
+    dec.decodeBatch(view, out);
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    return 1e6 * secs / static_cast<double>(batch.shots);
+}
+
 } // namespace
 
 int
@@ -137,23 +195,43 @@ main()
     fixtures.emplace_back("cnot d=5", Fixture::makeCnot(5), 256);
     const Fixture &hardest = fixtures.back();
 
-    Table t({"circuit", "decoder", "us/shot", "us/round",
-             "fallbacks", "skipped"});
+    Table t({"circuit", "decoder", "us/shot", "batch us/shot",
+             "+predecode", "peeled", "us/round", "fallbacks",
+             "skipped"});
     std::vector<std::pair<std::string, double>> budgetLines;
+    std::vector<std::uint32_t> out;
     for (const Fixture &f : fixtures) {
         for (decoder::DecoderKind kind :
              decoder::registeredDecoderKinds()) {
             auto dec = decoder::makeDecoder(kind, f.graph);
             std::size_t skipped = 0;
-            const double us = usPerShot(*dec, f, &skipped);
+            BatchStorage batch;
+            const double us = usPerShot(*dec, f, &skipped, &batch);
             const double usRound = us / f.rounds;
+            // Same accepted shots, batched: first through the plain
+            // decodeBatch entry point, then with the predecode
+            // peeler in front of the matcher.
+            dec->reset();
+            const double usBatch = usPerShotBatch(*dec, batch, out);
+            decoder::DecoderConfig preCfg;
+            preCfg.predecode = 1;
+            auto decPre =
+                decoder::makeDecoder(kind, f.graph, preCfg);
+            const double usPre = usPerShotBatch(*decPre, batch, out);
             t.addRow({f.label, decoder::decoderKindName(kind),
-                      fmtF(us, 1), fmtF(usRound, 2),
+                      fmtF(us, 1), fmtF(usBatch, 1), fmtF(usPre, 1),
+                      std::to_string(decPre->predecodedPairs()),
+                      fmtF(usRound, 2),
                       std::to_string(dec->fallbacks()),
                       std::to_string(skipped)});
-            if (&f == &hardest)
+            if (&f == &hardest) {
                 budgetLines.emplace_back(
                     decoder::decoderKindName(kind), usRound);
+                budgetLines.emplace_back(
+                    std::string(decoder::decoderKindName(kind)) +
+                        "+batch+predecode",
+                    usPre / f.rounds);
+            }
         }
     }
     t.print();

@@ -11,10 +11,14 @@
  * must reproduce is the structure: error suppression with d, and
  * elevation of the per-round error with CNOT density at fixed d.
  *
- * Also benchmarks the two frame-sampler word backends (portable
- * 64-bit vs wide bit-planes, common/word.hh) and the sharded engine's
- * thread scaling; the final "parallel-efficiency@4" line is consumed
- * by scripts/perf_smoke.sh.
+ * Also benchmarks the frame-sampler word backends (portable 64-bit
+ * vs 4-lane and 8-lane wide bit-planes, common/word.hh), the full
+ * sample->extract->decode hot path (the legacy wide256 per-shot
+ * pipeline vs the wide512 CSR-block + decodeBatch + predecode
+ * pipeline; the "hotpath-speedup[...]" lines record the win), and
+ * the sharded engine's thread scaling; the final
+ * "parallel-efficiency@4" line is consumed by
+ * scripts/perf_smoke.sh.
  */
 
 #include <chrono>
@@ -59,6 +63,76 @@ samplerShotsPerSec(const traq::codes::Experiment &e, unsigned lanes,
         for (auto &s : syndromes)
             s.clear();
         sim::extractSyndromes(batch, live, syndromes);
+        done += batch.shots();
+    }
+    return static_cast<double>(done) / secondsSince(t0);
+}
+
+/**
+ * End-to-end hot-path throughput, legacy shape: the pre-refactor
+ * pipeline of sampleInto + extractSyndromes into 64 * lanes
+ * per-shot vectors + one virtual decode() call (with its vector
+ * copy) per shot.
+ */
+double
+legacyPipelineShotsPerSec(const traq::codes::Experiment &e,
+                          const traq::decoder::DecodeGraph &graph,
+                          unsigned lanes, std::uint64_t shots)
+{
+    using namespace traq;
+    sim::FrameSimulator fs(1234, lanes);
+    sim::FrameBatch batch;
+    std::vector<std::uint64_t> live(lanes, ~0ULL);
+    std::vector<std::vector<std::uint32_t>> syndromes(64ULL * lanes);
+    auto dec = decoder::makeDecoder(decoder::DecoderKind::Fallback,
+                                    graph);
+    fs.sampleInto(e.circuit, batch);  // warm allocations
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t done = 0;
+    while (done < shots) {
+        fs.sampleInto(e.circuit, batch);
+        for (auto &s : syndromes)
+            s.clear();
+        sim::extractSyndromes(batch, live, syndromes);
+        for (const auto &s : syndromes)
+            dec->decode(s);
+        done += batch.shots();
+    }
+    return static_cast<double>(done) / secondsSince(t0);
+}
+
+/**
+ * End-to-end hot-path throughput, block shape: sampleInto +
+ * extractSyndromeBlock (CSR, no per-shot vectors) + one
+ * decodeBatch call per batch, optionally with the predecode fast
+ * path peeling isolated pairs before the matcher.
+ */
+double
+blockPipelineShotsPerSec(const traq::codes::Experiment &e,
+                         const traq::decoder::DecodeGraph &graph,
+                         unsigned lanes, std::uint64_t shots,
+                         bool predecode)
+{
+    using namespace traq;
+    sim::FrameSimulator fs(1234, lanes);
+    sim::FrameBatch batch;
+    sim::SyndromeBlock block;
+    std::vector<std::uint64_t> live(lanes, ~0ULL);
+    std::vector<std::uint32_t> predicted(64ULL * lanes);
+    decoder::DecoderConfig cfg;
+    cfg.predecode = predecode ? 1 : 0;
+    auto dec = decoder::makeDecoder(decoder::DecoderKind::Fallback,
+                                    graph, cfg);
+    fs.sampleInto(e.circuit, batch);  // warm allocations
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t done = 0;
+    while (done < shots) {
+        fs.sampleInto(e.circuit, batch);
+        sim::extractSyndromeBlock(batch, live, block);
+        decoder::SyndromeBatch view;
+        view.offsets = block.offsets;
+        view.defects = block.defects;
+        dec->decodeBatch(view, predicted);
         done += batch.shots();
     }
     return static_cast<double>(done) / secondsSince(t0);
@@ -119,7 +193,8 @@ main()
                 "below threshold)\n");
 
     std::printf("\n=== Sampler word backends: d=5 memory, "
-                "sample+extract (no decode) ===\n\n");
+                "sample+extract (no decode), codegen=%s ===\n\n",
+                wordBackendCodegen());
     {
         codes::SurfaceCode sc5(5);
         auto e5 = codes::buildMemory(
@@ -134,9 +209,61 @@ main()
         b.addRow({wordBackendName(WordBackend::Wide),
                   std::to_string(kWideWordLanes), fmtE(wideRate, 2),
                   fmtF(wideRate / scalarRate, 2) + "x"});
+        const double wide512Rate =
+            samplerShotsPerSec(e5, kWide512WordLanes, shots);
+        b.addRow({wordBackendName(WordBackend::Wide512),
+                  std::to_string(kWide512WordLanes),
+                  fmtE(wide512Rate, 2),
+                  fmtF(wide512Rate / scalarRate, 2) + "x"});
         b.print();
         std::printf("\nwide-vs-scalar64 sampler speedup: %.2fx "
                     "(target >= 2x)\n", wideRate / scalarRate);
+        std::printf("wide512-vs-scalar64 sampler speedup: %.2fx\n",
+                    wide512Rate / scalarRate);
+    }
+
+    std::printf("\n=== Hot path: sample + extract + decode, legacy "
+                "wide256 per-shot pipeline vs wide512 CSR-block "
+                "pipeline (p = 1e-3) ===\n\n");
+    {
+        Table h({"config", "pipeline", "lanes", "shots/s",
+                 "speedup"});
+        for (int d : {3, 5}) {
+            codes::SurfaceCode sc(d);
+            auto e = codes::buildMemory(
+                sc, 'Z', d, codes::NoiseParams::uniform(1e-3));
+            decoder::DecodeGraph graph =
+                decoder::DecodeGraph::build(e);
+            const std::uint64_t shots = d == 3 ? 1 << 17 : 1 << 16;
+            const std::string cfg =
+                "memory d=" + std::to_string(d);
+            const double legacy = legacyPipelineShotsPerSec(
+                e, graph, kWideWordLanes, shots);
+            h.addRow({cfg, "per-shot vectors + decode()",
+                      std::to_string(kWideWordLanes),
+                      fmtE(legacy, 2), "1.00x"});
+            const double block = blockPipelineShotsPerSec(
+                e, graph, kWide512WordLanes, shots, false);
+            h.addRow({cfg, "CSR block + decodeBatch",
+                      std::to_string(kWide512WordLanes),
+                      fmtE(block, 2),
+                      fmtF(block / legacy, 2) + "x"});
+            const double peeled = blockPipelineShotsPerSec(
+                e, graph, kWide512WordLanes, shots, true);
+            h.addRow({cfg, "CSR block + batch + predecode",
+                      std::to_string(kWide512WordLanes),
+                      fmtE(peeled, 2),
+                      fmtF(peeled / legacy, 2) + "x"});
+            // Machine-readable record of the hot-path win (the
+            // acceptance line for the wide512/block/predecode
+            // work; target >= 1.5x on at least one config).
+            std::printf("hotpath-speedup[memory d=%d]: %.2fx "
+                        "(wide512 block+batch+predecode vs wide256 "
+                        "per-shot, %s)\n",
+                        d, peeled / legacy, wordBackendCodegen());
+        }
+        std::printf("\n");
+        h.print();
     }
 
     std::printf("\n=== Engine scaling: d=5 memory, sharded "

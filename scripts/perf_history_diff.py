@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Diff dated perf-history records written by scripts/perf_smoke.sh.
+
+CI uploads one PERF_HISTORY_JSON document per run (wall clock per
+bench, thread-scaling efficiency, per-decoder decode latency).  This
+tool takes two or more such documents -- given as files and/or
+directories to scan for ``*.json`` -- sorts them by their ``date``
+field, and reports what moved between the two most recent records:
+per-bench elapsed deltas and per-decoder decode-latency deltas.
+
+It is a report, not a gate: the exit code is always 0 unless the
+inputs cannot be parsed.  The hard tripwire stays perf_smoke.sh's
+3x-baseline check; this exists so a human scanning CI output can see
+drift long before it trips that wire.
+
+Usage:
+    scripts/perf_history_diff.py RECORD... [--full]
+
+    --full    also print every record's raw numbers, oldest first
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def load_records(paths: list[str]) -> list[dict]:
+    files: list[Path] = []
+    for p in map(Path, paths):
+        if p.is_dir():
+            files.extend(sorted(p.glob("*.json")))
+        else:
+            files.append(p)
+    records = []
+    for f in files:
+        try:
+            doc = json.loads(f.read_text())
+        except (OSError, json.JSONDecodeError) as err:
+            raise SystemExit(f"perf-history-diff: cannot read {f}: {err}")
+        if not isinstance(doc, dict) or "benches" not in doc:
+            raise SystemExit(
+                f"perf-history-diff: {f} is not a perf-history record"
+            )
+        doc["_source"] = str(f)
+        records.append(doc)
+    records.sort(key=lambda r: r.get("date", ""))
+    return records
+
+
+def fmt_delta(base: float, head: float) -> str:
+    if base <= 0:
+        return "n/a"
+    pct = 100.0 * (head - base) / base
+    return f"{pct:+.1f}%"
+
+
+def by_bench(record: dict) -> dict[str, float]:
+    return {
+        b["bench"]: float(b["elapsed_s"])
+        for b in record.get("benches", [])
+    }
+
+
+def by_decoder(record: dict) -> dict[str, float]:
+    return {
+        d["decoder"]: float(d["us_per_round"])
+        for d in record.get("decode_latency_us_per_round", [])
+    }
+
+
+def print_diff(base: dict, head: dict) -> None:
+    print(
+        f"perf-history-diff: {base.get('date', '?')} "
+        f"({base.get('commit', '?')[:12]}) -> "
+        f"{head.get('date', '?')} ({head.get('commit', '?')[:12]})"
+    )
+
+    base_b, head_b = by_bench(base), by_bench(head)
+    print("\nbench wall clock (s):")
+    for name in sorted(set(base_b) | set(head_b)):
+        b, h = base_b.get(name), head_b.get(name)
+        if b is None or h is None:
+            status = "added" if b is None else "removed"
+            print(f"  {name:32s} {status}")
+        else:
+            print(f"  {name:32s} {b:8.3f} -> {h:8.3f}  {fmt_delta(b, h)}")
+
+    base_d, head_d = by_decoder(base), by_decoder(head)
+    if base_d or head_d:
+        print("\ndecode latency (us/round, hardest fixture):")
+        for name in sorted(set(base_d) | set(head_d)):
+            b, h = base_d.get(name), head_d.get(name)
+            if b is None or h is None:
+                status = "added" if b is None else "removed"
+                print(f"  {name:32s} {status}")
+            else:
+                print(
+                    f"  {name:32s} {b:8.2f} -> {h:8.2f}  "
+                    f"{fmt_delta(b, h)}"
+                )
+
+    eff_b = base.get("parallel_efficiency_at_4")
+    eff_h = head.get("parallel_efficiency_at_4")
+    if eff_b is not None and eff_h is not None:
+        print(f"\nparallel-efficiency@4: {eff_b} -> {eff_h}")
+
+
+def main(argv: list[str]) -> int:
+    full = "--full" in argv
+    paths = [a for a in argv if a != "--full"]
+    if not paths:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    records = load_records(paths)
+    if full:
+        for r in records:
+            print(f"--- {r['_source']} ({r.get('date', '?')})")
+            print(json.dumps({k: v for k, v in r.items()
+                              if k != "_source"}, indent=2))
+        print()
+    if len(records) < 2:
+        print(
+            "perf-history-diff: only "
+            f"{len(records)} record(s) -- nothing to diff yet"
+        )
+        return 0
+    print_diff(records[-2], records[-1])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -48,6 +48,7 @@ Tally::merge(const Tally &other)
     anyHits += other.anyHits;
     weight += other.weight;
     aux += other.aux;
+    aux2 += other.aux2;
     ensureBins(other.binHits.size());
     for (std::size_t i = 0; i < other.binHits.size(); ++i)
         binHits[i] += other.binHits[i];

@@ -11,25 +11,37 @@
  * the at-least-one-RNG-draw-per-plane floor of the sparse Bernoulli
  * sampler (see Rng::bernoulliPlane), which is where the throughput
  * win over the 64-bit path comes from; building the library with
- * -DTRAQ_ENABLE_AVX2=ON additionally lets the 4-lane plane ops
- * compile to single 256-bit vector instructions (the default build
- * stays on the portable x86-64 baseline).
+ * -DTRAQ_ENABLE_AVX2=ON (or -DTRAQ_ENABLE_AVX512=ON) additionally
+ * lets the 4-lane (8-lane) plane ops compile to single 256-bit
+ * (512-bit) vector instructions (the default build stays on the
+ * portable x86-64 baseline).
  *
- * Two backends are exposed:
+ * Three backends are exposed:
  *  - Scalar64: the portable one-lane path (64 shots per batch);
- *  - Wide:     kWideWordLanes lanes (256-bit planes by default).
+ *  - Wide:     kWideWordLanes lanes (256-bit planes by default);
+ *  - Wide512:  kWide512WordLanes lanes (512-bit planes by default).
  *
  * Selection is per run: engines take a WordBackend option whose Auto
  * value defers to the TRAQ_WORD_BACKEND environment variable ("64" /
- * "scalar" vs "256" / "wide"), defaulting to Wide.  Each backend is
- * individually deterministic — for a fixed backend, any thread count
- * reproduces the single-thread tallies bit-identically — but the two
- * backends consume randomness in different orders, so they agree
- * statistically, not bit-for-bit (and exactly on deterministic
- * circuits).
+ * "scalar" vs "256" / "wide" vs "512" / "wide512"), defaulting to
+ * Wide.  An unrecognized TRAQ_WORD_BACKEND value throws FatalError
+ * listing the known names — a typo'd backend must not silently fall
+ * back to the default (same loudness contract as TRAQ_DECODER).
+ * Each backend is individually deterministic — for a fixed backend,
+ * any thread count reproduces the single-thread tallies
+ * bit-identically — but distinct backends consume randomness in
+ * different orders, so they agree statistically, not bit-for-bit
+ * (and exactly on deterministic circuits).
  *
- * Building with -DTRAQ_FORCE_WORD64 collapses the wide backend to a
- * single lane so CI can keep both code paths green from one test
+ * The lane loops are plain 64-bit code, so every backend runs — and
+ * produces bit-identical planes — on any x86-64 machine; vector ISAs
+ * only change how the compiler schedules them.  wordBackendCodegen()
+ * reports the compile-time detection result ("avx512f" / "avx2" /
+ * "baseline") so benches can label whether the wide512 path is
+ * native 512-bit code or the scalar-emulated fallback.
+ *
+ * Building with -DTRAQ_FORCE_WORD64 collapses the wide backends to a
+ * single lane so CI can keep all code paths green from one test
  * suite.
  */
 
@@ -41,8 +53,10 @@ namespace traq {
 /** Lanes (64-bit words) per sampling plane of the wide backend. */
 #ifdef TRAQ_FORCE_WORD64
 inline constexpr unsigned kWideWordLanes = 1;
+inline constexpr unsigned kWide512WordLanes = 1;
 #else
-inline constexpr unsigned kWideWordLanes = 4; //!< 256-bit planes
+inline constexpr unsigned kWideWordLanes = 4;    //!< 256-bit planes
+inline constexpr unsigned kWide512WordLanes = 8; //!< 512-bit planes
 #endif
 
 /** Bit-plane backend selector for sampling engines. */
@@ -51,20 +65,33 @@ enum class WordBackend
     Auto,     //!< TRAQ_WORD_BACKEND env var, else Wide
     Scalar64, //!< portable one-lane path: 64 shots per batch
     Wide,     //!< kWideWordLanes lanes per batch
+    Wide512,  //!< kWide512WordLanes lanes per batch
 };
 
 /**
  * Resolve Auto against the TRAQ_WORD_BACKEND environment variable
- * ("64"/"scalar" -> Scalar64, "256"/"wide" -> Wide, unset or
- * unrecognized -> Wide).  Scalar64 and Wide pass through unchanged.
+ * ("64"/"scalar"/"scalar64" -> Scalar64, "256"/"wide"/"wide256" ->
+ * Wide, "512"/"wide512" -> Wide512, unset or empty -> Wide).  Any
+ * other value throws FatalError listing the known names.  Scalar64,
+ * Wide, and Wide512 pass through unchanged.
  */
 WordBackend resolveWordBackend(WordBackend requested);
 
 /** Lanes per plane for a resolved backend (Auto is resolved first). */
 unsigned wordBackendLanes(WordBackend backend);
 
-/** Short human-readable backend name ("scalar64" / "wide256"...). */
+/** Short human-readable backend name ("scalar64" / "wide256" /
+ *  "wide512"...). */
 const char *wordBackendName(WordBackend backend);
+
+/**
+ * Compile-time vector codegen the library was built with: "avx512f",
+ * "avx2", or "baseline".  Purely informational — all backends are
+ * bit-identical across codegen levels; this only tells benches
+ * whether the 8-lane plane ops are native 512-bit instructions or
+ * the scalar-emulated fallback.
+ */
+const char *wordBackendCodegen();
 
 } // namespace traq
 

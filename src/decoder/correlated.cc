@@ -15,6 +15,9 @@ CorrelatedDecoder::CorrelatedDecoder(const DecodeGraph &graph,
                      config.correlationBoost <= 0.5,
                  "correlationBoost must be in (0, 0.5]");
     boostCap_ = config.correlationBoost;
+    if (resolvePredecode(config.predecode))
+        pre_ = std::make_unique<Predecoder>(graph_,
+                                            config.predecodeRadius);
     weights_.reserve(graph_.edges().size());
     for (const auto &e : graph_.edges())
         weights_.push_back(e.weight);
@@ -27,22 +30,48 @@ CorrelatedDecoder::decode(const std::vector<std::uint32_t> &syndrome)
 }
 
 std::uint32_t
+CorrelatedDecoder::decodeSpan(
+    std::span<const std::uint32_t> syndrome)
+{
+    return decodeEx(syndrome, {}, nullptr);
+}
+
+std::uint32_t
 CorrelatedDecoder::decodeEx(
-    const std::vector<std::uint32_t> &syndrome,
+    std::span<const std::uint32_t> syndrome,
     const DecodeContext &ctx, std::vector<std::uint32_t> *usedEdges)
 {
     TRAQ_REQUIRE(ctx.weights.empty(),
                  "correlated decoder owns its weight overrides");
     if (syndrome.empty())
         return 0;
-    if (graph_.numPartnerLinks() == 0) {
-        // No correlation hints (e.g. hand-built DEMs): one pass.
-        return inner_.decodeEx(syndrome, ctx, usedEdges);
+
+    // Predecode peels only the *first* (evidence) pass: the peeled
+    // edges seed used_ so partner reweighting sees the same evidence
+    // the first pass would have produced by matching those pairs
+    // itself, and the residue keeps the first matching cheap.  The
+    // second pass — whose reweighted edges could legally reroute a
+    // peeled pair — always decodes the full syndrome, so its result
+    // is identical to predecode-off by construction.
+    used_.clear();
+    std::uint32_t preCorrection = 0;
+    std::span<const std::uint32_t> syn = syndrome;
+    if (pre_) {
+        preCorrection = pre_->peel(syndrome, ctx, residue_,
+                                   &used_);
+        syn = residue_;
     }
 
-    used_.clear();
+    if (graph_.numPartnerLinks() == 0) {
+        // No correlation hints (e.g. hand-built DEMs): one pass.
+        if (usedEdges)
+            usedEdges->insert(usedEdges->end(), used_.begin(),
+                              used_.end());
+        return preCorrection ^ inner_.decodeEx(syn, ctx, usedEdges);
+    }
+
     const std::uint32_t first =
-        inner_.decodeEx(syndrome, ctx, &used_);
+        preCorrection ^ inner_.decodeEx(syn, ctx, &used_);
     // Two matched paths can share an edge; each distinct edge is one
     // piece of evidence, not one per traversal.
     std::sort(used_.begin(), used_.end());
@@ -82,7 +111,7 @@ CorrelatedDecoder::decodeEx(
         }
     }
     if (touched_.empty())
-        return first;
+        return first;  // no evidence worth a second pass
 
     ++secondPasses_;
     DecodeContext second = ctx;

@@ -31,11 +31,14 @@
 #define TRAQ_DECODER_CORRELATED_HH
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "src/decoder/decode_graph.hh"
 #include "src/decoder/decoder.hh"
 #include "src/decoder/fallback.hh"
+#include "src/decoder/predecode.hh"
 
 namespace traq::decoder {
 
@@ -49,13 +52,18 @@ class CorrelatedDecoder final : public Decoder
     std::uint32_t
     decode(const std::vector<std::uint32_t> &syndrome) override;
 
+    std::uint32_t
+    decodeSpan(std::span<const std::uint32_t> syndrome) override;
+
     /**
      * Context-aware decode: the round horizon (if any) applies to
      * both passes.  External weight overrides are not supported
-     * (the two-pass reweighting owns the weight array).
+     * (the two-pass reweighting owns the weight array).  With
+     * predecode on, peeled edges join the first pass's evidence, so
+     * partner reweighting sees the same mechanisms either way.
      */
     std::uint32_t
-    decodeEx(const std::vector<std::uint32_t> &syndrome,
+    decodeEx(std::span<const std::uint32_t> syndrome,
              const DecodeContext &ctx,
              std::vector<std::uint32_t> *usedEdges);
 
@@ -63,11 +71,17 @@ class CorrelatedDecoder final : public Decoder
     {
         inner_.reset();
         secondPasses_ = 0;
+        if (pre_)
+            pre_->reset();
     }
     const char *name() const override { return "correlated"; }
     std::uint64_t fallbacks() const override
     {
         return inner_.fallbacks();
+    }
+    std::uint64_t predecodedPairs() const override
+    {
+        return pre_ ? pre_->pairsPeeled() : 0;
     }
 
     /** Second passes actually run (some partner edge reweighted). */
@@ -76,6 +90,8 @@ class CorrelatedDecoder final : public Decoder
   private:
     const DecodeGraph &graph_;
     FallbackDecoder inner_;
+    std::unique_ptr<Predecoder> pre_;
+    std::vector<std::uint32_t> residue_;  //!< post-peel syndrome
     double boostCap_;               //!< posterior probability ceiling
     std::vector<double> weights_;   //!< base weights, patched per shot
     std::vector<std::uint32_t> used_;

@@ -60,6 +60,33 @@ struct GraphEdge
 };
 
 /**
+ * Deterministic per-edge tie-break epsilon.
+ *
+ * Structured decode graphs (uniform noise, symmetric layouts)
+ * produce exactly tied minimum-weight matchings whose observable
+ * parities can differ, and which tied solution a DP lands on depends
+ * on recursion order — so removing defects (the predecode fast path)
+ * could legally change the answer.  Adding a distinct tiny epsilon
+ * per edge makes every edge-set total generically unique: the
+ * optimal matching becomes a function of the syndrome alone, and
+ * peeling a pair of it leaves the residue's optimum unchanged.  The
+ * scale (~1e-9) is far below any real weight difference but far
+ * above double rounding at path magnitudes, so only exact ties are
+ * affected.  splitmix64 on the edge index keeps it deterministic
+ * and uncorrelated with edge order.
+ */
+inline double
+tieBreakEpsilon(std::uint32_t edgeIndex)
+{
+    std::uint64_t z = edgeIndex + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    // [1, 2) * 1e-9: strictly positive and distinct per edge.
+    return (1.0 + static_cast<double>(z >> 11) * 0x1.0p-53) * 1e-9;
+}
+
+/**
  * Per-decode parameters threaded through the decoder clients.
  * Decoders fall back to the graph's own weights / full horizon when
  * the fields are left at their defaults.

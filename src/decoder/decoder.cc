@@ -4,6 +4,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
 
 #include "src/common/assert.hh"
 #include "src/decoder/correlated.hh"
@@ -40,20 +41,27 @@ registry()
 {
     // Built-ins are seeded on first access so makeDecoder works
     // without any static-initialization-order coupling.
+    // Each factory resolves the predecode tri-state and hands it to
+    // the *outermost* decoder only; composites construct their inner
+    // stages without it, so a syndrome is peeled at most once.
     static std::map<DecoderKind, DecoderFactory> r = {
         {DecoderKind::UnionFind,
-         [](const DecodeGraph &g, const DecoderConfig &) {
-             return std::make_unique<UnionFindDecoder>(g);
+         [](const DecodeGraph &g, const DecoderConfig &c) {
+             return std::make_unique<UnionFindDecoder>(
+                 g, resolvePredecode(c.predecode),
+                 c.predecodeRadius);
          }},
         {DecoderKind::Mwpm,
          [](const DecodeGraph &g, const DecoderConfig &c) {
-             return std::make_unique<MwpmDecoder>(g,
-                                                  c.mwpmMaxDefects);
+             return std::make_unique<MwpmDecoder>(
+                 g, c.mwpmMaxDefects,
+                 resolvePredecode(c.predecode), c.predecodeRadius);
          }},
         {DecoderKind::Fallback,
          [](const DecodeGraph &g, const DecoderConfig &c) {
              return std::make_unique<FallbackDecoder>(
-                 g, c.mwpmMaxDefects);
+                 g, c.mwpmMaxDefects,
+                 resolvePredecode(c.predecode), c.predecodeRadius);
          }},
         {DecoderKind::Correlated,
          [](const DecodeGraph &g, const DecoderConfig &c) {
@@ -102,6 +110,24 @@ registeredDecoderKinds()
     for (const auto &[kind, factory] : registry())
         kinds.push_back(kind);
     return kinds;
+}
+
+bool
+resolvePredecode(int requested)
+{
+    if (requested >= 0)
+        return requested != 0;
+    if (const char *env = std::getenv("TRAQ_PREDECODE")) {
+        const std::string_view v(env);
+        if (v.empty() || v == "0" || v == "off" || v == "false")
+            return false;
+        if (v == "1" || v == "on" || v == "true")
+            return true;
+        TRAQ_FATAL("unknown TRAQ_PREDECODE value '" +
+                   std::string(v) +
+                   "' (known: 0/off/false, 1/on/true)");
+    }
+    return false;
 }
 
 DecoderKind

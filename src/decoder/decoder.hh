@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -81,6 +82,15 @@ std::vector<DecoderKind> registeredDecoderKinds();
  */
 DecoderKind resolveDecoderKind(DecoderKind requested);
 
+/**
+ * Resolve a DecoderConfig::predecode tri-state: 0 -> off, positive
+ * -> on, negative (Auto) -> the TRAQ_PREDECODE environment variable
+ * ("1"/"on"/"true" vs "0"/"off"/"false", unset or empty -> off).
+ * Any other value throws FatalError listing the known spellings —
+ * same loudness contract as TRAQ_DECODER / TRAQ_WORD_BACKEND.
+ */
+bool resolvePredecode(int requested);
+
 /** Construction-time options shared by all decoder kinds. */
 struct DecoderConfig
 {
@@ -104,6 +114,44 @@ struct DecoderConfig
     int windowRounds = 6;
     /** Rounds committed per window step; <= windowRounds. */
     int commitRounds = 2;
+    /**
+     * Predecode fast path: peel isolated adjacent defect pairs (both
+     * endpoints of one edge, no other defect within predecodeRadius
+     * hops) before the full decoder runs on the residue.  Tri-state:
+     * negative defers to the TRAQ_PREDECODE environment variable
+     * (see resolvePredecode; default off), 0 forces off, positive
+     * forces on.  Only the outermost decoder of a composite peels —
+     * inner stages always see the already-peeled residue.
+     */
+    int predecode = -1;
+    /** Isolation radius (graph hops) for the predecode peeler. */
+    int predecodeRadius = 2;
+};
+
+/**
+ * SoA view over one batch of syndromes in CSR layout: shot s's
+ * flipped detectors are defects[offsets[s] .. offsets[s+1]),
+ * ascending.  This is the decoder-side shape of sim::SyndromeBlock
+ * (spans, so the decoder layer needs no sim dependency) and the
+ * input of Decoder::decodeBatch.
+ */
+struct SyndromeBatch
+{
+    /** CSR row starts; size shots() + 1. */
+    std::span<const std::uint32_t> offsets;
+    /** Flipped detector ids, shot-major, ascending within a shot. */
+    std::span<const std::uint32_t> defects;
+
+    std::uint64_t shots() const
+    {
+        return offsets.empty() ? 0 : offsets.size() - 1;
+    }
+
+    std::span<const std::uint32_t> syndrome(std::uint64_t s) const
+    {
+        return {defects.data() + offsets[s],
+                offsets[s + 1] - offsets[s]};
+    }
 };
 
 /** Abstract decoder over a fixed decode graph. */
@@ -119,6 +167,36 @@ class Decoder
     virtual std::uint32_t
     decode(const std::vector<std::uint32_t> &syndrome) = 0;
 
+    /**
+     * Span-based decode, bit-identical to decode().  The base
+     * implementation copies into a reused scratch vector and calls
+     * decode(), so subclasses that only override decode() (external
+     * registrations, test doubles) keep working; the built-in
+     * decoders override this to skip the copy.
+     */
+    virtual std::uint32_t
+    decodeSpan(std::span<const std::uint32_t> syndrome)
+    {
+        spanScratch_.assign(syndrome.begin(), syndrome.end());
+        return decode(spanScratch_);
+    }
+
+    /**
+     * Decode a whole batch of syndromes, writing out[s] for shot s
+     * (out.size() >= batch.shots()).  Defined as the shot loop over
+     * decodeSpan() — bit-identical to per-shot decoding by
+     * construction, for any override of the per-shot entry points —
+     * and the engine's hot-path entry: one virtual call per batch,
+     * arena scratch staying warm across the N shots.
+     */
+    virtual void decodeBatch(const SyndromeBatch &batch,
+                             std::span<std::uint32_t> out)
+    {
+        const std::uint64_t n = batch.shots();
+        for (std::uint64_t s = 0; s < n; ++s)
+            out[s] = decodeSpan(batch.syndrome(s));
+    }
+
     /** Clear per-run statistics (fallback counters etc.). */
     virtual void reset() {}
 
@@ -127,6 +205,13 @@ class Decoder
 
     /** Syndromes routed to a fallback stage since reset(). */
     virtual std::uint64_t fallbacks() const { return 0; }
+
+    /** Defect pairs peeled by the predecode fast path since
+     *  reset(); 0 when predecode is off or unsupported. */
+    virtual std::uint64_t predecodedPairs() const { return 0; }
+
+  private:
+    std::vector<std::uint32_t> spanScratch_;
 };
 
 /** Factory signature used by the decoder registry. */

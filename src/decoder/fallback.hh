@@ -13,18 +13,24 @@
  *
  * decodeEx() forwards the DecodeContext to whichever stage handles
  * the syndrome, so the correlated and windowed decoders can use the
- * composite as their inner engine.
+ * composite as their inner engine.  When predecode is enabled the
+ * composite owns the peeler (its inner stages never peel), and both
+ * the routing decision and the fallback count key off the *original*
+ * syndrome size — peeling changes the work, never the route.
  */
 
 #ifndef TRAQ_DECODER_FALLBACK_HH
 #define TRAQ_DECODER_FALLBACK_HH
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "src/decoder/decode_graph.hh"
 #include "src/decoder/decoder.hh"
 #include "src/decoder/mwpm.hh"
+#include "src/decoder/predecode.hh"
 #include "src/decoder/union_find.hh"
 
 namespace traq::decoder {
@@ -34,24 +40,39 @@ class FallbackDecoder final : public Decoder
 {
   public:
     FallbackDecoder(const DecodeGraph &graph,
-                    std::size_t mwpmMaxDefects = 16);
+                    std::size_t mwpmMaxDefects = 16,
+                    bool predecode = false, int predecodeRadius = 2);
 
     std::uint32_t
     decode(const std::vector<std::uint32_t> &syndrome) override;
 
+    std::uint32_t
+    decodeSpan(std::span<const std::uint32_t> syndrome) override;
+
     /** Context-aware decode (see Decoder clients of DecodeGraph). */
     std::uint32_t
-    decodeEx(const std::vector<std::uint32_t> &syndrome,
+    decodeEx(std::span<const std::uint32_t> syndrome,
              const DecodeContext &ctx,
              std::vector<std::uint32_t> *usedEdges);
 
-    void reset() override { fallbacks_ = 0; }
+    void reset() override
+    {
+        fallbacks_ = 0;
+        if (pre_)
+            pre_->reset();
+    }
     const char *name() const override { return "mwpm+uf-fallback"; }
     std::uint64_t fallbacks() const override { return fallbacks_; }
+    std::uint64_t predecodedPairs() const override
+    {
+        return pre_ ? pre_->pairsPeeled() : 0;
+    }
 
   private:
     MwpmDecoder mwpm_;
     UnionFindDecoder uf_;
+    std::unique_ptr<Predecoder> pre_;
+    std::vector<std::uint32_t> residue_;  //!< post-peel syndrome
     std::uint64_t fallbacks_ = 0;
 };
 

@@ -20,7 +20,7 @@ struct MonteCarloEngine::Worker
 {
     explicit Worker(unsigned lanes)
         : fsim(0, lanes), live(lanes, 0),
-          syndromes(64ULL * lanes), actual(64ULL * lanes, 0)
+          predicted(64ULL * lanes, 0)
     {}
 
     std::unique_ptr<Decoder> dec;
@@ -28,10 +28,10 @@ struct MonteCarloEngine::Worker
     sim::FrameBatch batch;
     /** Per-lane live-shot masks for the current batch. */
     std::vector<std::uint64_t> live;
-    /** Per-shot syndromes for one batch. */
-    std::vector<std::vector<std::uint32_t>> syndromes;
-    /** Per-shot actual observable-flip masks for one batch. */
-    std::vector<std::uint32_t> actual;
+    /** CSR syndromes + actual flip masks for one batch (SoA). */
+    sim::SyndromeBlock block;
+    /** Per-shot predicted flip masks for one batch. */
+    std::vector<std::uint32_t> predicted;
 };
 
 MonteCarloEngine::MonteCarloEngine(const codes::Experiment &exp,
@@ -61,6 +61,7 @@ MonteCarloEngine::runShard(std::uint64_t shard,
     w.fsim.rng() = Rng(opts_.seed, shard);
 
     const std::uint64_t fallbacksBefore = w.dec->fallbacks();
+    const std::uint64_t predecodesBefore = w.dec->predecodedPairs();
     std::uint64_t done = 0;
 
     while (done < shardShots) {
@@ -75,28 +76,23 @@ MonteCarloEngine::runShard(std::uint64_t shard,
                                        : ((1ULL << liveHere) - 1);
         }
 
-        for (std::uint64_t s = 0; s < n; ++s)
-            w.syndromes[s].clear();
-        sim::extractSyndromes(w.batch, w.live, w.syndromes);
+        // Straight from lane-major planes to a CSR block: per-shot
+        // syndromes, actual flip masks, no transpose.  Masked-out
+        // tail shots come out empty, so decoding the first n rows
+        // of the block is exact.
+        sim::extractSyndromeBlock(w.batch, w.live, w.block);
+        tally.weight += w.block.offsets[n];
 
-        std::fill(w.actual.begin(), w.actual.begin() + n, 0u);
-        for (std::uint32_t k = 0; k < numObs; ++k) {
-            for (unsigned l = 0; l < lanes; ++l) {
-                std::uint64_t word =
-                    w.batch.observables[k * lanes + l] & w.live[l];
-                while (word) {
-                    const int s = std::countr_zero(word);
-                    word &= word - 1;
-                    w.actual[64ULL * l + s] |= (1u << k);
-                }
-            }
-        }
+        SyndromeBatch view;
+        view.offsets = {w.block.offsets.data(),
+                        static_cast<std::size_t>(n) + 1};
+        view.defects = {w.block.defects.data(),
+                        w.block.offsets[n]};
+        w.dec->decodeBatch(view, w.predicted);
 
         for (std::uint64_t s = 0; s < n; ++s) {
-            tally.weight += w.syndromes[s].size();
-            const std::uint32_t predicted =
-                w.dec->decode(w.syndromes[s]);
-            std::uint32_t diff = predicted ^ w.actual[s];
+            std::uint32_t diff =
+                w.predicted[s] ^ w.block.observables[s];
             if (diff)
                 ++tally.anyHits;
             while (diff) {
@@ -109,6 +105,7 @@ MonteCarloEngine::runShard(std::uint64_t shard,
         tally.shots += n;
     }
     tally.aux = w.dec->fallbacks() - fallbacksBefore;
+    tally.aux2 = w.dec->predecodedPairs() - predecodesBefore;
     return tally;
 }
 
@@ -155,6 +152,10 @@ MonteCarloEngine::run(const McOptions &opts)
     decCfg.correlationBoost = opts_.correlationBoost;
     decCfg.windowRounds = opts_.windowRounds;
     decCfg.commitRounds = opts_.commitRounds;
+    // Resolve the predecode tri-state once per run (same reason as
+    // the backend/decoder above: one env read, every worker agrees).
+    decCfg.predecode = resolvePredecode(opts_.predecode) ? 1 : 0;
+    decCfg.predecodeRadius = opts_.predecodeRadius;
 
     auto workerMain = [&]() {
         try {
@@ -216,6 +217,7 @@ MonteCarloEngine::run(const McOptions &opts)
             ? static_cast<double>(total.weight) / total.shots
             : 0.0;
     res.mwpmFallbacks = total.aux;
+    res.predecodedPairs = total.aux2;
     res.decoder = decoderKindName(kind);
     res.shards = numShards;
     res.threadsUsed = threads;

@@ -17,8 +17,11 @@
  * This is the engine behind the simulation cross-checks of the
  * paper's logical error model (Fig. 6(a)) and the alpha extraction;
  * decoder throughput against the ~500 us decode budget of Table I is
- * why the syndrome extraction is word-level (zero words skipped,
- * countr_zero bit iteration) rather than per-bit.
+ * why the hot path is SoA end-to-end: each batch is extracted
+ * straight from its lane-major bit planes into a CSR SyndromeBlock
+ * (set bits only — no per-shot transpose or vector traffic) and
+ * decoded with one Decoder::decodeBatch call whose arena scratch
+ * stays warm across the whole block.
  */
 
 #ifndef TRAQ_DECODER_MONTE_CARLO_HH
@@ -52,6 +55,17 @@ struct McOptions
     /** Window/commit depths (rounds) for the windowed decoder. */
     int windowRounds = 6;
     int commitRounds = 2;
+    /**
+     * Predecode fast path (DecoderConfig::predecode): peel isolated
+     * adjacent defect pairs before the full decoder.  Tri-state:
+     * negative defers to the TRAQ_PREDECODE env var (default off),
+     * 0 off, positive on.  Corrections are identical either way —
+     * the peeler's conditions are conservative — so this is purely a
+     * throughput knob; McResult::predecodedPairs reports the hits.
+     */
+    int predecode = -1;
+    /** Isolation radius (graph hops) for the predecode peeler. */
+    int predecodeRadius = 2;
     /** Worker threads; 0 = TRAQ_THREADS env or hardware (see
      *  common/threads.hh). */
     unsigned threads = 0;
@@ -92,6 +106,8 @@ struct McResult
     Proportion anyObservable;
     double avgDefects = 0.0;         //!< mean syndrome size
     std::uint64_t mwpmFallbacks = 0; //!< shots decoded by UF fallback
+    /** Defect pairs peeled by the predecode fast path (0 when off). */
+    std::uint64_t predecodedPairs = 0;
     /** Name of the decoder kind actually run (after TRAQ_DECODER). */
     const char *decoder = "";
     std::uint64_t shards = 0;        //!< shards the run was split into

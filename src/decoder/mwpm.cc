@@ -13,14 +13,16 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /** Context-aware edge weight: override wins, clamped to >= 0 so a
- *  posterior-boosted (near-certain) edge cannot go negative. */
+ *  posterior-boosted (near-certain) edge cannot go negative.  The
+ *  tie-break epsilon makes the optimal matching generically unique
+ *  (see tieBreakEpsilon), which the predecode identity relies on. */
 inline double
 ctxWeight(const GraphEdge &e, std::uint32_t ei,
           const DecodeContext &ctx)
 {
     const double w =
         ctx.weights.empty() ? e.weight : ctx.weights[ei];
-    return w < 0.0 ? 0.0 : w;
+    return (w < 0.0 ? 0.0 : w) + tieBreakEpsilon(ei);
 }
 
 /** True if the context hides this edge (beyond the round horizon). */
@@ -33,29 +35,44 @@ ctxHides(const GraphEdge &e, const DecodeContext &ctx)
 } // namespace
 
 MwpmDecoder::MwpmDecoder(const DecodeGraph &graph,
-                         std::size_t maxDefects)
+                         std::size_t maxDefects, bool predecode,
+                         int predecodeRadius)
     : graph_(graph), maxDefects_(maxDefects)
 {
     TRAQ_REQUIRE(maxDefects_ <= 22,
                  "bitmask matching is limited to 22 defects");
+    if (predecode)
+        pre_ = std::make_unique<Predecoder>(graph_, predecodeRadius);
+    distStamp_.assign(graph_.numNodes(), 0);
+    dist_.assign(graph_.numNodes(), kInf);
+    fromEdge_.assign(graph_.numNodes(), -1);
 }
 
 void
 MwpmDecoder::dijkstra(std::uint32_t source,
-                      const std::vector<std::uint32_t> &targets,
+                      std::span<const std::uint32_t> targets,
                       const DecodeContext &ctx, bool wantEdges,
                       std::vector<Reach> *out, Reach *boundary)
 {
-    const std::size_t n = graph_.numNodes();
-    dist_.assign(n, kInf);
-    fromEdge_.assign(n, -1);
+    // One stamp epoch per search: dist_/fromEdge_ are valid only for
+    // nodes the search actually reached, so the reset is O(1), not
+    // O(nodes).
+    if (++epoch_ == 0) {
+        std::fill(distStamp_.begin(), distStamp_.end(), 0);
+        epoch_ = 1;
+    }
+    auto distOf = [&](std::uint32_t node) {
+        return distStamp_[node] == epoch_ ? dist_[node] : kInf;
+    };
     double bestBoundary = kInf;
     std::int32_t boundaryEdgeNode = -1;  // node from which we exit
     std::int32_t boundaryEdge = -1;
 
     using Item = std::pair<double, std::uint32_t>;
     std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    distStamp_[source] = epoch_;
     dist_[source] = 0.0;
+    fromEdge_[source] = -1;
     pq.emplace(0.0, source);
 
     while (!pq.empty()) {
@@ -79,7 +96,8 @@ MwpmDecoder::dijkstra(std::uint32_t source,
             std::uint32_t v = (static_cast<std::uint32_t>(e.u) == u)
                                   ? static_cast<std::uint32_t>(e.v)
                                   : static_cast<std::uint32_t>(e.u);
-            if (d + w < dist_[v]) {
+            if (d + w < distOf(v)) {
+                distStamp_[v] = epoch_;
                 dist_[v] = d + w;
                 fromEdge_[v] = static_cast<std::int32_t>(ei);
                 pq.emplace(dist_[v], v);
@@ -107,7 +125,7 @@ MwpmDecoder::dijkstra(std::uint32_t source,
     out->resize(targets.size());
     for (std::size_t i = 0; i < targets.size(); ++i) {
         Reach &r = (*out)[i];
-        r.dist = dist_[targets[i]];
+        r.dist = distOf(targets[i]);
         r.obs = 0;
         r.edges.clear();
         if (r.dist < kInf)
@@ -132,70 +150,86 @@ MwpmDecoder::decode(const std::vector<std::uint32_t> &syndrome)
 }
 
 std::uint32_t
-MwpmDecoder::decodeEx(const std::vector<std::uint32_t> &syndrome,
+MwpmDecoder::decodeSpan(std::span<const std::uint32_t> syndrome)
+{
+    return decodeEx(syndrome, {}, nullptr);
+}
+
+std::uint32_t
+MwpmDecoder::decodeEx(std::span<const std::uint32_t> syndrome,
                       const DecodeContext &ctx,
                       std::vector<std::uint32_t> *usedEdges)
 {
     TRAQ_REQUIRE(ctx.weights.empty() ||
                      ctx.weights.size() == graph_.edges().size(),
                  "context weight override size mismatch");
-    const std::size_t m = syndrome.size();
-    if (m == 0)
+    if (syndrome.empty())
         return 0;
-    TRAQ_REQUIRE(m <= maxDefects_,
+    // The cap is checked against the original syndrome, not the
+    // post-peel residue, so predecode cannot change what this
+    // decoder accepts (or how FallbackDecoder routes).
+    TRAQ_REQUIRE(syndrome.size() <= maxDefects_,
                  "syndrome exceeds exact matching cap");
 
-    // Pairwise distances and boundary exits.
-    std::vector<std::vector<Reach>> pair(m);
-    std::vector<Reach> toBoundary(m);
-    for (std::size_t i = 0; i < m; ++i) {
-        std::vector<Reach> row;
-        dijkstra(syndrome[i], syndrome, ctx, usedEdges != nullptr,
-                 &row, &toBoundary[i]);
-        pair[i] = std::move(row);
+    std::uint32_t preCorrection = 0;
+    std::span<const std::uint32_t> syn = syndrome;
+    if (pre_ && ctx.weights.empty()) {
+        preCorrection = pre_->peel(syndrome, ctx, residue_,
+                                   usedEdges);
+        syn = residue_;
     }
+    const std::size_t m = syn.size();
+    if (m == 0)
+        return preCorrection;
+
+    // Pairwise distances and boundary exits.
+    pair_.resize(std::max(pair_.size(), m));
+    toBoundary_.resize(std::max(toBoundary_.size(), m));
+    for (std::size_t i = 0; i < m; ++i)
+        dijkstra(syn[i], syn, ctx, usedEdges != nullptr, &pair_[i],
+                 &toBoundary_[i]);
 
     // DP over subsets: best[mask] = min cost to pair up defects in
     // mask (each either with another defect or with the boundary).
     const std::size_t full = (std::size_t{1} << m) - 1;
-    std::vector<double> best(full + 1, kInf);
-    std::vector<std::int32_t> choice(full + 1, -1);
-    best[0] = 0.0;
+    best_.assign(full + 1, kInf);
+    choice_.assign(full + 1, -1);
+    best_[0] = 0.0;
     for (std::size_t mask = 1; mask <= full; ++mask) {
         int i = __builtin_ctzll(mask);
         std::size_t rest = mask ^ (std::size_t{1} << i);
         // Option 1: defect i exits via the boundary.
-        if (best[rest] + toBoundary[i].dist < best[mask]) {
-            best[mask] = best[rest] + toBoundary[i].dist;
-            choice[mask] = -2;  // boundary marker
+        if (best_[rest] + toBoundary_[i].dist < best_[mask]) {
+            best_[mask] = best_[rest] + toBoundary_[i].dist;
+            choice_[mask] = -2;  // boundary marker
         }
         // Option 2: pair with defect j.
         std::size_t sub = rest;
         while (sub) {
             int j = __builtin_ctzll(sub);
             sub &= sub - 1;
-            double c = best[rest ^ (std::size_t{1} << j)] +
-                       pair[i][j].dist;
-            if (c < best[mask]) {
-                best[mask] = c;
-                choice[mask] = j;
+            double c = best_[rest ^ (std::size_t{1} << j)] +
+                       pair_[i][j].dist;
+            if (c < best_[mask]) {
+                best_[mask] = c;
+                choice_[mask] = j;
             }
         }
     }
 
     // Reconstruct and accumulate observable masks / used edges.
-    std::uint32_t correction = 0;
+    std::uint32_t correction = preCorrection;
     std::size_t mask = full;
     while (mask) {
         int i = __builtin_ctzll(mask);
         const Reach *r;
-        if (choice[mask] == -2) {
-            r = &toBoundary[i];
+        if (choice_[mask] == -2) {
+            r = &toBoundary_[i];
             mask ^= (std::size_t{1} << i);
         } else {
-            int j = choice[mask];
+            int j = choice_[mask];
             TRAQ_ASSERT(j >= 0, "matching reconstruction failed");
-            r = &pair[i][j];
+            r = &pair_[i][j];
             mask ^= (std::size_t{1} << i);
             mask ^= (std::size_t{1} << j);
         }

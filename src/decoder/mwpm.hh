@@ -16,16 +16,24 @@
  * the matched correction can be reported as the list of graph edges
  * it traverses — the edge posteriors the correlated decoder feeds
  * back across partner hyperedges.
+ *
+ * Dijkstra's distance/predecessor arrays are epoch-stamped and the
+ * DP tables are reused members, so a decode allocates nothing warm
+ * and clears only what it reaches — the per-worker arena scratch the
+ * batch decode path leans on.
  */
 
 #ifndef TRAQ_DECODER_MWPM_HH
 #define TRAQ_DECODER_MWPM_HH
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "src/decoder/decode_graph.hh"
 #include "src/decoder/decoder.hh"
+#include "src/decoder/predecode.hh"
 
 namespace traq::decoder {
 
@@ -35,13 +43,21 @@ class MwpmDecoder final : public Decoder
   public:
     /**
      * @param graph decode graph.
-     * @param maxDefects largest syndrome size decoded exactly.
+     * @param maxDefects largest syndrome size decoded exactly.  The
+     *        cap applies to the syndrome as handed in — predecode
+     *        peeling never widens what this decoder accepts, so
+     *        predecode on/off route identically.
+     * @param predecode peel isolated adjacent pairs first (see
+     *        Predecoder); off by default.
+     * @param predecodeRadius isolation radius for the peeler.
      */
     explicit MwpmDecoder(const DecodeGraph &graph,
-                         std::size_t maxDefects = 18);
+                         std::size_t maxDefects = 18,
+                         bool predecode = false,
+                         int predecodeRadius = 2);
 
     /** True if this syndrome is within the exact-decoding cap. */
-    bool canDecode(const std::vector<std::uint32_t> &syndrome) const
+    bool canDecode(std::span<const std::uint32_t> syndrome) const
     {
         return syndrome.size() <= maxDefects_;
     }
@@ -54,6 +70,9 @@ class MwpmDecoder final : public Decoder
     std::uint32_t
     decode(const std::vector<std::uint32_t> &syndrome) override;
 
+    std::uint32_t
+    decodeSpan(std::span<const std::uint32_t> syndrome) override;
+
     /**
      * Decode under a context (reweighted edges and/or a round
      * horizon).  If usedEdges is non-null the edges traversed by the
@@ -61,17 +80,31 @@ class MwpmDecoder final : public Decoder
      * possible when two paths share an edge).
      */
     std::uint32_t
-    decodeEx(const std::vector<std::uint32_t> &syndrome,
+    decodeEx(std::span<const std::uint32_t> syndrome,
              const DecodeContext &ctx,
              std::vector<std::uint32_t> *usedEdges);
 
+    void reset() override
+    {
+        if (pre_)
+            pre_->reset();
+    }
     const char *name() const override { return "mwpm"; }
+    std::uint64_t predecodedPairs() const override
+    {
+        return pre_ ? pre_->pairsPeeled() : 0;
+    }
 
   private:
     const DecodeGraph &graph_;
     std::size_t maxDefects_;
+    std::unique_ptr<Predecoder> pre_;
+    std::vector<std::uint32_t> residue_;  //!< post-peel syndrome
 
-    // Scratch for Dijkstra.
+    // Epoch-stamped Dijkstra scratch: dist_/fromEdge_ entries are
+    // valid only when distStamp_ matches the current search's epoch.
+    std::uint32_t epoch_ = 0;
+    std::vector<std::uint32_t> distStamp_;
     std::vector<double> dist_;
     std::vector<std::int32_t> fromEdge_;
 
@@ -83,13 +116,19 @@ class MwpmDecoder final : public Decoder
         std::vector<std::uint32_t> edges;
     };
 
+    // Reused per-decode tables (rows keep their capacity warm).
+    std::vector<std::vector<Reach>> pair_;
+    std::vector<Reach> toBoundary_;
+    std::vector<double> best_;
+    std::vector<std::int32_t> choice_;
+
     /**
      * Single-source shortest paths from a defect; returns distance,
      * path-observable mask, and path edges to every target plus the
      * boundary, honoring the context's weights and round horizon.
      */
     void dijkstra(std::uint32_t source,
-                  const std::vector<std::uint32_t> &targets,
+                  std::span<const std::uint32_t> targets,
                   const DecodeContext &ctx, bool wantEdges,
                   std::vector<Reach> *out, Reach *boundary);
 };

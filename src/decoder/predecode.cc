@@ -1,0 +1,179 @@
+#include "src/decoder/predecode.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/assert.hh"
+
+namespace traq::decoder {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+inline bool
+ctxHides(const GraphEdge &e, const DecodeContext &ctx)
+{
+    return ctx.maxRound >= 0 && e.round > ctx.maxRound;
+}
+
+} // namespace
+
+Predecoder::Predecoder(const DecodeGraph &graph, int radius)
+    : graph_(graph), radius_(radius)
+{
+    TRAQ_REQUIRE(radius_ >= 1, "predecode radius must be >= 1");
+    defectStamp_.assign(graph_.numNodes(), 0);
+    consumedStamp_.assign(graph_.numNodes(), 0);
+    visitStamp_.assign(graph_.numNodes(), 0);
+}
+
+void
+Predecoder::bumpEpoch()
+{
+    if (++epoch_ == 0) {
+        // Stamp wrap: invalidate everything once per 2^32 calls.
+        std::fill(defectStamp_.begin(), defectStamp_.end(), 0);
+        std::fill(consumedStamp_.begin(), consumedStamp_.end(), 0);
+        epoch_ = 1;
+    }
+}
+
+bool
+Predecoder::crowded(std::uint32_t u, std::uint32_t v,
+                    const DecodeContext &ctx)
+{
+    // Hop-limited BFS from {u, v} over visible edges; any *other*
+    // original defect inside the ball rejects the pair.  The ball is
+    // O(degree^radius) nodes — constant for fixed radius.  Visit
+    // marks live on their own epoch so consecutive balls within one
+    // peel don't shadow each other.
+    if (++visitEpoch_ == 0) {
+        std::fill(visitStamp_.begin(), visitStamp_.end(), 0);
+        visitEpoch_ = 1;
+    }
+    bfs_.clear();
+    bfs_.push_back(u);
+    bfs_.push_back(v);
+    visitStamp_[u] = visitEpoch_;
+    visitStamp_[v] = visitEpoch_;
+    std::size_t head = 0;
+    for (int hop = 0; hop < radius_; ++hop) {
+        const std::size_t levelEnd = bfs_.size();
+        for (; head < levelEnd; ++head) {
+            const std::uint32_t x = bfs_[head];
+            for (std::uint32_t ei : graph_.incident(x)) {
+                const GraphEdge &e = graph_.edges()[ei];
+                if (e.u == kBoundary || ctxHides(e, ctx))
+                    continue;
+                const auto y = static_cast<std::uint32_t>(
+                    static_cast<std::uint32_t>(e.u) == x ? e.v
+                                                         : e.u);
+                if (visitStamp_[y] == visitEpoch_)
+                    continue;
+                visitStamp_[y] = visitEpoch_;
+                if (defectStamp_[y] == epoch_)
+                    return true;  // another defect in the ball
+                bfs_.push_back(y);
+            }
+        }
+    }
+    return false;
+}
+
+std::uint32_t
+Predecoder::peel(std::span<const std::uint32_t> syndrome,
+                 const DecodeContext &ctx,
+                 std::vector<std::uint32_t> &residue,
+                 std::vector<std::uint32_t> *usedEdges)
+{
+    TRAQ_REQUIRE(ctx.weights.empty(),
+                 "predecode peels against base weights only");
+    residue.clear();
+    if (syndrome.size() < 2) {
+        residue.assign(syndrome.begin(), syndrome.end());
+        return 0;
+    }
+
+    bumpEpoch();
+    for (std::uint32_t d : syndrome)
+        defectStamp_[d] = epoch_;
+
+    std::uint32_t correction = 0;
+    for (std::uint32_t d : syndrome) {
+        if (consumedStamp_[d] == epoch_)
+            continue;
+        // Scan d's incident edges for adjacent defects and its
+        // cheapest direct boundary exit.
+        std::int32_t partner = -1;
+        std::int32_t pairEdge = -1;
+        double pairW = kInf;
+        double boundaryD = kInf;
+        bool lone = true;
+        for (std::uint32_t ei : graph_.incident(d)) {
+            const GraphEdge &e = graph_.edges()[ei];
+            if (ctxHides(e, ctx))
+                continue;
+            if (e.u == kBoundary) {
+                boundaryD = std::min(boundaryD,
+                                     e.weight + tieBreakEpsilon(ei));
+                continue;
+            }
+            const auto other = static_cast<std::uint32_t>(
+                static_cast<std::uint32_t>(e.u) == d ? e.v : e.u);
+            if (defectStamp_[other] != epoch_)
+                continue;
+            if (partner >= 0 &&
+                static_cast<std::uint32_t>(partner) != other) {
+                lone = false;  // two distinct adjacent defects
+                break;
+            }
+            partner = static_cast<std::int32_t>(other);
+            // Same perturbed weights as the matcher (tieBreakEpsilon)
+            // so parallel-edge and guard ties resolve identically.
+            const double w = e.weight + tieBreakEpsilon(ei);
+            if (w < pairW) {
+                pairW = w;
+                pairEdge = static_cast<std::int32_t>(ei);
+            }
+        }
+        if (!lone || partner < 0 ||
+            consumedStamp_[static_cast<std::uint32_t>(partner)] ==
+                epoch_)
+            continue;
+        const auto v = static_cast<std::uint32_t>(partner);
+
+        // The partner's direct boundary exit, for the optimality
+        // guard below.
+        double boundaryV = kInf;
+        for (std::uint32_t ei : graph_.incident(v)) {
+            const GraphEdge &e = graph_.edges()[ei];
+            if (e.u == kBoundary && !ctxHides(e, ctx))
+                boundaryV = std::min(
+                    boundaryV, e.weight + tieBreakEpsilon(ei));
+        }
+        // Matching the pair to itself must beat sending both defects
+        // out through the boundary.
+        if (pairW > boundaryD + boundaryV)
+            continue;
+        if (crowded(d, v, ctx))
+            continue;
+
+        consumedStamp_[d] = epoch_;
+        consumedStamp_[v] = epoch_;
+        correction ^=
+            graph_.edges()[static_cast<std::uint32_t>(pairEdge)]
+                .observables;
+        if (usedEdges)
+            usedEdges->push_back(
+                static_cast<std::uint32_t>(pairEdge));
+        ++pairsPeeled_;
+    }
+
+    for (std::uint32_t d : syndrome)
+        if (consumedStamp_[d] != epoch_)
+            residue.push_back(d);
+    return correction;
+}
+
+} // namespace traq::decoder

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Predecode fast path: peel isolated defect pairs before matching.
+ *
+ * Below threshold most syndromes are a handful of well-separated
+ * single-mechanism events: two defects joined by one graph edge with
+ * nothing else nearby.  Running Dijkstra + DP matching (or union-find
+ * growth) on those is pure overhead — the optimal correction for an
+ * isolated adjacent pair is the edge itself.  This is the sparse
+ * predecoding idea of the union-find / sparse-blossom line of work:
+ * handle the easy, overwhelmingly common structure in O(degree) and
+ * hand only the residue to the full decoder.
+ *
+ * The peeler is deliberately conservative so that predecode on/off
+ * produce identical corrections (a property the tests lock in on
+ * randomized syndromes): a pair (u, v) is peeled only when
+ *
+ *  - u and v are joined by a visible graph edge (the cheapest such
+ *    edge is the correction),
+ *  - no *other* defect of the original syndrome lies within
+ *    `radius` hops of u or v (so no alternative pairing can involve
+ *    them), and
+ *  - the pair edge is no costlier than the defects' direct boundary
+ *    exits (so matching them to each other, not to the boundary, is
+ *    optimal).
+ *
+ * Isolation is evaluated against the original defect set, never the
+ * partially-peeled one, so the peel is order-independent and
+ * deterministic.  All scratch is epoch-stamped: a peel touches only
+ * the syndrome's neighborhood, not O(nodes).
+ */
+
+#ifndef TRAQ_DECODER_PREDECODE_HH
+#define TRAQ_DECODER_PREDECODE_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/decoder/decode_graph.hh"
+
+namespace traq::decoder {
+
+/** Isolated-pair peeler shared by the outermost decoder stages. */
+class Predecoder
+{
+  public:
+    /**
+     * @param graph  shared decode graph.
+     * @param radius isolation radius in graph hops (>= 1); larger is
+     *               more conservative (fewer peels, safer identity).
+     */
+    explicit Predecoder(const DecodeGraph &graph, int radius = 2);
+
+    /**
+     * Peel isolated adjacent pairs from `syndrome` (flipped detector
+     * ids, ascending).  The un-peeled defects are written to
+     * `residue` (cleared first, order preserved); the return value
+     * is the XOR of the peeled edges' observable masks.  If
+     * usedEdges is non-null the peeled edge indices are appended —
+     * the correlated decoder feeds them into partner reweighting as
+     * first-pass evidence.  Honors ctx.maxRound (hidden edges
+     * neither connect nor count toward isolation); callers must not
+     * pass ctx.weights overrides (peel conditions use base weights).
+     */
+    std::uint32_t peel(std::span<const std::uint32_t> syndrome,
+                       const DecodeContext &ctx,
+                       std::vector<std::uint32_t> &residue,
+                       std::vector<std::uint32_t> *usedEdges);
+
+    /** Pairs peeled since reset(). */
+    std::uint64_t pairsPeeled() const { return pairsPeeled_; }
+    void reset() { pairsPeeled_ = 0; }
+
+  private:
+    const DecodeGraph &graph_;
+    int radius_;
+    std::uint64_t pairsPeeled_ = 0;
+
+    // Epoch-stamped scratch: a mark is valid iff its stamp equals
+    // the current epoch, so per-call resets are O(syndrome), not
+    // O(nodes).
+    std::uint32_t epoch_ = 0;
+    std::vector<std::uint32_t> defectStamp_;
+    std::vector<std::uint32_t> consumedStamp_;
+    /** BFS visit marks get their own epoch, bumped per crowded()
+     *  call: one peel runs several isolation checks, and a node the
+     *  first ball visited must not look visited to the next. */
+    std::uint32_t visitEpoch_ = 0;
+    std::vector<std::uint32_t> visitStamp_;
+    std::vector<std::uint32_t> bfs_;
+
+    void bumpEpoch();
+    /** True if a defect other than u/v lies within radius_ hops. */
+    bool crowded(std::uint32_t u, std::uint32_t v,
+                 const DecodeContext &ctx);
+};
+
+} // namespace traq::decoder
+
+#endif // TRAQ_DECODER_PREDECODE_HH

@@ -18,12 +18,58 @@ UnionFindDecoder::quantize(double w)
                std::lround(std::max(1.0, w))));
 }
 
-UnionFindDecoder::UnionFindDecoder(const DecodeGraph &graph)
+UnionFindDecoder::UnionFindDecoder(const DecodeGraph &graph,
+                                   bool predecode,
+                                   int predecodeRadius)
     : graph_(graph)
 {
+    if (predecode)
+        pre_ = std::make_unique<Predecoder>(graph_, predecodeRadius);
     edgeWeightQ_.reserve(graph_.edges().size());
     for (const auto &e : graph_.edges())
         edgeWeightQ_.push_back(quantize(e.weight));
+
+    const std::size_t n = graph_.numNodes();
+    nodeStamp_.assign(n, 0);
+    parent_.assign(n, 0);
+    rankArr_.assign(n, 0);
+    parity_.assign(n, 0);
+    touchesBoundary_.assign(n, 0);
+    defect_.assign(n, 0);
+    frontier_.resize(n);
+    growthStamp_.assign(graph_.edges().size(), 0);
+    growth_.assign(graph_.edges().size(), 0);
+    adjStamp_.assign(n + 1, 0);
+    peelAdj_.resize(n + 1);
+    visitedStamp_.assign(n + 1, 0);
+    parentEdge_.assign(n + 1, -1);
+}
+
+void
+UnionFindDecoder::bumpEpoch()
+{
+    if (++epoch_ == 0) {
+        // Stamp wrap: invalidate everything once per 2^32 decodes.
+        std::fill(nodeStamp_.begin(), nodeStamp_.end(), 0);
+        std::fill(growthStamp_.begin(), growthStamp_.end(), 0);
+        std::fill(adjStamp_.begin(), adjStamp_.end(), 0);
+        std::fill(visitedStamp_.begin(), visitedStamp_.end(), 0);
+        epoch_ = 1;
+    }
+}
+
+void
+UnionFindDecoder::touchNode(std::int32_t i)
+{
+    if (nodeStamp_[i] != epoch_) {
+        nodeStamp_[i] = epoch_;
+        parent_[i] = i;
+        rankArr_[i] = 0;
+        parity_[i] = 0;
+        touchesBoundary_[i] = 0;
+        defect_[i] = 0;
+        frontier_[i].clear();
+    }
 }
 
 std::int32_t
@@ -59,7 +105,13 @@ UnionFindDecoder::decode(const std::vector<std::uint32_t> &syndrome)
 }
 
 std::uint32_t
-UnionFindDecoder::decodeEx(const std::vector<std::uint32_t> &syndrome,
+UnionFindDecoder::decodeSpan(std::span<const std::uint32_t> syndrome)
+{
+    return decodeEx(syndrome, {}, nullptr);
+}
+
+std::uint32_t
+UnionFindDecoder::decodeEx(std::span<const std::uint32_t> syndrome,
                            const DecodeContext &ctx,
                            std::vector<std::uint32_t> *usedEdges)
 {
@@ -80,28 +132,27 @@ UnionFindDecoder::decodeEx(const std::vector<std::uint32_t> &syndrome,
         return maxRound >= 0 && e.round > maxRound;
     };
 
-    const auto n = static_cast<std::int32_t>(graph_.numNodes());
-    parent_.resize(n);
-    rankArr_.assign(n, 0);
-    parity_.assign(n, 0);
-    touchesBoundary_.assign(n, 0);
-    defect_.assign(n, 0);
-    for (std::int32_t i = 0; i < n; ++i)
-        parent_[i] = i;
-    growth_.assign(graph_.edges().size(), 0);
+    std::uint32_t preCorrection = 0;
+    std::span<const std::uint32_t> syn = syndrome;
+    if (pre_ && ctx.weights.empty()) {
+        preCorrection = pre_->peel(syndrome, ctx, residue_,
+                                   usedEdges);
+        syn = residue_;
+    }
 
-    for (std::uint32_t d : syndrome) {
+    bumpEpoch();
+    for (std::uint32_t d : syn) {
+        touchNode(static_cast<std::int32_t>(d));
         parity_[d] ^= 1;
         defect_[d] ^= 1;
     }
 
     // Frontier edge lists, indexed by cluster root (lazily cleaned).
-    std::vector<std::vector<std::uint32_t>> frontier(n);
     std::vector<std::int32_t> active;
-    for (std::uint32_t d : syndrome) {
+    for (std::uint32_t d : syn) {
         if (parity_[d]) {
-            frontier[d] = graph_.incident(d);
-            active.push_back(d);
+            frontier_[d] = graph_.incident(d);
+            active.push_back(static_cast<std::int32_t>(d));
         }
     }
 
@@ -119,8 +170,8 @@ UnionFindDecoder::decodeEx(const std::vector<std::uint32_t> &syndrome,
                 continue;
 
             std::vector<std::uint32_t> local =
-                std::move(frontier[root]);
-            frontier[root].clear();
+                std::move(frontier_[root]);
+            frontier_[root].clear();
             std::vector<std::uint32_t> keep, pending;
             std::size_t idx = 0;
             for (; idx < local.size(); ++idx) {
@@ -128,12 +179,12 @@ UnionFindDecoder::decodeEx(const std::vector<std::uint32_t> &syndrome,
                 const GraphEdge &e = graph_.edges()[ei];
                 if (hidden(e))
                     continue;  // beyond the round horizon
-                if (growth_[ei] >= weightQ[ei])
+                if (growthOf(ei) >= weightQ[ei])
                     continue;  // already solid
                 if (e.u == kBoundary) {
                     if (find(e.v) != root)
                         continue;  // stale
-                    ++growth_[ei];
+                    growEdge(ei);
                     if (growth_[ei] < weightQ[ei]) {
                         keep.push_back(ei);
                         continue;
@@ -143,13 +194,15 @@ UnionFindDecoder::decodeEx(const std::vector<std::uint32_t> &syndrome,
                     ++idx;
                     break;  // cluster neutralized
                 }
+                touchNode(e.u);
+                touchNode(e.v);
                 std::int32_t ru = find(e.u);
                 std::int32_t rv = find(e.v);
                 if (ru == rv)
                     continue;  // internal edge
                 if (ru != root && rv != root)
                     continue;  // stale inherited edge
-                ++growth_[ei];
+                growEdge(ei);
                 if (growth_[ei] < weightQ[ei]) {
                     keep.push_back(ei);
                     continue;
@@ -160,10 +213,10 @@ UnionFindDecoder::decodeEx(const std::vector<std::uint32_t> &syndrome,
                 std::int32_t farRoot = (ru == root) ? rv : ru;
                 unite(root, farRoot);
                 std::int32_t merged = find(root);
-                if (!frontier[farRoot].empty()) {
-                    for (std::uint32_t fe : frontier[farRoot])
+                if (!frontier_[farRoot].empty()) {
+                    for (std::uint32_t fe : frontier_[farRoot])
                         pending.push_back(fe);
-                    frontier[farRoot].clear();
+                    frontier_[farRoot].clear();
                 }
                 for (std::uint32_t fe :
                      graph_.incident(
@@ -178,7 +231,7 @@ UnionFindDecoder::decodeEx(const std::vector<std::uint32_t> &syndrome,
             // Deposit kept, pending, and any unprocessed tail into the
             // (possibly new) root's frontier.
             std::int32_t m = find(root);
-            auto &dst = frontier[m];
+            auto &dst = frontier_[m];
             for (std::uint32_t fe : keep)
                 dst.push_back(fe);
             for (std::uint32_t fe : pending)
@@ -207,7 +260,7 @@ UnionFindDecoder::decodeEx(const std::vector<std::uint32_t> &syndrome,
         active = std::move(nextActive);
     }
 
-    return peel(solid, usedEdges);
+    return preCorrection ^ peel(solid, usedEdges);
 }
 
 std::uint32_t
@@ -215,19 +268,29 @@ UnionFindDecoder::peel(const std::vector<std::uint32_t> &solidEdges,
                        std::vector<std::uint32_t> *usedEdges)
 {
     // Build adjacency over solid edges; the boundary is a super-node
-    // with id n so excess defects can drain into it.
+    // with id n so excess defects can drain into it.  Adjacency and
+    // visit marks are epoch-stamped (same epoch as the growth stage)
+    // so only the solid region is ever cleared.
     const auto n = static_cast<std::int32_t>(graph_.numNodes());
-    std::vector<std::vector<std::uint32_t>> adj(n + 1);
+    auto touchPeel = [&](std::int32_t node) {
+        if (adjStamp_[node] != epoch_) {
+            adjStamp_[node] = epoch_;
+            peelAdj_[node].clear();
+        }
+    };
     for (std::uint32_t ei : solidEdges) {
         const GraphEdge &e = graph_.edges()[ei];
         std::int32_t u = (e.u == kBoundary) ? n : e.u;
-        adj[u].push_back(ei);
-        adj[e.v].push_back(ei);
+        touchPeel(u);
+        touchPeel(e.v);
+        peelAdj_[u].push_back(ei);
+        peelAdj_[e.v].push_back(ei);
     }
 
     std::uint32_t correction = 0;
-    std::vector<std::int32_t> parentEdge(n + 1, -1);
-    std::vector<std::uint8_t> visited(n + 1, 0);
+    auto visited = [&](std::int32_t node) {
+        return visitedStamp_[node] == epoch_;
+    };
 
     // Root trees at the boundary first.
     std::vector<std::int32_t> roots;
@@ -240,22 +303,22 @@ UnionFindDecoder::peel(const std::vector<std::uint32_t> &solidEdges,
     }
 
     for (std::int32_t rootNode : roots) {
-        if (visited[rootNode])
+        if (visited(rootNode) || adjStamp_[rootNode] != epoch_)
             continue;
-        visited[rootNode] = 1;
+        visitedStamp_[rootNode] = epoch_;
         std::vector<std::int32_t> order{rootNode};
         std::size_t head = 0;
         while (head < order.size()) {
             std::int32_t u = order[head++];
-            for (std::uint32_t ei : adj[u]) {
+            for (std::uint32_t ei : peelAdj_[u]) {
                 const GraphEdge &e = graph_.edges()[ei];
                 std::int32_t a = (e.u == kBoundary) ? n : e.u;
                 std::int32_t b = e.v;
                 std::int32_t w = (a == u) ? b : a;
-                if (visited[w])
+                if (visited(w))
                     continue;
-                visited[w] = 1;
-                parentEdge[w] = static_cast<std::int32_t>(ei);
+                visitedStamp_[w] = epoch_;
+                parentEdge_[w] = static_cast<std::int32_t>(ei);
                 order.push_back(w);
             }
         }
@@ -266,11 +329,11 @@ UnionFindDecoder::peel(const std::vector<std::uint32_t> &solidEdges,
             if (u == rootNode || u == n)
                 continue;
             if (defect_[u]) {
-                const GraphEdge &e = graph_.edges()[parentEdge[u]];
+                const GraphEdge &e = graph_.edges()[parentEdge_[u]];
                 correction ^= e.observables;
                 if (usedEdges)
                     usedEdges->push_back(static_cast<std::uint32_t>(
-                        parentEdge[u]));
+                        parentEdge_[u]));
                 std::int32_t a = (e.u == kBoundary) ? n : e.u;
                 std::int32_t b = e.v;
                 std::int32_t other = (a == u) ? b : a;

@@ -14,16 +14,26 @@
  * correlated decoder's second pass falls back here above the MWPM
  * cap) and/or a round horizon (windowed streaming decode), and can
  * report the correction's edges.
+ *
+ * All per-decode state is an epoch-stamped arena: a mark is valid
+ * only if its stamp matches the current decode's epoch, so a decode
+ * touches O(syndrome neighborhood) memory instead of re-clearing
+ * O(nodes + edges) arrays — the property that makes batch decoding
+ * (decodeBatch over a whole sampler block) scale with defect count,
+ * not graph size.
  */
 
 #ifndef TRAQ_DECODER_UNION_FIND_HH
 #define TRAQ_DECODER_UNION_FIND_HH
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "src/decoder/decode_graph.hh"
 #include "src/decoder/decoder.hh"
+#include "src/decoder/predecode.hh"
 
 namespace traq::decoder {
 
@@ -31,7 +41,17 @@ namespace traq::decoder {
 class UnionFindDecoder final : public Decoder
 {
   public:
-    explicit UnionFindDecoder(const DecodeGraph &graph);
+    /**
+     * @param graph decode graph.
+     * @param predecode peel isolated adjacent defect pairs before
+     *        growing clusters (see Predecoder).  Off by default;
+     *        composites construct their inner stages without it so
+     *        only the outermost decoder peels.
+     * @param predecodeRadius isolation radius for the peeler.
+     */
+    explicit UnionFindDecoder(const DecodeGraph &graph,
+                              bool predecode = false,
+                              int predecodeRadius = 2);
 
     /**
      * Decode one syndrome (list of flipped detector ids).
@@ -39,6 +59,9 @@ class UnionFindDecoder final : public Decoder
      */
     std::uint32_t
     decode(const std::vector<std::uint32_t> &syndrome) override;
+
+    std::uint32_t
+    decodeSpan(std::span<const std::uint32_t> syndrome) override;
 
     /**
      * Decode under a context.  Non-default weights are requantized
@@ -48,24 +71,61 @@ class UnionFindDecoder final : public Decoder
      * appended to it.
      */
     std::uint32_t
-    decodeEx(const std::vector<std::uint32_t> &syndrome,
+    decodeEx(std::span<const std::uint32_t> syndrome,
              const DecodeContext &ctx,
              std::vector<std::uint32_t> *usedEdges);
 
+    void reset() override
+    {
+        if (pre_)
+            pre_->reset();
+    }
     const char *name() const override { return "union-find"; }
+    std::uint64_t predecodedPairs() const override
+    {
+        return pre_ ? pre_->pairsPeeled() : 0;
+    }
 
   private:
     const DecodeGraph &graph_;
+    std::unique_ptr<Predecoder> pre_;
+    std::vector<std::uint32_t> residue_;  //!< post-peel syndrome
     std::vector<std::uint32_t> edgeWeightQ_;  //!< quantized weights
     std::vector<std::uint32_t> ctxWeightQ_;   //!< per-call override
 
-    // Per-decode scratch (sized once, reset cheaply per call).
+    // Epoch-stamped arena (see file comment).  Node state is
+    // initialized on first touch per decode; edge growth likewise.
+    std::uint32_t epoch_ = 0;
+    std::vector<std::uint32_t> nodeStamp_;
     std::vector<std::int32_t> parent_;
     std::vector<std::int32_t> rankArr_;
     std::vector<std::uint8_t> parity_;     //!< defect parity per root
     std::vector<std::uint8_t> touchesBoundary_;
-    std::vector<std::uint32_t> growth_;    //!< per-edge grown amount
     std::vector<std::uint8_t> defect_;
+    std::vector<std::vector<std::uint32_t>> frontier_;
+    std::vector<std::uint32_t> growthStamp_;
+    std::vector<std::uint32_t> growth_;    //!< per-edge grown amount
+    // Peel-stage arena (boundary super-node is index numNodes).
+    std::vector<std::uint32_t> adjStamp_;
+    std::vector<std::vector<std::uint32_t>> peelAdj_;
+    std::vector<std::uint32_t> visitedStamp_;
+    std::vector<std::int32_t> parentEdge_;
+
+    void bumpEpoch();
+    /** Initialize node i's arena slots once per epoch. */
+    void touchNode(std::int32_t i);
+    std::uint32_t growthOf(std::uint32_t ei) const
+    {
+        return growthStamp_[ei] == epoch_ ? growth_[ei] : 0;
+    }
+    void growEdge(std::uint32_t ei)
+    {
+        if (growthStamp_[ei] != epoch_) {
+            growthStamp_[ei] = epoch_;
+            growth_[ei] = 0;
+        }
+        ++growth_[ei];
+    }
 
     std::int32_t find(std::int32_t a);
     void unite(std::int32_t a, std::int32_t b);

@@ -14,31 +14,53 @@ WindowedDecoder::WindowedDecoder(const DecodeGraph &graph,
     TRAQ_REQUIRE(window_ >= 1, "windowRounds must be >= 1");
     TRAQ_REQUIRE(commit_ >= 1 && commit_ <= window_,
                  "need 1 <= commitRounds <= windowRounds");
+    if (resolvePredecode(config.predecode))
+        pre_ = std::make_unique<Predecoder>(graph_,
+                                            config.predecodeRadius);
     parity_.assign(graph_.numNodes(), 0);
 }
 
 std::uint32_t
 WindowedDecoder::decode(const std::vector<std::uint32_t> &syndrome)
 {
+    return decodeSpan(syndrome);
+}
+
+std::uint32_t
+WindowedDecoder::decodeSpan(std::span<const std::uint32_t> syndrome)
+{
     if (syndrome.empty())
         return 0;
+
+    // Peel isolated adjacent pairs before streaming: each is a
+    // single-mechanism event whose two defects no window boundary
+    // could split into different commits anyway.
+    std::uint32_t preCorrection = 0;
+    std::span<const std::uint32_t> syn = syndrome;
+    if (pre_) {
+        preCorrection = pre_->peel(syndrome, {}, residue_, nullptr);
+        syn = residue_;
+        if (syn.empty())
+            return preCorrection;
+    }
+
     const int rounds = graph_.numRounds();
     if (window_ >= rounds) {
         // The window already covers the whole history.
         ++windowsDecoded_;
-        return inner_.decode(syndrome);
+        return preCorrection ^ inner_.decodeSpan(syn);
     }
 
     // parity_ is all-zero between calls (every window run ends with
     // all pending defects consumed), so only touched nodes need
     // clearing — no O(numNodes) sweep per shot.
-    for (std::uint32_t d : syndrome)
+    for (std::uint32_t d : syn)
         parity_[d] ^= 1;
     // Candidate pending nodes; parity_ is the source of truth,
     // entries may be stale or duplicated.
-    pending_.assign(syndrome.begin(), syndrome.end());
+    pending_.assign(syn.begin(), syn.end());
 
-    std::uint32_t correction = 0;
+    std::uint32_t correction = preCorrection;
     for (int base = 0;; base += commit_) {
         const int horizon = base + window_ - 1;
         const bool last = horizon >= rounds - 1;

@@ -26,17 +26,24 @@
  * length) the stream reproduces the whole-history decode bit for
  * bit on memory circuits — the acceptance criterion the tests lock
  * in.
+ *
+ * With predecode on, isolated adjacent pairs are peeled up front
+ * (they are single-mechanism events no window boundary can split
+ * differently) and only the residue streams through the windows.
  */
 
 #ifndef TRAQ_DECODER_WINDOWED_HH
 #define TRAQ_DECODER_WINDOWED_HH
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "src/decoder/decode_graph.hh"
 #include "src/decoder/decoder.hh"
 #include "src/decoder/fallback.hh"
+#include "src/decoder/predecode.hh"
 
 namespace traq::decoder {
 
@@ -50,15 +57,24 @@ class WindowedDecoder final : public Decoder
     std::uint32_t
     decode(const std::vector<std::uint32_t> &syndrome) override;
 
+    std::uint32_t
+    decodeSpan(std::span<const std::uint32_t> syndrome) override;
+
     void reset() override
     {
         inner_.reset();
         windowsDecoded_ = 0;
+        if (pre_)
+            pre_->reset();
     }
     const char *name() const override { return "windowed"; }
     std::uint64_t fallbacks() const override
     {
         return inner_.fallbacks();
+    }
+    std::uint64_t predecodedPairs() const override
+    {
+        return pre_ ? pre_->pairsPeeled() : 0;
     }
 
     /** Window decode steps run since reset() (all shots). */
@@ -67,6 +83,8 @@ class WindowedDecoder final : public Decoder
   private:
     const DecodeGraph &graph_;
     FallbackDecoder inner_;
+    std::unique_ptr<Predecoder> pre_;
+    std::vector<std::uint32_t> residue_;  //!< post-peel syndrome
     int window_;
     int commit_;
 

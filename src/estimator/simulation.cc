@@ -60,6 +60,8 @@ class McLogicalErrorEstimator : public Estimator
             else if (key == "mcThreads")
                 spec.threads = static_cast<unsigned>(
                     asPositive("mcThreads", v));
+            else if (key == "predecode")
+                spec.predecode = static_cast<int>(asInt64(v));
             else
                 TRAQ_FATAL("unknown mc-logical-error parameter '" +
                            key + "'");
@@ -105,6 +107,7 @@ class McLogicalErrorEstimator : public Estimator
         mc.commitRounds = spec.commitRounds;
         mc.threads = spec.threads;
         mc.wordBackend = spec.wordBackend;
+        mc.predecode = spec.predecode;
         const decoder::McResult res = decoder::runMonteCarlo(exp, mc);
 
         EstimateResult out;
@@ -121,6 +124,8 @@ class McLogicalErrorEstimator : public Estimator
              seRounds ? res.anyObservable.mean / seRounds : 0.0},
             {"avgDefects", res.avgDefects},
             {"wordLanes", static_cast<double>(res.wordLanes)},
+            {"predecodedPairs",
+             static_cast<double>(res.predecodedPairs)},
         };
         if (isCnot) {
             out.metrics["x"] = x;

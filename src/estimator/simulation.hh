@@ -63,6 +63,9 @@ struct McSimSpec
     int windowRounds = 6;
     int commitRounds = 2;
     WordBackend wordBackend = WordBackend::Auto;
+    /** Predecode tri-state (McOptions::predecode): negative defers
+     *  to TRAQ_PREDECODE, 0 off, positive on. */
+    int predecode = -1;
 };
 
 /**

@@ -69,12 +69,65 @@ struct FrameBatch
  * per lane; shots whose mask bit is clear are ignored.  out must
  * cover the batch's 64 * lanes shots (shot l * 64 + s lands in
  * out[l * 64 + s]) and arrive cleared: entries are appended, not
- * reset.  Shared by the Monte-Carlo engine and the decoder benches
- * so both measure the same extraction.
+ * reset.  Kept for tests and back-compat callers; the engine hot
+ * path uses extractSyndromeBlock below, which produces the same
+ * syndromes without the per-shot vector traffic.
  */
 void extractSyndromes(const FrameBatch &batch,
                       std::span<const std::uint64_t> liveMask,
                       std::span<std::vector<std::uint32_t>> out);
+
+/**
+ * SoA view of one batch's decode inputs: per-shot syndromes in CSR
+ * layout plus per-shot actual observable-flip masks.
+ *
+ * Shot s's flipped detectors are defects[offsets[s] .. offsets[s+1])
+ * in ascending order; observables[s] is the shot's logical flip
+ * mask (bit k = observable k).  All three arrays are flat and reused
+ * across batches, so a warm extraction performs no heap allocation —
+ * this is what the decoders' decodeBatch entry point consumes.
+ */
+struct SyndromeBlock
+{
+    /** Lanes of the source batch (shots() == 64 * lanes). */
+    unsigned lanes = 1;
+    /** CSR row starts; size shots() + 1 after extraction. */
+    std::vector<std::uint32_t> offsets;
+    /** Flipped detector ids, shot-major, ascending within a shot. */
+    std::vector<std::uint32_t> defects;
+    /** Per-shot actual observable flip masks. */
+    std::vector<std::uint32_t> observables;
+
+    std::uint64_t shots() const { return 64ULL * lanes; }
+
+    /** Shot s's syndrome (flipped detector ids, ascending). */
+    std::span<const std::uint32_t> syndrome(std::uint64_t s) const
+    {
+        return {defects.data() + offsets[s],
+                offsets[s + 1] - offsets[s]};
+    }
+
+  private:
+    friend void extractSyndromeBlock(
+        const FrameBatch &, std::span<const std::uint64_t>,
+        SyndromeBlock &);
+    std::vector<std::uint32_t> cursor_; //!< fill-pass scratch
+};
+
+/**
+ * Extract a whole batch into a SyndromeBlock without transposing
+ * shots out of their lane-major planes: a counting pass and a fill
+ * pass each walk only the *set* bits of the detector planes (zero
+ * words skipped wholesale), and observable planes scatter into the
+ * per-shot masks the same way.  Masked-out shots (liveMask bit
+ * clear) get empty syndromes and zero masks.  Equivalent to
+ * extractSyndromes shot for shot — locked by tests — but with flat
+ * reused storage instead of 64 * lanes per-shot vectors: the decode
+ * hot path's allocation-free SoA hand-off.
+ */
+void extractSyndromeBlock(const FrameBatch &batch,
+                          std::span<const std::uint64_t> liveMask,
+                          SyndromeBlock &out);
 
 /** Bit-sliced frame simulator over a configurable word width. */
 class FrameSimulator

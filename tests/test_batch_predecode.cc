@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Batch-decode and predecode identity tests.
+ *
+ * The two hot-path additions must be invisible to results:
+ *
+ *  - Decoder::decodeBatch over a CSR SyndromeBatch must equal
+ *    per-shot decode() for every registered decoder kind on
+ *    simulator-sampled syndromes (bit identity, not statistics).
+ *  - The predecode fast path (peeling isolated adjacent defect
+ *    pairs) must produce corrections identical to predecode-off for
+ *    every kind, on randomized syndromes and through the full
+ *    Monte-Carlo engine at 1 and N threads, while actually peeling
+ *    (predecodedPairs > 0) so the test exercises the path.
+ *
+ * Plus unit tests of the Predecoder's peel conditions on a
+ * hand-built chain graph and the TRAQ_PREDECODE loudness contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "src/codes/experiments.hh"
+#include "src/common/assert.hh"
+#include "src/common/word.hh"
+#include "src/decoder/monte_carlo.hh"
+#include "src/decoder/predecode.hh"
+#include "src/sim/dem.hh"
+#include "src/sim/frame.hh"
+
+namespace traq::decoder {
+namespace {
+
+using codes::CircuitMeta;
+using sim::DetectorErrorModel;
+using sim::ErrorMechanism;
+
+/** 1D chain DEM: boundary edge on each end, pair edges between
+ *  neighbors (same shape as test_decoder_interface). */
+DetectorErrorModel
+chainDem(int n, double p)
+{
+    DetectorErrorModel dem;
+    dem.numDetectors = n;
+    dem.numObservables = 1;
+    ErrorMechanism left;
+    left.probability = p;
+    left.detectors = {0};
+    left.observables = 1;
+    dem.errors.push_back(left);
+    for (int i = 0; i + 1 < n; ++i) {
+        ErrorMechanism e;
+        e.probability = p;
+        e.detectors = {static_cast<std::uint32_t>(i),
+                       static_cast<std::uint32_t>(i + 1)};
+        dem.errors.push_back(e);
+    }
+    ErrorMechanism right;
+    right.probability = p;
+    right.detectors = {static_cast<std::uint32_t>(n - 1)};
+    dem.errors.push_back(right);
+    return dem;
+}
+
+CircuitMeta
+chainMeta(int n)
+{
+    CircuitMeta meta;
+    meta.detectorIsX.assign(n, 0);
+    meta.observableIsX.assign(1, 0);
+    return meta;
+}
+
+/** Sample `batches` simulator batches of `exp` and append each
+ *  shot's syndrome (and block view data) to a CSR accumulator. */
+struct SampledSyndromes
+{
+    std::vector<std::uint32_t> offsets{0};
+    std::vector<std::uint32_t> defects;
+
+    std::uint64_t shots() const { return offsets.size() - 1; }
+    SyndromeBatch view() const
+    {
+        SyndromeBatch b;
+        b.offsets = offsets;
+        b.defects = defects;
+        return b;
+    }
+    std::vector<std::uint32_t> syndrome(std::uint64_t s) const
+    {
+        return {defects.begin() + offsets[s],
+                defects.begin() + offsets[s + 1]};
+    }
+};
+
+SampledSyndromes
+sampleSyndromes(const codes::Experiment &exp, unsigned lanes,
+                int batches, std::uint64_t seed)
+{
+    sim::FrameSimulator fsim(seed, lanes);
+    sim::FrameBatch batch;
+    sim::SyndromeBlock block;
+    const std::vector<std::uint64_t> live(lanes, ~0ULL);
+    SampledSyndromes out;
+    for (int b = 0; b < batches; ++b) {
+        fsim.sampleInto(exp.circuit, batch);
+        sim::extractSyndromeBlock(batch, live, block);
+        for (std::uint64_t s = 0; s < block.shots(); ++s) {
+            const auto syn = block.syndrome(s);
+            out.defects.insert(out.defects.end(), syn.begin(),
+                               syn.end());
+            out.offsets.push_back(
+                static_cast<std::uint32_t>(out.defects.size()));
+        }
+    }
+    return out;
+}
+
+TEST(BatchDecode, MatchesPerShotForAllRegisteredKinds)
+{
+    // decodeBatch must be bit-identical to per-shot decode() for
+    // every registered decoder on real sampled syndromes.  The batch
+    // decoder is a separate warm instance, so arena-scratch reuse
+    // across shots is exactly what this exercises.
+    codes::SurfaceCode sc(3);
+    auto e = codes::buildMemory(sc, 'Z', 3,
+                                codes::NoiseParams::uniform(0.02));
+    const auto graph =
+        DecodeGraph::fromDem(sim::buildDem(e.circuit), e.meta);
+    const auto syn =
+        sampleSyndromes(e, kWideWordLanes, 4, 0xba7c);
+    ASSERT_GT(syn.shots(), 0u);
+
+    for (DecoderKind kind : registeredDecoderKinds()) {
+        auto batchDec = makeDecoder(kind, graph);
+        auto shotDec = makeDecoder(kind, graph);
+        std::vector<std::uint32_t> got(syn.shots());
+        batchDec->decodeBatch(syn.view(), got);
+        for (std::uint64_t s = 0; s < syn.shots(); ++s)
+            ASSERT_EQ(got[s], shotDec->decode(syn.syndrome(s)))
+                << decoderKindName(kind) << " shot " << s;
+    }
+}
+
+TEST(Predecode, OnOffCorrectionsIdenticalForAllKinds)
+{
+    // The peeler's conservative conditions are supposed to make the
+    // fast path invisible: for every registered kind, predecode on
+    // and off must emit the same correction on every sampled shot —
+    // and the on-decoder must actually peel something, or the test
+    // proves nothing.
+    codes::SurfaceCode sc(3);
+    auto mem = codes::buildMemory(sc, 'Z', 3,
+                                  codes::NoiseParams::uniform(0.01));
+    codes::TransversalCnotSpec spec;
+    spec.distance = 3;
+    spec.cnotLayers = 2;
+    spec.cnotsPerBatch = 1;
+    spec.seRoundsPerBatch = 1;
+    spec.noise = codes::NoiseParams::uniform(0.01);
+    auto cnot = codes::buildTransversalCnot(spec);
+
+    for (const auto *exp : {&mem, &cnot}) {
+        const auto graph = DecodeGraph::fromDem(
+            sim::buildDem(exp->circuit), exp->meta);
+        const auto syn =
+            sampleSyndromes(*exp, kWideWordLanes, 6, 0x9e31);
+        for (DecoderKind kind : registeredDecoderKinds()) {
+            DecoderConfig off;
+            off.predecode = 0;
+            DecoderConfig on;
+            on.predecode = 1;
+            auto decOff = makeDecoder(kind, graph, off);
+            auto decOn = makeDecoder(kind, graph, on);
+            for (std::uint64_t s = 0; s < syn.shots(); ++s) {
+                const auto shot = syn.syndrome(s);
+                // The bare MWPM kind throws above its defect cap
+                // (by design); only the capped kinds see everything.
+                if (kind == DecoderKind::Mwpm && shot.size() > 16)
+                    continue;
+                ASSERT_EQ(decOn->decode(shot), decOff->decode(shot))
+                    << decoderKindName(kind) << " shot " << s;
+            }
+            EXPECT_GT(decOn->predecodedPairs(), 0u)
+                << decoderKindName(kind);
+            EXPECT_EQ(decOff->predecodedPairs(), 0u);
+            decOn->reset();
+            EXPECT_EQ(decOn->predecodedPairs(), 0u);
+        }
+    }
+}
+
+TEST(Predecode, EngineResultsIdenticalAndThreadInvariant)
+{
+    // Through the full engine: predecode is purely a throughput
+    // knob, so every tallied quantity must match the off-run, at any
+    // thread count, and the batch path must report its peels.
+    codes::SurfaceCode sc(3);
+    auto e = codes::buildMemory(sc, 'Z', 3,
+                                codes::NoiseParams::uniform(0.01));
+    McOptions opts;
+    opts.shots = 4000;
+    opts.seed = 777;
+    opts.shardShots = 512;
+    opts.predecode = 0;
+    opts.threads = 1;
+    const auto off = runMonteCarlo(e, opts);
+    EXPECT_EQ(off.predecodedPairs, 0u);
+
+    opts.predecode = 1;
+    for (unsigned threads : {1u, 4u}) {
+        opts.threads = threads;
+        const auto on = runMonteCarlo(e, opts);
+        EXPECT_EQ(on.anyObservable.hits, off.anyObservable.hits);
+        EXPECT_EQ(on.shots, off.shots);
+        ASSERT_EQ(on.perObservable.size(),
+                  off.perObservable.size());
+        for (std::size_t k = 0; k < off.perObservable.size(); ++k)
+            EXPECT_EQ(on.perObservable[k].hits,
+                      off.perObservable[k].hits);
+        EXPECT_DOUBLE_EQ(on.avgDefects, off.avgDefects);
+        EXPECT_EQ(on.mwpmFallbacks, off.mwpmFallbacks);
+        EXPECT_GT(on.predecodedPairs, 0u);
+    }
+}
+
+TEST(Predecode, PeelerHonorsIsolationAndBoundaryGuards)
+{
+    const int n = 9;
+    auto dem = chainDem(n, 0.01);
+    const auto g = DecodeGraph::fromDem(dem, chainMeta(n));
+    Predecoder pre(g, /*radius=*/2);
+    std::vector<std::uint32_t> residue;
+    std::vector<std::uint32_t> used;
+
+    // Isolated interior pair: peeled, no residue, interior edges
+    // carry no observable.
+    std::vector<std::uint32_t> pair{3, 4};
+    EXPECT_EQ(pre.peel(pair, {}, residue, &used), 0u);
+    EXPECT_TRUE(residue.empty());
+    EXPECT_EQ(pre.pairsPeeled(), 1u);
+    ASSERT_EQ(used.size(), 1u);
+    const GraphEdge &e = g.edges()[used[0]];
+    EXPECT_TRUE((e.u == 3 && e.v == 4) || (e.u == 4 && e.v == 3));
+
+    // A lone defect is never peeled.
+    std::vector<std::uint32_t> lone{5};
+    EXPECT_EQ(pre.peel(lone, {}, residue, nullptr), 0u);
+    EXPECT_EQ(residue, lone);
+
+    // Non-adjacent defects are left for the matcher.
+    std::vector<std::uint32_t> apart{1, 7};
+    pre.peel(apart, {}, residue, nullptr);
+    EXPECT_EQ(residue, apart);
+
+    // A third defect adjacent to the pair blocks it (no lone
+    // partner / crowded ball).
+    std::vector<std::uint32_t> triple{3, 4, 5};
+    pre.peel(triple, {}, residue, nullptr);
+    EXPECT_EQ(residue, triple);
+
+    // ... and so does one at exactly radius 2 from an endpoint.
+    std::vector<std::uint32_t> nearby{3, 4, 6};
+    pre.peel(nearby, {}, residue, nullptr);
+    EXPECT_EQ(residue, nearby);
+
+    // Isolation is judged against the ORIGINAL defect set: two
+    // adjacent pairs too close together both stay.
+    std::vector<std::uint32_t> pairs{1, 2, 4, 5};
+    pre.peel(pairs, {}, residue, nullptr);
+    EXPECT_EQ(residue, pairs);
+
+    // Far-apart pairs peel independently in one call.
+    pre.reset();
+    std::vector<std::uint32_t> two{0, 1, 7, 8};
+    pre.peel(two, {}, residue, nullptr);
+    EXPECT_TRUE(residue.empty());
+    EXPECT_EQ(pre.pairsPeeled(), 2u);
+
+    // Weight overrides are incompatible with peeling by contract.
+    const std::vector<double> w(g.edges().size(), 1.0);
+    DecodeContext ctx;
+    ctx.weights = w;
+    EXPECT_THROW(pre.peel(pair, ctx, residue, nullptr), FatalError);
+
+    EXPECT_THROW(Predecoder(g, 0), FatalError);
+}
+
+TEST(Predecode, EnvResolutionParsesKnownValuesAndFailsLoudly)
+{
+    // Explicit values ignore the environment.
+    ASSERT_EQ(setenv("TRAQ_PREDECODE", "1", 1), 0);
+    EXPECT_FALSE(resolvePredecode(0));
+    ASSERT_EQ(setenv("TRAQ_PREDECODE", "0", 1), 0);
+    EXPECT_TRUE(resolvePredecode(1));
+
+    // Auto (< 0) reads TRAQ_PREDECODE.
+    for (const char *onWord : {"1", "on", "true"}) {
+        ASSERT_EQ(setenv("TRAQ_PREDECODE", onWord, 1), 0);
+        EXPECT_TRUE(resolvePredecode(-1)) << onWord;
+    }
+    for (const char *offWord : {"0", "off", "false", ""}) {
+        ASSERT_EQ(setenv("TRAQ_PREDECODE", offWord, 1), 0);
+        EXPECT_FALSE(resolvePredecode(-1)) << offWord;
+    }
+    ASSERT_EQ(setenv("TRAQ_PREDECODE", "yes", 1), 0);
+    EXPECT_THROW(resolvePredecode(-1), FatalError);
+    ASSERT_EQ(unsetenv("TRAQ_PREDECODE"), 0);
+    EXPECT_FALSE(resolvePredecode(-1));
+}
+
+} // namespace
+} // namespace traq::decoder

@@ -186,7 +186,8 @@ TEST(DecodeGraph, ContextWeightOverrideRedirectsMatching)
     DecodeContext ctx;
     ctx.weights = w;
     std::vector<std::uint32_t> used;
-    EXPECT_EQ(dec.decodeEx({0, 2}, ctx, &used), 1u);
+    const std::vector<std::uint32_t> syn{0, 2};
+    EXPECT_EQ(dec.decodeEx(syn, ctx, &used), 1u);
     // Both boundary exits appear in the used-edge report.
     for (std::uint32_t ei : boundaryEdges)
         EXPECT_NE(std::find(used.begin(), used.end(), ei),
@@ -220,7 +221,8 @@ TEST(DecodeGraph, ContextRoundHorizonHidesFutureEdges)
 
     DecodeContext ctx;
     ctx.maxRound = 0;
-    EXPECT_EQ(dec.decodeEx({0}, ctx, nullptr), 1u);
+    const std::vector<std::uint32_t> lone{0};
+    EXPECT_EQ(dec.decodeEx(lone, ctx, nullptr), 1u);
 }
 
 TEST(DecodeGraph, MetadataSizeMismatchFailsLoudly)

@@ -1,19 +1,25 @@
 /**
  * @file
  * Width-backend agreement tests for the wide bit-plane sampling
- * stack: the scalar (1-lane) and wide (kWideWordLanes) backends must
- * agree exactly on deterministic circuits, statistically on noisy
- * ones, and each backend must stay bit-identical across thread
- * counts.  Also covers extractSyndromes for non-64 widths and
- * partial live masks, and the noise-fusion path.
+ * stack: the scalar (1-lane), wide (kWideWordLanes), and wide512
+ * (kWide512WordLanes) backends must agree exactly on deterministic
+ * circuits, statistically on noisy ones, and each backend must stay
+ * bit-identical across thread counts.  Also covers extractSyndromes
+ * and extractSyndromeBlock for non-64 widths and partial live masks,
+ * TRAQ_WORD_BACKEND resolution (including the loud-failure contract
+ * on unknown values), and the noise-fusion path.
  */
 
 #include <gtest/gtest.h>
 
 #include <bit>
 #include <cmath>
+#include <cstdlib>
+#include <string>
+#include <utility>
 
 #include "src/codes/experiments.hh"
+#include "src/common/assert.hh"
 #include "src/common/word.hh"
 #include "src/decoder/monte_carlo.hh"
 #include "src/sim/frame.hh"
@@ -43,7 +49,8 @@ TEST(WordBackends, DeterministicCircuitAgreesExactly)
     c.detector({2});
     c.detector({1});
     c.observable(0, {1, 2});
-    for (unsigned lanes : {1u, kWideWordLanes, 3u}) {
+    for (unsigned lanes :
+         {1u, kWideWordLanes, kWide512WordLanes, 3u}) {
         FrameSimulator sim(7, lanes);
         FrameBatch b = sim.sample(c);
         ASSERT_EQ(b.lanes, lanes);
@@ -69,7 +76,7 @@ TEST(WordBackends, ObservableFlipCountsAgreeStatistically)
     c.observable(0, {1});
     const std::uint64_t minShots = 1 << 17;
     std::vector<double> rates;
-    for (unsigned lanes : {1u, kWideWordLanes}) {
+    for (unsigned lanes : {1u, kWideWordLanes, kWide512WordLanes}) {
         FrameSimulator sim(99, lanes);
         std::uint64_t shots = 0;
         auto counts = sim.countObservableFlips(c, minShots, &shots);
@@ -79,6 +86,7 @@ TEST(WordBackends, ObservableFlipCountsAgreeStatistically)
     }
     EXPECT_NEAR(rates[0], 0.3, 0.01);
     EXPECT_NEAR(rates[1], rates[0], 0.01);
+    EXPECT_NEAR(rates[2], rates[0], 0.01);
 }
 
 TEST(WordBackends, EngineBackendsAgreeStatistically)
@@ -95,23 +103,31 @@ TEST(WordBackends, EngineBackendsAgreeStatistically)
     auto scalar = decoder::runMonteCarlo(e, opts);
     opts.wordBackend = WordBackend::Wide;
     auto wide = decoder::runMonteCarlo(e, opts);
+    opts.wordBackend = WordBackend::Wide512;
+    auto wide512 = decoder::runMonteCarlo(e, opts);
 
     EXPECT_EQ(scalar.wordLanes, 1u);
     EXPECT_EQ(wide.wordLanes, kWideWordLanes);
+    EXPECT_EQ(wide512.wordLanes, kWide512WordLanes);
     EXPECT_EQ(scalar.shots, wide.shots);
+    EXPECT_EQ(scalar.shots, wide512.shots);
     // ~5 sigma of a binomial proportion at these settings.
     const double sigma =
         std::sqrt(scalar.anyObservable.mean *
                   (1 - scalar.anyObservable.mean) / scalar.shots);
     EXPECT_NEAR(wide.anyObservable.mean, scalar.anyObservable.mean,
                 5.0 * sigma + 1e-12);
+    EXPECT_NEAR(wide512.anyObservable.mean,
+                scalar.anyObservable.mean, 5.0 * sigma + 1e-12);
     EXPECT_NEAR(wide.avgDefects, scalar.avgDefects,
+                0.05 * scalar.avgDefects);
+    EXPECT_NEAR(wide512.avgDefects, scalar.avgDefects,
                 0.05 * scalar.avgDefects);
 }
 
-TEST(WordBackends, WideBackendThreadCountInvariant)
+TEST(WordBackends, WideBackendsThreadCountInvariant)
 {
-    // The per-backend determinism guarantee: with the wide backend,
+    // The per-backend determinism guarantee: for each wide backend,
     // any thread count reproduces the 1-thread tallies exactly.
     codes::SurfaceCode sc(3);
     auto e = codes::buildMemory(sc, 'Z', 3,
@@ -120,30 +136,83 @@ TEST(WordBackends, WideBackendThreadCountInvariant)
     opts.shots = 4000;
     opts.seed = 4242;
     opts.shardShots = 512; // force many shards
-    opts.wordBackend = WordBackend::Wide;
 
-    decoder::McResult ref;
-    bool first = true;
-    for (unsigned threads : {1u, 2u, 4u}) {
-        opts.threads = threads;
-        auto res = decoder::runMonteCarlo(e, opts);
-        EXPECT_EQ(res.wordLanes, kWideWordLanes);
-        if (first) {
-            ref = res;
-            first = false;
-            EXPECT_GT(ref.anyObservable.hits, 0u);
-            continue;
+    for (auto [backend, lanes] :
+         {std::pair{WordBackend::Wide, kWideWordLanes},
+          std::pair{WordBackend::Wide512, kWide512WordLanes}}) {
+        opts.wordBackend = backend;
+        decoder::McResult ref;
+        bool first = true;
+        for (unsigned threads : {1u, 2u, 4u}) {
+            opts.threads = threads;
+            auto res = decoder::runMonteCarlo(e, opts);
+            EXPECT_EQ(res.wordLanes, lanes);
+            if (first) {
+                ref = res;
+                first = false;
+                EXPECT_GT(ref.anyObservable.hits, 0u);
+                continue;
+            }
+            EXPECT_EQ(res.anyObservable.hits,
+                      ref.anyObservable.hits);
+            EXPECT_EQ(res.shots, ref.shots);
+            EXPECT_EQ(res.sampledShots, ref.sampledShots);
+            ASSERT_EQ(res.perObservable.size(),
+                      ref.perObservable.size());
+            for (std::size_t k = 0; k < ref.perObservable.size();
+                 ++k)
+                EXPECT_EQ(res.perObservable[k].hits,
+                          ref.perObservable[k].hits);
+            EXPECT_DOUBLE_EQ(res.avgDefects, ref.avgDefects);
         }
-        EXPECT_EQ(res.anyObservable.hits, ref.anyObservable.hits);
-        EXPECT_EQ(res.shots, ref.shots);
-        EXPECT_EQ(res.sampledShots, ref.sampledShots);
-        ASSERT_EQ(res.perObservable.size(),
-                  ref.perObservable.size());
-        for (std::size_t k = 0; k < ref.perObservable.size(); ++k)
-            EXPECT_EQ(res.perObservable[k].hits,
-                      ref.perObservable[k].hits);
-        EXPECT_DOUBLE_EQ(res.avgDefects, ref.avgDefects);
     }
+}
+
+TEST(WordBackends, EnvResolutionParsesKnownNamesAndFailsLoudly)
+{
+    // Explicit backends pass through untouched regardless of env.
+    ASSERT_EQ(setenv("TRAQ_WORD_BACKEND", "512", 1), 0);
+    EXPECT_EQ(resolveWordBackend(WordBackend::Scalar64),
+              WordBackend::Scalar64);
+    EXPECT_EQ(resolveWordBackend(WordBackend::Wide),
+              WordBackend::Wide);
+
+    // Auto resolves every documented spelling.
+    const std::pair<const char *, WordBackend> spellings[] = {
+        {"64", WordBackend::Scalar64},
+        {"scalar", WordBackend::Scalar64},
+        {"scalar64", WordBackend::Scalar64},
+        {"256", WordBackend::Wide},
+        {"wide", WordBackend::Wide},
+        {"wide256", WordBackend::Wide},
+        {"512", WordBackend::Wide512},
+        {"wide512", WordBackend::Wide512},
+    };
+    for (const auto &[name, want] : spellings) {
+        ASSERT_EQ(setenv("TRAQ_WORD_BACKEND", name, 1), 0);
+        EXPECT_EQ(resolveWordBackend(WordBackend::Auto), want)
+            << name;
+    }
+
+    // Unset / empty default to Wide.
+    ASSERT_EQ(setenv("TRAQ_WORD_BACKEND", "", 1), 0);
+    EXPECT_EQ(resolveWordBackend(WordBackend::Auto),
+              WordBackend::Wide);
+    ASSERT_EQ(unsetenv("TRAQ_WORD_BACKEND"), 0);
+    EXPECT_EQ(resolveWordBackend(WordBackend::Auto),
+              WordBackend::Wide);
+
+    // A typo must throw, not silently fall back to the default.
+    ASSERT_EQ(setenv("TRAQ_WORD_BACKEND", "wide-512", 1), 0);
+    EXPECT_THROW(resolveWordBackend(WordBackend::Auto), FatalError);
+    ASSERT_EQ(unsetenv("TRAQ_WORD_BACKEND"), 0);
+
+    EXPECT_STREQ(wordBackendName(WordBackend::Wide512),
+                 kWide512WordLanes == 8 ? "wide512"
+                                        : "wide512(64)");
+    // Codegen label is one of the three documented values.
+    const std::string cg = wordBackendCodegen();
+    EXPECT_TRUE(cg == "avx512f" || cg == "avx2" || cg == "baseline");
 }
 
 TEST(WordBackends, ExtractSyndromesRoundTripsNon64Widths)
@@ -188,6 +257,86 @@ TEST(WordBackends, ExtractSyndromesRoundTripsNon64Widths)
     for (const auto &s : masked)
         total += s.size();
     EXPECT_EQ(total, 1u + 1u + 3u);
+}
+
+TEST(WordBackends, ExtractSyndromeBlockMatchesPerShotExtraction)
+{
+    // Same hand-built 2-lane batch as above, plus observable planes;
+    // the CSR block must match extractSyndromes shot for shot and
+    // scatter the observable masks correctly.
+    FrameBatch b;
+    b.lanes = 2;
+    b.detectors = {
+        1ULL,        1ULL,        // d0: shots 0, 64
+        8ULL,        1ULL << 63,  // d1: shots 3, 127
+        0ULL,        ~0ULL,       // d2: all of lane 1
+    };
+    b.observables = {
+        2ULL,        0ULL,        // obs0 flips shot 1
+        1ULL << 63,  ~0ULL,       // obs1 flips shot 63 + lane 1
+    };
+
+    const std::vector<std::uint64_t> full{~0ULL, ~0ULL};
+    SyndromeBlock blk;
+    extractSyndromeBlock(b, full, blk);
+    ASSERT_EQ(blk.lanes, 2u);
+    ASSERT_EQ(blk.offsets.size(), b.shots() + 1);
+    ASSERT_EQ(blk.observables.size(), b.shots());
+
+    std::vector<std::vector<std::uint32_t>> ref(b.shots());
+    extractSyndromes(b, full, ref);
+    for (std::uint64_t s = 0; s < b.shots(); ++s) {
+        const auto syn = blk.syndrome(s);
+        ASSERT_EQ(std::vector<std::uint32_t>(syn.begin(),
+                                             syn.end()),
+                  ref[s])
+            << "shot " << s;
+    }
+    EXPECT_EQ(blk.observables[0], 0u);
+    EXPECT_EQ(blk.observables[1], 1u);  // obs0
+    EXPECT_EQ(blk.observables[63], 2u); // obs1
+    EXPECT_EQ(blk.observables[64], 2u); // obs1 (lane 1)
+    EXPECT_EQ(blk.observables[127], 2u);
+
+    // Partial live mask: dead shots come out empty with zero masks.
+    const std::vector<std::uint64_t> partial{7ULL, 7ULL};
+    extractSyndromeBlock(b, partial, blk);
+    std::vector<std::vector<std::uint32_t>> maskedRef(b.shots());
+    extractSyndromes(b, partial, maskedRef);
+    for (std::uint64_t s = 0; s < b.shots(); ++s) {
+        const auto syn = blk.syndrome(s);
+        ASSERT_EQ(std::vector<std::uint32_t>(syn.begin(),
+                                             syn.end()),
+                  maskedRef[s])
+            << "shot " << s;
+    }
+    EXPECT_EQ(blk.observables[63], 0u); // masked out
+    EXPECT_EQ(blk.observables[64], 2u); // still live
+
+    // Simulator-sampled batch: the block and the per-shot extraction
+    // must agree on real noisy data across every backend width.
+    codes::SurfaceCode sc(3);
+    auto e = codes::buildMemory(sc, 'Z', 3,
+                                codes::NoiseParams::uniform(0.05));
+    for (unsigned lanes : {1u, kWideWordLanes, kWide512WordLanes}) {
+        FrameSimulator sim(31337, lanes);
+        FrameBatch nb = sim.sample(e.circuit);
+        const std::vector<std::uint64_t> live(lanes, ~0ULL);
+        SyndromeBlock nblk;
+        extractSyndromeBlock(nb, live, nblk);
+        std::vector<std::vector<std::uint32_t>> nref(nb.shots());
+        extractSyndromes(nb, live, nref);
+        std::uint64_t defects = 0;
+        for (std::uint64_t s = 0; s < nb.shots(); ++s) {
+            const auto syn = nblk.syndrome(s);
+            ASSERT_EQ(std::vector<std::uint32_t>(syn.begin(),
+                                                 syn.end()),
+                      nref[s])
+                << "lanes " << lanes << " shot " << s;
+            defects += syn.size();
+        }
+        EXPECT_GT(defects, 0u) << "lanes " << lanes;
+    }
 }
 
 TEST(WordBackends, FusedNoiseMatchesCombinedProbability)
