@@ -66,3 +66,40 @@ if ! grep -q " 3 cache hits" "$stats"; then
     exit 1
 fi
 echo "service-smoke: OK   $(cat "$stats")"
+
+# Noise-model leg: "noise.<source>.<param>" request keys and the
+# erasureAware toggle through the same service path.  Pinned to the
+# scalar64 word backend (one lane in every build) so the golden
+# bytes survive the CI word-backend matrix.  Regenerate with:
+#   TRAQ_WORD_BACKEND=scalar64 build/traq_serve --threads 1 \
+#       < tests/data/noise_requests.jsonl \
+#       > tests/data/noise_requests.golden.jsonl
+NOISE_REQUESTS="$ROOT/tests/data/noise_requests.jsonl"
+NOISE_GOLDEN="$ROOT/tests/data/noise_requests.golden.jsonl"
+
+TRAQ_WORD_BACKEND=scalar64 "$SERVE" --threads 1 \
+    < "$NOISE_REQUESTS" > "$out1" 2> "$stats"
+TRAQ_WORD_BACKEND=scalar64 "$SERVE" --threads 4 \
+    < "$NOISE_REQUESTS" > "$outn" 2> /dev/null
+if ! diff -u "$out1" "$outn"; then
+    echo "service-smoke: FAIL noise leg 1 vs 4 threads differs" >&2
+    exit 1
+fi
+echo "service-smoke: OK   noise leg 1 vs 4 threads byte-identical"
+
+if ! diff -u "$NOISE_GOLDEN" "$out1"; then
+    echo "service-smoke: FAIL noise output differs from golden" \
+         "($NOISE_GOLDEN; see above to regenerate after an" \
+         "intentional change)" >&2
+    exit 1
+fi
+echo "service-smoke: OK   noise golden output matches"
+
+# The noise set repeats its first request — one cache hit — and its
+# erasure-aware line must beat the erasure-blind twin on hits.
+if ! grep -q " 1 cache hits" "$stats"; then
+    echo "service-smoke: FAIL expected 1 noise cache hit:" >&2
+    cat "$stats" >&2
+    exit 1
+fi
+echo "service-smoke: OK   $(cat "$stats")"

@@ -49,6 +49,7 @@ Tally::merge(const Tally &other)
     weight += other.weight;
     aux += other.aux;
     aux2 += other.aux2;
+    aux3 += other.aux3;
     ensureBins(other.binHits.size());
     for (std::size_t i = 0; i < other.binHits.size(); ++i)
         binHits[i] += other.binHits[i];

@@ -45,6 +45,7 @@ struct Tally
     std::uint64_t weight = 0;    //!< generic accumulator (defects).
     std::uint64_t aux = 0;       //!< generic accumulator (fallbacks).
     std::uint64_t aux2 = 0;      //!< generic accumulator (predecodes).
+    std::uint64_t aux3 = 0;      //!< generic accumulator (heralds).
     std::vector<std::uint64_t> binHits; //!< per-bin hit counts.
 
     /** Size binHits (idempotent; sizes must agree when merging). */

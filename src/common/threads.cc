@@ -1,8 +1,13 @@
 #include "src/common/threads.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
+#include <limits>
+#include <string>
 #include <thread>
+
+#include "src/common/assert.hh"
 
 namespace traq {
 
@@ -12,10 +17,23 @@ resolveThreadCount(unsigned requested)
     if (requested > 0)
         return requested;
     if (const char *env = std::getenv("TRAQ_THREADS")) {
-        char *end = nullptr;
-        const long v = std::strtol(env, &end, 10);
-        if (end != env && *end == '\0' && v > 0)
+        // Same loudness contract as TRAQ_WORD_BACKEND /
+        // TRAQ_PREDECODE: an unparseable value throws instead of
+        // silently falling back to hardware concurrency (a typo in a
+        // determinism harness must not quietly change the run).
+        // Unset or empty still means "use the hardware".
+        if (*env != '\0') {
+            errno = 0;
+            char *end = nullptr;
+            const long v = std::strtol(env, &end, 10);
+            TRAQ_REQUIRE(
+                end != env && *end == '\0' && errno != ERANGE &&
+                    v > 0 &&
+                    v <= std::numeric_limits<unsigned>::max(),
+                "TRAQ_THREADS must be a positive integer, got '" +
+                    std::string(env) + "'");
             return static_cast<unsigned>(v);
+        }
     }
     return std::max(1u, std::thread::hardware_concurrency());
 }

@@ -41,10 +41,21 @@ CorrelatedDecoder::decodeEx(
     std::span<const std::uint32_t> syndrome,
     const DecodeContext &ctx, std::vector<std::uint32_t> *usedEdges)
 {
-    TRAQ_REQUIRE(ctx.weights.empty(),
-                 "correlated decoder owns its weight overrides");
     if (syndrome.empty())
         return 0;
+
+    // External overrides (herald-zeroed weights) replace the graph
+    // weights as the base of both passes.  The scratch copy is
+    // reassigned every overridden call, so no restore pass is needed
+    // on that path.
+    const bool hasOverride = !ctx.weights.empty();
+    std::vector<double> *wp = &weights_;
+    if (hasOverride) {
+        TRAQ_REQUIRE(ctx.weights.size() == graph_.edges().size(),
+                     "weight override must cover all edges");
+        ovWeights_.assign(ctx.weights.begin(), ctx.weights.end());
+        wp = &ovWeights_;
+    }
 
     // Predecode peels only the *first* (evidence) pass: the peeled
     // edges seed used_ so partner reweighting sees the same evidence
@@ -56,7 +67,7 @@ CorrelatedDecoder::decodeEx(
     used_.clear();
     std::uint32_t preCorrection = 0;
     std::span<const std::uint32_t> syn = syndrome;
-    if (pre_) {
+    if (pre_ && !hasOverride) {
         preCorrection = pre_->peel(syndrome, ctx, residue_,
                                    &used_);
         syn = residue_;
@@ -84,38 +95,49 @@ CorrelatedDecoder::decodeEx(
     // ever decreases (evidence can make an edge more likely, never
     // less), and never below the configured cap's weight.
     touched_.clear();
+    bool boosted = false;
     for (std::uint32_t ei : used_) {
         const auto qs = graph_.partners(ei);
         const auto cond = graph_.partnerCond(ei);
         for (std::size_t k = 0; k < qs.size(); ++k) {
             const std::uint32_t q = qs[k];
             const GraphEdge &eq = graph_.edges()[q];
+            const double base =
+                hasOverride ? ctx.weights[q] : eq.weight;
+            const double cur = (*wp)[q];
             // Combine the existing belief with the new evidence as
             // independent alternatives: p' = p + c - p * c, capped
-            // at the configured posterior ceiling.
+            // at the configured posterior ceiling.  An untouched
+            // override weight converts back to a probability via
+            // the log-odds it encodes (clamped to the >= 0 domain
+            // the matcher uses).
             const double pPrior =
-                weights_[q] == eq.weight
-                    ? eq.probability
-                    : 1.0 / (1.0 + std::exp(weights_[q]));
+                cur != base
+                    ? 1.0 / (1.0 + std::exp(cur))
+                    : (hasOverride
+                           ? 1.0 / (1.0 +
+                                    std::exp(std::max(base, 0.0)))
+                           : eq.probability);
             const double p2 = std::min(
                 boostCap_, pPrior + cond[k] - pPrior * cond[k]);
             const double w2 =
                 std::log((1.0 - p2) / std::max(p2, 1e-12));
-            if (w2 < weights_[q]) {
+            if (w2 < cur) {
                 // Record the first effective touch only, so the
                 // restoration below rewinds exactly once.
-                if (weights_[q] == eq.weight)
+                if (!hasOverride && cur == base)
                     touched_.push_back(q);
-                weights_[q] = w2;
+                (*wp)[q] = w2;
+                boosted = true;
             }
         }
     }
-    if (touched_.empty())
+    if (!boosted)
         return first;  // no evidence worth a second pass
 
     ++secondPasses_;
     DecodeContext second = ctx;
-    second.weights = weights_;
+    second.weights = *wp;
     const std::uint32_t correction =
         inner_.decodeEx(syndrome, second, usedEdges);
     for (std::uint32_t q : touched_)

@@ -57,15 +57,26 @@ class CorrelatedDecoder final : public Decoder
 
     /**
      * Context-aware decode: the round horizon (if any) applies to
-     * both passes.  External weight overrides are not supported
-     * (the two-pass reweighting owns the weight array).  With
-     * predecode on, peeled edges join the first pass's evidence, so
-     * partner reweighting sees the same mechanisms either way.
+     * both passes.  External weight overrides (the erasure-aware
+     * path) become the base weights of both passes: partner
+     * reweighting then lowers edges below their *overridden* weight,
+     * so herald-zeroed edges stay free and correlation evidence
+     * still stacks on the rest.  With predecode on, peeled edges
+     * join the first pass's evidence, so partner reweighting sees
+     * the same mechanisms either way (peeling is skipped under an
+     * override, matching the other decoders).
      */
     std::uint32_t
     decodeEx(std::span<const std::uint32_t> syndrome,
              const DecodeContext &ctx,
              std::vector<std::uint32_t> *usedEdges);
+
+    std::uint32_t
+    decodeWithContext(std::span<const std::uint32_t> syndrome,
+                      const DecodeContext &ctx) override
+    {
+        return decodeEx(syndrome, ctx, nullptr);
+    }
 
     void reset() override
     {
@@ -94,6 +105,7 @@ class CorrelatedDecoder final : public Decoder
     std::vector<std::uint32_t> residue_;  //!< post-peel syndrome
     double boostCap_;               //!< posterior probability ceiling
     std::vector<double> weights_;   //!< base weights, patched per shot
+    std::vector<double> ovWeights_; //!< override-base scratch
     std::vector<std::uint32_t> used_;
     std::vector<std::uint32_t> touched_;
     std::uint64_t secondPasses_ = 0;

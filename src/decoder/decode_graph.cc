@@ -72,6 +72,9 @@ DecodeGraph::fromDem(const sim::DetectorErrorModel &dem,
     std::vector<EdgeKey> mechParts;
     std::vector<std::pair<std::vector<EdgeKey>, double>>
         siblingGroups;
+    // Herald-channel provenance per accumulated edge key: every part
+    // of a channel-tagged mechanism inherits the tag.
+    std::map<EdgeKey, std::vector<std::uint32_t>> keyChannels;
 
     auto addPart = [&](std::int64_t a, std::int64_t b,
                        std::uint32_t obs, double p) {
@@ -132,6 +135,17 @@ DecodeGraph::fromDem(const sim::DetectorErrorModel &dem,
         if (mechParts.size() >= 2)
             siblingGroups.emplace_back(mechParts,
                                        mech.probability);
+        if (!mech.channels.empty()) {
+            for (const EdgeKey &key : mechParts) {
+                auto &chs = keyChannels[key];
+                for (std::uint32_t c : mech.channels) {
+                    auto pos =
+                        std::lower_bound(chs.begin(), chs.end(), c);
+                    if (pos == chs.end() || *pos != c)
+                        chs.insert(pos, c);
+                }
+            }
+        }
     }
 
     // Materialize edges; parallel edges with differing obs stay
@@ -174,6 +188,42 @@ DecodeGraph::fromDem(const sim::DetectorErrorModel &dem,
         if (e.v != kBoundary)
             g.adj_[static_cast<std::size_t>(e.v)].push_back(idx);
     }
+
+    // Herald-channel provenance CSR (edge -> channels) and its
+    // transpose (channel -> edges).  Both sides iterate edges in
+    // index order, so every list comes out sorted.
+    g.numHeraldChannels_ = dem.numHeraldChannels;
+    g.channelStart_.assign(g.edges_.size() + 1, 0);
+    for (const auto &[key, chs] : keyChannels) {
+        auto it = keyToEdge.find(key);
+        if (it != keyToEdge.end())
+            g.channelStart_[it->second + 1] = chs.size();
+    }
+    for (std::size_t i = 0; i < g.edges_.size(); ++i)
+        g.channelStart_[i + 1] += g.channelStart_[i];
+    g.channelList_.assign(g.channelStart_.back(), 0);
+    std::vector<std::size_t> chCount(g.numHeraldChannels_ + 1, 0);
+    for (const auto &[key, chs] : keyChannels) {
+        auto it = keyToEdge.find(key);
+        if (it == keyToEdge.end())
+            continue;
+        std::size_t at = g.channelStart_[it->second];
+        for (std::uint32_t c : chs) {
+            g.channelList_[at++] = c;
+            ++chCount[c + 1];
+        }
+    }
+    g.channelEdgeStart_.assign(g.numHeraldChannels_ + 1, 0);
+    for (std::uint32_t c = 0; c < g.numHeraldChannels_; ++c)
+        g.channelEdgeStart_[c + 1] =
+            g.channelEdgeStart_[c] + chCount[c + 1];
+    g.channelEdgeList_.assign(g.channelEdgeStart_.back(), 0);
+    std::vector<std::size_t> chFill(g.channelEdgeStart_.begin(),
+                                    g.channelEdgeStart_.end() - 1);
+    for (std::uint32_t ei = 0;
+         ei < static_cast<std::uint32_t>(g.edges_.size()); ++ei)
+        for (std::uint32_t c : g.edgeChannels(ei))
+            g.channelEdgeList_[chFill[c]++] = ei;
 
     // Partner hints: edges decomposed from one mechanism reference
     // each other.  Many mechanisms can merge onto the same edge pair

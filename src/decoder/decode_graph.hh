@@ -160,6 +160,35 @@ class DecodeGraph
     /** Total partner links (2x the number of correlated pairs). */
     std::size_t numPartnerLinks() const { return partnerList_.size(); }
 
+    /** Herald channels of the source DEM (0 = no erasure noise). */
+    std::uint32_t numHeraldChannels() const
+    {
+        return numHeraldChannels_;
+    }
+
+    /**
+     * Herald channels whose erasure components contributed to edge
+     * ei (mechanism provenance, sorted; usually empty).
+     */
+    std::span<const std::uint32_t> edgeChannels(std::uint32_t ei) const
+    {
+        return {channelList_.data() + channelStart_[ei],
+                channelStart_[ei + 1] - channelStart_[ei]};
+    }
+
+    /**
+     * Edges a fired herald channel c can explain (sorted edge
+     * indices).  The erasure-aware decode path zeroes these edges'
+     * weights in a per-shot DecodeContext override: an erased qubit's
+     * Paulis are uniformly random, so traversing its edges carries no
+     * evidence cost.
+     */
+    std::span<const std::uint32_t> channelEdges(std::uint32_t c) const
+    {
+        return {channelEdgeList_.data() + channelEdgeStart_[c],
+                channelEdgeStart_[c + 1] - channelEdgeStart_[c]};
+    }
+
     /** SE round of a detector (0 when metadata had no rounds). */
     std::int32_t detectorRound(std::uint32_t d) const
     {
@@ -209,6 +238,13 @@ class DecodeGraph
     std::vector<std::size_t> partnerStart_;
     std::vector<std::uint32_t> partnerList_;
     std::vector<double> partnerCondP_;
+    /** CSR herald-channel provenance per edge, and its transpose
+     *  (edges per channel) for the per-shot erasure reweighting. */
+    std::uint32_t numHeraldChannels_ = 0;
+    std::vector<std::size_t> channelStart_;
+    std::vector<std::uint32_t> channelList_;
+    std::vector<std::size_t> channelEdgeStart_;
+    std::vector<std::uint32_t> channelEdgeList_;
     std::vector<std::int32_t> detectorPatch_;
     std::vector<std::int32_t> detectorRound_;
     std::vector<std::int32_t> observablePatch_;

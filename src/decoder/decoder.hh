@@ -27,6 +27,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/common/assert.hh"
 #include "src/decoder/decode_graph.hh"
 
 namespace traq::decoder {
@@ -195,6 +196,26 @@ class Decoder
         const std::uint64_t n = batch.shots();
         for (std::uint64_t s = 0; s < n; ++s)
             out[s] = decodeSpan(batch.syndrome(s));
+    }
+
+    /**
+     * Decode one syndrome under per-shot context overrides — the
+     * erasure-aware entry point.  The engine zeroes the weights of
+     * edges explainable by fired herald channels and hands the
+     * override span in here; every built-in decoder kind overrides
+     * this to thread the context through its matching passes.  The
+     * base implementation only accepts an empty context (it routes
+     * to decodeSpan), so external registrations that predate the
+     * context stay correct rather than silently ignoring overrides.
+     */
+    virtual std::uint32_t
+    decodeWithContext(std::span<const std::uint32_t> syndrome,
+                      const DecodeContext &ctx)
+    {
+        TRAQ_REQUIRE(ctx.weights.empty() && ctx.maxRound < 0,
+                     "decodeWithContext: this decoder does not "
+                     "support context overrides");
+        return decodeSpan(syndrome);
     }
 
     /** Clear per-run statistics (fallback counters etc.). */

@@ -32,14 +32,38 @@ struct MonteCarloEngine::Worker
     sim::SyndromeBlock block;
     /** Per-shot predicted flip masks for one batch. */
     std::vector<std::uint32_t> predicted;
+    /** Ascending-defect-count decode order for one batch. */
+    std::vector<std::uint32_t> perm;
+    /** Permuted CSR block + its predictions (sorted decode). */
+    std::vector<std::uint32_t> sortedOffsets;
+    std::vector<std::uint32_t> sortedDefects;
+    std::vector<std::uint32_t> predictedSorted;
+    /** Per-edge weights for erasure reweighting (graph weights
+     *  between shots; fired channels' edges zeroed per shot). */
+    std::vector<double> ctxWeights;
+    std::vector<std::uint32_t> ctxTouched;
 };
 
 MonteCarloEngine::MonteCarloEngine(const codes::Experiment &exp,
                                    const McOptions &opts)
-    : exp_(exp), opts_(opts),
-      graph_(DecodeGraph::fromDem(sim::buildDem(exp.circuit),
-                                  exp.meta))
+    : exp_(exp), opts_(opts)
 {
+    recompile();
+}
+
+void
+MonteCarloEngine::recompile()
+{
+    noiseKey_ = opts_.noiseSpec.canonical();
+    if (opts_.noiseSpec.empty()) {
+        circuit_ = &exp_.circuit;
+    } else {
+        compiled_ = noise::NoiseModel::fromSpec(opts_.noiseSpec)
+                        .compile(exp_.circuit);
+        circuit_ = &compiled_;
+    }
+    graph_ = DecodeGraph::fromDem(sim::buildDem(*circuit_),
+                                  exp_.meta);
     TRAQ_REQUIRE(graph_.numUndetectableLogical() == 0,
                  "circuit has undetectable logical errors");
 }
@@ -48,8 +72,10 @@ Tally
 MonteCarloEngine::runShard(std::uint64_t shard,
                            std::uint64_t shardShots, Worker &w)
 {
-    const auto &circuit = exp_.circuit;
+    const auto &circuit = *circuit_;
     const std::uint32_t numObs = circuit.numObservables();
+    const bool haveHeralds = circuit.numHeraldChannels() > 0;
+    const bool erasureAware = haveHeralds && opts_.erasureAware;
     const unsigned lanes = w.fsim.lanes();
     const std::uint64_t batchShots = w.fsim.shotsPerBatch();
 
@@ -88,7 +114,77 @@ MonteCarloEngine::runShard(std::uint64_t shard,
                         static_cast<std::size_t>(n) + 1};
         view.defects = {w.block.defects.data(),
                         w.block.offsets[n]};
-        w.dec->decodeBatch(view, w.predicted);
+
+        if (erasureAware) {
+            // Per-shot decode: shots with fired heralds get a
+            // context that zeroes the weight of every edge those
+            // channels can explain; clean shots take the plain path.
+            for (std::uint64_t s = 0; s < n; ++s) {
+                const auto heralds = w.block.heralds(s);
+                if (heralds.empty()) {
+                    w.predicted[s] =
+                        w.dec->decodeSpan(view.syndrome(s));
+                    continue;
+                }
+                ++tally.aux3;
+                for (std::uint32_t c : heralds)
+                    for (std::uint32_t ei : graph_.channelEdges(c))
+                        if (w.ctxWeights[ei] != 0.0) {
+                            w.ctxTouched.push_back(ei);
+                            w.ctxWeights[ei] = 0.0;
+                        }
+                DecodeContext ctx;
+                ctx.weights = w.ctxWeights;
+                w.predicted[s] =
+                    w.dec->decodeWithContext(view.syndrome(s), ctx);
+                for (std::uint32_t ei : w.ctxTouched)
+                    w.ctxWeights[ei] = graph_.edges()[ei].weight;
+                w.ctxTouched.clear();
+            }
+        } else {
+            // Batch decode in ascending-defect-count order: cheap
+            // shots drain first with a warm arena and the expensive
+            // tail stays cache-resident.  The permutation is stable
+            // and the predictions are scattered back, so the output
+            // (and every per-shot correction) is bit-identical to
+            // in-order decoding.
+            w.perm.resize(n);
+            for (std::uint64_t s = 0; s < n; ++s)
+                w.perm[s] = static_cast<std::uint32_t>(s);
+            std::stable_sort(
+                w.perm.begin(), w.perm.end(),
+                [&](std::uint32_t a, std::uint32_t b) {
+                    return view.offsets[a + 1] - view.offsets[a] <
+                           view.offsets[b + 1] - view.offsets[b];
+                });
+            w.sortedOffsets.resize(n + 1);
+            w.sortedDefects.resize(view.defects.size());
+            w.predictedSorted.resize(n);
+            w.sortedOffsets[0] = 0;
+            for (std::uint64_t i = 0; i < n; ++i) {
+                const std::uint32_t s = w.perm[i];
+                const auto syn = view.syndrome(s);
+                std::copy(syn.begin(), syn.end(),
+                          w.sortedDefects.begin() +
+                              w.sortedOffsets[i]);
+                w.sortedOffsets[i + 1] =
+                    w.sortedOffsets[i] +
+                    static_cast<std::uint32_t>(syn.size());
+            }
+            SyndromeBatch sortedView;
+            sortedView.offsets = {w.sortedOffsets.data(),
+                                  static_cast<std::size_t>(n) + 1};
+            sortedView.defects = {w.sortedDefects.data(),
+                                  w.sortedOffsets[n]};
+            w.dec->decodeBatch(sortedView, w.predictedSorted);
+            for (std::uint64_t i = 0; i < n; ++i)
+                w.predicted[w.perm[i]] = w.predictedSorted[i];
+            if (haveHeralds)
+                for (std::uint64_t s = 0; s < n; ++s)
+                    if (w.block.heraldOffsets[s + 1] >
+                        w.block.heraldOffsets[s])
+                        ++tally.aux3;
+        }
 
         for (std::uint64_t s = 0; s < n; ++s) {
             std::uint32_t diff =
@@ -119,6 +215,11 @@ McResult
 MonteCarloEngine::run(const McOptions &opts)
 {
     opts_ = opts;
+    // A changed noise spec invalidates the compiled circuit, the
+    // DEM and the decode graph; an unchanged one reuses them all
+    // (the sweep-amortization contract of this class).
+    if (opts_.noiseSpec.canonical() != noiseKey_)
+        recompile();
     // Resolve the word backend once per run so every worker uses the
     // same lane count even if the environment changes mid-run.
     lanes_ = wordBackendLanes(opts_.wordBackend);
@@ -130,7 +231,7 @@ MonteCarloEngine::run(const McOptions &opts)
     shardUnit_ =
         (shardUnit_ + batchShots - 1) / batchShots * batchShots;
 
-    const std::uint32_t numObs = exp_.circuit.numObservables();
+    const std::uint32_t numObs = circuit_->numObservables();
     const std::uint64_t numShards =
         (opts_.shots + shardUnit_ - 1) / shardUnit_;
 
@@ -161,6 +262,12 @@ MonteCarloEngine::run(const McOptions &opts)
         try {
             Worker w(lanes_);
             w.dec = makeDecoder(kind, graph_, decCfg);
+            if (opts_.erasureAware &&
+                circuit_->numHeraldChannels() > 0) {
+                w.ctxWeights.reserve(graph_.edges().size());
+                for (const auto &e : graph_.edges())
+                    w.ctxWeights.push_back(e.weight);
+            }
             std::uint64_t shard;
             while ((shard = nextShard.fetch_add(1)) < numShards) {
                 const std::uint64_t lo = shard * shardUnit_;
@@ -218,6 +325,7 @@ MonteCarloEngine::run(const McOptions &opts)
             : 0.0;
     res.mwpmFallbacks = total.aux;
     res.predecodedPairs = total.aux2;
+    res.heraldedShots = total.aux3;
     res.decoder = decoderKindName(kind);
     res.shards = numShards;
     res.threadsUsed = threads;

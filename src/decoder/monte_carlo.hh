@@ -28,6 +28,7 @@
 #define TRAQ_DECODER_MONTE_CARLO_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/codes/experiments.hh"
@@ -35,6 +36,7 @@
 #include "src/common/word.hh"
 #include "src/decoder/decode_graph.hh"
 #include "src/decoder/decoder.hh"
+#include "src/noise/noise.hh"
 
 namespace traq::decoder {
 
@@ -86,6 +88,24 @@ struct McOptions
      * setup.
      */
     std::uint64_t shardShots = 4096;
+    /**
+     * Extra noise-source stack (src/noise) compiled over the
+     * experiment's circuit before sampling.  Empty (the default)
+     * runs the circuit exactly as built — bit-identical to an engine
+     * without this field.  The engine rebuilds its DEM and decode
+     * graph whenever the spec changes between run() calls.
+     */
+    noise::NoiseSpec noiseSpec{};
+    /**
+     * Use per-shot heralded-erasure flags: shots with fired heralds
+     * are decoded under a DecodeContext that zeroes the weight of
+     * every edge the fired channels can explain (an erased qubit's
+     * replacement Pauli is uniformly random, so traversing its edges
+     * carries no evidence cost).  Off = erasure-blind decoding of
+     * the same circuit; only meaningful when the noise spec emits
+     * HERALDED_ERASE instructions.
+     */
+    bool erasureAware = true;
 };
 
 /** Results of a Monte-Carlo run. */
@@ -108,6 +128,9 @@ struct McResult
     std::uint64_t mwpmFallbacks = 0; //!< shots decoded by UF fallback
     /** Defect pairs peeled by the predecode fast path (0 when off). */
     std::uint64_t predecodedPairs = 0;
+    /** Shots with at least one fired herald flag (0 without
+     *  herald-emitting noise). */
+    std::uint64_t heraldedShots = 0;
     /** Name of the decoder kind actually run (after TRAQ_DECODER). */
     const char *decoder = "";
     std::uint64_t shards = 0;        //!< shards the run was split into
@@ -143,9 +166,18 @@ class MonteCarloEngine
 
     const codes::Experiment &exp_;
     McOptions opts_;
+    /** Noise-compiled circuit (unused when the spec is empty). */
+    sim::Circuit compiled_;
+    /** Circuit actually sampled: &exp_.circuit or &compiled_. */
+    const sim::Circuit *circuit_ = nullptr;
+    /** Canonical key of the spec compiled_/graph_ were built for. */
+    std::string noiseKey_;
     DecodeGraph graph_;
     unsigned lanes_ = 1;          //!< resolved word lanes per batch
     std::uint64_t shardUnit_ = 0; //!< shots/shard, multiple of batch
+
+    /** (Re)compile the noise spec and rebuild DEM + decode graph. */
+    void recompile();
 
     /** Decode shard `shard` (shardShots shots) into a fresh tally. */
     Tally runShard(std::uint64_t shard, std::uint64_t shardShots,

@@ -75,6 +75,13 @@ class UnionFindDecoder final : public Decoder
              const DecodeContext &ctx,
              std::vector<std::uint32_t> *usedEdges);
 
+    std::uint32_t
+    decodeWithContext(std::span<const std::uint32_t> syndrome,
+                      const DecodeContext &ctx) override
+    {
+        return decodeEx(syndrome, ctx, nullptr);
+    }
+
     void reset() override
     {
         if (pre_)

@@ -29,15 +29,25 @@ WindowedDecoder::decode(const std::vector<std::uint32_t> &syndrome)
 std::uint32_t
 WindowedDecoder::decodeSpan(std::span<const std::uint32_t> syndrome)
 {
+    return decodeWithContext(syndrome, {});
+}
+
+std::uint32_t
+WindowedDecoder::decodeWithContext(
+    std::span<const std::uint32_t> syndrome, const DecodeContext &ctx)
+{
+    TRAQ_REQUIRE(ctx.maxRound < 0,
+                 "windowed decoder owns the round horizon");
     if (syndrome.empty())
         return 0;
 
     // Peel isolated adjacent pairs before streaming: each is a
     // single-mechanism event whose two defects no window boundary
-    // could split into different commits anyway.
+    // could split into different commits anyway.  Skipped under a
+    // weight override (matching the other decoders' peelers).
     std::uint32_t preCorrection = 0;
     std::span<const std::uint32_t> syn = syndrome;
-    if (pre_) {
+    if (pre_ && ctx.weights.empty()) {
         preCorrection = pre_->peel(syndrome, {}, residue_, nullptr);
         syn = residue_;
         if (syn.empty())
@@ -48,7 +58,7 @@ WindowedDecoder::decodeSpan(std::span<const std::uint32_t> syndrome)
     if (window_ >= rounds) {
         // The window already covers the whole history.
         ++windowsDecoded_;
-        return preCorrection ^ inner_.decodeSpan(syn);
+        return preCorrection ^ inner_.decodeEx(syn, ctx, nullptr);
     }
 
     // parity_ is all-zero between calls (every window run ends with
@@ -77,11 +87,11 @@ WindowedDecoder::decodeSpan(std::span<const std::uint32_t> syndrome)
 
         if (!sub.empty()) {
             ++windowsDecoded_;
-            DecodeContext ctx;
-            ctx.maxRound = horizon;
+            DecodeContext wctx = ctx;
+            wctx.maxRound = horizon;
             used_.clear();
             const std::uint32_t corr =
-                inner_.decodeEx(sub, ctx, &used_);
+                inner_.decodeEx(sub, wctx, &used_);
             if (last) {
                 // Final window: everything commits.
                 correction ^= corr;

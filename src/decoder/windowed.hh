@@ -60,6 +60,16 @@ class WindowedDecoder final : public Decoder
     std::uint32_t
     decodeSpan(std::span<const std::uint32_t> syndrome) override;
 
+    /**
+     * Context-aware decode: per-edge weight overrides (the
+     * erasure-aware path) apply to every window's inner decode; the
+     * streaming round horizon stays this decoder's own (a caller
+     * maxRound is rejected — the window schedule owns it).
+     */
+    std::uint32_t
+    decodeWithContext(std::span<const std::uint32_t> syndrome,
+                      const DecodeContext &ctx) override;
+
     void reset() override
     {
         inner_.reset();

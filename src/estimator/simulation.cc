@@ -62,6 +62,13 @@ class McLogicalErrorEstimator : public Estimator
                     asPositive("mcThreads", v));
             else if (key == "predecode")
                 spec.predecode = static_cast<int>(asInt64(v));
+            else if (key == "erasureAware")
+                spec.erasureAware = v != 0.0;
+            else if (key.rfind("noise.", 0) == 0)
+                // Flat noise-stack encoding; setFlat validates the
+                // key shape, makeNoiseSource (at engine compile
+                // time) the source and parameter names.
+                spec.noiseSpec.setFlat(key, v);
             else
                 TRAQ_FATAL("unknown mc-logical-error parameter '" +
                            key + "'");
@@ -108,6 +115,8 @@ class McLogicalErrorEstimator : public Estimator
         mc.threads = spec.threads;
         mc.wordBackend = spec.wordBackend;
         mc.predecode = spec.predecode;
+        mc.noiseSpec = spec.noiseSpec;
+        mc.erasureAware = spec.erasureAware;
         const decoder::McResult res = decoder::runMonteCarlo(exp, mc);
 
         EstimateResult out;
@@ -131,6 +140,14 @@ class McLogicalErrorEstimator : public Estimator
             out.metrics["x"] = x;
             out.metrics["pPerCnot"] =
                 res.anyObservable.mean / spec.cnotLayers;
+        }
+        if (!spec.noiseSpec.empty()) {
+            out.metrics["heraldedShots"] =
+                static_cast<double>(res.heraldedShots);
+            out.metrics["heraldRate"] =
+                res.shots ? static_cast<double>(res.heraldedShots) /
+                                res.shots
+                          : 0.0;
         }
         return out;
     }

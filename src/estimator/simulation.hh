@@ -38,6 +38,7 @@
 #include "src/common/word.hh"
 #include "src/decoder/decoder.hh"
 #include "src/estimator/estimator.hh"
+#include "src/noise/noise.hh"
 
 namespace traq::est {
 
@@ -66,6 +67,16 @@ struct McSimSpec
     /** Predecode tri-state (McOptions::predecode): negative defers
      *  to TRAQ_PREDECODE, 0 off, positive on. */
     int predecode = -1;
+    /**
+     * Extra noise-source stack (src/noise) compiled over the
+     * experiment circuit.  Request parameters named
+     * "noise.<source>.<param>" populate this spec, so a noise stack
+     * sweeps and serializes like any other scalar axis.
+     */
+    noise::NoiseSpec noiseSpec{};
+    /** Herald-driven edge reweighting (McOptions::erasureAware);
+     *  request parameter "erasureAware" (0 / 1). */
+    bool erasureAware = true;
 };
 
 /**

@@ -1,0 +1,451 @@
+#include "src/noise/noise.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <sstream>
+
+#include "src/common/assert.hh"
+#include "src/common/serialize.hh"
+#include "src/platform/movement.hh"
+
+namespace traq::noise {
+namespace {
+
+/**
+ * Parameter-map reader that validates names and ranges up front.
+ * Every source constructor drains one of these and then calls
+ * finish(), so a misspelled parameter throws instead of no-opping.
+ */
+class ParamReader
+{
+  public:
+    ParamReader(const std::string &source,
+                const std::map<std::string, double> &params)
+        : source_(source), params_(params)
+    {}
+
+    double
+    get(const std::string &name, double fallback)
+    {
+        seen_.push_back(name);
+        auto it = params_.find(name);
+        return it == params_.end() ? fallback : it->second;
+    }
+
+    void
+    finish() const
+    {
+        for (const auto &[name, value] : params_) {
+            (void)value;
+            if (std::find(seen_.begin(), seen_.end(), name) ==
+                seen_.end()) {
+                std::ostringstream oss;
+                oss << "unknown parameter '" << name
+                    << "' for noise source '" << source_
+                    << "' (known:";
+                for (const auto &k : seen_)
+                    oss << " " << k;
+                oss << ")";
+                TRAQ_FATAL(oss.str());
+            }
+        }
+    }
+
+  private:
+    std::string source_;
+    const std::map<std::string, double> &params_;
+    std::vector<std::string> seen_;
+};
+
+void
+requireProb(double p, const char *what)
+{
+    TRAQ_REQUIRE(p >= 0.0 && p <= 1.0,
+                 std::string(what) + " must be in [0, 1]");
+}
+
+bool
+isTwoQubitGate(sim::Gate g)
+{
+    return g == sim::Gate::CX || g == sim::Gate::CZ ||
+           g == sim::Gate::SWAP;
+}
+
+/**
+ * Emit one loss-style channel on `qs`: the heralded fraction eta as
+ * HERALDED_ERASE(p * eta), the undetected remainder as its exact
+ * Pauli-twirl DEPOLARIZE1(3 p (1 - eta) / 4) (an unflagged erasure
+ * is I/X/Y/Z at p/4 each; the I component is a no-op, leaving the
+ * three Pauli components at p/4 = DEPOLARIZE1 components at
+ * (3p/4) / 3).
+ */
+void
+emitLoss(double p, double eta, const std::vector<std::uint32_t> &qs,
+         sim::Circuit &out)
+{
+    if (p <= 0.0 || qs.empty())
+        return;
+    if (eta > 0.0)
+        out.heraldedErase(p * eta, qs);
+    const double residue = 3.0 * p * (1.0 - eta) / 4.0;
+    if (residue > 0.0)
+        out.depolarize1(residue, qs);
+}
+
+/** Atom loss after every two-qubit gate, herald-flagged. */
+class AtomLossSource final : public NoiseSource
+{
+  public:
+    explicit AtomLossSource(
+        const std::map<std::string, double> &params)
+    {
+        ParamReader r("atom-loss", params);
+        p_ = r.get("p", 1e-3);
+        eta_ = r.get("heraldEff", 1.0);
+        r.finish();
+        requireProb(p_, "atom-loss p");
+        requireProb(eta_, "atom-loss heraldEff");
+    }
+
+    const char *name() const override { return "atom-loss"; }
+
+    void
+    after(const sim::Instruction &inst, const CompileInfo &info,
+          sim::Circuit &out) override
+    {
+        (void)info;
+        if (isTwoQubitGate(inst.gate))
+            emitLoss(p_, eta_, inst.targets, out);
+    }
+
+  private:
+    double p_ = 0.0;
+    double eta_ = 1.0;
+};
+
+/** Leakage out of the qubit subspace after every unitary. */
+class LeakageSource final : public NoiseSource
+{
+  public:
+    explicit LeakageSource(
+        const std::map<std::string, double> &params)
+    {
+        ParamReader r("leakage", params);
+        p_ = r.get("p", 1e-4);
+        eta_ = r.get("heraldEff", 0.5);
+        r.finish();
+        requireProb(p_, "leakage p");
+        requireProb(eta_, "leakage heraldEff");
+    }
+
+    const char *name() const override { return "leakage"; }
+
+    void
+    after(const sim::Instruction &inst, const CompileInfo &info,
+          sim::Circuit &out) override
+    {
+        (void)info;
+        const sim::GateInfo &gi = sim::gateInfo(inst.gate);
+        if (gi.unitary && inst.gate != sim::Gate::I)
+            emitLoss(p_, eta_, inst.targets, out);
+    }
+
+  private:
+    double p_ = 0.0;
+    double eta_ = 0.5;
+};
+
+/**
+ * Dephasing of spectator qubits while a measurement is pipelined
+ * with a block move (Sec. IV.2): every qubit NOT being measured
+ * waits out max(measure, move) and dephases with
+ * p = (1 - exp(-t / T2)) / 2.
+ */
+class IdleDephasingSource final : public NoiseSource
+{
+  public:
+    explicit IdleDephasingSource(
+        const std::map<std::string, double> &params)
+    {
+        ParamReader r("idle-dephasing", params);
+        t2_ = r.get("t2", 1.0);
+        moveSites_ = r.get("moveSites", 2.0);
+        r.finish();
+        TRAQ_REQUIRE(t2_ > 0.0, "idle-dephasing t2 must be > 0");
+        TRAQ_REQUIRE(moveSites_ >= 0.0,
+                     "idle-dephasing moveSites must be >= 0");
+    }
+
+    const char *name() const override { return "idle-dephasing"; }
+
+    void
+    before(const sim::Instruction &inst, const CompileInfo &info,
+           sim::Circuit &out) override
+    {
+        if (!sim::gateInfo(inst.gate).measurement)
+            return;
+        platform::MoveSchedule sched(info.platform);
+        sched.addPipelinedMeasureMove(moveSites_);
+        const double t = sched.totalTime();
+        const double p = 0.5 * (1.0 - std::exp(-t / t2_));
+        if (p <= 0.0)
+            return;
+        idle_.clear();
+        for (std::uint32_t q = 0; q < info.numQubits; ++q)
+            if (std::find(inst.targets.begin(), inst.targets.end(),
+                          q) == inst.targets.end())
+                idle_.push_back(q);
+        if (!idle_.empty())
+            out.zError(p, idle_);
+    }
+
+  private:
+    double t2_ = 1.0;
+    double moveSites_ = 2.0;
+    std::vector<std::uint32_t> idle_;
+};
+
+/** Perfectly correlated two-qubit Pauli noise after entanglers. */
+class CorrelatedPauliSource final : public NoiseSource
+{
+  public:
+    explicit CorrelatedPauliSource(
+        const std::map<std::string, double> &params)
+    {
+        ParamReader r("correlated-pauli", params);
+        p_ = r.get("p", 1e-4);
+        r.finish();
+        requireProb(p_, "correlated-pauli p");
+    }
+
+    const char *name() const override { return "correlated-pauli"; }
+
+    void
+    after(const sim::Instruction &inst, const CompileInfo &info,
+          sim::Circuit &out) override
+    {
+        (void)info;
+        if (isTwoQubitGate(inst.gate) && p_ > 0.0)
+            out.correlatedPauli2(p_, inst.targets);
+    }
+
+  private:
+    double p_ = 0.0;
+};
+
+/**
+ * Readout bias: the physical flip before a measurement is stronger
+ * for one outcome (bright/dark asymmetry), modeled as
+ * p (1 + bias) in the measured basis's flip direction.
+ */
+class BiasedMeasurementSource final : public NoiseSource
+{
+  public:
+    explicit BiasedMeasurementSource(
+        const std::map<std::string, double> &params)
+    {
+        ParamReader r("biased-measurement", params);
+        p_ = r.get("p", 1e-3);
+        bias_ = r.get("bias", 0.0);
+        r.finish();
+        requireProb(p_, "biased-measurement p");
+        TRAQ_REQUIRE(bias_ >= -1.0 && bias_ <= 1.0,
+                     "biased-measurement bias must be in [-1, 1]");
+    }
+
+    const char *name() const override
+    {
+        return "biased-measurement";
+    }
+
+    void
+    before(const sim::Instruction &inst, const CompileInfo &info,
+           sim::Circuit &out) override
+    {
+        (void)info;
+        const double pUp =
+            std::clamp(p_ * (1.0 + bias_), 0.0, 1.0);
+        const double pDown =
+            std::clamp(p_ * (1.0 - bias_), 0.0, 1.0);
+        if (inst.gate == sim::Gate::M ||
+            inst.gate == sim::Gate::MR) {
+            if (pUp > 0.0)
+                out.xError(pUp, inst.targets);
+        } else if (inst.gate == sim::Gate::MX) {
+            if (pDown > 0.0)
+                out.zError(pDown, inst.targets);
+        }
+    }
+
+  private:
+    double p_ = 0.0;
+    double bias_ = 0.0;
+};
+
+/** The registry; guarded for concurrent registration/lookup. */
+struct Registry
+{
+    std::mutex mutex;
+    std::map<std::string, NoiseSourceFactory> factories;
+};
+
+Registry &
+registry()
+{
+    static Registry *r = [] {
+        auto *reg = new Registry;
+        reg->factories["atom-loss"] = [](const auto &p) {
+            return std::make_unique<AtomLossSource>(p);
+        };
+        reg->factories["leakage"] = [](const auto &p) {
+            return std::make_unique<LeakageSource>(p);
+        };
+        reg->factories["idle-dephasing"] = [](const auto &p) {
+            return std::make_unique<IdleDephasingSource>(p);
+        };
+        reg->factories["correlated-pauli"] = [](const auto &p) {
+            return std::make_unique<CorrelatedPauliSource>(p);
+        };
+        reg->factories["biased-measurement"] = [](const auto &p) {
+            return std::make_unique<BiasedMeasurementSource>(p);
+        };
+        return reg;
+    }();
+    return *r;
+}
+
+} // namespace
+
+std::string
+NoiseSpec::canonical() const
+{
+    std::ostringstream oss;
+    bool firstSource = true;
+    for (const auto &src : sources) {
+        if (!firstSource)
+            oss << "|";
+        firstSource = false;
+        oss << src.name << "(";
+        bool firstParam = true;
+        for (const auto &[k, v] : src.params) {
+            if (!firstParam)
+                oss << ",";
+            firstParam = false;
+            oss << k << "=" << fmtRoundTrip(v);
+        }
+        oss << ")";
+    }
+    return oss.str();
+}
+
+void
+NoiseSpec::setFlat(std::string_view key, double value)
+{
+    constexpr std::string_view prefix = "noise.";
+    TRAQ_REQUIRE(key.substr(0, prefix.size()) == prefix,
+                 "flat noise key must start with 'noise.'");
+    const std::string_view rest = key.substr(prefix.size());
+    const std::size_t dot = rest.find('.');
+    TRAQ_REQUIRE(dot != std::string_view::npos && dot > 0 &&
+                     dot + 1 < rest.size(),
+                 "flat noise key must be noise.<source>.<param>");
+    const std::string source(rest.substr(0, dot));
+    const std::string param(rest.substr(dot + 1));
+    for (auto &src : sources) {
+        if (src.name == source) {
+            src.params[param] = value;
+            return;
+        }
+    }
+    sources.push_back({source, {{param, value}}});
+}
+
+std::map<std::string, double>
+NoiseSpec::flat() const
+{
+    std::map<std::string, double> out;
+    for (const auto &src : sources)
+        for (const auto &[k, v] : src.params)
+            out["noise." + src.name + "." + k] = v;
+    return out;
+}
+
+void
+registerNoiseSource(const std::string &name,
+                    NoiseSourceFactory factory)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.factories[name] = std::move(factory);
+}
+
+std::unique_ptr<NoiseSource>
+makeNoiseSource(const NoiseSourceSpec &spec)
+{
+    NoiseSourceFactory factory;
+    {
+        Registry &r = registry();
+        std::lock_guard<std::mutex> lock(r.mutex);
+        auto it = r.factories.find(spec.name);
+        if (it == r.factories.end()) {
+            std::ostringstream oss;
+            oss << "unknown noise source '" << spec.name
+                << "' (registered:";
+            for (const auto &[k, f] : r.factories) {
+                (void)f;
+                oss << " " << k;
+            }
+            oss << ")";
+            TRAQ_FATAL(oss.str());
+        }
+        factory = it->second;
+    }
+    return factory(spec.params);
+}
+
+std::vector<std::string>
+registeredNoiseSources()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    std::vector<std::string> names;
+    names.reserve(r.factories.size());
+    for (const auto &[k, f] : r.factories) {
+        (void)f;
+        names.push_back(k);
+    }
+    return names;
+}
+
+NoiseModel
+NoiseModel::fromSpec(const NoiseSpec &spec)
+{
+    NoiseModel model;
+    model.sources_.reserve(spec.sources.size());
+    for (const auto &src : spec.sources)
+        model.sources_.push_back(makeNoiseSource(src));
+    return model;
+}
+
+sim::Circuit
+NoiseModel::compile(const sim::Circuit &circuit,
+                    const platform::AtomArrayParams &params) const
+{
+    if (sources_.empty())
+        return circuit;
+    CompileInfo info;
+    info.numQubits = circuit.numQubits();
+    info.platform = params;
+    sim::Circuit out;
+    for (const sim::Instruction &inst : circuit.instructions()) {
+        for (const auto &src : sources_)
+            src->before(inst, info, out);
+        out.append(inst);
+        for (const auto &src : sources_)
+            src->after(inst, info, out);
+    }
+    return out;
+}
+
+} // namespace traq::noise

@@ -111,6 +111,9 @@ Circuit::bump(const Instruction &inst)
         auto idx = static_cast<std::uint32_t>(inst.arg);
         numObservables_ = std::max(numObservables_, idx + 1);
     }
+    if (inst.gate == Gate::HERALDED_ERASE)
+        numHeraldChannels_ +=
+            static_cast<std::uint32_t>(inst.targets.size());
 }
 
 void

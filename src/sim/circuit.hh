@@ -93,6 +93,10 @@ class Circuit
     { append(Gate::DEPOLARIZE1, std::move(qs), p); }
     void depolarize2(double p, std::vector<std::uint32_t> qPairs)
     { append(Gate::DEPOLARIZE2, std::move(qPairs), p); }
+    void heraldedErase(double p, std::vector<std::uint32_t> qs)
+    { append(Gate::HERALDED_ERASE, std::move(qs), p); }
+    void correlatedPauli2(double p, std::vector<std::uint32_t> qPairs)
+    { append(Gate::CORRELATED_PAULI2, std::move(qPairs), p); }
     /// @}
 
     /** Concatenate another circuit (annotations stay valid). */
@@ -107,6 +111,14 @@ class Circuit
     std::uint64_t numDetectors() const { return numDetectors_; }
     /** One past the largest observable index used. */
     std::uint32_t numObservables() const { return numObservables_; }
+    /**
+     * Herald channels declared so far: each HERALDED_ERASE target is
+     * one channel, numbered in instruction order.  The frame sampler
+     * emits one herald bit-plane per channel and the DEM tags the
+     * erasure's error mechanisms with the same ids.
+     */
+    std::uint32_t numHeraldChannels() const
+    { return numHeraldChannels_; }
 
     /** Total instruction target count (a cheap size proxy). */
     std::size_t totalTargets() const;
@@ -123,6 +135,7 @@ class Circuit
     std::uint64_t numMeasurements_ = 0;
     std::uint64_t numDetectors_ = 0;
     std::uint32_t numObservables_ = 0;
+    std::uint32_t numHeraldChannels_ = 0;
 
     void validate(const Instruction &inst) const;
     void bump(const Instruction &inst);

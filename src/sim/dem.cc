@@ -233,21 +233,40 @@ buildDem(const Circuit &circuit, bool discardInvisible)
         }
     };
 
-    // Pass 2: enumerate error components.
+    // Pass 2: enumerate error components.  Each merged entry keeps
+    // the XOR-combined probability plus the union of herald channels
+    // whose erasure components merged into it (the provenance the
+    // decode graph exposes for erasure-aware reweighting).
+    struct MergedMech
+    {
+        double p = 0.0;
+        std::vector<std::uint32_t> channels;
+    };
     std::map<std::pair<std::vector<std::uint32_t>, std::uint32_t>,
-             double> merged;
+             MergedMech> merged;
     std::vector<std::uint32_t> dets;
     std::uint32_t obs = 0;
+    // Herald channel counter: one id per HERALDED_ERASE target in
+    // instruction order — the exact numbering the frame sampler
+    // emits herald planes in.
+    std::uint32_t heraldChannel = 0;
 
-    auto record = [&](double p) {
+    auto record = [&](double p, std::int64_t channel = -1) {
         if (p <= 0.0)
             return;
         if (discardInvisible && dets.empty() && obs == 0)
             return;
         auto key = std::make_pair(dets, obs);
-        auto [it, fresh] = merged.try_emplace(key, 0.0);
-        it->second = pXor(it->second, p);
+        auto [it, fresh] = merged.try_emplace(key);
+        it->second.p = pXor(it->second.p, p);
         (void)fresh;
+        if (channel >= 0) {
+            auto &ch = it->second.channels;
+            const auto c = static_cast<std::uint32_t>(channel);
+            auto pos = std::lower_bound(ch.begin(), ch.end(), c);
+            if (pos == ch.end() || *pos != c)
+                ch.insert(pos, c);
+        }
     };
 
     for (std::size_t i = 0; i < insts.size(); ++i) {
@@ -294,6 +313,38 @@ buildDem(const Circuit &circuit, bool discardInvisible)
                 }
             }
             break;
+          case Gate::HERALDED_ERASE:
+            // Erasure = maximally mixed replacement: I/X/Y/Z at p/4
+            // each.  The I component is invisible; the Pauli
+            // components carry the target's herald channel id so the
+            // decode graph knows which edges a flagged erasure can
+            // explain.
+            for (std::uint32_t q : inst.targets) {
+                const std::uint32_t channel = heraldChannel++;
+                for (int pauli = 1; pauli <= 3; ++pauli) {
+                    frame.clear();
+                    applyComponent(frame, q, pauli);
+                    propagate(i, &dets, &obs);
+                    record(p / 4.0, channel);
+                }
+            }
+            break;
+          case Gate::CORRELATED_PAULI2:
+            // Perfectly correlated pair channel: XX / YY / ZZ at
+            // p/3 each, no single-sided components.
+            for (std::size_t t = 0; t + 1 < inst.targets.size();
+                 t += 2) {
+                std::uint32_t a = inst.targets[t];
+                std::uint32_t b = inst.targets[t + 1];
+                for (int pauli = 1; pauli <= 3; ++pauli) {
+                    frame.clear();
+                    applyComponent(frame, a, pauli);
+                    applyComponent(frame, b, pauli);
+                    propagate(i, &dets, &obs);
+                    record(p / 3.0);
+                }
+            }
+            break;
           default:
             TRAQ_PANIC("buildDem: unhandled noise channel");
         }
@@ -303,12 +354,14 @@ buildDem(const Circuit &circuit, bool discardInvisible)
     dem.numDetectors = static_cast<std::uint32_t>(
         circuit.numDetectors());
     dem.numObservables = circuit.numObservables();
+    dem.numHeraldChannels = circuit.numHeraldChannels();
     dem.errors.reserve(merged.size());
-    for (const auto &[key, prob] : merged) {
+    for (auto &[key, m] : merged) {
         ErrorMechanism e;
         e.detectors = key.first;
         e.observables = key.second;
-        e.probability = prob;
+        e.probability = m.p;
+        e.channels = std::move(m.channels);
         dem.errors.push_back(std::move(e));
     }
     return dem;

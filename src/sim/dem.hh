@@ -34,6 +34,14 @@ struct ErrorMechanism
     double probability = 0.0;
     std::vector<std::uint32_t> detectors;  //!< sorted detector ids
     std::uint32_t observables = 0;         //!< bitmask (<= 32 logicals)
+    /**
+     * Herald channels that can produce this mechanism (sorted,
+     * usually empty): the error components of a HERALDED_ERASE
+     * instruction carry the erasure's channel id, and merging keeps
+     * the union.  This is the mechanism provenance the decode graph
+     * turns into per-shot erasure reweighting.
+     */
+    std::vector<std::uint32_t> channels;
 };
 
 /** The full error model of one circuit. */
@@ -41,6 +49,8 @@ struct DetectorErrorModel
 {
     std::uint32_t numDetectors = 0;
     std::uint32_t numObservables = 0;
+    /** Herald channels of the source circuit (see Circuit). */
+    std::uint32_t numHeraldChannels = 0;
     std::vector<ErrorMechanism> errors;
 
     /** Sum of error probabilities (expected symptom count scale). */

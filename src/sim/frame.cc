@@ -128,6 +128,45 @@ extractSyndromeBlock(const FrameBatch &batch,
             }
         }
     }
+
+    // Herald planes get the same two-pass CSR treatment; channel ids
+    // ascend with the plane index, so each shot's list comes out
+    // sorted.  Circuits without heralded channels pay two assigns
+    // and skip both loops.
+    const std::size_t numHer = batch.numHeraldChannels();
+    out.heraldOffsets.assign(shots + 1, 0);
+    for (std::size_t c = 0; c < numHer; ++c) {
+        for (unsigned l = 0; l < lanes; ++l) {
+            std::uint64_t word =
+                batch.heralds[c * lanes + l] & liveMask[l];
+            const std::size_t base = 64u * l;
+            while (word) {
+                const int s = std::countr_zero(word);
+                word &= word - 1;
+                ++out.heraldOffsets[base + s + 1];
+            }
+        }
+    }
+    for (std::uint64_t s = 0; s < shots; ++s)
+        out.heraldOffsets[s + 1] += out.heraldOffsets[s];
+    out.heraldIds.resize(out.heraldOffsets[shots]);
+    if (numHer) {
+        out.cursor_.assign(out.heraldOffsets.begin(),
+                           out.heraldOffsets.end() - 1);
+        for (std::size_t c = 0; c < numHer; ++c) {
+            for (unsigned l = 0; l < lanes; ++l) {
+                std::uint64_t word =
+                    batch.heralds[c * lanes + l] & liveMask[l];
+                const std::size_t base = 64u * l;
+                while (word) {
+                    const int s = std::countr_zero(word);
+                    word &= word - 1;
+                    out.heraldIds[out.cursor_[base + s]++] =
+                        static_cast<std::uint32_t>(c);
+                }
+            }
+        }
+    }
 }
 
 FrameSimulator::FrameSimulator(std::uint64_t seed, unsigned lanes)
@@ -139,7 +178,7 @@ FrameSimulator::FrameSimulator(std::uint64_t seed, unsigned lanes)
 template <unsigned L>
 void
 FrameSimulator::applyNoise(const Instruction &inst, double p,
-                           unsigned lanes)
+                           unsigned lanes, FrameBatch &out)
 {
     const unsigned nl = L ? L : lanes;
     std::uint64_t *e = plane_.data();
@@ -189,6 +228,74 @@ FrameSimulator::applyNoise(const Instruction &inst, double p,
                         break;
                       default:
                         zf_[q * nl + l] ^= bit;
+                        break;
+                    }
+                }
+            }
+        }
+        break;
+      case Gate::HERALDED_ERASE:
+        // One herald plane per target, appended in instruction /
+        // target order so plane c is channel c of the circuit's
+        // numbering (the same order the DEM assigns channel tags).
+        // The erased qubit is replaced by the maximally mixed state:
+        // I, X, Y or Z with probability 1/4 each, herald set either
+        // way.
+        for (std::uint32_t q : inst.targets) {
+            rng_.bernoulliPlane(p, e, nl);
+            const std::size_t base = out.heralds.size();
+            out.heralds.insert(out.heralds.end(), e, e + nl);
+            for (unsigned l = 0; l < nl; ++l) {
+                std::uint64_t rest = out.heralds[base + l];
+                while (rest) {
+                    const int s = std::countr_zero(rest);
+                    rest &= rest - 1;
+                    const std::uint64_t bit = 1ULL << s;
+                    switch (rng_.below(4)) {
+                      case 0:
+                        break;  // I: erased but frame unchanged
+                      case 1:
+                        xf_[q * nl + l] ^= bit;
+                        break;
+                      case 2:
+                        xf_[q * nl + l] ^= bit;
+                        zf_[q * nl + l] ^= bit;
+                        break;
+                      default:
+                        zf_[q * nl + l] ^= bit;
+                        break;
+                    }
+                }
+            }
+        }
+        break;
+      case Gate::CORRELATED_PAULI2:
+        for (std::size_t i = 0; i + 1 < inst.targets.size(); i += 2) {
+            const std::uint32_t a = inst.targets[i];
+            const std::uint32_t b = inst.targets[i + 1];
+            rng_.bernoulliPlane(p, e, nl);
+            for (unsigned l = 0; l < nl; ++l) {
+                std::uint64_t rest = e[l];
+                while (rest) {
+                    const int s = std::countr_zero(rest);
+                    rest &= rest - 1;
+                    const std::uint64_t bit = 1ULL << s;
+                    // XX, YY or ZZ uniformly — both qubits get the
+                    // same Pauli (the correlation is the point).
+                    switch (rng_.below(3)) {
+                      case 0:
+                        xf_[a * nl + l] ^= bit;
+                        xf_[b * nl + l] ^= bit;
+                        break;
+                      case 1:
+                        xf_[a * nl + l] ^= bit;
+                        zf_[a * nl + l] ^= bit;
+                        xf_[b * nl + l] ^= bit;
+                        zf_[b * nl + l] ^= bit;
+                        break;
+                      default:
+                        zf_[a * nl + l] ^= bit;
+                        zf_[b * nl + l] ^= bit;
                         break;
                     }
                 }
@@ -278,6 +385,8 @@ FrameSimulator::sampleIntoImpl(const Circuit &circuit,
     out.detectors.clear();
     out.detectors.reserve(circuit.numDetectors() * nl);
     out.observables.assign(circuit.numObservables() * nl, 0);
+    out.heralds.clear();
+    out.heralds.reserve(circuit.numHeraldChannels() * nl);
 
     const auto &insts = circuit.instructions();
     for (std::size_t i = 0; i < insts.size(); ++i) {
@@ -358,7 +467,7 @@ FrameSimulator::sampleIntoImpl(const Circuit &circuit,
                 p = fuseProb(inst.gate, p, insts[i + 1].arg);
                 ++i;
             }
-            applyNoise<L>(inst, p, nl);
+            applyNoise<L>(inst, p, nl, out);
         } else if (info.measurement || info.reset) {
             for (std::uint32_t q : inst.targets) {
                 switch (inst.gate) {

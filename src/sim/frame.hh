@@ -47,18 +47,30 @@ struct FrameBatch
     std::vector<std::uint64_t> detectors;
     /** Observable planes: bit = logical flip of that observable. */
     std::vector<std::uint64_t> observables;
+    /**
+     * Heralded-erasure planes, one per HERALDED_ERASE target in
+     * instruction order (Circuit::numHeraldChannels): bit = that
+     * shot's erasure fired and was flagged.  Empty when the circuit
+     * carries no heralded channels, so noise-model-free sampling is
+     * bit-identical to the pre-herald sampler.
+     */
+    std::vector<std::uint64_t> heralds;
 
     std::uint64_t shots() const { return 64ULL * lanes; }
     std::size_t numDetectors() const
     { return lanes ? detectors.size() / lanes : 0; }
     std::size_t numObservables() const
     { return lanes ? observables.size() / lanes : 0; }
+    std::size_t numHeraldChannels() const
+    { return lanes ? heralds.size() / lanes : 0; }
 
-    /** The lane words of one detector / observable plane. */
+    /** The lane words of one detector / observable / herald plane. */
     std::span<const std::uint64_t> detector(std::size_t d) const
     { return {detectors.data() + d * lanes, lanes}; }
     std::span<const std::uint64_t> observable(std::size_t k) const
     { return {observables.data() + k * lanes, lanes}; }
+    std::span<const std::uint64_t> herald(std::size_t c) const
+    { return {heralds.data() + c * lanes, lanes}; }
 };
 
 /**
@@ -97,6 +109,11 @@ struct SyndromeBlock
     std::vector<std::uint32_t> defects;
     /** Per-shot actual observable flip masks. */
     std::vector<std::uint32_t> observables;
+    /** CSR row starts of the herald lists; size shots() + 1 (all
+     *  zero rows when the batch carries no herald planes). */
+    std::vector<std::uint32_t> heraldOffsets;
+    /** Fired herald channel ids, shot-major, ascending per shot. */
+    std::vector<std::uint32_t> heraldIds;
 
     std::uint64_t shots() const { return 64ULL * lanes; }
 
@@ -105,6 +122,13 @@ struct SyndromeBlock
     {
         return {defects.data() + offsets[s],
                 offsets[s + 1] - offsets[s]};
+    }
+
+    /** Shot s's fired herald channels (ascending). */
+    std::span<const std::uint32_t> heralds(std::uint64_t s) const
+    {
+        return {heraldIds.data() + heraldOffsets[s],
+                heraldOffsets[s + 1] - heraldOffsets[s]};
     }
 
   private:
@@ -174,7 +198,7 @@ class FrameSimulator
     void sampleIntoImpl(const Circuit &circuit, FrameBatch &out);
     template <unsigned L>
     void applyNoise(const Instruction &inst, double p,
-                    unsigned lanes);
+                    unsigned lanes, FrameBatch &out);
 
     Rng rng_;
     unsigned lanes_ = 1;

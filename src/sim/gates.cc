@@ -7,7 +7,7 @@
 namespace traq::sim {
 namespace {
 
-constexpr std::array<GateInfo, 25> kGateTable = {{
+constexpr std::array<GateInfo, 27> kGateTable = {{
     // gate, name, two, unitary, noise, meas, reset, annotation
     {Gate::I,          "I",          false, true,  false, false, false, false},
     {Gate::X,          "X",          false, true,  false, false, false, false},
@@ -32,6 +32,10 @@ constexpr std::array<GateInfo, 25> kGateTable = {{
     {Gate::DEPOLARIZE1, "DEPOLARIZE1",
                        false, false, true,  false, false, false},
     {Gate::DEPOLARIZE2, "DEPOLARIZE2",
+                       true,  false, true,  false, false, false},
+    {Gate::HERALDED_ERASE, "HERALDED_ERASE",
+                       false, false, true,  false, false, false},
+    {Gate::CORRELATED_PAULI2, "CORRELATED_PAULI2",
                        true,  false, true,  false, false, false},
     {Gate::TICK,       "TICK",       false, false, false, false, false, true},
     {Gate::DETECTOR,   "DETECTOR",   false, false, false, false, false, true},

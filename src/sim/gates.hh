@@ -50,6 +50,23 @@ enum class Gate : std::uint8_t
     Z_ERROR,
     DEPOLARIZE1,
     DEPOLARIZE2,    //!< targets consumed in pairs
+    /**
+     * Heralded erasure: with probability arg the target is replaced
+     * by the maximally mixed state (Pauli twirl: I/X/Y/Z at arg/4
+     * each) AND the event is flagged.  Each target is one herald
+     * channel, numbered in instruction order across the circuit
+     * (Circuit::numHeraldChannels); the frame sampler emits one
+     * herald bit-plane per channel so decoders can reweight the
+     * erased qubit's edges per shot (erasure-aware decoding).
+     */
+    HERALDED_ERASE,
+    /**
+     * Correlated two-qubit Pauli channel: with probability arg one
+     * of XX / YY / ZZ (uniformly) hits the pair.  Unlike
+     * DEPOLARIZE2 there are no single-sided components — the
+     * mechanism is perfectly correlated across the pair.
+     */
+    CORRELATED_PAULI2,   //!< targets consumed in pairs
     // Annotations.
     TICK,
     DETECTOR,             //!< targets are rec lookbacks (k => rec[-k])

@@ -49,6 +49,8 @@
 #include "src/decoder/union_find.hh"
 #include "src/decoder/windowed.hh"
 
+#include "src/noise/noise.hh"
+
 #include "src/model/cultivation.hh"
 #include "src/model/error_model.hh"
 #include "src/model/fit.hh"

@@ -343,9 +343,21 @@ TEST(Threads, EnvOverrideApplies)
     ::setenv("TRAQ_THREADS", "2", 1);
     EXPECT_EQ(resolveThreadCount(0), 2u);
     EXPECT_EQ(resolveThreadCount(5), 5u);  // explicit still wins
+    // Malformed values throw (same loudness as TRAQ_WORD_BACKEND):
+    // a typo in a determinism harness must not silently change the
+    // thread count.
     ::setenv("TRAQ_THREADS", "garbage", 1);
-    EXPECT_GE(resolveThreadCount(0), 1u);  // malformed: fall back
+    EXPECT_THROW(resolveThreadCount(0), FatalError);
     ::setenv("TRAQ_THREADS", "-4", 1);
+    EXPECT_THROW(resolveThreadCount(0), FatalError);
+    ::setenv("TRAQ_THREADS", "0", 1);
+    EXPECT_THROW(resolveThreadCount(0), FatalError);
+    ::setenv("TRAQ_THREADS", "4x", 1);
+    EXPECT_THROW(resolveThreadCount(0), FatalError);
+    ::setenv("TRAQ_THREADS", "99999999999999999999", 1);
+    EXPECT_THROW(resolveThreadCount(0), FatalError);
+    // Unset and empty still mean "use the hardware".
+    ::setenv("TRAQ_THREADS", "", 1);
     EXPECT_GE(resolveThreadCount(0), 1u);
     ::unsetenv("TRAQ_THREADS");
     EXPECT_GE(resolveThreadCount(0), 1u);
