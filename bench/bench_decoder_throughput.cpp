@@ -15,10 +15,12 @@
  *
  * line on the hardest fixture (d=5 joint CNOT decoding), which
  * scripts/perf_smoke.sh archives into the CI perf-history artifact.
- * Each kind is timed three ways on the same accepted shots: the
+ * Each kind is timed four ways on the same accepted shots: the
  * per-shot decode() loop, one decodeBatch() call over the packed
- * CSR syndromes, and decodeBatch() with the predecode pair-peeler
- * enabled (the "<kind>+batch+predecode" budget lines).
+ * CSR syndromes (MWPM reach cache on — the default — and off, so
+ * the "no cache" column isolates the Dijkstra-sharing win), and
+ * decodeBatch() with the predecode pair-peeler enabled (the
+ * "<kind>+batch+predecode" budget lines).
  * WARN rather than FAIL: CI machine classes vary, and the tripwire
  * for gross regressions is the wall-clock baseline in
  * bench/perf_baseline.txt.
@@ -33,6 +35,7 @@
 #include "src/codes/experiments.hh"
 #include "src/common/assert.hh"
 #include "src/common/table.hh"
+#include "src/common/word.hh"
 #include "src/decoder/decoder.hh"
 #include "src/sim/dem.hh"
 #include "src/sim/frame.hh"
@@ -187,6 +190,11 @@ main()
     using namespace traq;
     std::printf("=== Decoder throughput: all registered kinds, "
                 "p = 1e-3 ===\n\n");
+    // Dispatch level the sampler kernels run at while pre-sampling
+    // the fixtures (decoders themselves are scalar code).
+    std::printf("cpu-dispatch: %s (compiled %s)\n\n",
+                cpuDispatchName(resolveCpuDispatch(CpuDispatch::Auto)),
+                wordBackendCompiled());
 
     std::vector<Fixture> fixtures;
     fixtures.emplace_back("memory d=3", Fixture::makeMemory(3), 512);
@@ -196,8 +204,8 @@ main()
     const Fixture &hardest = fixtures.back();
 
     Table t({"circuit", "decoder", "us/shot", "batch us/shot",
-             "+predecode", "peeled", "us/round", "fallbacks",
-             "skipped"});
+             "no cache", "+predecode", "peeled", "us/round",
+             "fallbacks", "skipped"});
     std::vector<std::pair<std::string, double>> budgetLines;
     std::vector<std::uint32_t> out;
     for (const Fixture &f : fixtures) {
@@ -213,13 +221,22 @@ main()
             // peeler in front of the matcher.
             dec->reset();
             const double usBatch = usPerShotBatch(*dec, batch, out);
+            // Reach cache forced off: the delta vs "batch us/shot"
+            // (cache on by default) is the Dijkstra-sharing win.
+            decoder::DecoderConfig noCacheCfg;
+            noCacheCfg.reachCache = 0;
+            auto decNoCache =
+                decoder::makeDecoder(kind, f.graph, noCacheCfg);
+            const double usNoCache =
+                usPerShotBatch(*decNoCache, batch, out);
             decoder::DecoderConfig preCfg;
             preCfg.predecode = 1;
             auto decPre =
                 decoder::makeDecoder(kind, f.graph, preCfg);
             const double usPre = usPerShotBatch(*decPre, batch, out);
             t.addRow({f.label, decoder::decoderKindName(kind),
-                      fmtF(us, 1), fmtF(usBatch, 1), fmtF(usPre, 1),
+                      fmtF(us, 1), fmtF(usBatch, 1),
+                      fmtF(usNoCache, 1), fmtF(usPre, 1),
                       std::to_string(decPre->predecodedPairs()),
                       fmtF(usRound, 2),
                       std::to_string(dec->fallbacks()),

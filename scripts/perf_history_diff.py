@@ -6,7 +6,14 @@ bench, thread-scaling efficiency, per-decoder decode latency).  This
 tool takes two or more such documents -- given as files and/or
 directories to scan for ``*.json`` -- sorts them by their ``date``
 field, and reports what moved between the two most recent records:
-per-bench elapsed deltas and per-decoder decode-latency deltas.
+per-bench elapsed deltas, per-decoder decode-latency deltas,
+per-fixture hot-path speedup (vs the PR-7 generation) and
+decode-memo hit-rate deltas, and the CPU dispatch level each run
+executed at (a dispatch change explains most wall-clock moves, so
+it is printed before the numbers).  Top-level keys this tool does
+not recognize are listed explicitly rather than silently dropped,
+so a perf_smoke.sh that starts recording something new is visible
+here the day it lands, not when someone updates this script.
 
 It is a report, not a gate: the exit code is always 0 unless the
 inputs cannot be parsed.  The hard tripwire stays perf_smoke.sh's
@@ -70,12 +77,60 @@ def by_decoder(record: dict) -> dict[str, float]:
     }
 
 
+#: Top-level keys print_diff knows how to render.  Anything else in
+#: a record is reported as unknown instead of silently dropped.
+KNOWN_KEYS = {
+    "date",
+    "commit",
+    "margin",
+    "parallel_efficiency_at_4",
+    "cpu_dispatch",
+    "word_backend_compiled",
+    "hotpath_speedup_vs_pr7",
+    "decode_memo_hit_rate",
+    "benches",
+    "decode_latency_us_per_round",
+    "_source",
+}
+
+
+def by_fixture(record: dict, key: str, field: str) -> dict[str, float]:
+    return {
+        e["fixture"]: float(e[field]) for e in record.get(key, [])
+    }
+
+
+def print_fixture_diff(
+    base: dict, head: dict, key: str, field: str, title: str
+) -> None:
+    base_f = by_fixture(base, key, field)
+    head_f = by_fixture(head, key, field)
+    if not (base_f or head_f):
+        return
+    print(f"\n{title}:")
+    for name in sorted(set(base_f) | set(head_f)):
+        b, h = base_f.get(name), head_f.get(name)
+        if b is None or h is None:
+            status = "added" if b is None else "removed"
+            print(f"  {name:32s} {status}")
+        else:
+            print(f"  {name:32s} {b:8.3f} -> {h:8.3f}  {fmt_delta(b, h)}")
+
+
 def print_diff(base: dict, head: dict) -> None:
     print(
         f"perf-history-diff: {base.get('date', '?')} "
         f"({base.get('commit', '?')[:12]}) -> "
         f"{head.get('date', '?')} ({head.get('commit', '?')[:12]})"
     )
+
+    # Dispatch level first: a runner-class change (avx512 box vs
+    # baseline box) explains most wall-clock movement below.
+    disp_b = base.get("cpu_dispatch")
+    disp_h = head.get("cpu_dispatch")
+    if disp_b is not None or disp_h is not None:
+        marker = "" if disp_b == disp_h else "  <- CHANGED"
+        print(f"\ncpu-dispatch: {disp_b} -> {disp_h}{marker}")
 
     base_b, head_b = by_bench(base), by_bench(head)
     print("\nbench wall clock (s):")
@@ -101,10 +156,24 @@ def print_diff(base: dict, head: dict) -> None:
                     f"{fmt_delta(b, h)}"
                 )
 
+    print_fixture_diff(
+        base, head, "hotpath_speedup_vs_pr7", "speedup",
+        "hot-path speedup vs PR-7 generation (x)")
+    print_fixture_diff(
+        base, head, "decode_memo_hit_rate", "hit_rate",
+        "decode-memo hit rate")
+
     eff_b = base.get("parallel_efficiency_at_4")
     eff_h = head.get("parallel_efficiency_at_4")
     if eff_b is not None and eff_h is not None:
         print(f"\nparallel-efficiency@4: {eff_b} -> {eff_h}")
+
+    unknown = sorted((set(base) | set(head)) - KNOWN_KEYS)
+    if unknown:
+        print(
+            "\nkeys this tool does not render (update "
+            "perf_history_diff.py): " + ", ".join(unknown)
+        )
 
 
 def main(argv: list[str]) -> int:

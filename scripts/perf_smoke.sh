@@ -12,8 +12,12 @@
 #
 # When PERF_HISTORY_JSON is set (CI does this), a machine-readable
 # record of the run — per-bench wall clock vs baseline, the
-# thread-scaling efficiency, and the per-decoder decode-latency
-# lines from bench_decoder_throughput — is written there as one JSON
+# thread-scaling efficiency, the CPU dispatch level the kernels ran
+# at (vs the compile-time word backend), the end-to-end hot-path
+# speedup vs the PR-7 generation (baseline kernels + scalar extract,
+# no memo/reach-cache) and the decode-memo hit rate from
+# bench_sim_montecarlo, and the per-decoder decode-latency lines
+# from bench_decoder_throughput — is written there as one JSON
 # document; CI uploads it as a dated perf-history artifact so
 # regressions can be traced across commits, not just against the
 # static baseline.
@@ -35,6 +39,11 @@ trap 'rm -f "$outfile"' EXIT
 efficiency=""
 bench_json=""
 latency_json=""
+dispatch_runtime=""
+dispatch_compiled=""
+speedup_json=""
+speedup_lines=""
+memo_json=""
 
 while read -r name baseline; do
     case "$name" in
@@ -74,6 +83,25 @@ while read -r name baseline; do
     if [[ "$name" == "bench_sim_montecarlo" ]]; then
         efficiency=$(awk '/^parallel-efficiency@4:/ { print $2 }' \
             "$outfile")
+        # cpu-dispatch: <runtime> (compiled <backend>)
+        dispatch_runtime=$(awk '/^cpu-dispatch:/ { print $2; exit }' \
+            "$outfile")
+        dispatch_compiled=$(awk '/^cpu-dispatch:/ \
+            { gsub(/\)/, "", $4); print $4; exit }' "$outfile")
+        # hotpath-speedup-vs-pr7[<fixture>]: <X.XX>x (...)
+        speedup_json=$(awk -F'[][]' '/^hotpath-speedup-vs-pr7\[/ {
+            split($3, f, " "); sub(/x$/, "", f[2]);
+            printf "%s{\"fixture\": \"%s\", \"speedup\": %s}",
+                (n++ ? ", " : ""), $2, f[2] }' "$outfile")
+        # decode-memo-hit-rate[<fixture>]: <rate>
+        memo_json=$(awk -F'[][]' '/^decode-memo-hit-rate\[/ {
+            split($3, f, " ");
+            printf "%s{\"fixture\": \"%s\", \"hit_rate\": %s}",
+                (n++ ? ", " : ""), $2, f[2] }' "$outfile")
+        speedup_lines=$(awk -F'[][]' \
+            '/^hotpath-speedup-vs-pr7\[/ { split($3, f, " ");
+            printf "perf-smoke: OK   hotpath-speedup-vs-pr7[%s] =\
+ %s\n", $2, f[2] }' "$outfile")
     fi
     if [[ "$name" == "bench_decoder_throughput" ]]; then
         # decode-latency[<kind>]: <us> us/round <PASS|WARN> (...)
@@ -102,6 +130,20 @@ else
          "bench_sim_montecarlo"
 fi
 
+# Runtime dispatch level and the end-to-end hot-path win vs the PR-7
+# generation (informational: the binary is the same either way, so a
+# baseline-only CI runner legitimately prints "baseline").
+if [[ -n "$dispatch_runtime" ]]; then
+    echo "perf-smoke: OK   cpu-dispatch = $dispatch_runtime" \
+         "(compiled $dispatch_compiled)"
+else
+    echo "perf-smoke: WARN no cpu-dispatch line from" \
+         "bench_sim_montecarlo"
+fi
+if [[ -n "$speedup_lines" ]]; then
+    echo "$speedup_lines"
+fi
+
 if [[ -n "${PERF_HISTORY_JSON:-}" ]]; then
     {
         echo "{"
@@ -109,6 +151,16 @@ if [[ -n "${PERF_HISTORY_JSON:-}" ]]; then
         echo "  \"commit\": \"${GITHUB_SHA:-unknown}\","
         echo "  \"margin\": $MARGIN,"
         echo "  \"parallel_efficiency_at_4\": ${efficiency:-null},"
+        if [[ -n "$dispatch_runtime" ]]; then
+            echo "  \"cpu_dispatch\": \"$dispatch_runtime\","
+            echo "  \"word_backend_compiled\":" \
+                 "\"$dispatch_compiled\","
+        else
+            echo "  \"cpu_dispatch\": null,"
+            echo "  \"word_backend_compiled\": null,"
+        fi
+        echo "  \"hotpath_speedup_vs_pr7\": [$speedup_json],"
+        echo "  \"decode_memo_hit_rate\": [$memo_json],"
         echo "  \"benches\": [$bench_json],"
         echo "  \"decode_latency_us_per_round\": [$latency_json]"
         echo "}"

@@ -50,6 +50,7 @@ Tally::merge(const Tally &other)
     aux += other.aux;
     aux2 += other.aux2;
     aux3 += other.aux3;
+    aux4 += other.aux4;
     ensureBins(other.binHits.size());
     for (std::size_t i = 0; i < other.binHits.size(); ++i)
         binHits[i] += other.binHits[i];

@@ -46,6 +46,7 @@ struct Tally
     std::uint64_t aux = 0;       //!< generic accumulator (fallbacks).
     std::uint64_t aux2 = 0;      //!< generic accumulator (predecodes).
     std::uint64_t aux3 = 0;      //!< generic accumulator (heralds).
+    std::uint64_t aux4 = 0;      //!< generic accumulator (memo hits).
     std::vector<std::uint64_t> binHits; //!< per-bin hit counts.
 
     /** Size binHits (idempotent; sizes must agree when merging). */

@@ -10,11 +10,7 @@
  * Wider planes amortize both the per-instruction dispatch cost and
  * the at-least-one-RNG-draw-per-plane floor of the sparse Bernoulli
  * sampler (see Rng::bernoulliPlane), which is where the throughput
- * win over the 64-bit path comes from; building the library with
- * -DTRAQ_ENABLE_AVX2=ON (or -DTRAQ_ENABLE_AVX512=ON) additionally
- * lets the 4-lane (8-lane) plane ops compile to single 256-bit
- * (512-bit) vector instructions (the default build stays on the
- * portable x86-64 baseline).
+ * win over the 64-bit path comes from.
  *
  * Three backends are exposed:
  *  - Scalar64: the portable one-lane path (64 shots per batch);
@@ -33,12 +29,20 @@
  * different orders, so they agree statistically, not bit-for-bit
  * (and exactly on deterministic circuits).
  *
- * The lane loops are plain 64-bit code, so every backend runs — and
- * produces bit-identical planes — on any x86-64 machine; vector ISAs
- * only change how the compiler schedules them.  wordBackendCodegen()
- * reports the compile-time detection result ("avx512f" / "avx2" /
- * "baseline") so benches can label whether the wide512 path is
- * native 512-bit code or the scalar-emulated fallback.
+ * Orthogonal to the backend (how many lanes a plane has) is the
+ * *dispatch level* (what vector ISA executes the lane loops).  The
+ * frame-sampler kernels are compiled three times — baseline, AVX2,
+ * AVX-512 — into one binary, and CpuDispatch picks the level at run
+ * time via cpuid, so shipped builds get vector codegen by default
+ * instead of behind the historical compile-time TRAQ_ENABLE_AVX2 /
+ * TRAQ_ENABLE_AVX512 opt-ins (still honored: they raise the level
+ * of the *baseline* translation units too).  The lane loops are
+ * plain 64-bit XOR/AND/shift code, so every dispatch level produces
+ * bit-identical planes on any x86-64 machine; the ISA only changes
+ * how the compiler schedules them.  An unrecognized
+ * TRAQ_CPU_DISPATCH value, or an explicitly requested level the
+ * build or CPU cannot run, throws FatalError — same loudness
+ * contract as TRAQ_WORD_BACKEND.
  *
  * Building with -DTRAQ_FORCE_WORD64 collapses the wide backends to a
  * single lane so CI can keep all code paths green from one test
@@ -85,13 +89,51 @@ unsigned wordBackendLanes(WordBackend backend);
 const char *wordBackendName(WordBackend backend);
 
 /**
- * Compile-time vector codegen the library was built with: "avx512f",
- * "avx2", or "baseline".  Purely informational — all backends are
- * bit-identical across codegen levels; this only tells benches
- * whether the 8-lane plane ops are native 512-bit instructions or
- * the scalar-emulated fallback.
+ * Compile-time vector codegen of the *core* library translation
+ * units: "avx512f", "avx2", or "baseline".  This is what the
+ * historical TRAQ_ENABLE_AVX2/512 CMake options control.  The
+ * frame-sampler kernels are additionally compiled per dispatch level
+ * (see CpuDispatch below), so the level that actually runs is
+ * cpuDispatchName(resolveCpuDispatch(...)), not this.
  */
-const char *wordBackendCodegen();
+const char *wordBackendCompiled();
+
+/**
+ * Runtime CPU dispatch level for the multi-versioned sampler /
+ * extraction kernels.  Orthogonal to WordBackend: the backend fixes
+ * the plane width (shots per batch and RNG consumption order, hence
+ * the sampled bits), the dispatch level only fixes which compiled
+ * copy of the bit-identical lane loops executes.
+ */
+enum class CpuDispatch
+{
+    Auto,     //!< TRAQ_CPU_DISPATCH env var, else best supported
+    Baseline, //!< portable x86-64 codegen
+    Avx2,     //!< 256-bit vector codegen
+    Avx512,   //!< 512-bit vector codegen
+};
+
+/**
+ * True when this build carries a `level` copy of the kernels AND the
+ * running CPU can execute it.  Baseline is always supported; Auto is
+ * reported supported (it resolves to a supported level).
+ */
+bool cpuDispatchSupported(CpuDispatch level);
+
+/**
+ * Resolve Auto against the TRAQ_CPU_DISPATCH environment variable
+ * ("baseline", "avx2", "avx512"/"avx512f"; unset, empty or "auto"
+ * -> the highest cpuDispatchSupported level).  An unknown value
+ * throws FatalError listing the known names, and a level that is
+ * known but not supported (by this build or this CPU) — whether
+ * requested explicitly or via the environment — throws FatalError
+ * rather than silently degrading.  Baseline/Avx2/Avx512 arguments
+ * pass through the same support check.
+ */
+CpuDispatch resolveCpuDispatch(CpuDispatch requested);
+
+/** Short stable level name ("auto"/"baseline"/"avx2"/"avx512"). */
+const char *cpuDispatchName(CpuDispatch level);
 
 } // namespace traq
 

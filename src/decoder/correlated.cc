@@ -9,7 +9,13 @@ namespace traq::decoder {
 
 CorrelatedDecoder::CorrelatedDecoder(const DecodeGraph &graph,
                                      const DecoderConfig &config)
-    : graph_(graph), inner_(graph, config.mwpmMaxDefects)
+    // The inner composite never peels (this decoder owns the peeler)
+    // but does get the reach cache: the first matching pass runs
+    // under the default context, where cached searches apply; the
+    // reweighted second pass bypasses the cache automatically.
+    : graph_(graph),
+      inner_(graph, config.mwpmMaxDefects, /*predecode=*/false,
+             /*predecodeRadius=*/2, resolveReachCache(config.reachCache))
 {
     TRAQ_REQUIRE(config.correlationBoost > 0.0 &&
                      config.correlationBoost <= 0.5,

@@ -1,5 +1,6 @@
 #include "src/decoder/decoder.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <map>
 #include <mutex>
@@ -55,13 +56,15 @@ registry()
          [](const DecodeGraph &g, const DecoderConfig &c) {
              return std::make_unique<MwpmDecoder>(
                  g, c.mwpmMaxDefects,
-                 resolvePredecode(c.predecode), c.predecodeRadius);
+                 resolvePredecode(c.predecode), c.predecodeRadius,
+                 resolveReachCache(c.reachCache));
          }},
         {DecoderKind::Fallback,
          [](const DecodeGraph &g, const DecoderConfig &c) {
              return std::make_unique<FallbackDecoder>(
                  g, c.mwpmMaxDefects,
-                 resolvePredecode(c.predecode), c.predecodeRadius);
+                 resolvePredecode(c.predecode), c.predecodeRadius,
+                 resolveReachCache(c.reachCache));
          }},
         {DecoderKind::Correlated,
          [](const DecodeGraph &g, const DecoderConfig &c) {
@@ -130,6 +133,43 @@ resolvePredecode(int requested)
     return false;
 }
 
+namespace {
+
+/** Shared body of the default-ON tri-state resolvers. */
+bool
+resolveOnByDefault(int requested, const char *envName)
+{
+    if (requested >= 0)
+        return requested != 0;
+    if (const char *env = std::getenv(envName)) {
+        const std::string_view v(env);
+        if (!v.empty()) {
+            if (v == "0" || v == "off" || v == "false")
+                return false;
+            if (v == "1" || v == "on" || v == "true")
+                return true;
+            TRAQ_FATAL("unknown " + std::string(envName) +
+                       " value '" + std::string(v) +
+                       "' (known: 0/off/false, 1/on/true)");
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+resolveDecodeMemo(int requested)
+{
+    return resolveOnByDefault(requested, "TRAQ_DECODE_MEMO");
+}
+
+bool
+resolveReachCache(int requested)
+{
+    return resolveOnByDefault(requested, "TRAQ_REACH_CACHE");
+}
+
 DecoderKind
 resolveDecoderKind(DecoderKind requested)
 {
@@ -163,6 +203,143 @@ makeDecoder(DecoderKind kind, const DecodeGraph &graph,
         factory = it->second;
     }
     return factory(graph, config);
+}
+
+namespace {
+
+/** FNV-style content hash of a defect list (memo key; collisions
+ *  are resolved by a full compare, never trusted). */
+inline std::uint64_t
+hashSyndrome(std::span<const std::uint32_t> syn)
+{
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ syn.size();
+    for (std::uint32_t x : syn)
+        h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+}
+
+} // namespace
+
+BatchDecodeStats
+decodeBatchSorted(Decoder &dec, const SyndromeBatch &batch,
+                  std::span<std::uint32_t> out,
+                  BatchDecodeScratch &scratch, bool memo)
+{
+    BatchDecodeStats stats;
+    const std::uint64_t n = batch.shots();
+    TRAQ_REQUIRE(out.size() >= n,
+                 "decodeBatchSorted output must cover the batch");
+    if (n == 0)
+        return stats;
+
+    // Ascending defect count, stable within a count class: the order
+    // is a pure function of the batch, so the decode sequence — and
+    // with it every tie-break-sensitive result — is deterministic.
+    auto &perm = scratch.perm;
+    perm.resize(n);
+    for (std::uint64_t s = 0; s < n; ++s)
+        perm[s] = static_cast<std::uint32_t>(s);
+    std::stable_sort(perm.begin(), perm.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                         return batch.offsets[a + 1] -
+                                    batch.offsets[a] <
+                                batch.offsets[b + 1] -
+                                    batch.offsets[b];
+                     });
+
+    if (!memo) {
+        // Rebuild the CSR in sorted order and decode it with the one
+        // virtual decodeBatch call (the pre-memo engine hot path).
+        scratch.sortedOffsets.assign(1, 0);
+        scratch.sortedDefects.clear();
+        scratch.sortedDefects.reserve(batch.defects.size());
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const auto syn = batch.syndrome(perm[i]);
+            scratch.sortedDefects.insert(scratch.sortedDefects.end(),
+                                         syn.begin(), syn.end());
+            scratch.sortedOffsets.push_back(
+                static_cast<std::uint32_t>(
+                    scratch.sortedDefects.size()));
+        }
+        const SyndromeBatch view{scratch.sortedOffsets,
+                                 scratch.sortedDefects};
+        scratch.predictedSorted.resize(n);
+        dec.decodeBatch(view, scratch.predictedSorted);
+        for (std::uint64_t i = 0; i < n; ++i)
+            out[perm[i]] = scratch.predictedSorted[i];
+        return stats;
+    }
+
+    // Memo path: collapse the batch to its distinct syndromes (CSR
+    // over "unique rows"), decode each once, replay everywhere else.
+    scratch.memo.clear();
+    scratch.uniqueOf.resize(n);
+    scratch.uniqueOffsets.assign(1, 0);
+    scratch.uniqueDefects.clear();
+    auto appendUnique =
+        [&](std::span<const std::uint32_t> syn) -> std::uint32_t {
+        scratch.uniqueDefects.insert(scratch.uniqueDefects.end(),
+                                     syn.begin(), syn.end());
+        scratch.uniqueOffsets.push_back(static_cast<std::uint32_t>(
+            scratch.uniqueDefects.size()));
+        return static_cast<std::uint32_t>(
+            scratch.uniqueOffsets.size() - 2);
+    };
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const auto syn = batch.syndrome(perm[i]);
+        auto [it, inserted] = scratch.memo.try_emplace(
+            hashSyndrome(syn),
+            static_cast<std::uint32_t>(scratch.uniqueOffsets.size() -
+                                       1));
+        if (inserted) {
+            scratch.uniqueOf[i] = appendUnique(syn);
+            continue;
+        }
+        const std::uint32_t u = it->second;
+        const auto useen = std::span<const std::uint32_t>(
+            scratch.uniqueDefects.data() + scratch.uniqueOffsets[u],
+            scratch.uniqueOffsets[u + 1] - scratch.uniqueOffsets[u]);
+        if (useen.size() == syn.size() &&
+            std::equal(useen.begin(), useen.end(), syn.begin())) {
+            ++stats.memoHits;
+            scratch.uniqueOf[i] = u;
+        } else {
+            // Hash collision: decode it as its own row.  The map
+            // keeps the first claimant, so later copies of *that*
+            // syndrome still hit; later copies of this one re-collide
+            // and re-decode — correct, just not deduplicated.
+            scratch.uniqueOf[i] = appendUnique(syn);
+        }
+    }
+
+    // Decode each distinct syndrome once, in first-occurrence order
+    // (which inherits the defect-count sort), recording the counter
+    // deltas the replayed shots must reproduce.
+    const std::size_t numUnique = scratch.uniqueOffsets.size() - 1;
+    const SyndromeBatch uview{scratch.uniqueOffsets,
+                              scratch.uniqueDefects};
+    scratch.predictedUnique.resize(numUnique);
+    scratch.uniqueFallbacks.resize(numUnique);
+    scratch.uniquePeels.resize(numUnique);
+    for (std::size_t u = 0; u < numUnique; ++u) {
+        const std::uint64_t fb0 = dec.fallbacks();
+        const std::uint64_t pp0 = dec.predecodedPairs();
+        scratch.predictedUnique[u] = dec.decodeSpan(uview.syndrome(u));
+        scratch.uniqueFallbacks[u] = dec.fallbacks() - fb0;
+        scratch.uniquePeels[u] = dec.predecodedPairs() - pp0;
+    }
+
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint32_t u = scratch.uniqueOf[i];
+        out[perm[i]] = scratch.predictedUnique[u];
+        stats.replayedFallbacks += scratch.uniqueFallbacks[u];
+        stats.replayedPeels += scratch.uniquePeels[u];
+    }
+    for (std::size_t u = 0; u < numUnique; ++u) {
+        stats.replayedFallbacks -= scratch.uniqueFallbacks[u];
+        stats.replayedPeels -= scratch.uniquePeels[u];
+    }
+    return stats;
 }
 
 } // namespace traq::decoder

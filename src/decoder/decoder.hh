@@ -25,6 +25,7 @@
 #include <memory>
 #include <span>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/assert.hh"
@@ -92,6 +93,25 @@ DecoderKind resolveDecoderKind(DecoderKind requested);
  */
 bool resolvePredecode(int requested);
 
+/**
+ * Resolve the syndrome-keyed decode-memoization tri-state used by
+ * decodeBatchSorted() and the Monte-Carlo engine: 0 -> off, positive
+ * -> on, negative (Auto) -> the TRAQ_DECODE_MEMO environment
+ * variable ("1"/"on"/"true" vs "0"/"off"/"false").  Unlike predecode
+ * the feature defaults ON when the variable is unset or empty —
+ * memoization is bit-identical by construction, so there is no
+ * accuracy trade-off to opt into.  Unknown spellings throw
+ * FatalError (same loudness contract as TRAQ_DECODER).
+ */
+bool resolveDecodeMemo(int requested);
+
+/**
+ * Resolve the MWPM reach-cache tri-state (DecoderConfig::reachCache
+ * / TRAQ_REACH_CACHE).  Same contract as resolveDecodeMemo: default
+ * ON, bit-identical either way, unknown spellings fatal.
+ */
+bool resolveReachCache(int requested);
+
 /** Construction-time options shared by all decoder kinds. */
 struct DecoderConfig
 {
@@ -127,6 +147,14 @@ struct DecoderConfig
     int predecode = -1;
     /** Isolation radius (graph hops) for the predecode peeler. */
     int predecodeRadius = 2;
+    /**
+     * MWPM reach cache: share single-source Dijkstra searches across
+     * decodes whose source defect recurs (bit-identical on/off).
+     * Tri-state like predecode: negative defers to TRAQ_REACH_CACHE
+     * (see resolveReachCache; default ON), 0 forces off, positive
+     * forces on.  Applies to every kind with an MWPM stage.
+     */
+    int reachCache = -1;
 };
 
 /**
@@ -234,6 +262,72 @@ class Decoder
   private:
     std::vector<std::uint32_t> spanScratch_;
 };
+
+/** What decodeBatchSorted() did beyond plain decoding. */
+struct BatchDecodeStats
+{
+    /** Shots answered by replaying a memoized correction. */
+    std::uint64_t memoHits = 0;
+    /**
+     * Fallback-counter increments that would have happened had the
+     * replayed shots been decoded for real.  Memoization replays
+     * these alongside the correction so fallbacks()-style statistics
+     * stay bit-identical memo on/off: callers add replayedFallbacks
+     * to the decoder's own counter delta.
+     */
+    std::uint64_t replayedFallbacks = 0;
+    /** Same, for the predecodedPairs() counter. */
+    std::uint64_t replayedPeels = 0;
+};
+
+/**
+ * Reusable scratch for decodeBatchSorted().  All vectors keep their
+ * capacity warm across batches; the memo map is cleared per call (the
+ * memo key space is one batch — recurring syndromes across batches
+ * are re-decoded, which keeps the map small and the arena per-run).
+ */
+struct BatchDecodeScratch
+{
+    std::vector<std::uint32_t> perm;
+    std::vector<std::uint32_t> sortedOffsets;
+    std::vector<std::uint32_t> sortedDefects;
+    std::vector<std::uint32_t> predictedSorted;
+    // Memo path: CSR over the batch's distinct syndromes plus the
+    // per-unique decode results and counter deltas to replay.
+    std::vector<std::uint32_t> uniqueOf;
+    std::vector<std::uint32_t> uniqueOffsets;
+    std::vector<std::uint32_t> uniqueDefects;
+    std::vector<std::uint32_t> predictedUnique;
+    std::vector<std::uint64_t> uniqueFallbacks;
+    std::vector<std::uint64_t> uniquePeels;
+    std::unordered_map<std::uint64_t, std::uint32_t> memo;
+};
+
+/**
+ * Decode a batch in ascending-defect-count order, optionally
+ * memoizing by syndrome content.
+ *
+ * Shots are stable-sorted by defect count (cheap shots first: warms
+ * the decoder's arena scratch and the MWPM reach cache on the easy
+ * mass of the distribution) and results are scattered back to shot
+ * order, so out[s] is bit-identical to decoding shot s directly —
+ * the engine's sorted hot path, now reusable by benches and tests.
+ *
+ * With memo on, shots whose defect list matches an earlier shot of
+ * the same batch replay that shot's correction instead of decoding
+ * (hash-keyed, with a full content compare on hit, so a hash
+ * collision degrades to a duplicate decode, never a wrong replay).
+ * Counter deltas (fallbacks, predecoded pairs) recorded for each
+ * distinct syndrome are replayed too — see BatchDecodeStats — so
+ * every observable statistic is identical memo on/off.
+ *
+ * @param out predicted flip mask per shot; size >= batch.shots().
+ */
+BatchDecodeStats decodeBatchSorted(Decoder &dec,
+                                   const SyndromeBatch &batch,
+                                   std::span<std::uint32_t> out,
+                                   BatchDecodeScratch &scratch,
+                                   bool memo);
 
 /** Factory signature used by the decoder registry. */
 using DecoderFactory = std::function<std::unique_ptr<Decoder>(

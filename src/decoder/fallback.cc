@@ -4,8 +4,11 @@ namespace traq::decoder {
 
 FallbackDecoder::FallbackDecoder(const DecodeGraph &graph,
                                  std::size_t mwpmMaxDefects,
-                                 bool predecode, int predecodeRadius)
-    : mwpm_(graph, mwpmMaxDefects), uf_(graph)
+                                 bool predecode, int predecodeRadius,
+                                 bool reachCache)
+    : mwpm_(graph, mwpmMaxDefects, /*predecode=*/false,
+            /*predecodeRadius=*/2, reachCache),
+      uf_(graph)
 {
     if (predecode)
         pre_ = std::make_unique<Predecoder>(graph, predecodeRadius);

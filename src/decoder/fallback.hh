@@ -41,7 +41,8 @@ class FallbackDecoder final : public Decoder
   public:
     FallbackDecoder(const DecodeGraph &graph,
                     std::size_t mwpmMaxDefects = 16,
-                    bool predecode = false, int predecodeRadius = 2);
+                    bool predecode = false, int predecodeRadius = 2,
+                    bool reachCache = false);
 
     std::uint32_t
     decode(const std::vector<std::uint32_t> &syndrome) override;
@@ -67,6 +68,7 @@ class FallbackDecoder final : public Decoder
         fallbacks_ = 0;
         if (pre_)
             pre_->reset();
+        mwpm_.invalidateReachCache();
     }
     const char *name() const override { return "mwpm+uf-fallback"; }
     std::uint64_t fallbacks() const override { return fallbacks_; }

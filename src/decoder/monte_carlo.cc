@@ -12,19 +12,42 @@
 #include "src/common/threads.hh"
 #include "src/sim/dem.hh"
 #include "src/sim/frame.hh"
+#include "src/sim/frame_kernels.hh"
 
 namespace traq::decoder {
+
+namespace {
+
+/** Memo key for the erasure path: defects and fired heralds hashed
+ *  together (collisions are resolved by a full compare). */
+inline std::uint64_t
+hashShot(std::span<const std::uint32_t> syn,
+         std::span<const std::uint32_t> heralds)
+{
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL ^ syn.size();
+    for (std::uint32_t x : syn)
+        h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h ^= 0xc2b2ae3d27d4eb4fULL + heralds.size();
+    for (std::uint32_t c : heralds)
+        h ^= c + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+}
+
+} // namespace
 
 /** Per-thread state: decoder, sampler, and reusable scratch. */
 struct MonteCarloEngine::Worker
 {
-    explicit Worker(unsigned lanes)
-        : fsim(0, lanes), live(lanes, 0),
+    Worker(unsigned lanes, CpuDispatch dispatch)
+        : fsim(0, lanes, dispatch),
+          kern(&sim::kernels::frameKernels(dispatch)), live(lanes, 0),
           predicted(64ULL * lanes, 0)
     {}
 
     std::unique_ptr<Decoder> dec;
     sim::FrameSimulator fsim;
+    /** Dispatch-resolved kernel table (extraction entry point). */
+    const sim::kernels::FrameKernels *kern;
     sim::FrameBatch batch;
     /** Per-lane live-shot masks for the current batch. */
     std::vector<std::uint64_t> live;
@@ -32,16 +55,17 @@ struct MonteCarloEngine::Worker
     sim::SyndromeBlock block;
     /** Per-shot predicted flip masks for one batch. */
     std::vector<std::uint32_t> predicted;
-    /** Ascending-defect-count decode order for one batch. */
-    std::vector<std::uint32_t> perm;
-    /** Permuted CSR block + its predictions (sorted decode). */
-    std::vector<std::uint32_t> sortedOffsets;
-    std::vector<std::uint32_t> sortedDefects;
-    std::vector<std::uint32_t> predictedSorted;
+    /** Sort + memo scratch for the batch decode path. */
+    BatchDecodeScratch scratch;
     /** Per-edge weights for erasure reweighting (graph weights
      *  between shots; fired channels' edges zeroed per shot). */
     std::vector<double> ctxWeights;
     std::vector<std::uint32_t> ctxTouched;
+    /** Erasure-path memo: shot hash -> first shot index, plus the
+     *  per-shot counter deltas replayed shots must reproduce. */
+    std::unordered_map<std::uint64_t, std::uint32_t> heraldMemo;
+    std::vector<std::uint64_t> shotFallbacks;
+    std::vector<std::uint64_t> shotPeels;
 };
 
 MonteCarloEngine::MonteCarloEngine(const codes::Experiment &exp,
@@ -88,6 +112,11 @@ MonteCarloEngine::runShard(std::uint64_t shard,
 
     const std::uint64_t fallbacksBefore = w.dec->fallbacks();
     const std::uint64_t predecodesBefore = w.dec->predecodedPairs();
+    // Counter increments owed by memo-replayed shots: added on top
+    // of the decoder's own deltas so fallback/predecode statistics
+    // are bit-identical memo on/off.
+    std::uint64_t replayedFallbacks = 0;
+    std::uint64_t replayedPeels = 0;
     std::uint64_t done = 0;
 
     while (done < shardShots) {
@@ -102,11 +131,11 @@ MonteCarloEngine::runShard(std::uint64_t shard,
                                        : ((1ULL << liveHere) - 1);
         }
 
-        // Straight from lane-major planes to a CSR block: per-shot
-        // syndromes, actual flip masks, no transpose.  Masked-out
-        // tail shots come out empty, so decoding the first n rows
-        // of the block is exact.
-        sim::extractSyndromeBlock(w.batch, w.live, w.block);
+        // Straight from lane-major planes to a CSR block via the
+        // dispatch-resolved transpose kernel.  Masked-out tail shots
+        // come out empty, so decoding the first n rows of the block
+        // is exact.
+        w.kern->extractBlock(w.batch, w.live, w.block);
         tally.weight += w.block.offsets[n];
 
         SyndromeBatch view;
@@ -119,66 +148,87 @@ MonteCarloEngine::runShard(std::uint64_t shard,
             // Per-shot decode: shots with fired heralds get a
             // context that zeroes the weight of every edge those
             // channels can explain; clean shots take the plain path.
+            // With memoization on, shots whose (defects, heralds)
+            // match an earlier shot of the batch replay its result
+            // (and its counter deltas) instead of decoding.
+            if (memoOn_) {
+                w.heraldMemo.clear();
+                w.shotFallbacks.assign(n, 0);
+                w.shotPeels.assign(n, 0);
+            }
             for (std::uint64_t s = 0; s < n; ++s) {
+                const auto syn = view.syndrome(s);
                 const auto heralds = w.block.heralds(s);
-                if (heralds.empty()) {
-                    w.predicted[s] =
-                        w.dec->decodeSpan(view.syndrome(s));
-                    continue;
-                }
-                ++tally.aux3;
-                for (std::uint32_t c : heralds)
-                    for (std::uint32_t ei : graph_.channelEdges(c))
-                        if (w.ctxWeights[ei] != 0.0) {
-                            w.ctxTouched.push_back(ei);
-                            w.ctxWeights[ei] = 0.0;
+                if (!heralds.empty())
+                    ++tally.aux3;
+                if (memoOn_) {
+                    auto [it, inserted] = w.heraldMemo.try_emplace(
+                        hashShot(syn, heralds),
+                        static_cast<std::uint32_t>(s));
+                    if (!inserted) {
+                        const std::uint32_t p = it->second;
+                        const auto psyn = view.syndrome(p);
+                        const auto pher = w.block.heralds(p);
+                        if (psyn.size() == syn.size() &&
+                            pher.size() == heralds.size() &&
+                            std::equal(syn.begin(), syn.end(),
+                                       psyn.begin()) &&
+                            std::equal(heralds.begin(),
+                                       heralds.end(),
+                                       pher.begin())) {
+                            w.predicted[s] = w.predicted[p];
+                            w.shotFallbacks[s] = w.shotFallbacks[p];
+                            w.shotPeels[s] = w.shotPeels[p];
+                            replayedFallbacks += w.shotFallbacks[p];
+                            replayedPeels += w.shotPeels[p];
+                            ++tally.aux4;
+                            continue;
                         }
-                DecodeContext ctx;
-                ctx.weights = w.ctxWeights;
-                w.predicted[s] =
-                    w.dec->decodeWithContext(view.syndrome(s), ctx);
-                for (std::uint32_t ei : w.ctxTouched)
-                    w.ctxWeights[ei] = graph_.edges()[ei].weight;
-                w.ctxTouched.clear();
+                        // Hash collision: decode normally.  The map
+                        // keeps the first claimant, so only the
+                        // colliding syndrome loses its memo slot.
+                    }
+                }
+                const std::uint64_t fb0 = w.dec->fallbacks();
+                const std::uint64_t pp0 = w.dec->predecodedPairs();
+                if (heralds.empty()) {
+                    w.predicted[s] = w.dec->decodeSpan(syn);
+                } else {
+                    for (std::uint32_t c : heralds)
+                        for (std::uint32_t ei :
+                             graph_.channelEdges(c))
+                            if (w.ctxWeights[ei] != 0.0) {
+                                w.ctxTouched.push_back(ei);
+                                w.ctxWeights[ei] = 0.0;
+                            }
+                    DecodeContext ctx;
+                    ctx.weights = w.ctxWeights;
+                    w.predicted[s] =
+                        w.dec->decodeWithContext(syn, ctx);
+                    for (std::uint32_t ei : w.ctxTouched)
+                        w.ctxWeights[ei] = graph_.edges()[ei].weight;
+                    w.ctxTouched.clear();
+                }
+                if (memoOn_) {
+                    w.shotFallbacks[s] = w.dec->fallbacks() - fb0;
+                    w.shotPeels[s] =
+                        w.dec->predecodedPairs() - pp0;
+                }
             }
         } else {
-            // Batch decode in ascending-defect-count order: cheap
-            // shots drain first with a warm arena and the expensive
-            // tail stays cache-resident.  The permutation is stable
-            // and the predictions are scattered back, so the output
-            // (and every per-shot correction) is bit-identical to
-            // in-order decoding.
-            w.perm.resize(n);
-            for (std::uint64_t s = 0; s < n; ++s)
-                w.perm[s] = static_cast<std::uint32_t>(s);
-            std::stable_sort(
-                w.perm.begin(), w.perm.end(),
-                [&](std::uint32_t a, std::uint32_t b) {
-                    return view.offsets[a + 1] - view.offsets[a] <
-                           view.offsets[b + 1] - view.offsets[b];
-                });
-            w.sortedOffsets.resize(n + 1);
-            w.sortedDefects.resize(view.defects.size());
-            w.predictedSorted.resize(n);
-            w.sortedOffsets[0] = 0;
-            for (std::uint64_t i = 0; i < n; ++i) {
-                const std::uint32_t s = w.perm[i];
-                const auto syn = view.syndrome(s);
-                std::copy(syn.begin(), syn.end(),
-                          w.sortedDefects.begin() +
-                              w.sortedOffsets[i]);
-                w.sortedOffsets[i + 1] =
-                    w.sortedOffsets[i] +
-                    static_cast<std::uint32_t>(syn.size());
-            }
-            SyndromeBatch sortedView;
-            sortedView.offsets = {w.sortedOffsets.data(),
-                                  static_cast<std::size_t>(n) + 1};
-            sortedView.defects = {w.sortedDefects.data(),
-                                  w.sortedOffsets[n]};
-            w.dec->decodeBatch(sortedView, w.predictedSorted);
-            for (std::uint64_t i = 0; i < n; ++i)
-                w.predicted[w.perm[i]] = w.predictedSorted[i];
+            // Sorted (and, by default, memoized) batch decode: cheap
+            // shots drain first with a warm arena, repeated
+            // syndromes replay from the per-batch memo, and the
+            // predictions are scattered back to shot order — output
+            // bit-identical to in-order decoding either way (see
+            // decodeBatchSorted).
+            const BatchDecodeStats st = decodeBatchSorted(
+                *w.dec, view,
+                {w.predicted.data(), static_cast<std::size_t>(n)},
+                w.scratch, memoOn_);
+            tally.aux4 += st.memoHits;
+            replayedFallbacks += st.replayedFallbacks;
+            replayedPeels += st.replayedPeels;
             if (haveHeralds)
                 for (std::uint64_t s = 0; s < n; ++s)
                     if (w.block.heraldOffsets[s + 1] >
@@ -200,8 +250,10 @@ MonteCarloEngine::runShard(std::uint64_t shard,
         done += n;
         tally.shots += n;
     }
-    tally.aux = w.dec->fallbacks() - fallbacksBefore;
-    tally.aux2 = w.dec->predecodedPairs() - predecodesBefore;
+    tally.aux =
+        w.dec->fallbacks() - fallbacksBefore + replayedFallbacks;
+    tally.aux2 = w.dec->predecodedPairs() - predecodesBefore +
+                 replayedPeels;
     return tally;
 }
 
@@ -257,10 +309,15 @@ MonteCarloEngine::run(const McOptions &opts)
     // the backend/decoder above: one env read, every worker agrees).
     decCfg.predecode = resolvePredecode(opts_.predecode) ? 1 : 0;
     decCfg.predecodeRadius = opts_.predecodeRadius;
+    decCfg.reachCache = resolveReachCache(opts_.reachCache) ? 1 : 0;
+    // Same once-per-run resolution for the memo switch and the CPU
+    // dispatch level (one env/cpuid read, every worker agrees).
+    memoOn_ = resolveDecodeMemo(opts_.decodeMemo);
+    dispatch_ = resolveCpuDispatch(opts_.cpuDispatch);
 
     auto workerMain = [&]() {
         try {
-            Worker w(lanes_);
+            Worker w(lanes_, dispatch_);
             w.dec = makeDecoder(kind, graph_, decCfg);
             if (opts_.erasureAware &&
                 circuit_->numHeraldChannels() > 0) {
@@ -326,7 +383,9 @@ MonteCarloEngine::run(const McOptions &opts)
     res.mwpmFallbacks = total.aux;
     res.predecodedPairs = total.aux2;
     res.heraldedShots = total.aux3;
+    res.memoHits = total.aux4;
     res.decoder = decoderKindName(kind);
+    res.cpuDispatch = cpuDispatchName(dispatch_);
     res.shards = numShards;
     res.threadsUsed = threads;
     res.wordLanes = lanes_;

@@ -19,9 +19,10 @@
  * decoder throughput against the ~500 us decode budget of Table I is
  * why the hot path is SoA end-to-end: each batch is extracted
  * straight from its lane-major bit planes into a CSR SyndromeBlock
- * (set bits only — no per-shot transpose or vector traffic) and
- * decoded with one Decoder::decodeBatch call whose arena scratch
- * stays warm across the whole block.
+ * (via the runtime-dispatched transpose kernels of sim/frame) and
+ * decoded through decodeBatchSorted — ascending defect count, with
+ * repeated syndromes replayed from the per-batch memo — so the
+ * decoder's arena scratch stays warm across the whole block.
  */
 
 #ifndef TRAQ_DECODER_MONTE_CARLO_HH
@@ -68,6 +69,30 @@ struct McOptions
     int predecode = -1;
     /** Isolation radius (graph hops) for the predecode peeler. */
     int predecodeRadius = 2;
+    /**
+     * Syndrome-keyed decode memoization: within each batch, shots
+     * whose (defects, fired heralds) match an earlier shot replay
+     * that shot's correction instead of re-decoding.  Results —
+     * corrections, failure counts, fallback/predecode statistics —
+     * are bit-identical on/off; McResult::memoHits reports the
+     * replays.  Tri-state: negative defers to TRAQ_DECODE_MEMO
+     * (default ON; see resolveDecodeMemo), 0 off, positive on.
+     */
+    int decodeMemo = -1;
+    /**
+     * MWPM reach cache (DecoderConfig::reachCache): share Dijkstra
+     * searches across shots whose source defect recurs.  Tri-state:
+     * negative defers to TRAQ_REACH_CACHE (default ON), 0 off,
+     * positive on.  Bit-identical either way.
+     */
+    int reachCache = -1;
+    /**
+     * Runtime CPU dispatch level for the sampler/extraction kernels
+     * (common/word.hh).  Auto defers to TRAQ_CPU_DISPATCH and then
+     * cpuid (best supported level).  All levels are bit-identical;
+     * McResult::cpuDispatch reports the level that actually ran.
+     */
+    CpuDispatch cpuDispatch = CpuDispatch::Auto;
     /** Worker threads; 0 = TRAQ_THREADS env or hardware (see
      *  common/threads.hh). */
     unsigned threads = 0;
@@ -131,8 +156,14 @@ struct McResult
     /** Shots with at least one fired herald flag (0 without
      *  herald-emitting noise). */
     std::uint64_t heraldedShots = 0;
+    /** Shots answered by replaying a memoized correction (0 when
+     *  decode memoization is off). */
+    std::uint64_t memoHits = 0;
     /** Name of the decoder kind actually run (after TRAQ_DECODER). */
     const char *decoder = "";
+    /** CPU dispatch level the kernels actually ran at (after
+     *  TRAQ_CPU_DISPATCH / cpuid): "baseline", "avx2", "avx512". */
+    const char *cpuDispatch = "";
     std::uint64_t shards = 0;        //!< shards the run was split into
     unsigned threadsUsed = 0;        //!< workers actually spawned
     unsigned wordLanes = 0;          //!< 64-bit lanes per batch used
@@ -175,6 +206,9 @@ class MonteCarloEngine
     DecodeGraph graph_;
     unsigned lanes_ = 1;          //!< resolved word lanes per batch
     std::uint64_t shardUnit_ = 0; //!< shots/shard, multiple of batch
+    bool memoOn_ = true;          //!< resolved decode-memo switch
+    /** Dispatch level resolved once per run (workers all agree). */
+    CpuDispatch dispatch_ = CpuDispatch::Auto;
 
     /** (Re)compile the noise spec and rebuild DEM + decode graph. */
     void recompile();

@@ -12,6 +12,13 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+// Reach-cache size guards: one slot snapshots O(numNodes) doubles, so
+// very large graphs (or adversarially many distinct sources) fall
+// back to the uncached search instead of ballooning memory.  Both
+// paths are bit-identical, so the guard is purely a resource cap.
+constexpr std::size_t kReachCacheMaxNodes = 16384;
+constexpr std::size_t kReachCacheMaxSlots = 4096;
+
 /** Context-aware edge weight: override wins, clamped to >= 0 so a
  *  posterior-boosted (near-certain) edge cannot go negative.  The
  *  tie-break epsilon makes the optimal matching generically unique
@@ -36,8 +43,8 @@ ctxHides(const GraphEdge &e, const DecodeContext &ctx)
 
 MwpmDecoder::MwpmDecoder(const DecodeGraph &graph,
                          std::size_t maxDefects, bool predecode,
-                         int predecodeRadius)
-    : graph_(graph), maxDefects_(maxDefects)
+                         int predecodeRadius, bool reachCache)
+    : graph_(graph), maxDefects_(maxDefects), reachCache_(reachCache)
 {
     TRAQ_REQUIRE(maxDefects_ <= 22,
                  "bitmask matching is limited to 22 defects");
@@ -46,13 +53,26 @@ MwpmDecoder::MwpmDecoder(const DecodeGraph &graph,
     distStamp_.assign(graph_.numNodes(), 0);
     dist_.assign(graph_.numNodes(), kInf);
     fromEdge_.assign(graph_.numNodes(), -1);
+    if (reachCache_) {
+        cacheStampOf_.assign(graph_.numNodes(), 0);
+        cacheSlotOf_.assign(graph_.numNodes(), 0);
+    }
 }
 
 void
-MwpmDecoder::dijkstra(std::uint32_t source,
-                      std::span<const std::uint32_t> targets,
-                      const DecodeContext &ctx, bool wantEdges,
-                      std::vector<Reach> *out, Reach *boundary)
+MwpmDecoder::invalidateReachCache()
+{
+    if (!reachCache_)
+        return;
+    slots_.clear();
+    if (++cacheEpoch_ == 0) {
+        std::fill(cacheStampOf_.begin(), cacheStampOf_.end(), 0);
+        cacheEpoch_ = 1;
+    }
+}
+
+void
+MwpmDecoder::searchFrom(std::uint32_t source, const DecodeContext &ctx)
 {
     // One stamp epoch per search: dist_/fromEdge_ are valid only for
     // nodes the search actually reached, so the reset is O(1), not
@@ -104,13 +124,27 @@ MwpmDecoder::dijkstra(std::uint32_t source,
             }
         }
     }
+    searchBoundaryDist_ = bestBoundary;
+    searchBoundaryNode_ = boundaryEdgeNode;
+    searchBoundaryEdge_ = boundaryEdge;
+}
 
+template <class DistFn, class EdgeFn>
+void
+MwpmDecoder::fillReaches(std::uint32_t source,
+                         std::span<const std::uint32_t> targets,
+                         bool wantEdges, DistFn distOf,
+                         EdgeFn fromEdgeOf, double boundaryDist,
+                         std::int32_t boundaryNode,
+                         std::int32_t boundaryEdge,
+                         std::vector<Reach> *out, Reach *boundary)
+{
     auto fillPath = [&](std::uint32_t node, Reach *r) {
         r->obs = 0;
         r->edges.clear();
         std::uint32_t cur = node;
         while (cur != source) {
-            std::int32_t ei = fromEdge_[cur];
+            std::int32_t ei = fromEdgeOf(cur);
             TRAQ_ASSERT(ei >= 0, "broken Dijkstra predecessor chain");
             const GraphEdge &e = graph_.edges()[ei];
             r->obs ^= e.observables;
@@ -131,16 +165,63 @@ MwpmDecoder::dijkstra(std::uint32_t source,
         if (r.dist < kInf)
             fillPath(targets[i], &r);
     }
-    boundary->dist = bestBoundary;
+    boundary->dist = boundaryDist;
     boundary->obs = 0;
     boundary->edges.clear();
-    if (boundaryEdgeNode >= 0) {
-        fillPath(static_cast<std::uint32_t>(boundaryEdgeNode),
-                 boundary);
+    if (boundaryNode >= 0) {
+        fillPath(static_cast<std::uint32_t>(boundaryNode), boundary);
         boundary->obs ^= graph_.edges()[boundaryEdge].observables;
         boundary->edges.push_back(
             static_cast<std::uint32_t>(boundaryEdge));
     }
+}
+
+void
+MwpmDecoder::dijkstra(std::uint32_t source,
+                      std::span<const std::uint32_t> targets,
+                      const DecodeContext &ctx, bool wantEdges,
+                      std::vector<Reach> *out, Reach *boundary)
+{
+    searchFrom(source, ctx);
+    fillReaches(
+        source, targets, wantEdges,
+        [&](std::uint32_t node) {
+            return distStamp_[node] == epoch_ ? dist_[node] : kInf;
+        },
+        [&](std::uint32_t node) { return fromEdge_[node]; },
+        searchBoundaryDist_, searchBoundaryNode_, searchBoundaryEdge_,
+        out, boundary);
+}
+
+const MwpmDecoder::SsspSlot &
+MwpmDecoder::ensureSlot(std::uint32_t source, const DecodeContext &ctx)
+{
+    if (cacheStampOf_[source] == cacheEpoch_) {
+        ++cacheHits_;
+        return slots_[cacheSlotOf_[source]];
+    }
+    // First occurrence of this source in the current epoch: run the
+    // real search into the epoch-stamped scratch, then snapshot it.
+    // The snapshot IS the scratch state, so the cached and uncached
+    // paths read identical distances and predecessor edges.
+    searchFrom(source, ctx);
+    cacheStampOf_[source] = cacheEpoch_;
+    cacheSlotOf_[source] = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+    SsspSlot &slot = slots_.back();
+    const std::size_t n = graph_.numNodes();
+    slot.dist.assign(n, kInf);
+    slot.fromEdge.assign(n, -1);
+    for (std::size_t node = 0; node < n; ++node) {
+        if (distStamp_[node] == epoch_) {
+            slot.dist[node] = dist_[node];
+            slot.fromEdge[node] = fromEdge_[node];
+        }
+    }
+    slot.boundaryDist = searchBoundaryDist_;
+    slot.boundaryNode = searchBoundaryNode_;
+    slot.boundaryEdge = searchBoundaryEdge_;
+    return slot;
 }
 
 std::uint32_t
@@ -182,12 +263,33 @@ MwpmDecoder::decodeEx(std::span<const std::uint32_t> syndrome,
     if (m == 0)
         return preCorrection;
 
-    // Pairwise distances and boundary exits.
+    // Pairwise distances and boundary exits.  The reach cache only
+    // answers default-context searches: weight overrides (correlated
+    // second pass) and round horizons (windowed) change the metric,
+    // so those decodes always run the uncached search.
+    const bool cacheable = reachCache_ && ctx.weights.empty() &&
+                           ctx.maxRound < 0 &&
+                           graph_.numNodes() <= kReachCacheMaxNodes;
+    const bool wantEdges = usedEdges != nullptr;
     pair_.resize(std::max(pair_.size(), m));
     toBoundary_.resize(std::max(toBoundary_.size(), m));
-    for (std::size_t i = 0; i < m; ++i)
-        dijkstra(syn[i], syn, ctx, usedEdges != nullptr, &pair_[i],
-                 &toBoundary_[i]);
+    for (std::size_t i = 0; i < m; ++i) {
+        if (cacheable && (cacheStampOf_[syn[i]] == cacheEpoch_ ||
+                          slots_.size() < kReachCacheMaxSlots)) {
+            const SsspSlot &slot = ensureSlot(syn[i], ctx);
+            fillReaches(
+                syn[i], syn, wantEdges,
+                [&](std::uint32_t node) { return slot.dist[node]; },
+                [&](std::uint32_t node) {
+                    return slot.fromEdge[node];
+                },
+                slot.boundaryDist, slot.boundaryNode,
+                slot.boundaryEdge, &pair_[i], &toBoundary_[i]);
+        } else {
+            dijkstra(syn[i], syn, ctx, wantEdges, &pair_[i],
+                     &toBoundary_[i]);
+        }
+    }
 
     // DP over subsets: best[mask] = min cost to pair up defects in
     // mask (each either with another defect or with the boundary).

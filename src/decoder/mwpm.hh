@@ -50,11 +50,17 @@ class MwpmDecoder final : public Decoder
      * @param predecode peel isolated adjacent pairs first (see
      *        Predecoder); off by default.
      * @param predecodeRadius isolation radius for the peeler.
+     * @param reachCache share Dijkstra searches across decodes whose
+     *        source defect recurs (see the SsspSlot cache below);
+     *        bit-identical on/off.  Off by default at the class
+     *        level; the factory resolves DecoderConfig::reachCache /
+     *        TRAQ_REACH_CACHE (default on).
      */
     explicit MwpmDecoder(const DecodeGraph &graph,
                          std::size_t maxDefects = 18,
                          bool predecode = false,
-                         int predecodeRadius = 2);
+                         int predecodeRadius = 2,
+                         bool reachCache = false);
 
     /** True if this syndrome is within the exact-decoding cap. */
     bool canDecode(std::span<const std::uint32_t> syndrome) const
@@ -95,7 +101,14 @@ class MwpmDecoder final : public Decoder
     {
         if (pre_)
             pre_->reset();
+        invalidateReachCache();
     }
+
+    /** Dijkstra searches answered from the reach cache. */
+    std::uint64_t reachCacheHits() const { return cacheHits_; }
+
+    /** Drop every cached single-source search (epoch bump). */
+    void invalidateReachCache();
     const char *name() const override { return "mwpm"; }
     std::uint64_t predecodedPairs() const override
     {
@@ -130,6 +143,39 @@ class MwpmDecoder final : public Decoder
     std::vector<std::int32_t> choice_;
 
     /**
+     * Reach cache: a snapshot of one full single-source Dijkstra
+     * (distance + predecessor edge per node, plus the best boundary
+     * exit).  Defect positions recur heavily across the shots of a
+     * batch — especially once the engine sorts shots by defect count
+     * — so the search from a recurring source is answered by reading
+     * the snapshot instead of re-running the priority queue.  Valid
+     * only for the default context (no weight overrides, no round
+     * horizon): context decodes bypass the cache entirely, which is
+     * what keeps correlated/windowed passes exact.  Slots are
+     * epoch-stamped; invalidateReachCache() bumps the epoch instead
+     * of clearing per-node state.
+     */
+    struct SsspSlot
+    {
+        std::vector<double> dist;          //!< kInf where unreached
+        std::vector<std::int32_t> fromEdge;
+        double boundaryDist = 0.0;
+        std::int32_t boundaryNode = -1;
+        std::int32_t boundaryEdge = -1;
+    };
+    bool reachCache_ = false;
+    std::uint32_t cacheEpoch_ = 1;
+    std::uint64_t cacheHits_ = 0;
+    std::vector<std::uint32_t> cacheStampOf_; //!< per node
+    std::vector<std::uint32_t> cacheSlotOf_;  //!< valid when stamped
+    std::vector<SsspSlot> slots_;
+
+    // Best boundary exit found by the latest searchFrom().
+    double searchBoundaryDist_ = 0.0;
+    std::int32_t searchBoundaryNode_ = -1;
+    std::int32_t searchBoundaryEdge_ = -1;
+
+    /**
      * Single-source shortest paths from a defect; returns distance,
      * path-observable mask, and path edges to every target plus the
      * boundary, honoring the context's weights and round horizon.
@@ -138,6 +184,25 @@ class MwpmDecoder final : public Decoder
                   std::span<const std::uint32_t> targets,
                   const DecodeContext &ctx, bool wantEdges,
                   std::vector<Reach> *out, Reach *boundary);
+
+    /** The priority-queue loop of dijkstra(); fills the epoch-stamped
+     *  scratch and the searchBoundary*_ members. */
+    void searchFrom(std::uint32_t source, const DecodeContext &ctx);
+
+    /** Cached-path equivalent of dijkstra(): snapshot the search on
+     *  first use of a source, then answer from the slot. */
+    const SsspSlot &ensureSlot(std::uint32_t source,
+                               const DecodeContext &ctx);
+
+    /** Turn a distance/predecessor store (scratch or slot) into the
+     *  per-target Reach rows dijkstra() reports. */
+    template <class DistFn, class EdgeFn>
+    void fillReaches(std::uint32_t source,
+                     std::span<const std::uint32_t> targets,
+                     bool wantEdges, DistFn distOf, EdgeFn fromEdgeOf,
+                     double boundaryDist, std::int32_t boundaryNode,
+                     std::int32_t boundaryEdge, std::vector<Reach> *out,
+                     Reach *boundary);
 };
 
 } // namespace traq::decoder

@@ -8,7 +8,13 @@ namespace traq::decoder {
 
 WindowedDecoder::WindowedDecoder(const DecodeGraph &graph,
                                  const DecoderConfig &config)
-    : graph_(graph), inner_(graph, config.mwpmMaxDefects),
+    // Windowed passes decode under a round horizon, which bypasses
+    // the reach cache; only the short-circuit full-history decode
+    // (syndromes confined to the first window) benefits from it.
+    : graph_(graph),
+      inner_(graph, config.mwpmMaxDefects, /*predecode=*/false,
+             /*predecodeRadius=*/2,
+             resolveReachCache(config.reachCache)),
       window_(config.windowRounds), commit_(config.commitRounds)
 {
     TRAQ_REQUIRE(window_ >= 1, "windowRounds must be >= 1");

@@ -3,32 +3,9 @@
 #include <bit>
 
 #include "src/common/assert.hh"
-#include "src/common/math.hh"
+#include "src/sim/frame_kernels.hh"
 
 namespace traq::sim {
-namespace {
-
-/** Single-qubit channels fusable into one plane draw. */
-bool
-fusableNoise(Gate g)
-{
-    return g == Gate::X_ERROR || g == Gate::Z_ERROR ||
-           g == Gate::Y_ERROR || g == Gate::DEPOLARIZE1;
-}
-
-/** Probability of the fused channel for two back-to-back copies. */
-double
-fuseProb(Gate g, double p1, double p2)
-{
-    if (g == Gate::DEPOLARIZE1)
-        // Composition of depolarizing channels is depolarizing:
-        // the Pauli-invariant factor (1 - 4p/3) multiplies.
-        return p1 + p2 - 4.0 * p1 * p2 / 3.0;
-    // Independent flips combine by XOR.
-    return pXor(p1, p2);
-}
-
-} // namespace
 
 void
 extractSyndromes(const FrameBatch &batch,
@@ -61,6 +38,15 @@ void
 extractSyndromeBlock(const FrameBatch &batch,
                      std::span<const std::uint64_t> liveMask,
                      SyndromeBlock &out)
+{
+    kernels::frameKernels(CpuDispatch::Auto)
+        .extractBlock(batch, liveMask, out);
+}
+
+void
+extractSyndromeBlockScalar(const FrameBatch &batch,
+                           std::span<const std::uint64_t> liveMask,
+                           SyndromeBlock &out)
 {
     const unsigned lanes = batch.lanes;
     TRAQ_REQUIRE(lanes >= 1, "batch has no lanes");
@@ -169,167 +155,12 @@ extractSyndromeBlock(const FrameBatch &batch,
     }
 }
 
-FrameSimulator::FrameSimulator(std::uint64_t seed, unsigned lanes)
-    : rng_(seed), lanes_(lanes)
+FrameSimulator::FrameSimulator(std::uint64_t seed, unsigned lanes,
+                               CpuDispatch dispatch)
+    : st_(seed), lanes_(lanes),
+      kernels_(&kernels::frameKernels(dispatch))
 {
     TRAQ_REQUIRE(lanes_ >= 1, "frame sim needs at least one lane");
-}
-
-template <unsigned L>
-void
-FrameSimulator::applyNoise(const Instruction &inst, double p,
-                           unsigned lanes, FrameBatch &out)
-{
-    const unsigned nl = L ? L : lanes;
-    std::uint64_t *e = plane_.data();
-    switch (inst.gate) {
-      case Gate::X_ERROR:
-        for (std::uint32_t q : inst.targets) {
-            rng_.bernoulliPlane(p, e, nl);
-            for (unsigned l = 0; l < nl; ++l)
-                xf_[q * nl + l] ^= e[l];
-        }
-        break;
-      case Gate::Z_ERROR:
-        for (std::uint32_t q : inst.targets) {
-            rng_.bernoulliPlane(p, e, nl);
-            for (unsigned l = 0; l < nl; ++l)
-                zf_[q * nl + l] ^= e[l];
-        }
-        break;
-      case Gate::Y_ERROR:
-        for (std::uint32_t q : inst.targets) {
-            rng_.bernoulliPlane(p, e, nl);
-            for (unsigned l = 0; l < nl; ++l) {
-                xf_[q * nl + l] ^= e[l];
-                zf_[q * nl + l] ^= e[l];
-            }
-        }
-        break;
-      case Gate::DEPOLARIZE1:
-        for (std::uint32_t q : inst.targets) {
-            rng_.bernoulliPlane(p, e, nl);
-            for (unsigned l = 0; l < nl; ++l) {
-                std::uint64_t rest = e[l];
-                if (!rest)
-                    continue;
-                // For each erred shot pick X, Y or Z uniformly.
-                while (rest) {
-                    const int s = std::countr_zero(rest);
-                    rest &= rest - 1;
-                    const std::uint64_t bit = 1ULL << s;
-                    switch (rng_.below(3)) {
-                      case 0:
-                        xf_[q * nl + l] ^= bit;
-                        break;
-                      case 1:
-                        xf_[q * nl + l] ^= bit;
-                        zf_[q * nl + l] ^= bit;
-                        break;
-                      default:
-                        zf_[q * nl + l] ^= bit;
-                        break;
-                    }
-                }
-            }
-        }
-        break;
-      case Gate::HERALDED_ERASE:
-        // One herald plane per target, appended in instruction /
-        // target order so plane c is channel c of the circuit's
-        // numbering (the same order the DEM assigns channel tags).
-        // The erased qubit is replaced by the maximally mixed state:
-        // I, X, Y or Z with probability 1/4 each, herald set either
-        // way.
-        for (std::uint32_t q : inst.targets) {
-            rng_.bernoulliPlane(p, e, nl);
-            const std::size_t base = out.heralds.size();
-            out.heralds.insert(out.heralds.end(), e, e + nl);
-            for (unsigned l = 0; l < nl; ++l) {
-                std::uint64_t rest = out.heralds[base + l];
-                while (rest) {
-                    const int s = std::countr_zero(rest);
-                    rest &= rest - 1;
-                    const std::uint64_t bit = 1ULL << s;
-                    switch (rng_.below(4)) {
-                      case 0:
-                        break;  // I: erased but frame unchanged
-                      case 1:
-                        xf_[q * nl + l] ^= bit;
-                        break;
-                      case 2:
-                        xf_[q * nl + l] ^= bit;
-                        zf_[q * nl + l] ^= bit;
-                        break;
-                      default:
-                        zf_[q * nl + l] ^= bit;
-                        break;
-                    }
-                }
-            }
-        }
-        break;
-      case Gate::CORRELATED_PAULI2:
-        for (std::size_t i = 0; i + 1 < inst.targets.size(); i += 2) {
-            const std::uint32_t a = inst.targets[i];
-            const std::uint32_t b = inst.targets[i + 1];
-            rng_.bernoulliPlane(p, e, nl);
-            for (unsigned l = 0; l < nl; ++l) {
-                std::uint64_t rest = e[l];
-                while (rest) {
-                    const int s = std::countr_zero(rest);
-                    rest &= rest - 1;
-                    const std::uint64_t bit = 1ULL << s;
-                    // XX, YY or ZZ uniformly — both qubits get the
-                    // same Pauli (the correlation is the point).
-                    switch (rng_.below(3)) {
-                      case 0:
-                        xf_[a * nl + l] ^= bit;
-                        xf_[b * nl + l] ^= bit;
-                        break;
-                      case 1:
-                        xf_[a * nl + l] ^= bit;
-                        zf_[a * nl + l] ^= bit;
-                        xf_[b * nl + l] ^= bit;
-                        zf_[b * nl + l] ^= bit;
-                        break;
-                      default:
-                        zf_[a * nl + l] ^= bit;
-                        zf_[b * nl + l] ^= bit;
-                        break;
-                    }
-                }
-            }
-        }
-        break;
-      case Gate::DEPOLARIZE2:
-        for (std::size_t i = 0; i + 1 < inst.targets.size(); i += 2) {
-            const std::uint32_t a = inst.targets[i];
-            const std::uint32_t b = inst.targets[i + 1];
-            rng_.bernoulliPlane(p, e, nl);
-            for (unsigned l = 0; l < nl; ++l) {
-                std::uint64_t rest = e[l];
-                while (rest) {
-                    const int s = std::countr_zero(rest);
-                    rest &= rest - 1;
-                    const std::uint64_t bit = 1ULL << s;
-                    const std::uint64_t k = rng_.below(15) + 1;
-                    const std::size_t pa = k / 4, pb = k % 4;
-                    if (pa == 1 || pa == 2)
-                        xf_[a * nl + l] ^= bit;
-                    if (pa == 2 || pa == 3)
-                        zf_[a * nl + l] ^= bit;
-                    if (pb == 1 || pb == 2)
-                        xf_[b * nl + l] ^= bit;
-                    if (pb == 2 || pb == 3)
-                        zf_[b * nl + l] ^= bit;
-                }
-            }
-        }
-        break;
-      default:
-        TRAQ_PANIC("applyNoise: not a noise instruction");
-    }
 }
 
 FrameBatch
@@ -343,187 +174,7 @@ FrameSimulator::sample(const Circuit &circuit)
 void
 FrameSimulator::sampleInto(const Circuit &circuit, FrameBatch &out)
 {
-    // Dispatch once per batch to a lane-count-specialized body so
-    // the per-lane inner loops unroll (and can vectorize — one
-    // 256-bit op per 4-lane plane when the build enables AVX2) for
-    // the common widths; other widths take the generic runtime-lane
-    // path.
-    switch (lanes_) {
-      case 1:
-        sampleIntoImpl<1>(circuit, out);
-        break;
-      case 2:
-        sampleIntoImpl<2>(circuit, out);
-        break;
-      case 4:
-        sampleIntoImpl<4>(circuit, out);
-        break;
-      case 8:
-        sampleIntoImpl<8>(circuit, out);
-        break;
-      default:
-        sampleIntoImpl<0>(circuit, out);
-        break;
-    }
-}
-
-template <unsigned L>
-void
-FrameSimulator::sampleIntoImpl(const Circuit &circuit,
-                               FrameBatch &out)
-{
-    const unsigned nl = L ? L : lanes_;
-    const std::size_t n = circuit.numQubits();
-    xf_.assign(n * nl, 0);
-    zf_.assign(n * nl, 0);
-    mrec_.clear();
-    mrec_.reserve(circuit.numMeasurements() * nl);
-    numRec_ = 0;
-    plane_.resize(nl);
-
-    out.lanes = nl;
-    out.detectors.clear();
-    out.detectors.reserve(circuit.numDetectors() * nl);
-    out.observables.assign(circuit.numObservables() * nl, 0);
-    out.heralds.clear();
-    out.heralds.reserve(circuit.numHeraldChannels() * nl);
-
-    const auto &insts = circuit.instructions();
-    for (std::size_t i = 0; i < insts.size(); ++i) {
-        const Instruction &inst = insts[i];
-        const GateInfo &info = gateInfo(inst.gate);
-        if (info.unitary) {
-            switch (inst.gate) {
-              case Gate::I:
-              case Gate::X:
-              case Gate::Y:
-              case Gate::Z:
-                // Deterministic Paulis commute into the reference.
-                break;
-              case Gate::H:
-                for (std::uint32_t q : inst.targets)
-                    for (unsigned l = 0; l < nl; ++l)
-                        std::swap(xf_[q * nl + l], zf_[q * nl + l]);
-                break;
-              case Gate::S:
-              case Gate::S_DAG:
-                // S X S^-1 = Y: an X frame gains a Z component; Z
-                // frames are unchanged.  Same frame action for S_DAG.
-                for (std::uint32_t q : inst.targets)
-                    for (unsigned l = 0; l < nl; ++l)
-                        zf_[q * nl + l] ^= xf_[q * nl + l];
-                break;
-              case Gate::SQRT_X:
-              case Gate::SQRT_X_DAG:
-                // Z frame gains an X component.
-                for (std::uint32_t q : inst.targets)
-                    for (unsigned l = 0; l < nl; ++l)
-                        xf_[q * nl + l] ^= zf_[q * nl + l];
-                break;
-              case Gate::CX:
-                for (std::size_t t = 0; t + 1 < inst.targets.size();
-                     t += 2) {
-                    const std::uint32_t a = inst.targets[t];
-                    const std::uint32_t b = inst.targets[t + 1];
-                    for (unsigned l = 0; l < nl; ++l) {
-                        xf_[b * nl + l] ^= xf_[a * nl + l];
-                        zf_[a * nl + l] ^= zf_[b * nl + l];
-                    }
-                }
-                break;
-              case Gate::CZ:
-                for (std::size_t t = 0; t + 1 < inst.targets.size();
-                     t += 2) {
-                    const std::uint32_t a = inst.targets[t];
-                    const std::uint32_t b = inst.targets[t + 1];
-                    for (unsigned l = 0; l < nl; ++l) {
-                        zf_[a * nl + l] ^= xf_[b * nl + l];
-                        zf_[b * nl + l] ^= xf_[a * nl + l];
-                    }
-                }
-                break;
-              case Gate::SWAP:
-                for (std::size_t t = 0; t + 1 < inst.targets.size();
-                     t += 2) {
-                    const std::uint32_t a = inst.targets[t];
-                    const std::uint32_t b = inst.targets[t + 1];
-                    for (unsigned l = 0; l < nl; ++l) {
-                        std::swap(xf_[a * nl + l], xf_[b * nl + l]);
-                        std::swap(zf_[a * nl + l], zf_[b * nl + l]);
-                    }
-                }
-                break;
-              default:
-                TRAQ_PANIC("frame sim: unhandled unitary");
-            }
-        } else if (info.noise) {
-            // Fuse runs of the same single-qubit channel on the same
-            // target list into one plane draw.
-            double p = inst.arg;
-            while (fusableNoise(inst.gate) &&
-                   i + 1 < insts.size() &&
-                   insts[i + 1].gate == inst.gate &&
-                   insts[i + 1].targets == inst.targets) {
-                p = fuseProb(inst.gate, p, insts[i + 1].arg);
-                ++i;
-            }
-            applyNoise<L>(inst, p, nl, out);
-        } else if (info.measurement || info.reset) {
-            for (std::uint32_t q : inst.targets) {
-                switch (inst.gate) {
-                  case Gate::M:
-                    for (unsigned l = 0; l < nl; ++l)
-                        mrec_.push_back(xf_[q * nl + l]);
-                    ++numRec_;
-                    break;
-                  case Gate::MX:
-                    for (unsigned l = 0; l < nl; ++l)
-                        mrec_.push_back(zf_[q * nl + l]);
-                    ++numRec_;
-                    break;
-                  case Gate::MR:
-                    for (unsigned l = 0; l < nl; ++l) {
-                        mrec_.push_back(xf_[q * nl + l]);
-                        xf_[q * nl + l] = 0;
-                    }
-                    ++numRec_;
-                    break;
-                  case Gate::R:
-                    for (unsigned l = 0; l < nl; ++l) {
-                        xf_[q * nl + l] = 0;
-                        // Z frames on freshly reset qubits are
-                        // irrelevant; clear for determinism.
-                        zf_[q * nl + l] = 0;
-                    }
-                    break;
-                  case Gate::RX:
-                    for (unsigned l = 0; l < nl; ++l) {
-                        zf_[q * nl + l] = 0;
-                        xf_[q * nl + l] = 0;
-                    }
-                    break;
-                  default:
-                    TRAQ_PANIC("frame sim: unhandled meas/reset");
-                }
-            }
-        } else if (inst.gate == Gate::DETECTOR) {
-            const std::size_t base = out.detectors.size();
-            out.detectors.resize(base + nl, 0);
-            for (std::uint32_t lb : inst.targets) {
-                const std::size_t rec = (numRec_ - lb) * nl;
-                for (unsigned l = 0; l < nl; ++l)
-                    out.detectors[base + l] ^= mrec_[rec + l];
-            }
-        } else if (inst.gate == Gate::OBSERVABLE_INCLUDE) {
-            const auto idx = static_cast<std::size_t>(inst.arg);
-            for (std::uint32_t lb : inst.targets) {
-                const std::size_t rec = (numRec_ - lb) * nl;
-                for (unsigned l = 0; l < nl; ++l)
-                    out.observables[idx * nl + l] ^= mrec_[rec + l];
-            }
-        }
-        // TICK: no-op.
-    }
+    kernels_->sampleInto(st_, circuit, lanes_, out);
 }
 
 std::vector<std::uint64_t>

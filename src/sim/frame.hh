@@ -18,6 +18,12 @@
  * which is what makes large-shot-count logical-error-rate estimation
  * fast.  Back-to-back single-qubit noise channels of the same kind on
  * the same targets are fused into a single Bernoulli plane draw.
+ *
+ * The hot bodies (per-gate lane loops, transpose extraction) live in
+ * frame_kernels_impl.hh, compiled once per CpuDispatch level and
+ * selected at run time (see frame_kernels.hh) — the simulator here
+ * resolves a level at construction and pays one indirect call per
+ * batch.
  */
 
 #ifndef TRAQ_SIM_FRAME_HH
@@ -28,9 +34,15 @@
 #include <vector>
 
 #include "src/common/rng.hh"
+#include "src/common/word.hh"
 #include "src/sim/circuit.hh"
 
 namespace traq::sim {
+
+namespace kernels {
+struct FrameKernels;
+struct BlockScratchAccess;
+} // namespace kernels
 
 /**
  * Result of one (lanes * 64)-shot batch.
@@ -132,26 +144,58 @@ struct SyndromeBlock
     }
 
   private:
-    friend void extractSyndromeBlock(
+    friend void extractSyndromeBlockScalar(
         const FrameBatch &, std::span<const std::uint64_t>,
         SyndromeBlock &);
-    std::vector<std::uint32_t> cursor_; //!< fill-pass scratch
+    friend struct kernels::BlockScratchAccess;
+    std::vector<std::uint32_t> cursor_;  //!< fill-pass scratch
+    /** Shot-major transposed bit rows (transpose extraction). */
+    std::vector<std::uint64_t> rowBits_;
 };
 
 /**
- * Extract a whole batch into a SyndromeBlock without transposing
- * shots out of their lane-major planes: a counting pass and a fill
- * pass each walk only the *set* bits of the detector planes (zero
- * words skipped wholesale), and observable planes scatter into the
- * per-shot masks the same way.  Masked-out shots (liveMask bit
- * clear) get empty syndromes and zero masks.  Equivalent to
- * extractSyndromes shot for shot — locked by tests — but with flat
- * reused storage instead of 64 * lanes per-shot vectors: the decode
- * hot path's allocation-free SoA hand-off.
+ * Extract a whole batch into a SyndromeBlock.  Routes to the
+ * runtime-dispatched transpose kernel (frame_kernels.hh, Auto
+ * level): detector and herald planes are turned shot-major by a
+ * blocked 64x64 bit-matrix transpose and each shot's row words
+ * stream straight into the CSR lists.  Masked-out shots (liveMask
+ * bit clear) get empty syndromes and zero masks.  Equivalent to
+ * extractSyndromes shot for shot and to extractSyndromeBlockScalar
+ * bit for bit — locked by tests — with flat reused storage instead
+ * of 64 * lanes per-shot vectors: the decode hot path's
+ * allocation-free SoA hand-off.
  */
 void extractSyndromeBlock(const FrameBatch &batch,
                           std::span<const std::uint64_t> liveMask,
                           SyndromeBlock &out);
+
+/**
+ * The pre-dispatch scalar extraction: a counting pass and a fill
+ * pass walking only the *set* bits of the planes with countr_zero.
+ * Kept as the portable reference the transpose kernels are locked
+ * against (and as the better choice for very sparse planes hit once;
+ * the engine always goes through extractSyndromeBlock).
+ */
+void extractSyndromeBlockScalar(const FrameBatch &batch,
+                                std::span<const std::uint64_t> liveMask,
+                                SyndromeBlock &out);
+
+/**
+ * The frame simulator's mutable sampling state, grouped so the
+ * runtime-dispatched kernel copies (frame_kernels_impl.hh) can run
+ * the hot loops over it as free functions.
+ */
+struct FrameSimState
+{
+    explicit FrameSimState(std::uint64_t seed) : rng(seed) {}
+
+    Rng rng;
+    std::vector<std::uint64_t> xf;    //!< X frame planes per qubit
+    std::vector<std::uint64_t> zf;    //!< Z frame planes per qubit
+    std::vector<std::uint64_t> mrec;  //!< measurement flip planes
+    std::vector<std::uint64_t> plane; //!< Bernoulli plane scratch
+    std::uint64_t numRec = 0;         //!< measurements recorded
+};
 
 /** Bit-sliced frame simulator over a configurable word width. */
 class FrameSimulator
@@ -163,9 +207,14 @@ class FrameSimulator
      *              simulates lanes * 64 shots.  1 is the portable
      *              64-shot path; kWideWordLanes the wide backend.
      *              Any positive count works (tests use odd widths).
+     * @param dispatch CPU dispatch level for the kernel copies,
+     *              resolved here once (Auto: TRAQ_CPU_DISPATCH env
+     *              var, else best supported).  Purely a scheduling
+     *              choice — samples are bit-identical across levels.
      */
     explicit FrameSimulator(std::uint64_t seed = 0x66726d65ULL,
-                            unsigned lanes = 1);
+                            unsigned lanes = 1,
+                            CpuDispatch dispatch = CpuDispatch::Auto);
 
     unsigned lanes() const { return lanes_; }
     /** Shots per sample()/sampleInto() call (64 * lanes). */
@@ -191,22 +240,13 @@ class FrameSimulator
                          std::uint64_t minShots,
                          std::uint64_t *shotsOut);
 
-    Rng &rng() { return rng_; }
+    Rng &rng() { return st_.rng; }
 
   private:
-    template <unsigned L>
-    void sampleIntoImpl(const Circuit &circuit, FrameBatch &out);
-    template <unsigned L>
-    void applyNoise(const Instruction &inst, double p,
-                    unsigned lanes, FrameBatch &out);
-
-    Rng rng_;
+    FrameSimState st_;
     unsigned lanes_ = 1;
-    std::vector<std::uint64_t> xf_;    //!< X frame planes per qubit
-    std::vector<std::uint64_t> zf_;    //!< Z frame planes per qubit
-    std::vector<std::uint64_t> mrec_;  //!< measurement flip planes
-    std::vector<std::uint64_t> plane_; //!< Bernoulli plane scratch
-    std::uint64_t numRec_ = 0;         //!< measurements recorded
+    /** Resolved kernel table (one indirect call per batch). */
+    const kernels::FrameKernels *kernels_ = nullptr;
 };
 
 } // namespace traq::sim

@@ -1,0 +1,18 @@
+#include "src/sim/frame_kernels.hh"
+
+namespace traq::sim::kernels {
+
+const FrameKernels &
+frameKernels(CpuDispatch level)
+{
+    switch (resolveCpuDispatch(level)) {
+      case CpuDispatch::Avx512:
+        return avx512Kernels();
+      case CpuDispatch::Avx2:
+        return avx2Kernels();
+      default:
+        return baselineKernels();
+    }
+}
+
+} // namespace traq::sim::kernels

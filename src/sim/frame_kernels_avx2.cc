@@ -1,0 +1,17 @@
+/** AVX2 copy of the frame-sampler kernels.  CMake compiles this TU
+ *  with -mavx2 when the compiler supports it; otherwise it is plain
+ *  baseline code and resolveCpuDispatch never selects it
+ *  (TRAQ_DISPATCH_NO_AVX2). */
+
+#define TRAQ_KERNEL_NS avx2_level
+#include "src/sim/frame_kernels_impl.hh"
+
+namespace traq::sim::kernels {
+
+const FrameKernels &
+avx2Kernels()
+{
+    return avx2_level::table();
+}
+
+} // namespace traq::sim::kernels

@@ -1,0 +1,17 @@
+/** AVX-512 copy of the frame-sampler kernels.  CMake compiles this
+ *  TU with -mavx512f -mavx512bw -mavx2 when the compiler supports
+ *  them; otherwise it is plain baseline code and resolveCpuDispatch
+ *  never selects it (TRAQ_DISPATCH_NO_AVX512). */
+
+#define TRAQ_KERNEL_NS avx512_level
+#include "src/sim/frame_kernels_impl.hh"
+
+namespace traq::sim::kernels {
+
+const FrameKernels &
+avx512Kernels()
+{
+    return avx512_level::table();
+}
+
+} // namespace traq::sim::kernels

@@ -1,0 +1,16 @@
+/** Baseline (portable x86-64) copy of the frame-sampler kernels.
+ *  No extra arch flags: this TU compiles at whatever level the core
+ *  library uses (so TRAQ_ENABLE_AVX2 builds report avx2 here too). */
+
+#define TRAQ_KERNEL_NS baseline_level
+#include "src/sim/frame_kernels_impl.hh"
+
+namespace traq::sim::kernels {
+
+const FrameKernels &
+baselineKernels()
+{
+    return baseline_level::table();
+}
+
+} // namespace traq::sim::kernels

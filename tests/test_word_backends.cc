@@ -210,8 +210,10 @@ TEST(WordBackends, EnvResolutionParsesKnownNamesAndFailsLoudly)
     EXPECT_STREQ(wordBackendName(WordBackend::Wide512),
                  kWide512WordLanes == 8 ? "wide512"
                                         : "wide512(64)");
-    // Codegen label is one of the three documented values.
-    const std::string cg = wordBackendCodegen();
+    // Compile-time codegen label is one of the three documented
+    // values (the runtime dispatch level is tested separately in
+    // test_cpu_dispatch.cc).
+    const std::string cg = wordBackendCompiled();
     EXPECT_TRUE(cg == "avx512f" || cg == "avx2" || cg == "baseline");
 }
 
