@@ -49,10 +49,14 @@ usage(const char *argv0, int code)
 {
     std::fprintf(
         stderr,
-        "usage: %s [--threads N] [--cache on|off]\n"
+        "usage: %s [--threads N] [--cache on|off] "
+        "[--cache-file PATH]\n"
         "  Reads one EstimateRequest JSON object (or an array of\n"
         "  them) per stdin line; writes one result line per input\n"
-        "  line to stdout in input order.  Stats go to stderr.\n",
+        "  line to stdout in input order.  Stats go to stderr.\n"
+        "  --cache-file persists the result cache across restarts\n"
+        "  (append-only checksummed store; TRAQ_CACHE_FILE is the\n"
+        "  env equivalent).\n",
         argv0);
     return code;
 }
@@ -70,7 +74,8 @@ main(int argc, char **argv)
         if (eq != std::string::npos) {
             value = arg.substr(eq + 1);
             arg = arg.substr(0, eq);
-        } else if ((arg == "--threads" || arg == "--cache") &&
+        } else if ((arg == "--threads" || arg == "--cache" ||
+                    arg == "--cache-file") &&
                    i + 1 < argc) {
             value = argv[++i];
         }
@@ -91,6 +96,10 @@ main(int argc, char **argv)
                 opts.cache = false;
             else
                 return usage(argv[0], 2);
+        } else if (arg == "--cache-file") {
+            if (value.empty())
+                return usage(argv[0], 2);
+            opts.cacheFile = value;
         } else if (arg == "--help" || arg == "-h") {
             return usage(argv[0], 0);
         } else {
@@ -150,8 +159,10 @@ main(int argc, char **argv)
     const traq::service::JobQueueStats stats = queue.stats();
     std::fprintf(stderr,
                  "traq_serve: %zu jobs, %zu evaluated, %zu cache "
-                 "hits, %zu failed, %u threads\n",
+                 "hits, %zu persistent hits, %zu failed, %u "
+                 "threads\n",
                  stats.submitted, stats.evaluated, stats.cacheHits,
-                 stats.failed, queue.threads());
+                 stats.persistentHits, stats.failed,
+                 queue.threads());
     return 0;
 }

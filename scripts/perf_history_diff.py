@@ -7,10 +7,12 @@ tool takes two or more such documents -- given as files and/or
 directories to scan for ``*.json`` -- sorts them by their ``date``
 field, and reports what moved between the two most recent records:
 per-bench elapsed deltas, per-decoder decode-latency deltas,
-per-fixture hot-path speedup (vs the PR-7 generation) and
-decode-memo hit-rate deltas, and the CPU dispatch level each run
-executed at (a dispatch change explains most wall-clock moves, so
-it is printed before the numbers).  Top-level keys this tool does
+per-fixture hot-path speedup (vs the PR-7 generation), the
+caching-tier metrics (per-batch and cross-batch decode-memo hit
+rates, compile-cache sweep speedup, persistent-store warm-restart
+speedup), and the CPU dispatch level each run executed at (a
+dispatch change explains most wall-clock moves, so it is printed
+before the numbers).  Top-level keys this tool does
 not recognize are listed explicitly rather than silently dropped,
 so a perf_smoke.sh that starts recording something new is visible
 here the day it lands, not when someone updates this script.
@@ -88,6 +90,9 @@ KNOWN_KEYS = {
     "word_backend_compiled",
     "hotpath_speedup_vs_pr7",
     "decode_memo_hit_rate",
+    "cross_batch_memo_hit_rate",
+    "compile_cache_speedup",
+    "warm_restart_speedup",
     "benches",
     "decode_latency_us_per_round",
     "_source",
@@ -161,12 +166,23 @@ def print_diff(base: dict, head: dict) -> None:
         "hot-path speedup vs PR-7 generation (x)")
     print_fixture_diff(
         base, head, "decode_memo_hit_rate", "hit_rate",
-        "decode-memo hit rate")
+        "decode-memo hit rate (per-batch)")
+    print_fixture_diff(
+        base, head, "cross_batch_memo_hit_rate", "hit_rate",
+        "cross-batch memo hit rate (process-global tier)")
+    print_fixture_diff(
+        base, head, "compile_cache_speedup", "speedup",
+        "compile-cache sweep speedup (x)")
 
     eff_b = base.get("parallel_efficiency_at_4")
     eff_h = head.get("parallel_efficiency_at_4")
     if eff_b is not None and eff_h is not None:
         print(f"\nparallel-efficiency@4: {eff_b} -> {eff_h}")
+
+    wr_b = base.get("warm_restart_speedup")
+    wr_h = head.get("warm_restart_speedup")
+    if wr_b is not None or wr_h is not None:
+        print(f"\nwarm-restart-speedup (x): {wr_b} -> {wr_h}")
 
     unknown = sorted((set(base) | set(head)) - KNOWN_KEYS)
     if unknown:

@@ -15,12 +15,14 @@
 # thread-scaling efficiency, the CPU dispatch level the kernels ran
 # at (vs the compile-time word backend), the end-to-end hot-path
 # speedup vs the PR-7 generation (baseline kernels + scalar extract,
-# no memo/reach-cache) and the decode-memo hit rate from
-# bench_sim_montecarlo, and the per-decoder decode-latency lines
-# from bench_decoder_throughput — is written there as one JSON
-# document; CI uploads it as a dated perf-history artifact so
-# regressions can be traced across commits, not just against the
-# static baseline.
+# no memo/reach-cache), the per-batch and cross-batch (process-
+# global tier) decode-memo hit rates and the compiled-artifact
+# cache speedup from bench_sim_montecarlo, the persistent-store
+# warm-restart speedup from bench_service_throughput, and the
+# per-decoder decode-latency lines from bench_decoder_throughput —
+# is written there as one JSON document; CI uploads it as a dated
+# perf-history artifact so regressions can be traced across
+# commits, not just against the static baseline.
 #
 # The baseline file holds "<bench-binary> <baseline-seconds>" pairs;
 # baselines are deliberately loose (they bound machine-class, not
@@ -44,6 +46,9 @@ dispatch_compiled=""
 speedup_json=""
 speedup_lines=""
 memo_json=""
+cross_memo_json=""
+compile_cache_json=""
+warm_restart=""
 
 while read -r name baseline; do
     case "$name" in
@@ -98,10 +103,27 @@ while read -r name baseline; do
             split($3, f, " ");
             printf "%s{\"fixture\": \"%s\", \"hit_rate\": %s}",
                 (n++ ? ", " : ""), $2, f[2] }' "$outfile")
+        # cross-batch-memo-hit-rate[<fixture>]: <rate> (...)
+        cross_memo_json=$(awk -F'[][]' \
+            '/^cross-batch-memo-hit-rate\[/ {
+            split($3, f, " ");
+            printf "%s{\"fixture\": \"%s\", \"hit_rate\": %s}",
+                (n++ ? ", " : ""), $2, f[2] }' "$outfile")
+        # compile-cache-speedup[<fixture>]: <X.XX>x (...)
+        compile_cache_json=$(awk -F'[][]' \
+            '/^compile-cache-speedup\[/ {
+            split($3, f, " "); sub(/x$/, "", f[2]);
+            printf "%s{\"fixture\": \"%s\", \"speedup\": %s}",
+                (n++ ? ", " : ""), $2, f[2] }' "$outfile")
         speedup_lines=$(awk -F'[][]' \
             '/^hotpath-speedup-vs-pr7\[/ { split($3, f, " ");
             printf "perf-smoke: OK   hotpath-speedup-vs-pr7[%s] =\
  %s\n", $2, f[2] }' "$outfile")
+    fi
+    if [[ "$name" == "bench_service_throughput" ]]; then
+        # warm-restart-speedup: <X.X>x (...)
+        warm_restart=$(awk '/^warm-restart-speedup:/ {
+            sub(/x$/, "", $2); print $2; exit }' "$outfile")
     fi
     if [[ "$name" == "bench_decoder_throughput" ]]; then
         # decode-latency[<kind>]: <us> us/round <PASS|WARN> (...)
@@ -144,6 +166,15 @@ if [[ -n "$speedup_lines" ]]; then
     echo "$speedup_lines"
 fi
 
+# Caching tiers (informational; the hard gates are the bench-level
+# target lines and the test suite's bit-identity checks).
+if [[ -n "$warm_restart" ]]; then
+    echo "perf-smoke: OK   warm-restart-speedup = ${warm_restart}x"
+else
+    echo "perf-smoke: WARN no warm-restart-speedup line from" \
+         "bench_service_throughput"
+fi
+
 if [[ -n "${PERF_HISTORY_JSON:-}" ]]; then
     {
         echo "{"
@@ -161,6 +192,9 @@ if [[ -n "${PERF_HISTORY_JSON:-}" ]]; then
         fi
         echo "  \"hotpath_speedup_vs_pr7\": [$speedup_json],"
         echo "  \"decode_memo_hit_rate\": [$memo_json],"
+        echo "  \"cross_batch_memo_hit_rate\": [$cross_memo_json],"
+        echo "  \"compile_cache_speedup\": [$compile_cache_json],"
+        echo "  \"warm_restart_speedup\": ${warm_restart:-null},"
         echo "  \"benches\": [$bench_json],"
         echo "  \"decode_latency_us_per_round\": [$latency_json]"
         echo "}"

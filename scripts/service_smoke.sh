@@ -33,7 +33,8 @@ fi
 out1=$(mktemp)
 outn=$(mktemp)
 stats=$(mktemp)
-trap 'rm -f "$out1" "$outn" "$stats"' EXIT
+cachefile=$(mktemp)
+trap 'rm -f "$out1" "$outn" "$stats" "$cachefile"' EXIT
 
 "$SERVE" --threads 1 < "$REQUESTS" > "$out1" 2> "$stats"
 "$SERVE" --threads 4 < "$REQUESTS" > "$outn" 2> /dev/null
@@ -103,3 +104,32 @@ if ! grep -q " 1 cache hits" "$stats"; then
     exit 1
 fi
 echo "service-smoke: OK   $(cat "$stats")"
+
+# Warm-restart leg (caching tier 3): serve the request set with a
+# persistent cache file, let the process exit, then restart against
+# the same store.  The rerun must be byte-identical (stored outcomes
+# replay the exact JSON an evaluation would emit) and served from
+# the persistent tier (nonzero persistent hits, zero evaluations).
+"$SERVE" --threads 2 --cache-file "$cachefile" \
+    < "$REQUESTS" > "$out1" 2> /dev/null
+"$SERVE" --threads 2 --cache-file "$cachefile" \
+    < "$REQUESTS" > "$outn" 2> "$stats"
+if ! diff -u "$out1" "$outn"; then
+    echo "service-smoke: FAIL warm-restart output differs" >&2
+    exit 1
+fi
+if ! diff -u "$GOLDEN" "$outn"; then
+    echo "service-smoke: FAIL warm-restart differs from golden" >&2
+    exit 1
+fi
+if ! grep -Eq " [1-9][0-9]* persistent hits" "$stats"; then
+    echo "service-smoke: FAIL expected persistent-cache hits:" >&2
+    cat "$stats" >&2
+    exit 1
+fi
+if ! grep -q " 0 evaluated" "$stats"; then
+    echo "service-smoke: FAIL warm restart re-evaluated jobs:" >&2
+    cat "$stats" >&2
+    exit 1
+fi
+echo "service-smoke: OK   warm restart $(cat "$stats")"

@@ -1,0 +1,137 @@
+#include "src/decoder/compile_cache.hh"
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "src/sim/dem.hh"
+
+namespace traq::decoder {
+namespace {
+
+/** Bounded entry count; one entry holds a circuit + graph, so keep
+ *  this to "every distinct circuit of a big sweep", not unbounded. */
+constexpr std::size_t kCompileCacheCapacity = 64;
+
+struct CompileCache
+{
+    std::mutex m;
+    std::unordered_map<std::string,
+                       std::shared_ptr<const CompiledDecodeSetup>>
+        map;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+};
+
+CompileCache &
+cache()
+{
+    static CompileCache c;
+    return c;
+}
+
+/**
+ * Exact cache key: circuit text, detector metadata, canonical noise
+ * spec.  Circuit::parse(str()) is an exact fixed point (locked by
+ * tests), so the text uniquely identifies the sampled circuit; the
+ * metadata and spec cover everything else fromDem consumes.  Unit
+ * separators (0x1f) keep fields from running into each other.
+ */
+std::string
+cacheKey(const codes::Experiment &exp, const noise::NoiseSpec &spec)
+{
+    std::string key = exp.circuit.str();
+    key += '\x1f';
+    key += spec.canonical();
+    key += '\x1f';
+    const codes::CircuitMeta &meta = exp.meta;
+    auto appendInts = [&key](const auto &v) {
+        for (auto x : v) {
+            key += std::to_string(static_cast<long long>(x));
+            key += ',';
+        }
+        key += ';';
+    };
+    appendInts(meta.detectorIsX);
+    appendInts(meta.observableIsX);
+    appendInts(meta.detectorPatch);
+    appendInts(meta.detectorRound);
+    appendInts(meta.observablePatch);
+    key += std::to_string(meta.numRounds);
+    return key;
+}
+
+std::shared_ptr<const CompiledDecodeSetup>
+buildSetup(const codes::Experiment &exp, const noise::NoiseSpec &spec)
+{
+    auto setup = std::make_shared<CompiledDecodeSetup>();
+    const sim::Circuit *circuit = &exp.circuit;
+    if (!spec.empty()) {
+        setup->compiled =
+            noise::NoiseModel::fromSpec(spec).compile(exp.circuit);
+        circuit = &*setup->compiled;
+    }
+    setup->graph =
+        DecodeGraph::fromDem(sim::buildDem(*circuit), exp.meta);
+    return setup;
+}
+
+} // namespace
+
+std::shared_ptr<const CompiledDecodeSetup>
+compileDecodeSetup(const codes::Experiment &exp,
+                   const noise::NoiseSpec &spec, bool useCache)
+{
+    if (!useCache)
+        return buildSetup(exp, spec);
+
+    const std::string key = cacheKey(exp, spec);
+    CompileCache &c = cache();
+    {
+        std::lock_guard<std::mutex> lock(c.m);
+        auto it = c.map.find(key);
+        if (it != c.map.end()) {
+            ++c.hits;
+            return it->second;
+        }
+        ++c.misses;
+    }
+
+    // Compile outside the lock: misses on *different* keys must not
+    // serialize.  Two racing misses on the same key both compile and
+    // the first insert wins — identical artifacts either way.
+    auto setup = buildSetup(exp, spec);
+
+    std::lock_guard<std::mutex> lock(c.m);
+    auto [it, inserted] = c.map.try_emplace(key, setup);
+    if (!inserted)
+        return it->second;
+    if (c.map.size() > kCompileCacheCapacity) {
+        auto victim = c.map.begin();
+        if (victim == it)
+            ++victim;
+        c.map.erase(victim);
+        ++c.evictions;
+    }
+    return setup;
+}
+
+CompileCacheStats
+compileCacheStats()
+{
+    CompileCache &c = cache();
+    std::lock_guard<std::mutex> lock(c.m);
+    return {c.hits, c.misses, c.evictions, c.map.size()};
+}
+
+void
+clearCompileCache()
+{
+    CompileCache &c = cache();
+    std::lock_guard<std::mutex> lock(c.m);
+    c.map.clear();
+}
+
+} // namespace traq::decoder

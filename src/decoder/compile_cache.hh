@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Process-global compiled-artifact cache (caching tier 2).
+ *
+ * Compiling one Monte-Carlo decoding setup — noise-spec compile of
+ * the circuit, DEM construction, DecodeGraph build — costs far more
+ * than many whole estimator jobs, yet every MonteCarloEngine pays it
+ * at construction.  SweepRunner grids and repeated service requests
+ * routinely share one circuit across jobs that differ only in seed /
+ * shots / p-axis parameters baked into the circuit string, so this
+ * cache memoizes the full Circuit→DEM→DecodeGraph pipeline
+ * process-wide, keyed by the exact circuit text, the detector
+ * metadata, and the canonical noise spec.
+ *
+ * Entries are immutable shared_ptrs: engines keep their setup alive
+ * independently of eviction, so a bounded cache can never invalidate
+ * a running engine.  Keys are exact strings (no hashing shortcuts),
+ * so a hit always returns artifacts byte-identical to a fresh
+ * compile — the cache is a pure throughput knob (TRAQ_COMPILE_CACHE,
+ * default ON; see resolveCompileCache in decoder.hh).
+ */
+
+#ifndef TRAQ_DECODER_COMPILE_CACHE_HH
+#define TRAQ_DECODER_COMPILE_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "src/codes/experiments.hh"
+#include "src/decoder/decode_graph.hh"
+#include "src/noise/noise.hh"
+
+namespace traq::decoder {
+
+/** Everything recompile() produces for one (circuit, noise) pair. */
+struct CompiledDecodeSetup
+{
+    /**
+     * Noise-compiled circuit; disengaged when the spec was empty
+     * (the engine then samples the experiment's own circuit, which
+     * the cache must not reference — entries outlive callers).
+     */
+    std::optional<sim::Circuit> compiled;
+    DecodeGraph graph;
+};
+
+/** Monotonic counters of the process-wide compile cache. */
+struct CompileCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t entries = 0;
+};
+
+/**
+ * Compile (or fetch) the decode setup for (exp, spec).  With
+ * @p useCache false the pipeline runs unconditionally and the cache
+ * is neither read nor written.  Thread-safe; concurrent misses on
+ * the same key may both compile, and the first finisher's entry is
+ * kept (identical artifacts either way).
+ */
+std::shared_ptr<const CompiledDecodeSetup>
+compileDecodeSetup(const codes::Experiment &exp,
+                   const noise::NoiseSpec &spec, bool useCache);
+
+CompileCacheStats compileCacheStats();
+
+/** Drop all entries (benches isolate measurements with this).
+ *  In-use setups stay alive through their shared_ptrs. */
+void clearCompileCache();
+
+} // namespace traq::decoder
+
+#endif // TRAQ_DECODER_COMPILE_CACHE_HH

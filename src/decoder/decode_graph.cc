@@ -1,6 +1,7 @@
 #include "src/decoder/decode_graph.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <map>
 #include <utility>
@@ -14,7 +15,51 @@ namespace {
 /** Key of one edge during accumulation: packed endpoints + obs. */
 using EdgeKey = std::pair<std::uint64_t, std::uint32_t>;
 
+/** splitmix64-style mixing step for the content digest. */
+inline std::uint64_t
+mixHash(std::uint64_t h, std::uint64_t x)
+{
+    h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h *= 0xbf58476d1ce4e5b9ULL;
+    return h ^ (h >> 29);
+}
+
 } // namespace
+
+std::uint64_t
+DecodeGraph::computeContentHash() const
+{
+    std::uint64_t h = mixHash(0x7261712d67726170ULL, numNodes_);
+    for (const GraphEdge &e : edges_) {
+        h = mixHash(h, static_cast<std::uint32_t>(e.u));
+        h = mixHash(h, static_cast<std::uint32_t>(e.v));
+        h = mixHash(h, std::bit_cast<std::uint64_t>(e.probability));
+        h = mixHash(h, std::bit_cast<std::uint64_t>(e.weight));
+        h = mixHash(h, e.observables);
+        h = mixHash(h, static_cast<std::uint32_t>(e.round));
+    }
+    h = mixHash(h, partnerList_.size());
+    for (std::size_t i = 0; i < partnerList_.size(); ++i) {
+        h = mixHash(h, partnerList_[i]);
+        h = mixHash(h, std::bit_cast<std::uint64_t>(partnerCondP_[i]));
+    }
+    h = mixHash(h, numHeraldChannels_);
+    for (std::size_t ei = 0; ei + 1 < channelStart_.size(); ++ei) {
+        h = mixHash(h, channelStart_[ei + 1] - channelStart_[ei]);
+        for (std::size_t k = channelStart_[ei];
+             k < channelStart_[ei + 1]; ++k)
+            h = mixHash(h, channelList_[k]);
+    }
+    for (std::int32_t p : detectorPatch_)
+        h = mixHash(h, static_cast<std::uint32_t>(p));
+    for (std::int32_t r : detectorRound_)
+        h = mixHash(h, static_cast<std::uint32_t>(r));
+    for (std::int32_t p : observablePatch_)
+        h = mixHash(h, static_cast<std::uint32_t>(p));
+    h = mixHash(h, static_cast<std::uint64_t>(numRounds_));
+    // A zero digest marks "default-constructed": remap it.
+    return h == 0 ? 0x9e3779b97f4a7c15ULL : h;
+}
 
 DecodeGraph
 DecodeGraph::build(const codes::Experiment &exp)
@@ -266,6 +311,7 @@ DecodeGraph::fromDem(const sim::DetectorErrorModel &dem,
             pa > 0.0 ? std::min(1.0, pm / pa) : 0.0;
         ++fill[a];
     }
+    g.contentHash_ = g.computeContentHash();
     return g;
 }
 

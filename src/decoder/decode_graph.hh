@@ -229,7 +229,21 @@ class DecodeGraph
         return numUndetectableLogical_;
     }
 
+    /**
+     * 64-bit digest of everything a decoder's output can depend on:
+     * edges (endpoints, probabilities, weights, observables, rounds),
+     * partner posteriors, herald-channel provenance, and detector
+     * metadata.  Two graphs with equal hashes decode every syndrome
+     * identically for every decoder kind (modulo the negligible
+     * collision probability, which the process-global memo resolves
+     * by also comparing syndrome content).  Computed once in
+     * fromDem(); 0 for a default-constructed graph.
+     */
+    std::uint64_t contentHash() const { return contentHash_; }
+
   private:
+    std::uint64_t computeContentHash() const;
+
     std::size_t numNodes_ = 0;
     std::vector<GraphEdge> edges_;
     std::vector<std::vector<std::uint32_t>> adj_;
@@ -251,6 +265,7 @@ class DecodeGraph
     int numRounds_ = 1;
     std::size_t numUnsplittable_ = 0;
     std::size_t numUndetectableLogical_ = 0;
+    std::uint64_t contentHash_ = 0;
 };
 
 /** Back-compat alias for the pre-refactor name. */

@@ -1,6 +1,7 @@
 #include "src/decoder/decoder.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cstdlib>
 #include <map>
 #include <mutex>
@@ -9,6 +10,7 @@
 
 #include "src/common/assert.hh"
 #include "src/decoder/correlated.hh"
+#include "src/decoder/global_memo.hh"
 #include "src/decoder/fallback.hh"
 #include "src/decoder/mwpm.hh"
 #include "src/decoder/union_find.hh"
@@ -170,6 +172,18 @@ resolveReachCache(int requested)
     return resolveOnByDefault(requested, "TRAQ_REACH_CACHE");
 }
 
+bool
+resolveGlobalMemo(int requested)
+{
+    return resolveOnByDefault(requested, "TRAQ_GLOBAL_MEMO");
+}
+
+bool
+resolveCompileCache(int requested)
+{
+    return resolveOnByDefault(requested, "TRAQ_COMPILE_CACHE");
+}
+
 DecoderKind
 resolveDecoderKind(DecoderKind requested)
 {
@@ -218,13 +232,57 @@ hashSyndrome(std::span<const std::uint32_t> syn)
     return h;
 }
 
+/** One mixing step of the setup-key digests. */
+inline std::uint64_t
+mixKey(std::uint64_t h, std::uint64_t x)
+{
+    h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h *= 0xff51afd7ed558ccdULL;
+    return h ^ (h >> 33);
+}
+
 } // namespace
+
+DecodeSetupKey
+decodeSetupKey(const DecodeGraph &graph, DecoderKind kind,
+               const DecoderConfig &config)
+{
+    // Tri-states are resolved here so an explicit request and the
+    // equivalent env default land on the same entries.  Every field
+    // below can change a decode result for at least one kind;
+    // reachCache is included conservatively (it is bit-identical by
+    // contract, but keying on it costs only duplicate entries).
+    const std::uint64_t fields[] = {
+        graph.contentHash(),
+        static_cast<std::uint64_t>(kind),
+        config.mwpmMaxDefects,
+        std::bit_cast<std::uint64_t>(config.correlationBoost),
+        static_cast<std::uint64_t>(
+            static_cast<std::uint32_t>(config.windowRounds)),
+        static_cast<std::uint64_t>(
+            static_cast<std::uint32_t>(config.commitRounds)),
+        resolvePredecode(config.predecode) ? 1u : 0u,
+        static_cast<std::uint64_t>(
+            static_cast<std::uint32_t>(config.predecodeRadius)),
+        resolveReachCache(config.reachCache) ? 1u : 0u,
+    };
+    DecodeSetupKey key{0x74696572316d656dULL, 0x71756272612d636bULL};
+    for (std::uint64_t f : fields) {
+        key.a = mixKey(key.a, f);
+        key.b = mixKey(key.b, ~f);
+    }
+    return key;
+}
 
 BatchDecodeStats
 decodeBatchSorted(Decoder &dec, const SyndromeBatch &batch,
                   std::span<std::uint32_t> out,
-                  BatchDecodeScratch &scratch, bool memo)
+                  BatchDecodeScratch &scratch, bool memo,
+                  GlobalDecodeMemo *global, DecodeSetupKey setup)
 {
+    TRAQ_REQUIRE(global == nullptr || memo,
+                 "decodeBatchSorted: the global memo rides on the "
+                 "per-batch memo's replay bookkeeping (memo on)");
     BatchDecodeStats stats;
     const std::uint64_t n = batch.shots();
     TRAQ_REQUIRE(out.size() >= n,
@@ -314,31 +372,55 @@ decodeBatchSorted(Decoder &dec, const SyndromeBatch &batch,
 
     // Decode each distinct syndrome once, in first-occurrence order
     // (which inherits the defect-count sort), recording the counter
-    // deltas the replayed shots must reproduce.
+    // deltas the replayed shots must reproduce.  With tier 1 active,
+    // a distinct syndrome cached by an earlier batch replays instead
+    // of decoding — the cached deltas equal what the decode would
+    // have produced, so the accounting below cannot tell the
+    // difference.
     const std::size_t numUnique = scratch.uniqueOffsets.size() - 1;
     const SyndromeBatch uview{scratch.uniqueOffsets,
                               scratch.uniqueDefects};
     scratch.predictedUnique.resize(numUnique);
     scratch.uniqueFallbacks.resize(numUnique);
     scratch.uniquePeels.resize(numUnique);
+    const std::uint64_t fbBase = dec.fallbacks();
+    const std::uint64_t ppBase = dec.predecodedPairs();
     for (std::size_t u = 0; u < numUnique; ++u) {
+        const auto syn = uview.syndrome(u);
+        if (global != nullptr) {
+            GlobalDecodeMemo::Value v;
+            if (global->lookup(setup, syn, {}, v)) {
+                scratch.predictedUnique[u] = v.predicted;
+                scratch.uniqueFallbacks[u] = v.fallbacks;
+                scratch.uniquePeels[u] = v.peels;
+                ++stats.globalHits;
+                continue;
+            }
+        }
         const std::uint64_t fb0 = dec.fallbacks();
         const std::uint64_t pp0 = dec.predecodedPairs();
-        scratch.predictedUnique[u] = dec.decodeSpan(uview.syndrome(u));
+        scratch.predictedUnique[u] = dec.decodeSpan(syn);
         scratch.uniqueFallbacks[u] = dec.fallbacks() - fb0;
         scratch.uniquePeels[u] = dec.predecodedPairs() - pp0;
+        if (global != nullptr)
+            global->insert(
+                setup, syn, {},
+                {scratch.predictedUnique[u],
+                 static_cast<std::uint32_t>(
+                     scratch.uniqueFallbacks[u]),
+                 static_cast<std::uint32_t>(scratch.uniquePeels[u])});
     }
 
+    // Replayed counter shares: everything the batch owes minus what
+    // the decoder actually incremented while decoding the uniques.
     for (std::uint64_t i = 0; i < n; ++i) {
         const std::uint32_t u = scratch.uniqueOf[i];
         out[perm[i]] = scratch.predictedUnique[u];
         stats.replayedFallbacks += scratch.uniqueFallbacks[u];
         stats.replayedPeels += scratch.uniquePeels[u];
     }
-    for (std::size_t u = 0; u < numUnique; ++u) {
-        stats.replayedFallbacks -= scratch.uniqueFallbacks[u];
-        stats.replayedPeels -= scratch.uniquePeels[u];
-    }
+    stats.replayedFallbacks -= dec.fallbacks() - fbBase;
+    stats.replayedPeels -= dec.predecodedPairs() - ppBase;
     return stats;
 }
 

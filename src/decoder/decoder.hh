@@ -112,6 +112,23 @@ bool resolveDecodeMemo(int requested);
  */
 bool resolveReachCache(int requested);
 
+/**
+ * Resolve the process-global decode-memo tri-state (caching tier 1,
+ * TRAQ_GLOBAL_MEMO).  Same contract as resolveDecodeMemo: default
+ * ON, bit-identical either way, unknown spellings fatal.  The global
+ * tier piggybacks on the per-batch memo's replay bookkeeping, so the
+ * engine only consults it when the per-batch memo is on too.
+ */
+bool resolveGlobalMemo(int requested);
+
+/**
+ * Resolve the compiled-artifact cache tri-state (caching tier 2,
+ * TRAQ_COMPILE_CACHE; see compile_cache.hh).  Same contract as
+ * resolveDecodeMemo: default ON, bit-identical either way, unknown
+ * spellings fatal.
+ */
+bool resolveCompileCache(int requested);
+
 /** Construction-time options shared by all decoder kinds. */
 struct DecoderConfig
 {
@@ -263,11 +280,44 @@ class Decoder
     std::vector<std::uint32_t> spanScratch_;
 };
 
+/**
+ * Identity of one decoding problem setup: a 128-bit digest of the
+ * DecodeGraph content hash plus the decoder kind and every
+ * DecoderConfig field a decode result can depend on (tri-states
+ * resolved first, so an explicit value and the equivalent env
+ * default share entries).  Two independent mixes make an accidental
+ * cross-setup collision (~2^-128) irrelevant in practice; the
+ * process-global memo additionally compares syndrome content in
+ * full, so even a collision cannot replay a wrong correction for a
+ * *different* syndrome of the colliding setup.
+ */
+struct DecodeSetupKey
+{
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    bool operator==(const DecodeSetupKey &) const = default;
+};
+
+/** Compute the setup key for (graph, kind, config). */
+DecodeSetupKey decodeSetupKey(const DecodeGraph &graph,
+                              DecoderKind kind,
+                              const DecoderConfig &config);
+
+class GlobalDecodeMemo;
+
 /** What decodeBatchSorted() did beyond plain decoding. */
 struct BatchDecodeStats
 {
     /** Shots answered by replaying a memoized correction. */
     std::uint64_t memoHits = 0;
+    /**
+     * Distinct syndromes of this batch answered from the
+     * process-global memo (tier 1) instead of decoding.  Unlike the
+     * deterministic per-batch counters this depends on what other
+     * batches/threads cached first, so it is reported separately and
+     * never folded into tallies.
+     */
+    std::uint64_t globalHits = 0;
     /**
      * Fallback-counter increments that would have happened had the
      * replayed shots been decoded for real.  Memoization replays
@@ -321,13 +371,25 @@ struct BatchDecodeScratch
  * distinct syndrome are replayed too — see BatchDecodeStats — so
  * every observable statistic is identical memo on/off.
  *
+ * With @p global non-null (requires memo on), each distinct syndrome
+ * is first looked up in the process-global memo under @p setup
+ * (tier 1): hits replay the cached correction and counter deltas,
+ * misses decode and insert.  Because cached values equal what the
+ * decode would have produced, out/tallies stay bit-identical for
+ * any global-cache state; only BatchDecodeStats::globalHits varies.
+ *
  * @param out predicted flip mask per shot; size >= batch.shots().
+ * @param global process-global memo, or nullptr to skip tier 1.
+ * @param setup key identifying (graph, kind, config); required when
+ *        @p global is set.
  */
 BatchDecodeStats decodeBatchSorted(Decoder &dec,
                                    const SyndromeBatch &batch,
                                    std::span<std::uint32_t> out,
                                    BatchDecodeScratch &scratch,
-                                   bool memo);
+                                   bool memo,
+                                   GlobalDecodeMemo *global = nullptr,
+                                   DecodeSetupKey setup = {});
 
 /** Factory signature used by the decoder registry. */
 using DecoderFactory = std::function<std::unique_ptr<Decoder>(

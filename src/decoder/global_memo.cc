@@ -1,0 +1,150 @@
+#include "src/decoder/global_memo.hh"
+
+#include <algorithm>
+
+namespace traq::decoder {
+namespace {
+
+/** splitmix64-style mixing step (same shape as the batch memo's
+ *  hashSyndrome, with a multiply to spread shard selection bits). */
+inline std::uint64_t
+mixHash(std::uint64_t h, std::uint64_t x)
+{
+    h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h *= 0xbf58476d1ce4e5b9ULL;
+    return h ^ (h >> 29);
+}
+
+/** Map key: setup digest mixed with the full syndrome content. */
+inline std::uint64_t
+entryHash(const DecodeSetupKey &setup,
+          std::span<const std::uint32_t> defects,
+          std::span<const std::uint32_t> heralds)
+{
+    std::uint64_t h = mixHash(setup.a, setup.b);
+    h = mixHash(h, defects.size());
+    for (std::uint32_t x : defects)
+        h = mixHash(h, x);
+    h = mixHash(h, heralds.size());
+    for (std::uint32_t x : heralds)
+        h = mixHash(h, x);
+    return h;
+}
+
+/** Exact content compare backing every hash hit. */
+inline bool
+entryMatches(const GlobalDecodeMemo::Value &, const DecodeSetupKey &a,
+             std::span<const std::uint32_t> defects,
+             std::span<const std::uint32_t> heralds,
+             const DecodeSetupKey &b, std::uint32_t numDefects,
+             std::span<const std::uint32_t> content)
+{
+    if (!(a == b))
+        return false;
+    if (content.size() != defects.size() + heralds.size() ||
+        numDefects != defects.size())
+        return false;
+    return std::equal(defects.begin(), defects.end(),
+                      content.begin()) &&
+           std::equal(heralds.begin(), heralds.end(),
+                      content.begin() + defects.size());
+}
+
+} // namespace
+
+GlobalDecodeMemo::GlobalDecodeMemo(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity), shards_(kShards)
+{
+}
+
+GlobalDecodeMemo &
+GlobalDecodeMemo::instance()
+{
+    static GlobalDecodeMemo memo;
+    return memo;
+}
+
+bool
+GlobalDecodeMemo::lookup(const DecodeSetupKey &setup,
+                         std::span<const std::uint32_t> defects,
+                         std::span<const std::uint32_t> heralds,
+                         Value &out)
+{
+    const std::uint64_t h = entryHash(setup, defects, heralds);
+    Shard &shard = shards_[(h >> 58) % kShards];
+    std::lock_guard<std::mutex> lock(shard.m);
+    auto it = shard.map.find(h);
+    if (it != shard.map.end() &&
+        entryMatches(it->second.value, setup, defects, heralds,
+                     it->second.setup, it->second.numDefects,
+                     it->second.content)) {
+        out = it->second.value;
+        ++shard.hits;
+        return true;
+    }
+    ++shard.misses;
+    return false;
+}
+
+void
+GlobalDecodeMemo::insert(const DecodeSetupKey &setup,
+                         std::span<const std::uint32_t> defects,
+                         std::span<const std::uint32_t> heralds,
+                         const Value &v)
+{
+    const std::uint64_t h = entryHash(setup, defects, heralds);
+    Shard &shard = shards_[(h >> 58) % kShards];
+    std::lock_guard<std::mutex> lock(shard.m);
+    auto [it, inserted] = shard.map.try_emplace(h);
+    if (!inserted)
+        return; // First claimant wins (collision or racing insert).
+    if (shard.map.size() > shardCap()) {
+        // Evict an arbitrary *other* resident entry: recomputation
+        // of an identical result is the only possible consequence.
+        auto victim = shard.map.begin();
+        if (victim == it)
+            ++victim;
+        shard.map.erase(victim);
+        ++shard.evictions;
+    }
+    Entry &e = it->second;
+    e.setup = setup;
+    e.numDefects = static_cast<std::uint32_t>(defects.size());
+    e.content.reserve(defects.size() + heralds.size());
+    e.content.assign(defects.begin(), defects.end());
+    e.content.insert(e.content.end(), heralds.begin(), heralds.end());
+    e.value = v;
+    ++shard.inserts;
+}
+
+void
+GlobalDecodeMemo::clear()
+{
+    for (Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.m);
+        shard.map.clear();
+    }
+}
+
+void
+GlobalDecodeMemo::setCapacity(std::size_t entries)
+{
+    capacity_ = entries == 0 ? 1 : entries;
+}
+
+GlobalDecodeMemo::Stats
+GlobalDecodeMemo::stats() const
+{
+    Stats s;
+    for (const Shard &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard.m);
+        s.hits += shard.hits;
+        s.misses += shard.misses;
+        s.inserts += shard.inserts;
+        s.evictions += shard.evictions;
+        s.entries += shard.map.size();
+    }
+    return s;
+}
+
+} // namespace traq::decoder

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Process-global syndrome-keyed decode memo (caching tier 1).
+ *
+ * PR 8's decode memo deduplicates syndromes *within* one batch; this
+ * promotes it to a process-wide cache shared across batches, shards,
+ * engine runs, and sweep jobs.  Entries are keyed by a
+ * DecodeSetupKey — a 128-bit digest of the DecodeGraph content hash
+ * plus the decoder kind and every config field the decode result can
+ * depend on — together with the full (defects, heralds) content, so
+ * a replay is only ever served for the exact same decoding problem.
+ *
+ * Correctness rests on the same property the per-batch memo uses:
+ * thanks to the deterministic tie-break epsilon, every decoder's
+ * correction *and* its counter deltas (fallbacks, predecoded pairs)
+ * are pure functions of (graph, config, defects, heralds).  Entries
+ * therefore replay both, keeping corrections and tallies
+ * bit-identical with the cache on/off and across thread counts.
+ * Only the hit counters are timing-dependent (a racing insert may
+ * land before or after another thread's lookup) and they are
+ * reported separately from the deterministic tallies.
+ *
+ * The cache is sharded (64 shards, striped std::mutex) and
+ * capacity-bounded; on overflow a shard evicts an arbitrary resident
+ * entry, which is always safe — eviction can only turn a future hit
+ * into a recomputation of the identical result.
+ */
+
+#ifndef TRAQ_DECODER_GLOBAL_MEMO_HH
+#define TRAQ_DECODER_GLOBAL_MEMO_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/decoder/decoder.hh"
+
+namespace traq::decoder {
+
+/** Sharded, capacity-bounded process-wide decode-result cache. */
+class GlobalDecodeMemo
+{
+  public:
+    /** Everything a replay must reproduce for one syndrome. */
+    struct Value
+    {
+        /** Predicted logical-observable flip mask. */
+        std::uint32_t predicted = 0;
+        /** fallbacks() increments of the original decode. */
+        std::uint32_t fallbacks = 0;
+        /** predecodedPairs() increments of the original decode. */
+        std::uint32_t peels = 0;
+    };
+
+    /** Aggregated across shards; hit/miss counts are monotonic. */
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t inserts = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t entries = 0;
+    };
+
+    /** Default capacity (total entries across all shards). */
+    static constexpr std::size_t kDefaultCapacity = 1u << 18;
+
+    explicit GlobalDecodeMemo(std::size_t capacity = kDefaultCapacity);
+
+    /** The process-wide instance the engine and batch decode use. */
+    static GlobalDecodeMemo &instance();
+
+    /**
+     * Look up the decode result for (setup, defects, heralds).
+     * A hash collision with different content is a miss (content is
+     * compared in full, never trusted from the hash alone).
+     * @return true and fill @p out on a hit.
+     */
+    bool lookup(const DecodeSetupKey &setup,
+                std::span<const std::uint32_t> defects,
+                std::span<const std::uint32_t> heralds, Value &out);
+
+    /**
+     * Insert a decode result.  If another thread already claimed the
+     * slot (same hash), the first claimant is kept — like the
+     * per-batch memo, a collision degrades to recomputation, never a
+     * wrong replay.  Evicts an arbitrary entry of the target shard
+     * when it is at capacity.
+     */
+    void insert(const DecodeSetupKey &setup,
+                std::span<const std::uint32_t> defects,
+                std::span<const std::uint32_t> heralds,
+                const Value &v);
+
+    /** Drop every entry (benches isolate measurements with this). */
+    void clear();
+
+    /**
+     * Change the total capacity (distributed over the shards; each
+     * shard holds at least one entry).  Existing overflow is evicted
+     * lazily on the next insert into a full shard.
+     */
+    void setCapacity(std::size_t entries);
+
+    std::size_t capacity() const { return capacity_.load(); }
+
+    Stats stats() const;
+
+  private:
+    struct Entry
+    {
+        DecodeSetupKey setup;
+        /** defects followed by heralds (exact-compare content). */
+        std::vector<std::uint32_t> content;
+        std::uint32_t numDefects = 0;
+        Value value;
+    };
+
+    struct Shard
+    {
+        mutable std::mutex m;
+        std::unordered_map<std::uint64_t, Entry> map;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t inserts = 0;
+        std::uint64_t evictions = 0;
+    };
+
+    static constexpr std::size_t kShards = 64;
+
+    std::size_t shardCap() const
+    {
+        const std::size_t per = capacity_.load() / kShards;
+        return per == 0 ? 1 : per;
+    }
+
+    std::atomic<std::size_t> capacity_;
+    std::vector<Shard> shards_;
+};
+
+} // namespace traq::decoder
+
+#endif // TRAQ_DECODER_GLOBAL_MEMO_HH

@@ -10,6 +10,7 @@
 #include "src/common/assert.hh"
 #include "src/common/rng.hh"
 #include "src/common/threads.hh"
+#include "src/decoder/global_memo.hh"
 #include "src/sim/dem.hh"
 #include "src/sim/frame.hh"
 #include "src/sim/frame_kernels.hh"
@@ -79,16 +80,16 @@ void
 MonteCarloEngine::recompile()
 {
     noiseKey_ = opts_.noiseSpec.canonical();
-    if (opts_.noiseSpec.empty()) {
-        circuit_ = &exp_.circuit;
-    } else {
-        compiled_ = noise::NoiseModel::fromSpec(opts_.noiseSpec)
-                        .compile(exp_.circuit);
-        circuit_ = &compiled_;
-    }
-    graph_ = DecodeGraph::fromDem(sim::buildDem(*circuit_),
-                                  exp_.meta);
-    TRAQ_REQUIRE(graph_.numUndetectableLogical() == 0,
+    // Tier 2: the compiled circuit, DEM and decode graph may come
+    // from (and be shared through) the process-wide compile cache —
+    // byte-identical artifacts either way, so everything downstream
+    // is oblivious to where the setup came from.
+    setup_ = compileDecodeSetup(
+        exp_, opts_.noiseSpec,
+        resolveCompileCache(opts_.compileCache));
+    circuit_ =
+        setup_->compiled ? &*setup_->compiled : &exp_.circuit;
+    TRAQ_REQUIRE(setup_->graph.numUndetectableLogical() == 0,
                  "circuit has undetectable logical errors");
 }
 
@@ -97,11 +98,13 @@ MonteCarloEngine::runShard(std::uint64_t shard,
                            std::uint64_t shardShots, Worker &w)
 {
     const auto &circuit = *circuit_;
+    const DecodeGraph &graph = setup_->graph;
     const std::uint32_t numObs = circuit.numObservables();
     const bool haveHeralds = circuit.numHeraldChannels() > 0;
     const bool erasureAware = haveHeralds && opts_.erasureAware;
     const unsigned lanes = w.fsim.lanes();
     const std::uint64_t batchShots = w.fsim.shotsPerBatch();
+    std::uint64_t globalHits = 0;
 
     Tally tally;
     tally.ensureBins(numObs);
@@ -188,6 +191,23 @@ MonteCarloEngine::runShard(std::uint64_t shard,
                         // keeps the first claimant, so only the
                         // colliding syndrome loses its memo slot.
                     }
+                    // Tier 1: (defects, heralds) decoded by any
+                    // earlier batch/shard/run replays cached result
+                    // and deltas — same values a decode would
+                    // produce, so tallies cannot tell.
+                    if (globalMemo_ != nullptr) {
+                        GlobalDecodeMemo::Value v;
+                        if (globalMemo_->lookup(setupKey_, syn,
+                                                heralds, v)) {
+                            w.predicted[s] = v.predicted;
+                            w.shotFallbacks[s] = v.fallbacks;
+                            w.shotPeels[s] = v.peels;
+                            replayedFallbacks += v.fallbacks;
+                            replayedPeels += v.peels;
+                            ++globalHits;
+                            continue;
+                        }
+                    }
                 }
                 const std::uint64_t fb0 = w.dec->fallbacks();
                 const std::uint64_t pp0 = w.dec->predecodedPairs();
@@ -196,7 +216,7 @@ MonteCarloEngine::runShard(std::uint64_t shard,
                 } else {
                     for (std::uint32_t c : heralds)
                         for (std::uint32_t ei :
-                             graph_.channelEdges(c))
+                             graph.channelEdges(c))
                             if (w.ctxWeights[ei] != 0.0) {
                                 w.ctxTouched.push_back(ei);
                                 w.ctxWeights[ei] = 0.0;
@@ -206,13 +226,21 @@ MonteCarloEngine::runShard(std::uint64_t shard,
                     w.predicted[s] =
                         w.dec->decodeWithContext(syn, ctx);
                     for (std::uint32_t ei : w.ctxTouched)
-                        w.ctxWeights[ei] = graph_.edges()[ei].weight;
+                        w.ctxWeights[ei] = graph.edges()[ei].weight;
                     w.ctxTouched.clear();
                 }
                 if (memoOn_) {
                     w.shotFallbacks[s] = w.dec->fallbacks() - fb0;
                     w.shotPeels[s] =
                         w.dec->predecodedPairs() - pp0;
+                    if (globalMemo_ != nullptr)
+                        globalMemo_->insert(
+                            setupKey_, syn, heralds,
+                            {w.predicted[s],
+                             static_cast<std::uint32_t>(
+                                 w.shotFallbacks[s]),
+                             static_cast<std::uint32_t>(
+                                 w.shotPeels[s])});
                 }
             }
         } else {
@@ -225,8 +253,9 @@ MonteCarloEngine::runShard(std::uint64_t shard,
             const BatchDecodeStats st = decodeBatchSorted(
                 *w.dec, view,
                 {w.predicted.data(), static_cast<std::size_t>(n)},
-                w.scratch, memoOn_);
+                w.scratch, memoOn_, globalMemo_, setupKey_);
             tally.aux4 += st.memoHits;
+            globalHits += st.globalHits;
             replayedFallbacks += st.replayedFallbacks;
             replayedPeels += st.replayedPeels;
             if (haveHeralds)
@@ -254,6 +283,11 @@ MonteCarloEngine::runShard(std::uint64_t shard,
         w.dec->fallbacks() - fallbacksBefore + replayedFallbacks;
     tally.aux2 = w.dec->predecodedPairs() - predecodesBefore +
                  replayedPeels;
+    // Tier-1 hits are timing-dependent (they depend on what other
+    // shards/runs cached first), so they bypass the deterministic
+    // tally and accumulate on an engine-level counter instead.
+    crossBatchHits_.fetch_add(globalHits,
+                              std::memory_order_relaxed);
     return tally;
 }
 
@@ -314,15 +348,24 @@ MonteCarloEngine::run(const McOptions &opts)
     // dispatch level (one env/cpuid read, every worker agrees).
     memoOn_ = resolveDecodeMemo(opts_.decodeMemo);
     dispatch_ = resolveCpuDispatch(opts_.cpuDispatch);
+    // Tier 1 rides on the per-batch memo's replay bookkeeping, so
+    // decodeMemo=off silently disables it too (the memo is the
+    // feature; the global tier only widens its key space).
+    globalMemo_ = memoOn_ && resolveGlobalMemo(opts_.globalMemo)
+                      ? &GlobalDecodeMemo::instance()
+                      : nullptr;
+    setupKey_ = decodeSetupKey(setup_->graph, kind, decCfg);
+    crossBatchHits_.store(0, std::memory_order_relaxed);
 
     auto workerMain = [&]() {
         try {
             Worker w(lanes_, dispatch_);
-            w.dec = makeDecoder(kind, graph_, decCfg);
+            w.dec = makeDecoder(kind, setup_->graph, decCfg);
             if (opts_.erasureAware &&
                 circuit_->numHeraldChannels() > 0) {
-                w.ctxWeights.reserve(graph_.edges().size());
-                for (const auto &e : graph_.edges())
+                const auto &edges = setup_->graph.edges();
+                w.ctxWeights.reserve(edges.size());
+                for (const auto &e : edges)
                     w.ctxWeights.push_back(e.weight);
             }
             std::uint64_t shard;
@@ -384,6 +427,8 @@ MonteCarloEngine::run(const McOptions &opts)
     res.predecodedPairs = total.aux2;
     res.heraldedShots = total.aux3;
     res.memoHits = total.aux4;
+    res.crossBatchHits =
+        crossBatchHits_.load(std::memory_order_relaxed);
     res.decoder = decoderKindName(kind);
     res.cpuDispatch = cpuDispatchName(dispatch_);
     res.shards = numShards;

@@ -28,13 +28,16 @@
 #ifndef TRAQ_DECODER_MONTE_CARLO_HH
 #define TRAQ_DECODER_MONTE_CARLO_HH
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/codes/experiments.hh"
 #include "src/common/stats.hh"
 #include "src/common/word.hh"
+#include "src/decoder/compile_cache.hh"
 #include "src/decoder/decode_graph.hh"
 #include "src/decoder/decoder.hh"
 #include "src/noise/noise.hh"
@@ -86,6 +89,26 @@ struct McOptions
      * positive on.  Bit-identical either way.
      */
     int reachCache = -1;
+    /**
+     * Process-global decode memo (caching tier 1): distinct
+     * syndromes already decoded by *any* batch, shard, or earlier
+     * run of this process replay their correction and counter
+     * deltas instead of decoding.  Requires the per-batch memo
+     * (decodeMemo) to be on; corrections and tallies are
+     * bit-identical on/off and across thread counts, only
+     * McResult::crossBatchHits (timing-dependent) varies.
+     * Tri-state: negative defers to TRAQ_GLOBAL_MEMO (default ON),
+     * 0 off, positive on.
+     */
+    int globalMemo = -1;
+    /**
+     * Compiled-artifact cache (caching tier 2, compile_cache.hh):
+     * reuse the noise-compiled circuit + DEM + DecodeGraph across
+     * engines that share the exact circuit, metadata, and noise
+     * spec.  Bit-identical either way.  Tri-state: negative defers
+     * to TRAQ_COMPILE_CACHE (default ON), 0 off, positive on.
+     */
+    int compileCache = -1;
     /**
      * Runtime CPU dispatch level for the sampler/extraction kernels
      * (common/word.hh).  Auto defers to TRAQ_CPU_DISPATCH and then
@@ -159,6 +182,14 @@ struct McResult
     /** Shots answered by replaying a memoized correction (0 when
      *  decode memoization is off). */
     std::uint64_t memoHits = 0;
+    /**
+     * Distinct syndromes served from the process-global memo
+     * (caching tier 1) instead of decoding.  Unlike every other
+     * count here this depends on what earlier batches/runs cached
+     * and on thread timing, so it is informational only and
+     * excluded from the bit-identity contract.
+     */
+    std::uint64_t crossBatchHits = 0;
     /** Name of the decoder kind actually run (after TRAQ_DECODER). */
     const char *decoder = "";
     /** CPU dispatch level the kernels actually ran at (after
@@ -190,23 +221,31 @@ class MonteCarloEngine
     /** Execute with different options against the same graph. */
     McResult run(const McOptions &opts);
 
-    const DecodeGraph &graph() const { return graph_; }
+    const DecodeGraph &graph() const { return setup_->graph; }
 
   private:
     struct Worker;
 
     const codes::Experiment &exp_;
     McOptions opts_;
-    /** Noise-compiled circuit (unused when the spec is empty). */
-    sim::Circuit compiled_;
-    /** Circuit actually sampled: &exp_.circuit or &compiled_. */
+    /** Compiled circuit + DEM + decode graph, possibly shared with
+     *  other engines through the tier-2 compile cache.  The
+     *  shared_ptr keeps it alive independently of cache eviction. */
+    std::shared_ptr<const CompiledDecodeSetup> setup_;
+    /** Circuit actually sampled: &exp_.circuit or the setup's
+     *  noise-compiled copy. */
     const sim::Circuit *circuit_ = nullptr;
-    /** Canonical key of the spec compiled_/graph_ were built for. */
+    /** Canonical key of the spec setup_ was built for. */
     std::string noiseKey_;
-    DecodeGraph graph_;
     unsigned lanes_ = 1;          //!< resolved word lanes per batch
     std::uint64_t shardUnit_ = 0; //!< shots/shard, multiple of batch
     bool memoOn_ = true;          //!< resolved decode-memo switch
+    /** Tier-1 global memo, resolved per run; null when off. */
+    GlobalDecodeMemo *globalMemo_ = nullptr;
+    /** Setup key the workers memoize under (tier 1). */
+    DecodeSetupKey setupKey_{};
+    /** Tier-1 hits across all workers of the current run. */
+    std::atomic<std::uint64_t> crossBatchHits_{0};
     /** Dispatch level resolved once per run (workers all agree). */
     CpuDispatch dispatch_ = CpuDispatch::Auto;
 

@@ -62,6 +62,10 @@ class McLogicalErrorEstimator : public Estimator
                     asPositive("mcThreads", v));
             else if (key == "predecode")
                 spec.predecode = static_cast<int>(asInt64(v));
+            else if (key == "globalMemo")
+                spec.globalMemo = static_cast<int>(asInt64(v));
+            else if (key == "compileCache")
+                spec.compileCache = static_cast<int>(asInt64(v));
             else if (key == "erasureAware")
                 spec.erasureAware = v != 0.0;
             else if (key.rfind("noise.", 0) == 0)
@@ -115,6 +119,8 @@ class McLogicalErrorEstimator : public Estimator
         mc.threads = spec.threads;
         mc.wordBackend = spec.wordBackend;
         mc.predecode = spec.predecode;
+        mc.globalMemo = spec.globalMemo;
+        mc.compileCache = spec.compileCache;
         mc.noiseSpec = spec.noiseSpec;
         mc.erasureAware = spec.erasureAware;
         const decoder::McResult res = decoder::runMonteCarlo(exp, mc);

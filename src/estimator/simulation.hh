@@ -67,6 +67,17 @@ struct McSimSpec
     /** Predecode tri-state (McOptions::predecode): negative defers
      *  to TRAQ_PREDECODE, 0 off, positive on. */
     int predecode = -1;
+    /** Process-global decode memo tri-state (caching tier 1,
+     *  McOptions::globalMemo): negative defers to TRAQ_GLOBAL_MEMO
+     *  (default ON), 0 off, positive on.  Request parameter
+     *  "globalMemo".  Bit-identical either way. */
+    int globalMemo = -1;
+    /** Compiled-artifact cache tri-state (caching tier 2,
+     *  McOptions::compileCache): negative defers to
+     *  TRAQ_COMPILE_CACHE (default ON), 0 off, positive on.
+     *  Request parameter "compileCache".  Bit-identical either
+     *  way; sweep grids sharing a circuit compile it once. */
+    int compileCache = -1;
     /**
      * Extra noise-source stack (src/noise) compiled over the
      * experiment circuit.  Request parameters named

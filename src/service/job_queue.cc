@@ -3,10 +3,37 @@
 #include <utility>
 
 #include "src/common/assert.hh"
+#include "src/common/json.hh"
 #include "src/common/serialize.hh"
 #include "src/common/threads.hh"
 
 namespace traq::service {
+namespace {
+
+/**
+ * Inverse of JobOutcome::toJson(): stored values are either a result
+ * object or {"error":"..."}.  Malformed store content throws
+ * FatalError — records are checksummed, so this only fires on
+ * hand-edited files, and silence would serve garbage.
+ */
+JobOutcome
+outcomeFromStoredJson(const std::string &text)
+{
+    JobOutcome outcome;
+    const json::Value v = json::parse(text);
+    if (v.isObject()) {
+        if (const json::Value *err = v.find("error")) {
+            outcome.ok = false;
+            outcome.error = err->asString();
+            return outcome;
+        }
+    }
+    outcome.result = est::resultFromJson(v);
+    outcome.ok = true;
+    return outcome;
+}
+
+} // namespace
 
 std::string
 JobOutcome::toJson() const
@@ -18,6 +45,26 @@ JobOutcome::toJson() const
 
 JobQueue::JobQueue(JobQueueOptions opts) : opts_(opts)
 {
+    const std::string cachePath = resolveCacheFile(opts_.cacheFile);
+    if (!cachePath.empty()) {
+        TRAQ_REQUIRE(opts_.cache,
+                     "JobQueue: a cache file requires the result "
+                     "cache (the store is its disk form; refusing "
+                     "to silently ignore the path)");
+        store_.open(cachePath);
+        // Pre-load every stored outcome as a done cache entry:
+        // submission-time hits on them are plain map lookups, so a
+        // restarted worker serves warm traffic at warm-cache speed.
+        store_.forEach([this](const std::string &key,
+                              const std::string &value) {
+            auto entry = std::make_shared<Entry>();
+            entry->key = key;
+            entry->outcome = outcomeFromStoredJson(value);
+            entry->done = true;
+            entry->fromStore = true;
+            byKey_.emplace(key, std::move(entry));
+        });
+    }
     threads_ = resolveThreadCount(opts_.threads);
     workers_.reserve(threads_);
     for (unsigned t = 0; t < threads_; ++t)
@@ -55,6 +102,8 @@ JobQueue::submit(est::EstimateRequest req)
             if (it != byKey_.end()) {
                 entry = it->second;
                 ++stats_.cacheHits;
+                if (entry->fromStore)
+                    ++stats_.persistentHits;
                 jobs_.push_back(entry);
                 if (!entry->done) {
                     ++entry->jobRefs;
@@ -137,6 +186,10 @@ void
 JobQueue::runEntry(Entry &entry)
 {
     JobOutcome outcome;
+    // Persist successes and deterministic failures; transient
+    // errors are evicted from the in-memory cache and must not be
+    // frozen into the store either.
+    bool persistable = false;
     try {
         std::shared_ptr<const est::Estimator> estimator;
         const std::string &kind = entry.request.kind;
@@ -161,12 +214,14 @@ JobQueue::runEntry(Entry &entry)
         }
         outcome.result = estimator->estimate(entry.request);
         outcome.ok = true;
+        persistable = true;
     } catch (const FatalError &e) {
         // Deterministic user error (unknown kind/parameter, invalid
         // configuration): the same request fails the same way
         // forever, so the failure is cacheable like a result.
         outcome.ok = false;
         outcome.error = e.what();
+        persistable = true;
     } catch (const std::exception &e) {
         // Transient system failure (bad_alloc, thread creation):
         // report it to the attached jobs but evict the cache entry
@@ -180,6 +235,12 @@ JobQueue::runEntry(Entry &entry)
                 byKey_.erase(it);
         }
     }
+    // Serialize for the store before the outcome is moved into the
+    // entry; the append itself happens after completion is
+    // published, outside the queue lock (the store has its own).
+    std::string stored;
+    if (store_.attached() && !entry.key.empty() && persistable)
+        stored = outcome.toJson();
     {
         std::lock_guard<std::mutex> lock(mutex_);
         entry.outcome = std::move(outcome);
@@ -190,6 +251,8 @@ JobQueue::runEntry(Entry &entry)
         entry.jobRefs = 0;
     }
     doneCv_.notify_all();
+    if (!stored.empty())
+        store_.put(entry.key, stored);
 }
 
 } // namespace traq::service

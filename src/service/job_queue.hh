@@ -47,6 +47,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/castore.hh"
 #include "src/estimator/estimator.hh"
 
 namespace traq::service {
@@ -58,6 +59,19 @@ struct JobQueueOptions
     unsigned threads = 0;
     /** Memoize completed jobs by est::canonicalKey. */
     bool cache = true;
+    /**
+     * Persistent content-addressed store backing the result cache
+     * (caching tier 3; common/castore.hh).  Explicit non-empty path
+     * wins, otherwise the TRAQ_CACHE_FILE environment variable,
+     * otherwise no persistence.  At construction every stored
+     * outcome is pre-loaded into the in-memory cache (so a restart
+     * serves warm traffic immediately); cacheable completions —
+     * successes and deterministic FatalError failures, never
+     * transient errors — are appended.  Requires cache == true;
+     * a path with the cache off fails loudly (the store IS the
+     * cache's disk form, silently ignoring it would be a lie).
+     */
+    std::string cacheFile;
 };
 
 /** Terminal state of one job. */
@@ -84,6 +98,9 @@ struct JobQueueStats
     std::size_t submitted = 0; //!< jobs accepted
     std::size_t evaluated = 0; //!< evaluations scheduled (unique keys)
     std::size_t cacheHits = 0; //!< jobs served by an existing entry
+    /** Subset of cacheHits served by an entry pre-loaded from the
+     *  persistent store (0 without a cache file). */
+    std::size_t persistentHits = 0;
     std::size_t failed = 0;    //!< evaluations that threw
     std::size_t inflight = 0;  //!< submitted, not yet terminal
 };
@@ -136,6 +153,9 @@ class JobQueue
         std::string key; //!< canonicalKey; empty when cache is off
         JobOutcome outcome;
         bool done = false;
+        /** Pre-loaded from the persistent store (tier 3): hits on
+         *  this entry count as persistentHits. */
+        bool fromStore = false;
         std::size_t jobRefs = 0;
     };
 
@@ -157,6 +177,8 @@ class JobQueue
     std::map<std::string, std::shared_ptr<const est::Estimator>>
         estimators_;
     JobQueueStats stats_;
+    /** Tier-3 persistent store; detached when no cacheFile. */
+    CaStore store_;
     bool stop_ = false;
     std::vector<std::thread> workers_;
 };
