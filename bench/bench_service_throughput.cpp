@@ -15,6 +15,8 @@
  *     service-throughput[cold]: <req/s> req/s (...)
  *     service-throughput[warm]: <req/s> req/s (...)
  *     service-throughput[json]: <req/s> req/s (...)
+ *     service-throughput[stream]: <req/s> req/s (...)
+ *     stream-first-result: <ms> ms (...)
  *     service-throughput[cold-persist]: <req/s> req/s (...)
  *     service-throughput[warm-restart]: <req/s> req/s (...)
  *     warm-restart-speedup: <X.X>x (...)
@@ -28,6 +30,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <unistd.h>
@@ -126,6 +129,37 @@ main()
                     "checksum %zu)\n",
                     static_cast<double>(n) / elapsed, n, elapsed,
                     bytes);
+    }
+
+    // Streaming completion phase (PR-10 service tier): a feeder
+    // thread submits while the main thread drains waitCompleted()
+    // in completion order — the traq_serve shape.  Two numbers: the
+    // time a streaming client waits for the *first* announcement
+    // (the read-all design paid the whole batch here) and the
+    // completion-order throughput of the full stream.
+    {
+        service::JobQueue q;
+        const auto start = Clock::now();
+        std::thread feeder([&] {
+            for (const est::EstimateRequest &req : reqs)
+                q.submit(req);
+            q.closeSubmissions();
+        });
+        double firstMs = -1.0;
+        std::size_t seen = 0;
+        while (q.waitCompleted()) {
+            if (seen++ == 0)
+                firstMs = secondsSince(start) * 1e3;
+        }
+        feeder.join();
+        const double elapsed = secondsSince(start);
+        std::printf("service-throughput[stream]: %.0f req/s "
+                    "(%zu completions streamed in %.3f s, "
+                    "cold cache)\n",
+                    static_cast<double>(seen) / elapsed, seen,
+                    elapsed);
+        std::printf("stream-first-result: %.3f ms (submit to first "
+                    "completion announcement)\n", firstMs);
     }
 
     // Persistent store (caching tier 3): a queue evaluating into a

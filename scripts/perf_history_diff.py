@@ -93,6 +93,8 @@ KNOWN_KEYS = {
     "cross_batch_memo_hit_rate",
     "compile_cache_speedup",
     "warm_restart_speedup",
+    "stream_req_per_s",
+    "stream_first_result_ms",
     "benches",
     "decode_latency_us_per_round",
     "_source",
@@ -183,6 +185,16 @@ def print_diff(base: dict, head: dict) -> None:
     wr_h = head.get("warm_restart_speedup")
     if wr_b is not None or wr_h is not None:
         print(f"\nwarm-restart-speedup (x): {wr_b} -> {wr_h}")
+
+    # Streaming service tier (absent from records predating it).
+    sr_b = base.get("stream_req_per_s")
+    sr_h = head.get("stream_req_per_s")
+    if sr_b is not None or sr_h is not None:
+        print(f"\nstream-throughput (req/s): {sr_b} -> {sr_h}")
+    sf_b = base.get("stream_first_result_ms")
+    sf_h = head.get("stream_first_result_ms")
+    if sf_b is not None or sf_h is not None:
+        print(f"stream-first-result (ms): {sf_b} -> {sf_h}")
 
     unknown = sorted((set(base) | set(head)) - KNOWN_KEYS)
     if unknown:

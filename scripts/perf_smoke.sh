@@ -49,6 +49,8 @@ memo_json=""
 cross_memo_json=""
 compile_cache_json=""
 warm_restart=""
+stream_rps=""
+stream_first_ms=""
 
 while read -r name baseline; do
     case "$name" in
@@ -124,6 +126,13 @@ while read -r name baseline; do
         # warm-restart-speedup: <X.X>x (...)
         warm_restart=$(awk '/^warm-restart-speedup:/ {
             sub(/x$/, "", $2); print $2; exit }' "$outfile")
+        # service-throughput[stream]: <req/s> req/s (...)
+        stream_rps=$(awk -F'[][]' \
+            '/^service-throughput\[stream\]/ {
+            split($3, f, " "); print f[2]; exit }' "$outfile")
+        # stream-first-result: <ms> ms (...)
+        stream_first_ms=$(awk '/^stream-first-result:/ {
+            print $2; exit }' "$outfile")
     fi
     if [[ "$name" == "bench_decoder_throughput" ]]; then
         # decode-latency[<kind>]: <us> us/round <PASS|WARN> (...)
@@ -175,6 +184,16 @@ else
          "bench_service_throughput"
 fi
 
+# Streaming service tier (informational): completion-order throughput
+# and the latency a streaming client pays for its first result.
+if [[ -n "$stream_rps" ]]; then
+    echo "perf-smoke: OK   stream-throughput = $stream_rps req/s," \
+         "first result after ${stream_first_ms:-?} ms"
+else
+    echo "perf-smoke: WARN no service-throughput[stream] line from" \
+         "bench_service_throughput"
+fi
+
 if [[ -n "${PERF_HISTORY_JSON:-}" ]]; then
     {
         echo "{"
@@ -195,6 +214,9 @@ if [[ -n "${PERF_HISTORY_JSON:-}" ]]; then
         echo "  \"cross_batch_memo_hit_rate\": [$cross_memo_json],"
         echo "  \"compile_cache_speedup\": [$compile_cache_json],"
         echo "  \"warm_restart_speedup\": ${warm_restart:-null},"
+        echo "  \"stream_req_per_s\": ${stream_rps:-null},"
+        echo "  \"stream_first_result_ms\":" \
+             "${stream_first_ms:-null},"
         echo "  \"benches\": [$bench_json],"
         echo "  \"decode_latency_us_per_round\": [$latency_json]"
         echo "}"

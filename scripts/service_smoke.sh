@@ -1,20 +1,28 @@
 #!/usr/bin/env bash
 # Service front-end smoke check: pipe the checked-in request set
-# through traq_serve and require
+# through traq_serve (and the traq_dispatch sharder) and require
 #
-#   1. byte-identical stdout for 1 vs N worker threads (the JobQueue
+#   1. byte-identical stdout for 1 vs N worker threads (the service
 #      determinism contract: submission order, not worker identity,
 #      decides where results land),
 #   2. byte-identical stdout with the canonicalKey cache off (the
 #      cache changes evaluation counts, never bytes),
 #   3. an exact match against the checked-in golden output
-#      (tests/data/service_requests.golden.jsonl), and
-#   4. cache hits actually reported for the duplicated request lines.
+#      (tests/data/service_requests.golden.jsonl),
+#   4. cache hits actually reported for the duplicated request lines,
+#   5. traq_dispatch --ordered byte-identical to the golden for 2 and
+#      4 worker processes,
+#   6. traq_dispatch streaming mode a permutation: every index exactly
+#      once, untagged payloads matching the golden after reorder, and
+#   7. a worker killed mid-run losing and duplicating nothing.
+#
+# Byte-identity legs use --ordered (traq_serve's default output is a
+# completion-order stream of {"index":N,...} tagged lines).
 #
 # Usage: scripts/service_smoke.sh [build-dir]
 #
 # Regenerate the golden after an intentional estimator/output change:
-#   build/traq_serve --threads 1 \
+#   build/traq_serve --ordered --threads 1 \
 #       < tests/data/service_requests.jsonl \
 #       > tests/data/service_requests.golden.jsonl
 set -euo pipefail
@@ -24,9 +32,14 @@ ROOT="$(dirname "$0")/.."
 REQUESTS="$ROOT/tests/data/service_requests.jsonl"
 GOLDEN="$ROOT/tests/data/service_requests.golden.jsonl"
 SERVE="$BUILD_DIR/traq_serve"
+DISPATCH="$BUILD_DIR/traq_dispatch"
 
 if [[ ! -x "$SERVE" ]]; then
     echo "service-smoke: MISSING $SERVE" >&2
+    exit 1
+fi
+if [[ ! -x "$DISPATCH" ]]; then
+    echo "service-smoke: MISSING $DISPATCH" >&2
     exit 1
 fi
 
@@ -34,17 +47,32 @@ out1=$(mktemp)
 outn=$(mktemp)
 stats=$(mktemp)
 cachefile=$(mktemp)
-trap 'rm -f "$out1" "$outn" "$stats" "$cachefile"' EXIT
+bigreq=$(mktemp)
+bigexp=$(mktemp)
+trap 'rm -f "$out1" "$outn" "$stats" "$cachefile" "$bigreq" "$bigexp"' EXIT
 
-"$SERVE" --threads 1 < "$REQUESTS" > "$out1" 2> "$stats"
-"$SERVE" --threads 4 < "$REQUESTS" > "$outn" 2> /dev/null
+# Prefix each tagged {"index":N,...} line with its index and a tab,
+# sort numerically, drop the prefix: completion order -> input order.
+sort_by_index() {
+    sed -E $'s/^\\{"index":([0-9]+)/\\1\t&/' | sort -n -k1,1 | cut -f2-
+}
+
+# Strip the {"index":N, wire tag, recovering the --ordered payload.
+untag() {
+    sed -E 's/^\{"index":[0-9]+,"batch":(\[.*\])\}$/\1/;
+            s/^\{"index":[0-9]+\}$/{}/;
+            s/^\{"index":[0-9]+,/{/'
+}
+
+"$SERVE" --ordered --threads 1 < "$REQUESTS" > "$out1" 2> "$stats"
+"$SERVE" --ordered --threads 4 < "$REQUESTS" > "$outn" 2> /dev/null
 if ! diff -u "$out1" "$outn"; then
     echo "service-smoke: FAIL 1-thread vs 4-thread output differs" >&2
     exit 1
 fi
 echo "service-smoke: OK   1 vs 4 threads byte-identical"
 
-"$SERVE" --threads 4 --cache off < "$REQUESTS" > "$outn" 2> /dev/null
+"$SERVE" --ordered --threads 4 --cache off < "$REQUESTS" > "$outn" 2> /dev/null
 if ! diff -u "$out1" "$outn"; then
     echo "service-smoke: FAIL cache-on vs cache-off output differs" >&2
     exit 1
@@ -72,15 +100,15 @@ echo "service-smoke: OK   $(cat "$stats")"
 # erasureAware toggle through the same service path.  Pinned to the
 # scalar64 word backend (one lane in every build) so the golden
 # bytes survive the CI word-backend matrix.  Regenerate with:
-#   TRAQ_WORD_BACKEND=scalar64 build/traq_serve --threads 1 \
+#   TRAQ_WORD_BACKEND=scalar64 build/traq_serve --ordered --threads 1 \
 #       < tests/data/noise_requests.jsonl \
 #       > tests/data/noise_requests.golden.jsonl
 NOISE_REQUESTS="$ROOT/tests/data/noise_requests.jsonl"
 NOISE_GOLDEN="$ROOT/tests/data/noise_requests.golden.jsonl"
 
-TRAQ_WORD_BACKEND=scalar64 "$SERVE" --threads 1 \
+TRAQ_WORD_BACKEND=scalar64 "$SERVE" --ordered --threads 1 \
     < "$NOISE_REQUESTS" > "$out1" 2> "$stats"
-TRAQ_WORD_BACKEND=scalar64 "$SERVE" --threads 4 \
+TRAQ_WORD_BACKEND=scalar64 "$SERVE" --ordered --threads 4 \
     < "$NOISE_REQUESTS" > "$outn" 2> /dev/null
 if ! diff -u "$out1" "$outn"; then
     echo "service-smoke: FAIL noise leg 1 vs 4 threads differs" >&2
@@ -110,9 +138,9 @@ echo "service-smoke: OK   $(cat "$stats")"
 # the same store.  The rerun must be byte-identical (stored outcomes
 # replay the exact JSON an evaluation would emit) and served from
 # the persistent tier (nonzero persistent hits, zero evaluations).
-"$SERVE" --threads 2 --cache-file "$cachefile" \
+"$SERVE" --ordered --threads 2 --cache-file "$cachefile" \
     < "$REQUESTS" > "$out1" 2> /dev/null
-"$SERVE" --threads 2 --cache-file "$cachefile" \
+"$SERVE" --ordered --threads 2 --cache-file "$cachefile" \
     < "$REQUESTS" > "$outn" 2> "$stats"
 if ! diff -u "$out1" "$outn"; then
     echo "service-smoke: FAIL warm-restart output differs" >&2
@@ -133,3 +161,80 @@ if ! grep -q " 0 evaluated" "$stats"; then
     exit 1
 fi
 echo "service-smoke: OK   warm restart $(cat "$stats")"
+
+# Dispatcher legs: sharding across worker processes must not change a
+# byte.  --ordered output is diffed against the same golden for 2 and
+# 4 workers.
+for w in 2 4; do
+    "$DISPATCH" --workers "$w" --ordered --threads 2 \
+        < "$REQUESTS" > "$outn" 2> /dev/null
+    if ! diff -u "$GOLDEN" "$outn"; then
+        echo "service-smoke: FAIL $w-worker dispatch differs from" \
+             "golden" >&2
+        exit 1
+    fi
+    echo "service-smoke: OK   $w-worker dispatch matches golden"
+done
+
+# Streaming (default) dispatch is a tagged permutation: every global
+# index exactly once, and untagging + reordering recovers the golden.
+"$DISPATCH" --workers 2 --threads 2 \
+    < "$REQUESTS" > "$outn" 2> /dev/null
+nlines=$(wc -l < "$GOLDEN")
+if ! sed -E 's/^\{"index":([0-9]+).*/\1/' "$outn" | sort -n \
+        | diff -u <(seq 0 $((nlines - 1))) - > /dev/null; then
+    echo "service-smoke: FAIL streaming dispatch index set is not" \
+         "0..$((nlines - 1)) exactly once" >&2
+    exit 1
+fi
+if ! sort_by_index < "$outn" | untag | diff -u "$GOLDEN" -; then
+    echo "service-smoke: FAIL streaming dispatch payloads differ" \
+         "from golden after reorder" >&2
+    exit 1
+fi
+echo "service-smoke: OK   streaming dispatch is an exact permutation"
+
+# Worker-kill leg: throttle a 30x request stream through two workers
+# and SIGKILL one mid-run.  Requeue + index dedup must keep the
+# output exactly-once: every index present once, bytes matching the
+# golden after reorder.  (The deterministic mid-flight kill lives in
+# tests/test_service_layers.cc; this leg checks the same invariants
+# end-to-end through the shipped binaries.)
+grep -vE '^[[:space:]]*(#|$)' "$REQUESTS" > /dev/null  # sanity
+for _ in $(seq 30); do
+    grep -vE '^[[:space:]]*(#|$)' "$REQUESTS"
+done > "$bigreq"
+for _ in $(seq 30); do cat "$GOLDEN"; done > "$bigexp"
+total=$(wc -l < "$bigreq")
+(
+    while IFS= read -r line; do
+        printf '%s\n' "$line"
+        sleep 0.004
+    done < "$bigreq"
+) | "$DISPATCH" --workers 2 --threads 1 --inflight 4 \
+    > "$outn" 2> /dev/null &
+dpid=$!
+sleep 0.4
+victim=$(pgrep -P "$dpid" | head -n 1 || true)
+if [[ -n "$victim" ]]; then
+    kill -9 "$victim" 2> /dev/null || true
+fi
+if ! wait "$dpid"; then
+    echo "service-smoke: FAIL dispatcher died after worker kill" >&2
+    exit 1
+fi
+if [[ -z "$victim" ]]; then
+    echo "service-smoke: FAIL kill leg found no worker to kill" >&2
+    exit 1
+fi
+if ! sed -E 's/^\{"index":([0-9]+).*/\1/' "$outn" | sort -n \
+        | diff -u <(seq 0 $((total - 1))) - > /dev/null; then
+    echo "service-smoke: FAIL kill leg lost or duplicated indices" >&2
+    exit 1
+fi
+if ! sort_by_index < "$outn" | untag | diff -u "$bigexp" -; then
+    echo "service-smoke: FAIL kill leg payloads differ from golden" >&2
+    exit 1
+fi
+echo "service-smoke: OK   worker kill lost and duplicated nothing" \
+     "($total jobs, worker $victim killed)"

@@ -1,7 +1,9 @@
 #include "src/common/castore.hh"
 
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <sys/file.h>
 #include <vector>
 
 #include "src/common/assert.hh"
@@ -78,6 +80,32 @@ encodeRecord(const std::string &key, const std::string &value)
     return rec;
 }
 
+/**
+ * Take the single-writer lock on an open store file, failing loudly
+ * when another holder exists.  flock() locks the open file
+ * description, so this rejects both a second process and a second
+ * CaStore in this process — concurrent appends would interleave
+ * records and the "corruption lives only at the tail" recovery
+ * guarantee would be gone.  Dispatchers that shard work across
+ * processes give each worker its own store file instead (the
+ * traq_dispatch per-worker ".wN" suffix).
+ */
+void
+lockSingleWriter(std::FILE *file, const std::string &path)
+{
+    if (::flock(fileno(file), LOCK_EX | LOCK_NB) == 0)
+        return;
+    const int err = errno;
+    std::fclose(file);
+    if (err == EWOULDBLOCK || err == EAGAIN)
+        TRAQ_FATAL("castore: '" + path +
+                   "' is locked by another process (stores are "
+                   "single-writer; give each worker its own cache "
+                   "file)");
+    TRAQ_FATAL("castore: cannot lock '" + path +
+               "': " + std::strerror(err));
+}
+
 } // namespace
 
 CaStore::~CaStore()
@@ -98,10 +126,11 @@ CaStore::open(const std::string &path)
 
     // "a+b" creates the file when absent and never truncates; reads
     // start wherever we seek, appends always land at the end.
-    file_ = std::fopen(path.c_str(), "a+b");
-    if (file_ == nullptr)
+    std::FILE *f = std::fopen(path.c_str(), "a+b");
+    if (f == nullptr)
         TRAQ_FATAL("castore: cannot open or create '" + path + "'");
-
+    lockSingleWriter(f, path_); // closes f and throws on failure
+    file_ = f;
     std::fseek(file_, 0, SEEK_END);
     const long fileSize = std::ftell(file_);
     if (fileSize == 0) {
@@ -204,10 +233,14 @@ CaStore::rebuild()
     if (std::rename(tmp.c_str(), path_.c_str()) != 0)
         TRAQ_FATAL("castore: cannot replace '" + path_ +
                    "' with its rebuild");
-    file_ = std::fopen(path_.c_str(), "a+b");
-    if (file_ == nullptr)
+    std::FILE *f = std::fopen(path_.c_str(), "a+b");
+    if (f == nullptr)
         TRAQ_FATAL("castore: cannot reopen rebuilt '" + path_ +
                    "'");
+    // The rename dropped the lock with the old inode; retake it on
+    // the rebuilt file before any further appends.
+    lockSingleWriter(f, path_);
+    file_ = f;
 }
 
 bool

@@ -23,9 +23,16 @@
  * permissions) IS fatal: that is a configuration error, not a
  * recoverable state.
  *
- * Concurrency: one writer process per file (appends are serialized
- * by an internal mutex, not by file locks); sharing across workers
- * means copying or serving the file, not concurrent appends.
+ * Concurrency: one writer per file, enforced.  open() takes an
+ * exclusive flock() on the store and fails loudly — never blocks,
+ * never silently shares — when another holder exists (a second
+ * process, or a second CaStore in this process).  Concurrent
+ * appends would interleave records and void the "corruption lives
+ * only at the tail" recovery guarantee.  Sharing across workers
+ * means copying the file or giving each worker its own (the
+ * traq_dispatch sharder suffixes a per-worker ".wN"), not
+ * concurrent appends.  Within one process, appends on the single
+ * owner are serialized by an internal mutex.
  */
 
 #ifndef TRAQ_COMMON_CASTORE_HH

@@ -133,6 +133,11 @@ class FactoringEstimator : public Estimator
 
     const char *kind() const override { return "factoring"; }
 
+    void checkParams(const EstimateRequest &req) const override
+    {
+        (void)factoringSpecFor(base_, req.params);
+    }
+
     EstimateResult estimate(const EstimateRequest &req) const override
     {
         const FactoringSpec spec =
@@ -184,29 +189,14 @@ class ChemistryEstimator : public Estimator
 
     const char *kind() const override { return "chemistry"; }
 
+    void checkParams(const EstimateRequest &req) const override
+    {
+        (void)specFor(req.params);
+    }
+
     EstimateResult estimate(const EstimateRequest &req) const override
     {
-        ChemistrySpec spec = base_;
-        for (const auto &[key, v] : req.params) {
-            if (key == "spinOrbitals")
-                spec.spinOrbitals = asInt(v);
-            else if (key == "lambdaHam")
-                spec.lambdaHam = v;
-            else if (key == "energyError")
-                spec.energyError = v;
-            else if (key == "thcRank")
-                spec.thcRank = asInt(v);
-            else if (key == "rotationBits")
-                spec.rotationBits = asInt(v);
-            else if (key == "distance")
-                spec.distance = asInt(v);
-            else if (applyAtomParam(spec.atom, key, v) ||
-                     applyErrorModelParam(spec.errorModel, key, v))
-                continue;
-            else
-                TRAQ_FATAL("unknown chemistry parameter '" + key +
-                           "'");
-        }
+        const ChemistrySpec spec = specFor(req.params);
         const ChemistryReport rep = estimateChemistry(spec);
 
         EstimateResult res = resultShell(kind(), req.params);
@@ -229,6 +219,32 @@ class ChemistryEstimator : public Estimator
     }
 
   private:
+    ChemistrySpec specFor(const ParamMap &params) const
+    {
+        ChemistrySpec spec = base_;
+        for (const auto &[key, v] : params) {
+            if (key == "spinOrbitals")
+                spec.spinOrbitals = asInt(v);
+            else if (key == "lambdaHam")
+                spec.lambdaHam = v;
+            else if (key == "energyError")
+                spec.energyError = v;
+            else if (key == "thcRank")
+                spec.thcRank = asInt(v);
+            else if (key == "rotationBits")
+                spec.rotationBits = asInt(v);
+            else if (key == "distance")
+                spec.distance = asInt(v);
+            else if (applyAtomParam(spec.atom, key, v) ||
+                     applyErrorModelParam(spec.errorModel, key, v))
+                continue;
+            else
+                TRAQ_FATAL("unknown chemistry parameter '" + key +
+                           "'");
+        }
+        return spec;
+    }
+
     ChemistrySpec base_;
 };
 
@@ -241,10 +257,30 @@ class GidneyEkeraEstimator : public Estimator
 
     const char *kind() const override { return "gidney-ekera"; }
 
+    void checkParams(const EstimateRequest &req) const override
+    {
+        (void)specFor(req.params);
+    }
+
     EstimateResult estimate(const EstimateRequest &req) const override
     {
+        const GidneyEkeraSpec spec = specFor(req.params);
+        const BaselinePoint p = gidneyEkera(spec);
+
+        EstimateResult res = resultShell(kind(), req.params);
+        res.metrics = {
+            {"physicalQubits", p.physicalQubits},
+            {"totalSeconds", p.seconds},
+            {"spacetimeVolume", p.spacetimeVolume},
+        };
+        return res;
+    }
+
+  private:
+    GidneyEkeraSpec specFor(const ParamMap &params) const
+    {
         GidneyEkeraSpec spec = base_;
-        for (const auto &[key, v] : req.params) {
+        for (const auto &[key, v] : params) {
             if (key == "nBits")
                 spec.nBits = asInt(v);
             else if (key == "wExp")
@@ -265,18 +301,9 @@ class GidneyEkeraEstimator : public Estimator
                 TRAQ_FATAL("unknown gidney-ekera parameter '" + key +
                            "'");
         }
-        const BaselinePoint p = gidneyEkera(spec);
-
-        EstimateResult res = resultShell(kind(), req.params);
-        res.metrics = {
-            {"physicalQubits", p.physicalQubits},
-            {"totalSeconds", p.seconds},
-            {"spacetimeVolume", p.spacetimeVolume},
-        };
-        return res;
+        return spec;
     }
 
-  private:
     GidneyEkeraSpec base_;
 };
 
@@ -290,20 +317,18 @@ class QldpcStorageEstimator : public Estimator
 
     const char *kind() const override { return "qldpc-storage"; }
 
+    void checkParams(const EstimateRequest &req) const override
+    {
+        ParamMap factoringParams;
+        (void)splitParams(req.params, factoringParams);
+        (void)factoringSpecFor(factoringBase_, factoringParams);
+    }
+
     EstimateResult estimate(const EstimateRequest &req) const override
     {
-        QldpcStorageSpec storage = storageBase_;
         ParamMap factoringParams;
-        for (const auto &[key, v] : req.params) {
-            if (key == "compressionFactor")
-                storage.compressionFactor = v;
-            else if (key == "eligibleFraction")
-                storage.eligibleFraction = v;
-            else if (key == "accessMovePatches")
-                storage.accessMovePatches = v;
-            else
-                factoringParams[key] = v;  // validated below
-        }
+        const QldpcStorageSpec storage =
+            splitParams(req.params, factoringParams);
         const FactoringSpec spec =
             factoringSpecFor(factoringBase_, factoringParams);
         const FactoringReport &base = solveBase(factoringParams,
@@ -329,6 +354,29 @@ class QldpcStorageEstimator : public Estimator
     }
 
   private:
+    /**
+     * Split the flat parameter map into storage-spec overrides and
+     * the residue destined for the factoring spec (whose applier
+     * rejects unknown names).
+     */
+    QldpcStorageSpec splitParams(const ParamMap &params,
+                                 ParamMap &factoringParams) const
+    {
+        QldpcStorageSpec storage = storageBase_;
+        for (const auto &[key, v] : params) {
+            if (key == "compressionFactor")
+                storage.compressionFactor = v;
+            else if (key == "eligibleFraction")
+                storage.eligibleFraction = v;
+            else if (key == "accessMovePatches")
+                storage.accessMovePatches = v;
+            else
+                factoringParams[key] = v;  // validated by the
+                                           // factoring applier
+        }
+        return storage;
+    }
+
     /**
      * Memoized reference solve: sweeping storage parameters reuses
      * the (expensive) factoring estimate for identical factoring
@@ -365,23 +413,14 @@ class FactoryDesignEstimator : public Estimator
   public:
     const char *kind() const override { return "factory-design"; }
 
+    void checkParams(const EstimateRequest &req) const override
+    {
+        (void)specFor(req.params);
+    }
+
     EstimateResult estimate(const EstimateRequest &req) const override
     {
-        gadgets::FactorySpec spec;
-        for (const auto &[key, v] : req.params) {
-            if (key == "targetCczError")
-                spec.targetCczError = v;
-            else if (key == "seRoundsPerGate")
-                spec.seRoundsPerGate = v;
-            else if (key == "forcedDistance")
-                spec.forcedDistance = asInt(v);
-            else if (applyAtomParam(spec.atom, key, v) ||
-                     applyErrorModelParam(spec.errorModel, key, v))
-                continue;
-            else
-                TRAQ_FATAL("unknown factory-design parameter '" +
-                           key + "'");
-        }
+        const gadgets::FactorySpec spec = specFor(req.params);
         const gadgets::FactoryReport rep =
             gadgets::designFactory(spec);
 
@@ -401,6 +440,27 @@ class FactoryDesignEstimator : public Estimator
         };
         return res;
     }
+
+  private:
+    gadgets::FactorySpec specFor(const ParamMap &params) const
+    {
+        gadgets::FactorySpec spec;
+        for (const auto &[key, v] : params) {
+            if (key == "targetCczError")
+                spec.targetCczError = v;
+            else if (key == "seRoundsPerGate")
+                spec.seRoundsPerGate = v;
+            else if (key == "forcedDistance")
+                spec.forcedDistance = asInt(v);
+            else if (applyAtomParam(spec.atom, key, v) ||
+                     applyErrorModelParam(spec.errorModel, key, v))
+                continue;
+            else
+                TRAQ_FATAL("unknown factory-design parameter '" +
+                           key + "'");
+        }
+        return spec;
+    }
 };
 
 class IdleStorageEstimator : public Estimator
@@ -408,35 +468,56 @@ class IdleStorageEstimator : public Estimator
   public:
     const char *kind() const override { return "idle-storage"; }
 
+    void checkParams(const EstimateRequest &req) const override
+    {
+        (void)specFor(req.params);
+    }
+
     EstimateResult estimate(const EstimateRequest &req) const override
+    {
+        const Spec spec = specFor(req.params);
+
+        EstimateResult res = resultShell(kind(), req.params);
+        res.metrics = {
+            {"optimalPeriod",
+             arch::optimalIdlePeriod(spec.d, spec.atom, spec.em)},
+            {"approxPeriod",
+             arch::optimalIdlePeriodApprox(spec.d, spec.atom,
+                                           spec.em)},
+        };
+        if (spec.sePeriod > 0.0)
+            res.metrics["rate"] = arch::idleLogicalErrorRate(
+                spec.sePeriod, spec.d, spec.atom, spec.em);
+        return res;
+    }
+
+  private:
+    struct Spec
     {
         int d = 27;
         double sePeriod = 0.0;  // <= 0: report only the optimum
-        auto atom = platform::AtomArrayParams::paperDefaults();
-        auto em = model::ErrorModelParams::paperDefaults();
-        for (const auto &[key, v] : req.params) {
+        platform::AtomArrayParams atom =
+            platform::AtomArrayParams::paperDefaults();
+        model::ErrorModelParams em =
+            model::ErrorModelParams::paperDefaults();
+    };
+
+    Spec specFor(const ParamMap &params) const
+    {
+        Spec spec;
+        for (const auto &[key, v] : params) {
             if (key == "distance")
-                d = asInt(v);
+                spec.d = asInt(v);
             else if (key == "sePeriod")
-                sePeriod = v;
-            else if (applyAtomParam(atom, key, v) ||
-                     applyErrorModelParam(em, key, v))
+                spec.sePeriod = v;
+            else if (applyAtomParam(spec.atom, key, v) ||
+                     applyErrorModelParam(spec.em, key, v))
                 continue;
             else
                 TRAQ_FATAL("unknown idle-storage parameter '" + key +
                            "'");
         }
-
-        EstimateResult res = resultShell(kind(), req.params);
-        res.metrics = {
-            {"optimalPeriod", arch::optimalIdlePeriod(d, atom, em)},
-            {"approxPeriod",
-             arch::optimalIdlePeriodApprox(d, atom, em)},
-        };
-        if (sePeriod > 0.0)
-            res.metrics["rate"] =
-                arch::idleLogicalErrorRate(sePeriod, d, atom, em);
-        return res;
+        return spec;
     }
 };
 

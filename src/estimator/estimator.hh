@@ -130,6 +130,23 @@ class Estimator
      */
     virtual EstimateResult estimate(const EstimateRequest &req)
         const = 0;
+
+    /**
+     * Validate request parameters without running the estimate:
+     * throws FatalError with exactly the message estimate() would
+     * produce for an unknown parameter name, an unappliable value,
+     * or an inconsistent specification; returns normally otherwise.
+     * Built-ins implement this by running their spec-application
+     * phase on a scratch spec.  The default accepts everything —
+     * kinds whose parameter space is not statically checkable defer
+     * to estimate(), and the service validation layer then reports
+     * those failures as execution errors instead of validation
+     * errors.  Must be thread-safe and cheap (no evaluation).
+     */
+    virtual void checkParams(const EstimateRequest &req) const
+    {
+        (void)req;
+    }
 };
 
 /** Factory signature used by the estimator registry. */

@@ -37,10 +37,23 @@ class McLogicalErrorEstimator : public Estimator
 
     const char *kind() const override { return "mc-logical-error"; }
 
+    void checkParams(const EstimateRequest &req) const override
+    {
+        (void)specFor(req.params);
+    }
+
     EstimateResult estimate(const EstimateRequest &req) const override
     {
+        const McSimSpec spec = specFor(req.params);
+        return runEstimate(spec, req);
+    }
+
+  private:
+    /** Spec application + validity checks, shared with checkParams. */
+    McSimSpec specFor(const ParamMap &params) const
+    {
         McSimSpec spec = base_;
-        for (const auto &[key, v] : req.params) {
+        for (const auto &[key, v] : params) {
             if (key == "distance")
                 spec.distance = static_cast<int>(asInt64(v));
             else if (key == "p")
@@ -81,7 +94,12 @@ class McLogicalErrorEstimator : public Estimator
                      "mc-logical-error needs an odd distance >= 3");
         TRAQ_REQUIRE(spec.shots > 0,
                      "mc-logical-error needs shots > 0");
+        return spec;
+    }
 
+    EstimateResult runEstimate(const McSimSpec &spec,
+                               const EstimateRequest &req) const
+    {
         const auto noise = codes::NoiseParams::uniform(spec.pPhys);
         const bool isCnot = spec.cnotLayers > 0;
         codes::Experiment exp;
@@ -172,8 +190,21 @@ class McAlphaEstimator : public Estimator
 
     EstimateResult estimate(const EstimateRequest &req) const override
     {
+        const McAlphaSpec spec = specFor(req.params);
+        return runEstimate(spec, req);
+    }
+
+    void checkParams(const EstimateRequest &req) const override
+    {
+        (void)specFor(req.params);
+    }
+
+  private:
+    /** Spec application + validity checks, shared with checkParams. */
+    McAlphaSpec specFor(const ParamMap &params) const
+    {
         McAlphaSpec spec = base_;
-        for (const auto &[key, v] : req.params) {
+        for (const auto &[key, v] : params) {
             if (key == "p")
                 spec.pPhys = v;
             else if (key == "shots")
@@ -210,6 +241,12 @@ class McAlphaEstimator : public Estimator
                      "3 <= dMin <= dMax");
         TRAQ_REQUIRE(spec.cnotLayers > 0 && spec.xMax >= 1,
                      "mc-alpha needs cnotLayers > 0 and xMax >= 1");
+        return spec;
+    }
+
+    EstimateResult runEstimate(const McAlphaSpec &spec,
+                               const EstimateRequest &req) const
+    {
         const int cnotDMax = std::max(spec.cnotDMax, spec.dMin);
 
         std::vector<double> distances;

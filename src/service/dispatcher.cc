@@ -1,0 +1,372 @@
+#include "src/service/dispatcher.hh"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <utility>
+
+#include "src/common/assert.hh"
+#include "src/common/strings.hh"
+
+extern char **environ;
+
+namespace traq::service {
+namespace {
+
+/** Copy the environment, overriding TRAQ_CACHE_FILE.  An empty
+ *  @p cacheFile with @p override set unsets the variable, so a
+ *  parent's env cannot point every worker at one single-writer
+ *  store. */
+std::vector<std::string>
+childEnv(bool override, const std::string &cacheFile)
+{
+    std::vector<std::string> env;
+    for (char **e = environ; *e != nullptr; ++e) {
+        if (override &&
+            startsWith(*e, "TRAQ_CACHE_FILE="))
+            continue;
+        env.emplace_back(*e);
+    }
+    if (override && !cacheFile.empty())
+        env.push_back("TRAQ_CACHE_FILE=" + cacheFile);
+    return env;
+}
+
+/** Write all of @p data to @p fd; false on any write error (the
+ *  worker's pipe is gone). */
+bool
+writeAll(int fd, const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n =
+            ::write(fd, data.data() + off, data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+Dispatcher::Dispatcher(DispatcherOptions opts)
+    : opts_(std::move(opts))
+{
+    TRAQ_REQUIRE(opts_.workers >= 1,
+                 "dispatcher needs at least one worker");
+    TRAQ_REQUIRE(!opts_.servePath.empty(),
+                 "dispatcher needs the traq_serve path");
+    TRAQ_REQUIRE(opts_.workerCacheFiles.empty() ||
+                     opts_.workerCacheFiles.size() == opts_.workers,
+                 "dispatcher: workerCacheFiles must be empty or "
+                 "one per worker");
+    inflightBound_ = opts_.inflight ? opts_.inflight : 32;
+    // A worker death must surface as a write error we handle, not
+    // a process-killing SIGPIPE.
+    std::signal(SIGPIPE, SIG_IGN);
+    workers_.resize(opts_.workers);
+    for (std::size_t slot = 0; slot < opts_.workers; ++slot)
+        spawnWorker(slot);
+}
+
+void
+Dispatcher::spawnWorker(std::size_t slot)
+{
+    int inPipe[2];  // dispatcher -> child stdin
+    int outPipe[2]; // child stdout -> dispatcher
+    TRAQ_REQUIRE(::pipe(inPipe) == 0 && ::pipe(outPipe) == 0,
+                 "dispatcher: pipe() failed");
+
+    // Prebuild argv/envp before fork: with reader threads running,
+    // the child may only touch async-signal-safe calls (dup2,
+    // close, execve, _exit).
+    std::vector<std::string> argStore;
+    argStore.push_back(opts_.servePath);
+    for (const std::string &a : opts_.workerArgs)
+        argStore.push_back(a);
+    std::vector<char *> argv;
+    for (std::string &a : argStore)
+        argv.push_back(a.data());
+    argv.push_back(nullptr);
+    const bool overrideEnv = !opts_.workerCacheFiles.empty();
+    std::vector<std::string> envStore = childEnv(
+        overrideEnv,
+        overrideEnv ? opts_.workerCacheFiles[slot] : std::string());
+    std::vector<char *> envp;
+    for (std::string &e : envStore)
+        envp.push_back(e.data());
+    envp.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    TRAQ_REQUIRE(pid >= 0, "dispatcher: fork() failed");
+    if (pid == 0) {
+        ::dup2(inPipe[0], 0);
+        ::dup2(outPipe[1], 1);
+        ::close(inPipe[0]);
+        ::close(inPipe[1]);
+        ::close(outPipe[0]);
+        ::close(outPipe[1]);
+        ::execve(argv[0], argv.data(), envp.data());
+        _exit(127); // exec failed; EOF on our pipes reports it
+    }
+    ::close(inPipe[0]);
+    ::close(outPipe[1]);
+
+    Worker &w = workers_[slot];
+    w.pid = pid;
+    w.stdinFd = inPipe[1];
+    w.out = ::fdopen(outPipe[0], "r");
+    TRAQ_REQUIRE(w.out != nullptr, "dispatcher: fdopen() failed");
+    w.alive = true;
+    w.stdinOpen = true;
+    w.reader = std::thread([this, slot] { readerMain(slot); });
+}
+
+Dispatcher::~Dispatcher()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+        for (Worker &w : workers_) {
+            if (w.stdinOpen) {
+                ::close(w.stdinFd);
+                w.stdinOpen = false;
+            }
+        }
+    }
+    for (Worker &w : workers_) {
+        if (w.reader.joinable())
+            w.reader.join();
+        if (w.out != nullptr)
+            std::fclose(w.out);
+        if (w.pid > 0)
+            ::waitpid(w.pid, nullptr, 0);
+    }
+}
+
+void
+Dispatcher::workerLost(std::size_t slot)
+{
+    Worker &w = workers_[slot];
+    if (!w.alive)
+        return;
+    w.alive = false;
+    if (w.stdinOpen) {
+        ::close(w.stdinFd);
+        w.stdinOpen = false;
+    }
+    // Requeue everything unacknowledged.  The map itself is kept:
+    // results already buffered in the dead worker's pipe still
+    // arrive through its reader, and need the local -> global
+    // mapping; emitted_ dedup in the ack path keeps the output
+    // exactly-once when both the late ack and the retry land.
+    for (const auto &[local, job] : w.unacked) {
+        if (job.index < emitted_.size() && emitted_[job.index])
+            continue;
+        requeued_.push_back(job);
+    }
+    resultCv_.notify_all();
+    spaceCv_.notify_all();
+}
+
+void
+Dispatcher::readerMain(std::size_t slot)
+{
+    Worker &w = workers_[slot];
+    char *buf = nullptr;
+    std::size_t cap = 0;
+    ssize_t n;
+    while ((n = ::getline(&buf, &cap, w.out)) > 0) {
+        if (buf[n - 1] != '\n') {
+            // Torn final line from a dying worker: unacknowledged
+            // by definition, never parsed, never emitted — the
+            // retry path owns it now.
+            break;
+        }
+        const wire::TaggedLine tagged =
+            wire::splitTagged(std::string_view(
+                buf, static_cast<std::size_t>(n - 1)));
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = w.unacked.find(tagged.index);
+        TRAQ_REQUIRE(it != w.unacked.end(),
+                     "dispatcher: worker answered unknown line");
+        const std::size_t global = it->second.index;
+        w.unacked.erase(it);
+        if (!emitted_[global]) {
+            emitted_[global] = true;
+            ++answered_;
+            results_.push_back({global, tagged.payload});
+        }
+        resultCv_.notify_all();
+        spaceCv_.notify_all();
+    }
+    ::free(buf);
+    std::lock_guard<std::mutex> lock(mutex_);
+    workerLost(slot);
+}
+
+bool
+Dispatcher::sendToWorker(std::size_t slot, Job job,
+                         std::unique_lock<std::mutex> &lock)
+{
+    Worker &w = workers_[slot];
+    const std::size_t local = w.nextLocal++;
+    w.unacked.emplace(local, job);
+    const int fd = w.stdinFd;
+    // The write happens without the lock: a full pipe must not
+    // stall acknowledgement processing (that would deadlock against
+    // a busy worker).  The unacked entry is registered first, so
+    // the ack cannot race past the bookkeeping.
+    lock.unlock();
+    const bool ok = writeAll(fd, job.line + "\n");
+    lock.lock();
+    if (!ok && w.alive)
+        workerLost(slot); // requeues this job with the rest
+    return ok;
+}
+
+void
+Dispatcher::pumpRequeued(std::unique_lock<std::mutex> &lock)
+{
+    while (!requeued_.empty()) {
+        const Job job = requeued_.front();
+        if (job.index < emitted_.size() && emitted_[job.index]) {
+            requeued_.pop_front();
+            continue; // late ack beat the retry
+        }
+        std::size_t slot = workers_.size();
+        for (std::size_t probe = 0; probe < workers_.size();
+             ++probe) {
+            const std::size_t s =
+                (rrNext_ + probe) % workers_.size();
+            if (workers_[s].alive && workers_[s].stdinOpen &&
+                workers_[s].unacked.size() < inflightBound_) {
+                slot = s;
+                break;
+            }
+        }
+        if (slot == workers_.size())
+            return; // no capacity now; retried on the next wake
+        rrNext_ = (slot + 1) % workers_.size();
+        requeued_.pop_front();
+        sendToWorker(slot, job, lock);
+    }
+}
+
+void
+Dispatcher::submit(std::size_t index, const std::string &line)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    TRAQ_REQUIRE(!closed_, "dispatcher: submit after close");
+    if (index >= emitted_.size())
+        emitted_.resize(index + 1, false);
+    ++submitted_;
+    Job job{index, line};
+    while (true) {
+        pumpRequeued(lock);
+        std::size_t slot = workers_.size();
+        for (std::size_t probe = 0; probe < workers_.size();
+             ++probe) {
+            const std::size_t s =
+                (rrNext_ + probe) % workers_.size();
+            if (workers_[s].alive && workers_[s].stdinOpen &&
+                workers_[s].unacked.size() < inflightBound_) {
+                slot = s;
+                break;
+            }
+        }
+        if (slot < workers_.size()) {
+            rrNext_ = (slot + 1) % workers_.size();
+            if (sendToWorker(slot, std::move(job), lock))
+                return;
+            // Pipe broke mid-send; the job was requeued with the
+            // dead worker's backlog.  Drain it to a survivor.
+            continue;
+        }
+        bool anyLive = false;
+        for (const Worker &w : workers_)
+            anyLive = anyLive || (w.alive && w.stdinOpen);
+        if (!anyLive)
+            TRAQ_FATAL("dispatcher: every worker is dead with "
+                       "work outstanding");
+        spaceCv_.wait(lock);
+    }
+}
+
+void
+Dispatcher::closeSubmissions()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    closed_ = true;
+    // Hold stdin open on workers that still owe answers; only
+    // workers with no backlog can be told end-of-input now.  The
+    // rest close as waitResult() drains them.
+    for (Worker &w : workers_) {
+        if (w.stdinOpen && w.unacked.empty() &&
+            requeued_.empty()) {
+            ::close(w.stdinFd);
+            w.stdinOpen = false;
+        }
+    }
+}
+
+std::optional<DispatchResult>
+Dispatcher::waitResult()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+        pumpRequeued(lock);
+        if (closed_ && requeued_.empty()) {
+            // End of input: release idle workers so they exit.
+            for (Worker &w : workers_) {
+                if (w.stdinOpen && w.unacked.empty()) {
+                    ::close(w.stdinFd);
+                    w.stdinOpen = false;
+                }
+            }
+        }
+        if (!results_.empty()) {
+            DispatchResult r = std::move(results_.front());
+            results_.pop_front();
+            return r;
+        }
+        if (closed_ && answered_ == submitted_)
+            return std::nullopt;
+        bool anyLive = false;
+        for (const Worker &w : workers_)
+            anyLive = anyLive || w.alive;
+        if (!anyLive && answered_ < submitted_)
+            TRAQ_FATAL("dispatcher: every worker is dead with "
+                       "work outstanding");
+        resultCv_.wait(lock);
+    }
+}
+
+unsigned
+Dispatcher::liveWorkers() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    unsigned n = 0;
+    for (const Worker &w : workers_)
+        n += w.alive ? 1 : 0;
+    return n;
+}
+
+std::vector<pid_t>
+Dispatcher::workerPids() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<pid_t> pids;
+    pids.reserve(workers_.size());
+    for (const Worker &w : workers_)
+        pids.push_back(w.alive ? w.pid : -1);
+    return pids;
+}
+
+} // namespace traq::service

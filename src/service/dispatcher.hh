@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Sharded multi-worker dispatcher: fans a request-line stream out
+ * across N traq_serve subprocesses and merges their streaming
+ * output back into one result stream.
+ *
+ * Each worker is a child process running traq_serve in its default
+ * streaming mode, connected by a pipe pair (stdin for request
+ * lines, stdout for tagged result lines).  The dispatcher:
+ *
+ *  - shards round-robin across *live* workers, with a bounded
+ *    per-shard inflight window: submit() blocks while every live
+ *    worker is at its bound, so a fast producer cannot buffer an
+ *    unbounded request backlog inside slow children;
+ *  - remaps indices: each worker sees a dense local index sequence
+ *    (a worker skips nothing, so its tag ordinals are exactly the
+ *    lines the dispatcher wrote to it), and a per-worker reader
+ *    thread translates local tags back to the caller's global
+ *    indices;
+ *  - isolates failures: a worker that dies (crash, kill, exit)
+ *    takes only its own unacknowledged jobs with it.  Those lines
+ *    are requeued onto the surviving workers — results are the
+ *    at-least-once retry side; the exactly-once output guarantee
+ *    comes from index dedup in waitResult() (a line acknowledged by
+ *    a worker just before death may race its requeue; the second
+ *    copy is dropped).  Only a *complete* worker line (trailing
+ *    newline seen) counts as acknowledged — a torn final line from
+ *    a dying worker is discarded, never emitted;
+ *  - fails loudly (FatalError) only when no live worker remains and
+ *    unfinished jobs exist — with zero workers nothing can ever
+ *    complete, and silence would hang the caller.
+ *
+ * Because every worker runs the same deterministic estimators, the
+ * merged results — reordered by global index — are byte-identical
+ * to a single traq_serve --ordered run over the same stream, for
+ * any worker count.  CI diffs exactly that.
+ */
+
+#ifndef TRAQ_SERVICE_DISPATCHER_HH
+#define TRAQ_SERVICE_DISPATCHER_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <sys/types.h>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/service/wire.hh"
+
+namespace traq::service {
+
+/** Execution options for a Dispatcher. */
+struct DispatcherOptions
+{
+    /** Path to the traq_serve executable. */
+    std::string servePath;
+    /** Worker process count (>= 1). */
+    unsigned workers = 2;
+    /**
+     * Per-worker inflight bound: lines written to a worker but not
+     * yet answered.  submit() blocks while every live worker is at
+     * the bound.  0 = default (32).
+     */
+    std::size_t inflight = 0;
+    /**
+     * Extra arguments forwarded to every worker (e.g. --threads,
+     * --cache).  The dispatcher itself adds nothing; per-worker
+     * cache files are the caller's job (traq_dispatch suffixes
+     * ".wN" — stores are single-writer, common/castore.hh).
+     */
+    std::vector<std::string> workerArgs;
+    /**
+     * Per-worker value for the TRAQ_CACHE_FILE environment
+     * variable; "" entries unset it.  Size must be 0 (inherit) or
+     * == workers.  This is how traq_dispatch keeps a cache-file
+     * environment inherited from the parent from pointing every
+     * worker at the same single-writer store.
+     */
+    std::vector<std::string> workerCacheFiles;
+};
+
+/** One merged result: global input-line index + untagged payload. */
+struct DispatchResult
+{
+    std::size_t index = 0;
+    std::string payload; //!< ordered-format line (wire.hh)
+};
+
+/** Multi-process sharding front-end; see the file comment. */
+class Dispatcher
+{
+  public:
+    explicit Dispatcher(DispatcherOptions opts);
+
+    /** Closes worker stdins, drains, reaps every child. */
+    ~Dispatcher();
+
+    Dispatcher(const Dispatcher &) = delete;
+    Dispatcher &operator=(const Dispatcher &) = delete;
+
+    /**
+     * Shard one request line (no trailing newline) under global
+     * index @p index.  Blocks while every live worker is at the
+     * inflight bound; throws FatalError when no live worker
+     * remains.
+     */
+    void submit(std::size_t index, const std::string &line);
+
+    /**
+     * Declare end of input: close every worker's stdin so the
+     * children finish and exit.  waitResult() drains the remaining
+     * answers.
+     */
+    void closeSubmissions();
+
+    /**
+     * Next merged result in arrival order, deduplicated by global
+     * index (exactly one result per submitted index, ever).
+     * Blocks; returns std::nullopt when every submitted index has
+     * been answered and submissions are closed.  Throws FatalError
+     * when unfinished jobs remain but every worker is dead.
+     */
+    std::optional<DispatchResult> waitResult();
+
+    /** Live worker count (for tests and diagnostics). */
+    unsigned liveWorkers() const;
+
+    /** Child pids, one per worker slot; -1 after reap (tests kill
+     *  a worker through this to exercise the retry path). */
+    std::vector<pid_t> workerPids() const;
+
+  private:
+    /** One pending job as a worker knows it. */
+    struct Job
+    {
+        std::size_t index = 0; //!< global index
+        std::string line;      //!< raw request line
+    };
+
+    /** One worker subprocess and its reader state. */
+    struct Worker
+    {
+        pid_t pid = -1;
+        int stdinFd = -1;        //!< dispatcher -> child
+        std::FILE *out = nullptr; //!< child stdout, read side
+        bool alive = false;
+        bool stdinOpen = false;
+        std::size_t nextLocal = 0; //!< next local index to assign
+        /** Local index -> job; erased on acknowledgement.  Kept
+         *  (not cleared) after death so results buffered in the
+         *  dead worker's pipe can still be mapped. */
+        std::unordered_map<std::size_t, Job> unacked;
+        std::thread reader;
+    };
+
+    void spawnWorker(std::size_t slot);
+    void readerMain(std::size_t slot);
+    /** Mark a worker dead and requeue its unacked jobs (lock
+     *  held). */
+    void workerLost(std::size_t slot);
+    /** Write one job to a worker (lock held for bookkeeping; the
+     *  write itself is outside).  Returns false when the worker's
+     *  pipe broke. */
+    bool sendToWorker(std::size_t slot, Job job,
+                      std::unique_lock<std::mutex> &lock);
+    void pumpRequeued(std::unique_lock<std::mutex> &lock);
+
+    DispatcherOptions opts_;
+    std::size_t inflightBound_ = 32;
+
+    mutable std::mutex mutex_;
+    std::condition_variable resultCv_; //!< results_ / liveness
+    std::condition_variable spaceCv_;  //!< inflight slots freed
+    std::vector<Worker> workers_;
+    std::deque<Job> requeued_; //!< jobs orphaned by a dead worker
+    std::deque<DispatchResult> results_;
+    std::vector<bool> emitted_; //!< by global index (dedup)
+    std::size_t submitted_ = 0;
+    std::size_t answered_ = 0; //!< distinct indices emitted
+    std::size_t rrNext_ = 0;   //!< round-robin cursor
+    bool closed_ = false;
+};
+
+} // namespace traq::service
+
+#endif // TRAQ_SERVICE_DISPATCHER_HH

@@ -1,0 +1,66 @@
+#include "src/service/job.hh"
+
+#include "src/common/assert.hh"
+#include "src/common/serialize.hh"
+
+namespace traq::service {
+
+const char *
+jobStateName(JobState s)
+{
+    switch (s) {
+      case JobState::Submitted: return "submitted";
+      case JobState::Validated: return "validated";
+      case JobState::Scheduled: return "scheduled";
+      case JobState::Running: return "running";
+      case JobState::Done: return "done";
+      case JobState::Failed: return "failed";
+    }
+    TRAQ_FATAL("jobStateName: invalid JobState");
+}
+
+bool
+jobStateCanStep(JobState from, JobState to)
+{
+    switch (from) {
+      case JobState::Submitted:
+        return to == JobState::Validated || to == JobState::Failed;
+      case JobState::Validated:
+        return to == JobState::Scheduled || to == JobState::Done ||
+               to == JobState::Failed;
+      case JobState::Scheduled:
+        return to == JobState::Running;
+      case JobState::Running:
+        return to == JobState::Done || to == JobState::Failed;
+      case JobState::Done:
+      case JobState::Failed:
+        return false; // terminal
+    }
+    TRAQ_FATAL("jobStateCanStep: invalid JobState");
+}
+
+bool
+jobStateTerminal(JobState s)
+{
+    return s == JobState::Done || s == JobState::Failed;
+}
+
+std::string
+JobOutcome::toJson() const
+{
+    if (ok)
+        return est::toJson(result);
+    return "{\"error\":" + jsonQuote(error) + "}";
+}
+
+void
+JobStateMachine::step(JobState to)
+{
+    TRAQ_REQUIRE(jobStateCanStep(state_, to),
+                 std::string("illegal job transition ") +
+                     jobStateName(state_) + " -> " +
+                     jobStateName(to));
+    state_ = to;
+}
+
+} // namespace traq::service

@@ -1,187 +1,27 @@
 /**
  * @file
- * Job-queue front-end over the unified Estimator registry: the piece
- * that turns "a registry plus a SweepRunner" into something that can
- * serve estimate traffic.
+ * Compatibility spelling of the service facade.
  *
- * A JobQueue owns a worker pool (sized by the shared
- * resolveThreadCount policy: explicit option > TRAQ_THREADS >
- * hardware) and accepts EstimateRequests one at a time or in
- * batches.  Each submission returns a JobId in submission order;
- * wait(id) blocks until that job's terminal JobOutcome is available.
- * Because estimators are deterministic pure functions and outcomes
- * are indexed by submission order — never by worker identity — the
- * sequence of outcomes read back in JobId order is byte-identical
- * for any worker count, the same discipline MonteCarloEngine and
- * SweepRunner follow.
- *
- * Completed jobs are memoized in a canonicalKey-keyed result cache
- * (including deterministic failures: a request that throws
- * FatalError once throws the same message forever; transient
- * system errors like bad_alloc are reported to the waiting jobs but
- * evicted so a later identical request re-evaluates): a duplicate
- * submission attaches to the existing entry — whether it is still
- * in flight or already done — and never schedules a second
- * evaluation.  Cache accounting is
- * resolved at submission time under one lock, so the
- * hits/evaluated/failed counters depend only on the submission
- * sequence, not on worker timing, and can appear in golden outputs.
- *
- * Errors are service-shaped: a job whose estimator throws FatalError
- * (unknown kind, unknown parameter, invalid configuration) completes
- * with ok == false and the diagnostic in JobOutcome::error; the
- * queue and its workers keep running.
+ * The monolithic JobQueue was split into layers — job.hh (states,
+ * outcomes, structured errors), validation.hh (parse + admission
+ * checks), scheduler.hh (workers, cache, bounded ready queue,
+ * completion streaming) — fronted by the JobService facade
+ * (job_service.hh).  The facade preserves the old contract exactly
+ * (submission-order JobIds, thread-count byte-identity, serial
+ * cache accounting, persistent-store semantics), so existing
+ * callers keep compiling against the old name via this alias.
+ * New code should include job_service.hh directly.
  */
 
 #ifndef TRAQ_SERVICE_JOB_QUEUE_HH
 #define TRAQ_SERVICE_JOB_QUEUE_HH
 
-#include <condition_variable>
-#include <cstddef>
-#include <deque>
-#include <map>
-#include <memory>
-#include <mutex>
-#include <string>
-#include <thread>
-#include <unordered_map>
-#include <vector>
-
-#include "src/common/castore.hh"
-#include "src/estimator/estimator.hh"
+#include "src/service/job_service.hh"
 
 namespace traq::service {
 
-/** Execution options for a JobQueue. */
-struct JobQueueOptions
-{
-    /** Worker threads; 0 = TRAQ_THREADS env or hardware. */
-    unsigned threads = 0;
-    /** Memoize completed jobs by est::canonicalKey. */
-    bool cache = true;
-    /**
-     * Persistent content-addressed store backing the result cache
-     * (caching tier 3; common/castore.hh).  Explicit non-empty path
-     * wins, otherwise the TRAQ_CACHE_FILE environment variable,
-     * otherwise no persistence.  At construction every stored
-     * outcome is pre-loaded into the in-memory cache (so a restart
-     * serves warm traffic immediately); cacheable completions —
-     * successes and deterministic FatalError failures, never
-     * transient errors — are appended.  Requires cache == true;
-     * a path with the cache off fails loudly (the store IS the
-     * cache's disk form, silently ignoring it would be a lie).
-     */
-    std::string cacheFile;
-};
-
-/** Terminal state of one job. */
-struct JobOutcome
-{
-    bool ok = false;
-    est::EstimateResult result; //!< valid when ok
-    std::string error;          //!< FatalError message when !ok
-
-    /**
-     * Service-shaped JSON: est::toJson(result) when ok, else
-     * {"error":"..."}.
-     */
-    std::string toJson() const;
-};
-
-/**
- * Queue counters.  All values are deterministic functions of the
- * submission sequence (cache membership is resolved serially at
- * submit time) except inflight, which is a live gauge.
- */
-struct JobQueueStats
-{
-    std::size_t submitted = 0; //!< jobs accepted
-    std::size_t evaluated = 0; //!< evaluations scheduled (unique keys)
-    std::size_t cacheHits = 0; //!< jobs served by an existing entry
-    /** Subset of cacheHits served by an entry pre-loaded from the
-     *  persistent store (0 without a cache file). */
-    std::size_t persistentHits = 0;
-    std::size_t failed = 0;    //!< evaluations that threw
-    std::size_t inflight = 0;  //!< submitted, not yet terminal
-};
-
-/** Parallel estimate-serving front-end; see the file comment. */
-class JobQueue
-{
-  public:
-    /** Job handle: the 0-based submission index. */
-    using JobId = std::size_t;
-
-    explicit JobQueue(JobQueueOptions opts = {});
-
-    /** Drains outstanding work, then joins the workers. */
-    ~JobQueue();
-
-    JobQueue(const JobQueue &) = delete;
-    JobQueue &operator=(const JobQueue &) = delete;
-
-    /** Enqueue one request; returns immediately. */
-    JobId submit(est::EstimateRequest req);
-
-    /** Enqueue a batch; JobIds are consecutive in request order. */
-    std::vector<JobId> submitBatch(
-        std::vector<est::EstimateRequest> reqs);
-
-    /**
-     * Block until job id is terminal.  The reference stays valid for
-     * the queue's lifetime.
-     */
-    const JobOutcome &wait(JobId id);
-
-    /** Block until every submitted job is terminal. */
-    void drain();
-
-    JobQueueStats stats() const;
-
-    /** Resolved worker count. */
-    unsigned threads() const { return threads_; }
-
-  private:
-    /**
-     * One unit of evaluation.  Duplicate submissions alias the same
-     * entry; jobRefs counts aliases still waiting so the inflight
-     * gauge can settle without scanning the job table.
-     */
-    struct Entry
-    {
-        est::EstimateRequest request;
-        std::string key; //!< canonicalKey; empty when cache is off
-        JobOutcome outcome;
-        bool done = false;
-        /** Pre-loaded from the persistent store (tier 3): hits on
-         *  this entry count as persistentHits. */
-        bool fromStore = false;
-        std::size_t jobRefs = 0;
-    };
-
-    void workerMain();
-    void runEntry(Entry &entry);
-
-    JobQueueOptions opts_;
-    unsigned threads_ = 1;
-
-    mutable std::mutex mutex_;
-    std::condition_variable workCv_; //!< pending_ / stop_ changes
-    std::condition_variable doneCv_; //!< entry completions
-    std::deque<Entry *> pending_;
-    std::vector<std::shared_ptr<Entry>> jobs_; //!< JobId -> entry
-    std::unordered_map<std::string, std::shared_ptr<Entry>> byKey_;
-    /** Shared per-kind estimator instances (estimate() is const and
-     *  thread-safe by contract; sharing keeps per-instance memo
-     *  caches, e.g. qldpc-storage's reference solve, warm). */
-    std::map<std::string, std::shared_ptr<const est::Estimator>>
-        estimators_;
-    JobQueueStats stats_;
-    /** Tier-3 persistent store; detached when no cacheFile. */
-    CaStore store_;
-    bool stop_ = false;
-    std::vector<std::thread> workers_;
-};
+/** Pre-split name of the service facade. */
+using JobQueue = JobService;
 
 } // namespace traq::service
 

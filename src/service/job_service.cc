@@ -1,0 +1,97 @@
+#include "src/service/job_service.hh"
+
+#include <utility>
+
+#include "src/common/assert.hh"
+#include "src/common/castore.hh"
+
+namespace traq::service {
+namespace {
+
+std::shared_ptr<EstimatorPool>
+makePool()
+{
+    return std::make_shared<EstimatorPool>();
+}
+
+SchedulerOptions
+schedulerOptions(const JobQueueOptions &opts)
+{
+    // Resolve the persistent-store policy here, at the facade, so
+    // the contradiction check fires before any worker spawns and
+    // keeps the message the monolithic JobQueue used.
+    const std::string cachePath = resolveCacheFile(opts.cacheFile);
+    if (!cachePath.empty())
+        TRAQ_REQUIRE(opts.cache,
+                     "JobQueue: a cache file requires the result "
+                     "cache (the store is its disk form; refusing "
+                     "to silently ignore the path)");
+    SchedulerOptions sched;
+    sched.threads = opts.threads;
+    sched.cache = opts.cache;
+    sched.cacheFile = cachePath;
+    sched.readyCapacity = opts.readyCapacity;
+    return sched;
+}
+
+} // namespace
+
+JobService::JobService(JobQueueOptions opts)
+    : pool_(makePool()), validator_(pool_, opts.cache),
+      scheduler_(std::make_unique<Scheduler>(schedulerOptions(opts),
+                                             pool_))
+{}
+
+JobService::JobId
+JobService::submit(est::EstimateRequest req)
+{
+    return scheduler_->admit(validator_.validate(std::move(req)));
+}
+
+std::vector<JobService::JobId>
+JobService::submitBatch(std::vector<est::EstimateRequest> reqs)
+{
+    std::vector<JobId> ids;
+    ids.reserve(reqs.size());
+    for (est::EstimateRequest &req : reqs)
+        ids.push_back(submit(std::move(req)));
+    return ids;
+}
+
+const JobOutcome &
+JobService::wait(JobId id)
+{
+    return scheduler_->wait(id);
+}
+
+void
+JobService::drain()
+{
+    scheduler_->drain();
+}
+
+void
+JobService::closeSubmissions()
+{
+    scheduler_->closeSubmissions();
+}
+
+std::optional<JobId>
+JobService::waitCompleted()
+{
+    return scheduler_->waitCompleted();
+}
+
+JobQueueStats
+JobService::stats() const
+{
+    return scheduler_->stats();
+}
+
+unsigned
+JobService::threads() const
+{
+    return scheduler_->threads();
+}
+
+} // namespace traq::service

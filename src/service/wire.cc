@@ -1,0 +1,68 @@
+#include "src/service/wire.hh"
+
+#include <charconv>
+
+#include "src/common/assert.hh"
+
+namespace traq::service::wire {
+
+std::string
+tagLine(std::size_t index, std::string_view payload)
+{
+    TRAQ_REQUIRE(!payload.empty() &&
+                     (payload[0] == '{' || payload[0] == '['),
+                 "tagLine: payload must be an object or array");
+    std::string out = "{\"index\":" + std::to_string(index);
+    if (payload[0] == '{') {
+        // Splice the index member into the existing object.  An
+        // empty object "{}" has nothing to join with a comma.
+        if (payload.size() > 2)
+            out += ',';
+        out.append(payload.begin() + 1, payload.end());
+    } else {
+        out += ",\"batch\":";
+        out.append(payload);
+        out += '}';
+    }
+    return out;
+}
+
+TaggedLine
+splitTagged(std::string_view line)
+{
+    constexpr std::string_view prefix = "{\"index\":";
+    TRAQ_REQUIRE(line.substr(0, prefix.size()) == prefix,
+                 "splitTagged: missing index tag: " +
+                     std::string(line.substr(0, 32)));
+    std::string_view rest = line.substr(prefix.size());
+    TaggedLine out;
+    const auto [ptr, ec] = std::from_chars(
+        rest.data(), rest.data() + rest.size(), out.index);
+    TRAQ_REQUIRE(ec == std::errc() && ptr != rest.data(),
+                 "splitTagged: malformed index: " +
+                     std::string(line.substr(0, 32)));
+    rest.remove_prefix(
+        static_cast<std::size_t>(ptr - rest.data()));
+    if (rest == "}") {
+        // Tagged empty object: the payload was "{}".
+        out.payload = "{}";
+        return out;
+    }
+    TRAQ_REQUIRE(!rest.empty() && rest[0] == ',',
+                 "splitTagged: malformed tagged line: " +
+                     std::string(line.substr(0, 32)));
+    rest.remove_prefix(1);
+    constexpr std::string_view batch = "\"batch\":[";
+    if (rest.substr(0, batch.size()) == batch) {
+        TRAQ_REQUIRE(!rest.empty() && rest.back() == '}',
+                     "splitTagged: unterminated batch line");
+        out.payload.assign(rest.begin() + batch.size() - 1,
+                           rest.end() - 1);
+        return out;
+    }
+    out.payload = "{";
+    out.payload.append(rest);
+    return out;
+}
+
+} // namespace traq::service::wire

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Wire format shared by the streaming drivers (traq_serve,
+ * traq_dispatch).
+ *
+ * Ordered mode emits the classic per-line payloads in input order:
+ * a result object (est::toJson), an array of result objects for a
+ * batch line, or {"error":"..."}.  Unordered (streaming) mode emits
+ * the same payloads in completion order, each tagged with the
+ * 0-based ordinal of its input line so a consumer can reorder:
+ *
+ *   object payload  {"kind":...}   ->  {"index":N,"kind":...}
+ *   error payload   {"error":...}  ->  {"index":N,"error":...}
+ *   batch payload   [...]          ->  {"index":N,"batch":[...]}
+ *
+ * tagLine / splitTagged are exact inverses on these shapes, which
+ * is what lets the dispatcher run its workers unordered and still
+ * reproduce byte-identical ordered output: strip the tag, reorder
+ * by index, and the bytes are the single-process ordered stream.
+ */
+
+#ifndef TRAQ_SERVICE_WIRE_HH
+#define TRAQ_SERVICE_WIRE_HH
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace traq::service::wire {
+
+/**
+ * Tag one ordered-format payload line (no trailing newline) with
+ * its input-line index.  @p payload must start with '{' (result or
+ * error object) or '[' (batch array).
+ */
+std::string tagLine(std::size_t index, std::string_view payload);
+
+/** One untagged result: input-line index + ordered-format payload. */
+struct TaggedLine
+{
+    std::size_t index = 0;
+    std::string payload;
+};
+
+/**
+ * Invert tagLine: parse the index prefix and reconstruct the
+ * ordered-format payload.  Throws FatalError on anything that is
+ * not a well-formed tagged line — a dispatcher must fail loudly on
+ * a corrupt worker stream, not emit garbage downstream.
+ */
+TaggedLine splitTagged(std::string_view line);
+
+} // namespace traq::service::wire
+
+#endif // TRAQ_SERVICE_WIRE_HH

@@ -448,20 +448,23 @@ TEST(CaStore, TruncatedTailRecoveredWithoutFatal)
     }
     ASSERT_EQ(truncate(file.path().c_str(), 8 + 3 * 24 - 5), 0);
 
-    CaStore store;
-    store.open(file.path());  // must recover, not throw
-    EXPECT_TRUE(store.attached());
-    EXPECT_TRUE(store.loadStats().recovered);
-    EXPECT_EQ(store.loadStats().droppedRecords, 1u);
-    EXPECT_EQ(store.size(), 2u);
     std::string v;
-    ASSERT_TRUE(store.get("k2", v));
-    EXPECT_EQ(v, "v2");
-    EXPECT_FALSE(store.get("k3", v));
+    {
+        CaStore store;
+        store.open(file.path());  // must recover, not throw
+        EXPECT_TRUE(store.attached());
+        EXPECT_TRUE(store.loadStats().recovered);
+        EXPECT_EQ(store.loadStats().droppedRecords, 1u);
+        EXPECT_EQ(store.size(), 2u);
+        ASSERT_TRUE(store.get("k2", v));
+        EXPECT_EQ(v, "v2");
+        EXPECT_FALSE(store.get("k3", v));
 
-    // The rebuilt file is clean: appends work and a further reopen
-    // reports no recovery.
-    EXPECT_TRUE(store.put("k3", "v3 again"));
+        // The rebuilt file is clean: appends work.
+        EXPECT_TRUE(store.put("k3", "v3 again"));
+    }  // stores are single-writer: release the flock before reopening
+
+    // A further (sequential) reopen reports no recovery.
     CaStore again;
     again.open(file.path());
     EXPECT_FALSE(again.loadStats().recovered);
