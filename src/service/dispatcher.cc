@@ -133,12 +133,8 @@ Dispatcher::~Dispatcher()
     {
         std::lock_guard<std::mutex> lock(mutex_);
         closed_ = true;
-        for (Worker &w : workers_) {
-            if (w.stdinOpen) {
-                ::close(w.stdinFd);
-                w.stdinOpen = false;
-            }
-        }
+        for (Worker &w : workers_)
+            closeStdin(w);
     }
     for (Worker &w : workers_) {
         if (w.reader.joinable())
@@ -151,16 +147,40 @@ Dispatcher::~Dispatcher()
 }
 
 void
+Dispatcher::closeStdin(Worker &w)
+{
+    w.stdinOpen = false;
+    // Closing the fd while another thread is blocked in writeAll()
+    // on it would race: the writer could get EBADF or scribble on
+    // an unrelated fd if the number is reused.  Defer the ::close
+    // to sendToWorker(), which performs it after writeAll returns.
+    if (!w.writing && w.stdinFd != -1) {
+        ::close(w.stdinFd);
+        w.stdinFd = -1;
+    }
+}
+
+void
+Dispatcher::releaseWorkersIfDone()
+{
+    // Until every submitted index is answered, every stdin stays
+    // open — a drained worker is the retry target if a still-busy
+    // one dies; closing it early (EOF, child exits) would strand
+    // that requeue with no live shard.
+    if (!closed_ || answered_ < submitted_ || !requeued_.empty())
+        return;
+    for (Worker &w : workers_)
+        closeStdin(w);
+}
+
+void
 Dispatcher::workerLost(std::size_t slot)
 {
     Worker &w = workers_[slot];
     if (!w.alive)
         return;
     w.alive = false;
-    if (w.stdinOpen) {
-        ::close(w.stdinFd);
-        w.stdinOpen = false;
-    }
+    closeStdin(w);
     // Requeue everything unacknowledged.  The map itself is kept:
     // results already buffered in the dead worker's pipe still
     // arrive through its reader, and need the local -> global
@@ -222,12 +242,27 @@ Dispatcher::sendToWorker(std::size_t slot, Job job,
     // The write happens without the lock: a full pipe must not
     // stall acknowledgement processing (that would deadlock against
     // a busy worker).  The unacked entry is registered first, so
-    // the ack cannot race past the bookkeeping.
+    // the ack cannot race past the bookkeeping; the writing flag
+    // keeps this worker out of every selection loop while the lock
+    // is down, so local indices are assigned in the exact order
+    // lines reach the pipe, and keeps closeStdin() from closing
+    // the fd under this write.
+    w.writing = true;
     lock.unlock();
     const bool ok = writeAll(fd, job.line + "\n");
     lock.lock();
+    w.writing = false;
+    if (!w.stdinOpen && w.stdinFd != -1) {
+        // closeStdin() wanted this fd gone mid-write; finish now.
+        ::close(w.stdinFd);
+        w.stdinFd = -1;
+    }
     if (!ok && w.alive)
         workerLost(slot); // requeues this job with the rest
+    // The worker is selectable again (or newly dead); both the
+    // submit side and the drain side may be waiting to re-probe.
+    spaceCv_.notify_all();
+    resultCv_.notify_all();
     return ok;
 }
 
@@ -246,6 +281,7 @@ Dispatcher::pumpRequeued(std::unique_lock<std::mutex> &lock)
             const std::size_t s =
                 (rrNext_ + probe) % workers_.size();
             if (workers_[s].alive && workers_[s].stdinOpen &&
+                !workers_[s].writing &&
                 workers_[s].unacked.size() < inflightBound_) {
                 slot = s;
                 break;
@@ -276,6 +312,7 @@ Dispatcher::submit(std::size_t index, const std::string &line)
             const std::size_t s =
                 (rrNext_ + probe) % workers_.size();
             if (workers_[s].alive && workers_[s].stdinOpen &&
+                !workers_[s].writing &&
                 workers_[s].unacked.size() < inflightBound_) {
                 slot = s;
                 break;
@@ -283,11 +320,14 @@ Dispatcher::submit(std::size_t index, const std::string &line)
         }
         if (slot < workers_.size()) {
             rrNext_ = (slot + 1) % workers_.size();
-            if (sendToWorker(slot, std::move(job), lock))
-                return;
-            // Pipe broke mid-send; the job was requeued with the
-            // dead worker's backlog.  Drain it to a survivor.
-            continue;
+            // Success or failure, this call is done with the job:
+            // on success it is inflight; on failure the worker's
+            // death requeued it (the unacked entry predates the
+            // write) and pumpRequeued — on the next submit, or in
+            // waitResult — drains it to a survivor.  Looping to
+            // resend here would submit a second, moved-from copy.
+            sendToWorker(slot, std::move(job), lock);
+            return;
         }
         bool anyLive = false;
         for (const Worker &w : workers_)
@@ -304,16 +344,10 @@ Dispatcher::closeSubmissions()
 {
     std::unique_lock<std::mutex> lock(mutex_);
     closed_ = true;
-    // Hold stdin open on workers that still owe answers; only
-    // workers with no backlog can be told end-of-input now.  The
-    // rest close as waitResult() drains them.
-    for (Worker &w : workers_) {
-        if (w.stdinOpen && w.unacked.empty() &&
-            requeued_.empty()) {
-            ::close(w.stdinFd);
-            w.stdinOpen = false;
-        }
-    }
+    releaseWorkersIfDone();
+    // A waitResult() that saw the last ack before closed_ was set
+    // is parked on resultCv_ with nothing left to notify it.
+    resultCv_.notify_all();
 }
 
 std::optional<DispatchResult>
@@ -322,15 +356,7 @@ Dispatcher::waitResult()
     std::unique_lock<std::mutex> lock(mutex_);
     while (true) {
         pumpRequeued(lock);
-        if (closed_ && requeued_.empty()) {
-            // End of input: release idle workers so they exit.
-            for (Worker &w : workers_) {
-                if (w.stdinOpen && w.unacked.empty()) {
-                    ::close(w.stdinFd);
-                    w.stdinOpen = false;
-                }
-            }
-        }
+        releaseWorkersIfDone();
         if (!results_.empty()) {
             DispatchResult r = std::move(results_.front());
             results_.pop_front();

@@ -25,7 +25,12 @@
  *    a worker just before death may race its requeue; the second
  *    copy is dropped).  Only a *complete* worker line (trailing
  *    newline seen) counts as acknowledged — a torn final line from
- *    a dying worker is discarded, never emitted;
+ *    a dying worker is discarded, never emitted.  So the requeue
+ *    guarantee holds through the whole drain, every worker's stdin
+ *    — including drained, idle workers' — stays open until every
+ *    submitted index has been answered: an idle worker is the
+ *    retry target if a still-busy one dies, and releasing it early
+ *    (EOF → exit) would strand the requeue with no live shard;
  *  - fails loudly (FatalError) only when no live worker remains and
  *    unfinished jobs exist — with zero workers nothing can ever
  *    complete, and silence would hang the caller.
@@ -113,9 +118,11 @@ class Dispatcher
     void submit(std::size_t index, const std::string &line);
 
     /**
-     * Declare end of input: close every worker's stdin so the
-     * children finish and exit.  waitResult() drains the remaining
-     * answers.
+     * Declare end of input.  Worker stdins are NOT closed yet
+     * unless every submitted index is already answered: drained
+     * workers stay available as retry targets for a busy worker's
+     * death.  waitResult() drains the remaining answers and
+     * releases the children (stdin EOF) once the drain completes.
      */
     void closeSubmissions();
 
@@ -147,10 +154,18 @@ class Dispatcher
     struct Worker
     {
         pid_t pid = -1;
-        int stdinFd = -1;        //!< dispatcher -> child
+        int stdinFd = -1;        //!< dispatcher -> child; -1 = closed
         std::FILE *out = nullptr; //!< child stdout, read side
         bool alive = false;
-        bool stdinOpen = false;
+        bool stdinOpen = false; //!< accepts new sends (logical)
+        /** A send is mid-write on stdinFd with the lock dropped.
+         *  While set, the worker is skipped by every selection
+         *  loop (serialises writes so local-index assignment order
+         *  matches pipe arrival order) and stdinFd must not be
+         *  closed by another thread (closing an fd under a
+         *  concurrent ::write races fd reuse) — closeStdin()
+         *  defers the ::close to sendToWorker(). */
+        bool writing = false;
         std::size_t nextLocal = 0; //!< next local index to assign
         /** Local index -> job; erased on acknowledgement.  Kept
          *  (not cleared) after death so results buffered in the
@@ -164,6 +179,12 @@ class Dispatcher
     /** Mark a worker dead and requeue its unacked jobs (lock
      *  held). */
     void workerLost(std::size_t slot);
+    /** Logically close a worker's stdin (lock held); the ::close
+     *  itself is deferred while Worker::writing is set. */
+    void closeStdin(Worker &w);
+    /** Close every worker's stdin once submissions are closed and
+     *  answered_ == submitted_ (lock held); no-op before then. */
+    void releaseWorkersIfDone();
     /** Write one job to a worker (lock held for bookkeeping; the
      *  write itself is outside).  Returns false when the worker's
      *  pipe broke. */

@@ -556,5 +556,48 @@ TEST(Dispatcher, KilledWorkerLosesAndDuplicatesNothing)
     }
 }
 
+TEST(Dispatcher, DrainedWorkerAbsorbsDeathAfterCloseSubmissions)
+{
+    // One slow Monte-Carlo request pins worker 0 (~1.3 s) while
+    // worker 1 sits idle.  After closeSubmissions(), idle workers'
+    // stdins must stay open until every submitted index is
+    // answered: killing the busy worker mid-run has to requeue its
+    // job onto the drained-but-live worker 1.  Releasing idle
+    // stdins at close time instead lets worker 1 exit on EOF, and
+    // the requeue then finds no live shard — a fatal "every worker
+    // is dead with work outstanding" despite a healthy survivor.
+    service::DispatcherOptions opts;
+    opts.servePath = buildSibling("traq_serve");
+    opts.workers = 2;
+    opts.inflight = 4;
+    service::Dispatcher dispatcher(opts);
+
+    const std::string slow =
+        "{\"kind\":\"mc-logical-error\",\"params\":"
+        "{\"distance\":5,\"shots\":100000,\"seed\":7}}";
+    dispatcher.submit(0, slow); // round-robin starts at worker 0
+    dispatcher.closeSubmissions();
+
+    // Let the line reach worker 0 and start evaluating, then kill
+    // it mid-run.  (If the job somehow finishes first, the result
+    // was already acknowledged and the test still must pass — the
+    // kill then just exercises the idle-death path.)
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    const std::vector<pid_t> pids = dispatcher.workerPids();
+    ASSERT_EQ(pids.size(), 2u);
+    if (pids[0] > 0)
+        kill(pids[0], SIGKILL);
+
+    std::map<std::size_t, std::string> got;
+    while (const auto r = dispatcher.waitResult())
+        EXPECT_TRUE(got.emplace(r->index, r->payload).second)
+            << "duplicate result for index " << r->index;
+    ASSERT_EQ(got.size(), 1u);
+    ASSERT_TRUE(got.count(0));
+    EXPECT_NE(got.at(0).find("\"feasible\":true"),
+              std::string::npos)
+        << got.at(0);
+}
+
 } // namespace
 } // namespace traq
